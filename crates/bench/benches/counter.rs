@@ -1,0 +1,74 @@
+//! Experiment W2 — wall-clock throughput of the counters.
+//!
+//! Shapes predicted by the theory: the f-array (O(1) read, O(log N)
+//! increment) wins read-heavy mixes against the AAC counter (O(log N)
+//! read, O(log² N) increment); hardware fetch-add — outside the paper's
+//! primitive set — bounds what any of them can achieve.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruo_core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
+use ruo_core::Counter;
+use ruo_sim::ProcessId;
+
+const OPS: u64 = 2_000;
+
+fn run_batch<C: Counter>(counter: &C, threads: usize, read_pct: u64, sink: &AtomicU64) {
+    crossbeam_utils::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move |_| {
+                let mut acc = 0u64;
+                let mut state = (t as u64 + 1) * 0x9E37_79B9;
+                for _ in 0..OPS {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if state % 100 < read_pct {
+                        acc ^= counter.read();
+                    } else {
+                        counter.increment(ProcessId(t));
+                    }
+                }
+                sink.fetch_xor(acc, Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+fn bench_counter(c: &mut Criterion) {
+    let sink = AtomicU64::new(0);
+    for &threads in &[1usize, 2, 4] {
+        for &read_pct in &[50u64, 90, 99] {
+            let mut group = c.benchmark_group(format!("counter/t{threads}/r{read_pct}"));
+            group.throughput(Throughput::Elements(OPS * threads as u64));
+            group.sample_size(10);
+            group.measurement_time(std::time::Duration::from_secs(2));
+            group.warm_up_time(std::time::Duration::from_millis(500));
+            group.bench_function(BenchmarkId::from_parameter("farray"), |b| {
+                b.iter(|| {
+                    let counter = FArrayCounter::new(threads);
+                    run_batch(&counter, threads, read_pct, &sink);
+                })
+            });
+            group.bench_function(BenchmarkId::from_parameter("aac"), |b| {
+                b.iter(|| {
+                    // Bound: every op could be an increment.
+                    let counter = AacCounter::new(threads, OPS * threads as u64 + 1);
+                    run_batch(&counter, threads, read_pct, &sink);
+                })
+            });
+            group.bench_function(BenchmarkId::from_parameter("fetch_add"), |b| {
+                b.iter(|| {
+                    let counter = FetchAddCounter::new();
+                    run_batch(&counter, threads, read_pct, &sink);
+                })
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_counter);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Experiment W1 — wall-clock throughput of the max registers.
+//!
+//! The paper predicts the *shape*: Algorithm A (O(1) reads) should beat
+//! the AAC register (O(log M) reads) on read-heavy mixes, with the gap
+//! growing as reads dominate. The single-CAS-cell and mutex baselines
+//! anchor the scale.
+//!
+//! Each measured batch constructs a fresh register and runs `THREADS`
+//! threads, each performing `OPS` operations with the given read
+//! percentage (deterministic per-thread value streams).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruo_core::maxreg::{
+    AacMaxRegister, CasRetryMaxRegister, FArrayMaxRegister, LockMaxRegister, TreeMaxRegister,
+};
+use ruo_core::MaxRegister;
+use ruo_sim::ProcessId;
+
+const OPS: u64 = 2_000;
+// Kept small enough that building the AAC switch arena (2·M nodes) is
+// negligible next to the measured operations — each batch constructs a
+// fresh register.
+const AAC_CAPACITY: u64 = 1 << 12;
+
+fn run_batch<R: MaxRegister>(reg: &R, threads: usize, read_pct: u64, sink: &AtomicU64) {
+    crossbeam_utils::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move |_| {
+                let mut acc = 0u64;
+                let mut state = (t as u64 + 1) * 0x9E37_79B9;
+                for i in 0..OPS {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if state % 100 < read_pct {
+                        acc ^= reg.read_max();
+                    } else {
+                        // Values stay within the AAC bound and grow so
+                        // writes keep doing real propagation work.
+                        let v = (i * threads as u64 + t as u64) % AAC_CAPACITY;
+                        reg.write_max(ProcessId(t), v);
+                    }
+                }
+                sink.fetch_xor(acc, Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+fn bench_maxreg(c: &mut Criterion) {
+    let sink = AtomicU64::new(0);
+    for &threads in &[1usize, 2, 4] {
+        for &read_pct in &[50u64, 90, 99] {
+            let mut group = c.benchmark_group(format!("maxreg/t{threads}/r{read_pct}"));
+            group.throughput(Throughput::Elements(OPS * threads as u64));
+            group.sample_size(10);
+            group.measurement_time(std::time::Duration::from_secs(2));
+            group.warm_up_time(std::time::Duration::from_millis(500));
+            group.bench_function(BenchmarkId::from_parameter("algorithm_a"), |b| {
+                b.iter(|| {
+                    let reg = TreeMaxRegister::new(threads);
+                    run_batch(&reg, threads, read_pct, &sink);
+                })
+            });
+            group.bench_function(BenchmarkId::from_parameter("aac"), |b| {
+                b.iter(|| {
+                    let reg = AacMaxRegister::new(AAC_CAPACITY);
+                    run_batch(&reg, threads, read_pct, &sink);
+                })
+            });
+            group.bench_function(BenchmarkId::from_parameter("aac_unbalanced"), |b| {
+                b.iter(|| {
+                    let reg = AacMaxRegister::new_unbalanced(AAC_CAPACITY);
+                    run_batch(&reg, threads, read_pct, &sink);
+                })
+            });
+            group.bench_function(BenchmarkId::from_parameter("farray"), |b| {
+                b.iter(|| {
+                    let reg = FArrayMaxRegister::new(threads);
+                    run_batch(&reg, threads, read_pct, &sink);
+                })
+            });
+            group.bench_function(BenchmarkId::from_parameter("cas_cell"), |b| {
+                b.iter(|| {
+                    let reg = CasRetryMaxRegister::new();
+                    run_batch(&reg, threads, read_pct, &sink);
+                })
+            });
+            group.bench_function(BenchmarkId::from_parameter("mutex"), |b| {
+                b.iter(|| {
+                    let reg = LockMaxRegister::new();
+                    run_batch(&reg, threads, read_pct, &sink);
+                })
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_maxreg);
+criterion_main!(benches);

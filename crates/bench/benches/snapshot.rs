@@ -1,0 +1,73 @@
+//! Experiment W3 — wall-clock throughput of the snapshots.
+//!
+//! The scan/update tradeoff in the wild: double-collect pays on scans
+//! under update pressure (obstruction-free retries), the path-copying
+//! snapshot pays O(log N) per update but scans from a single pointer
+//! load, and the Afek snapshot pays O(N²) everywhere for wait-freedom.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruo_core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
+use ruo_core::Snapshot;
+use ruo_sim::ProcessId;
+
+const OPS: u64 = 1_000;
+
+fn run_batch<S: Snapshot>(snap: &S, threads: usize, scan_pct: u64, sink: &AtomicU64) {
+    crossbeam_utils::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move |_| {
+                let mut acc = 0u64;
+                let mut state = (t as u64 + 1) * 0x9E37_79B9;
+                for i in 0..OPS {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if state % 100 < scan_pct {
+                        acc ^= snap.scan().iter().sum::<u64>();
+                    } else {
+                        snap.update(ProcessId(t), i + 1);
+                    }
+                }
+                sink.fetch_xor(acc, Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let sink = AtomicU64::new(0);
+    for &threads in &[1usize, 2, 4] {
+        for &scan_pct in &[50u64, 90] {
+            let mut group = c.benchmark_group(format!("snapshot/t{threads}/s{scan_pct}"));
+            group.throughput(Throughput::Elements(OPS * threads as u64));
+            group.sample_size(10);
+            group.measurement_time(std::time::Duration::from_secs(2));
+            group.warm_up_time(std::time::Duration::from_millis(500));
+            group.bench_function(BenchmarkId::from_parameter("double_collect"), |b| {
+                b.iter(|| {
+                    let snap = DoubleCollectSnapshot::new(threads);
+                    run_batch(&snap, threads, scan_pct, &sink);
+                })
+            });
+            group.bench_function(BenchmarkId::from_parameter("path_copy"), |b| {
+                b.iter(|| {
+                    let snap = PathCopySnapshot::new(threads, OPS * threads as u64 + 1);
+                    run_batch(&snap, threads, scan_pct, &sink);
+                })
+            });
+            group.bench_function(BenchmarkId::from_parameter("afek"), |b| {
+                b.iter(|| {
+                    let snap = AfekSnapshot::new(threads);
+                    run_batch(&snap, threads, scan_pct, &sink);
+                })
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment F4 — Figure 4: Algorithm A's data structure.
+//!
+//! Renders the actual tree built by `TreeMaxRegister` for `N = 4` (the
+//! paper's figure) and tabulates leaf depths, which are the write costs.
+//!
+//! Run with `cargo run -p ruo-bench --bin fig4_layout`.
+
+use ruo_bench::Table;
+use ruo_core::shape::AlgorithmATree;
+
+fn main() {
+    println!("# F4 — the maxRegister data structure (paper Figure 4, N = 4)\n");
+    let tree = AlgorithmATree::new(4);
+    println!("{}", tree.render());
+    println!("TL is the unbalanced B1 tree with N-1 = 3 value leaves;");
+    println!("TR is the complete binary tree with N = 4 per-process leaves.\n");
+
+    println!("## Leaf depths for N = 1024 (write cost is ~8 steps per level)\n");
+    let tree = AlgorithmATree::new(1024);
+    let mut t = Table::new(&["WriteMax operand v", "leaf", "depth", "2·log2(v)+3 bound"]);
+    for v in [1u64, 2, 3, 7, 8, 50, 512, 1023] {
+        let depth = tree.write_depth(0, v);
+        let bound = 2 * (64 - (v + 1).leading_zeros()) as usize + 3;
+        t.row(vec![
+            v.to_string(),
+            format!("TL.leaf[v={v}]"),
+            depth.to_string(),
+            bound.to_string(),
+        ]);
+    }
+    for v in [1024u64, 1 << 20, 1 << 40] {
+        let depth = tree.write_depth(7, v);
+        t.row(vec![
+            v.to_string(),
+            "TR.leaf[p7]".into(),
+            depth.to_string(),
+            "log2(N)+2 = 12".into(),
+        ]);
+    }
+    t.print();
+    println!("\nSmall operands stop early in TL (cost ~ log v); large operands use the");
+    println!("writer's own TR leaf (cost ~ log N) — together, O(min(log N, log v)).");
+}

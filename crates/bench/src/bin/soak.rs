@@ -1,0 +1,200 @@
+//! Soak test: deep randomized linearizability verification across every
+//! simulated implementation family. The test suite runs dozens of seeds
+//! per implementation; this binary runs *thousands* (tunable), printing
+//! a verdict table — the long-haul version of experiment T5.
+//!
+//! Run with `cargo run --release -p ruo-bench --bin soak [seeds]`
+//! (default 2000 seeds per implementation).
+
+use std::sync::Arc;
+
+use ruo_bench::Table;
+use ruo_core::counter::sim::{
+    SimAacCounter, SimCasLoopCounter, SimCounter, SimFArrayCounter, SimSnapshotCounter,
+};
+use ruo_core::maxreg::sim::{
+    SimAacMaxRegister, SimCasRetryMaxRegister, SimFArrayMaxRegister, SimMaxRegister,
+    SimTreeMaxRegister,
+};
+use ruo_core::snapshot::sim::{SimDoubleCollectSnapshot, SimSnapshot};
+use ruo_sim::lin::{check_counter, check_max_register, check_snapshot};
+use ruo_sim::{Executor, Memory, OpDesc, OpSpec, ProcessId, RandomScheduler, WorkloadBuilder};
+
+fn maxreg_seed(make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimMaxRegister>, seed: u64) -> bool {
+    let mut mem = Memory::new();
+    let n = 4;
+    let reg = make(&mut mem, n);
+    let mut w = WorkloadBuilder::new(n);
+    for p in 0..n {
+        for i in 0..8usize {
+            let pid = ProcessId(p);
+            if i % 2 == 0 {
+                let v = ((seed as usize * 31 + i * n + p) % 1000 + 1) as u64;
+                let reg = Arc::clone(&reg);
+                w.op(
+                    pid,
+                    OpSpec::update(OpDesc::WriteMax(v as i64), move || reg.write_max(pid, v)),
+                );
+            } else {
+                let reg = Arc::clone(&reg);
+                w.op(
+                    pid,
+                    OpSpec::value(OpDesc::ReadMax, move || reg.read_max(pid)),
+                );
+            }
+        }
+    }
+    let outcome = Executor::new().run(&mut mem, w, &mut RandomScheduler::new(seed));
+    outcome.all_done && check_max_register(&outcome.history, 0).is_ok()
+}
+
+fn counter_seed(make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimCounter>, seed: u64) -> bool {
+    let mut mem = Memory::new();
+    let n = 4;
+    let c = make(&mut mem, n);
+    let mut w = WorkloadBuilder::new(n);
+    for p in 0..n {
+        for i in 0..8usize {
+            let pid = ProcessId(p);
+            let c2 = Arc::clone(&c);
+            if i % 2 == 0 {
+                w.op(
+                    pid,
+                    OpSpec::update(OpDesc::CounterIncrement, move || c2.increment(pid)),
+                );
+            } else {
+                w.op(
+                    pid,
+                    OpSpec::value(OpDesc::CounterRead, move || c2.read(pid)),
+                );
+            }
+        }
+    }
+    // SimSnapshotCounter reads are obstruction-free: budget generously.
+    let outcome =
+        Executor::with_step_budget(500_000).run(&mut mem, w, &mut RandomScheduler::new(seed));
+    outcome.all_done && check_counter(&outcome.history).is_ok()
+}
+
+fn snapshot_seed(seed: u64) -> bool {
+    let mut mem = Memory::new();
+    let n = 3;
+    let snap = Arc::new(SimDoubleCollectSnapshot::new(&mut mem, n));
+    let mut w = WorkloadBuilder::new(n);
+    for p in 0..n {
+        let pid = ProcessId(p);
+        for i in 0..4u64 {
+            if i % 2 == 0 {
+                let s = Arc::clone(&snap);
+                let v = p as u64 * 1000 + seed % 500 + i + 1;
+                w.op(
+                    pid,
+                    OpSpec::update(OpDesc::Update(v as i64), move || s.update(pid, v)),
+                );
+            } else {
+                let s = Arc::clone(&snap);
+                let s2 = Arc::clone(&snap);
+                w.op(
+                    pid,
+                    OpSpec::vector(
+                        OpDesc::Scan,
+                        move || s.scan(pid),
+                        move |token| {
+                            s2.take_scan_result(token)
+                                .into_iter()
+                                .map(|v| v as i64)
+                                .collect()
+                        },
+                    ),
+                );
+            }
+        }
+    }
+    let outcome =
+        Executor::with_step_budget(500_000).run(&mut mem, w, &mut RandomScheduler::new(seed));
+    outcome.all_done && check_snapshot(&outcome.history, n, 0).is_ok()
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    println!("# Soak — {seeds} random adversarial schedules per implementation\n");
+
+    let mut t = Table::new(&["implementation", "ok", "violations"]);
+
+    type MaxRegFactory = Box<dyn Fn(&mut Memory, usize) -> Arc<dyn SimMaxRegister>>;
+    let maxregs: Vec<(&str, MaxRegFactory)> = vec![
+        (
+            "maxreg: Algorithm A",
+            Box::new(|m, n| Arc::new(SimTreeMaxRegister::new(m, n))),
+        ),
+        (
+            "maxreg: AAC",
+            Box::new(|m, n| Arc::new(SimAacMaxRegister::new(m, n, 1 << 10))),
+        ),
+        (
+            "maxreg: AAC unbalanced",
+            Box::new(|m, n| Arc::new(SimAacMaxRegister::new_unbalanced(m, n, 1 << 10))),
+        ),
+        (
+            "maxreg: CAS cell",
+            Box::new(|m, n| Arc::new(SimCasRetryMaxRegister::new(m, n))),
+        ),
+        (
+            "maxreg: f-array",
+            Box::new(|m, n| Arc::new(SimFArrayMaxRegister::new(m, n))),
+        ),
+    ];
+    for (name, make) in &maxregs {
+        let ok = (0..seeds)
+            .filter(|&s| maxreg_seed(make.as_ref(), s))
+            .count() as u64;
+        t.row(vec![
+            name.to_string(),
+            format!("{ok}/{seeds}"),
+            (seeds - ok).to_string(),
+        ]);
+    }
+
+    type CounterFactory = Box<dyn Fn(&mut Memory, usize) -> Arc<dyn SimCounter>>;
+    let counters: Vec<(&str, CounterFactory)> = vec![
+        (
+            "counter: f-array",
+            Box::new(|m, n| Arc::new(SimFArrayCounter::new(m, n))),
+        ),
+        (
+            "counter: AAC",
+            Box::new(|m, n| Arc::new(SimAacCounter::new(m, n, 64))),
+        ),
+        (
+            "counter: CAS loop",
+            Box::new(|m, n| Arc::new(SimCasLoopCounter::new(m, n))),
+        ),
+        (
+            "counter: snapshot",
+            Box::new(|m, n| Arc::new(SimSnapshotCounter::new(m, n))),
+        ),
+    ];
+    for (name, make) in &counters {
+        let ok = (0..seeds)
+            .filter(|&s| counter_seed(make.as_ref(), s))
+            .count() as u64;
+        t.row(vec![
+            name.to_string(),
+            format!("{ok}/{seeds}"),
+            (seeds - ok).to_string(),
+        ]);
+    }
+
+    let ok = (0..seeds).filter(|&s| snapshot_seed(s)).count() as u64;
+    t.row(vec![
+        "snapshot: double-collect".to_string(),
+        format!("{ok}/{seeds}"),
+        (seeds - ok).to_string(),
+    ]);
+
+    t.print();
+    println!("\nEvery `violations` cell must be 0.");
+}

@@ -1,0 +1,131 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures
+//! (see `EXPERIMENTS.md` at the repository root for the index); the
+//! Criterion benches in `benches/` measure wall-clock throughput of the
+//! real-atomics implementations.
+
+use ruo_sim::{Machine, Memory, ProcessId, Word};
+
+/// Drives a step machine to completion with no interference, returning
+/// `(result, steps)` — the *solo step complexity* of the operation,
+/// which is the measure used in all step-count tables.
+pub fn run_solo(mem: &mut Memory, pid: ProcessId, mut machine: Machine) -> (Word, usize) {
+    while let Some(prim) = machine.enabled() {
+        let resp = mem.apply(pid, prim);
+        machine.feed(resp);
+    }
+    (
+        machine.result().expect("machine completed"),
+        machine.steps(),
+    )
+}
+
+/// A minimal markdown table builder for the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table as markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let cols: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", cols.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// `⌈log₂ x⌉` for display columns (`0` for `x ≤ 1`).
+pub fn log2_ceil(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| a | long-header |"));
+        assert!(s.contains("| 1 | 2           |"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn log2_ceil_matches_expectations() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn run_solo_counts_steps() {
+        use ruo_sim::{done, read};
+        let mut mem = Memory::new();
+        let o = mem.alloc(7);
+        let (v, steps) = run_solo(&mut mem, ProcessId(0), Machine::new(read(o, done)));
+        assert_eq!(v, 7);
+        assert_eq!(steps, 1);
+    }
+}

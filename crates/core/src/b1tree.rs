@@ -1,0 +1,176 @@
+//! The Bentley–Yao B1 tree: an unbounded-search tree shape in which the
+//! `v`-th leaf sits at depth `O(log v)`.
+//!
+//! Algorithm A uses a B1 tree with `N − 1` leaves as the left subtree
+//! `TL` of its max-register tree: `WriteMax(v)` for a small value `v`
+//! starts at `TL`'s `v`-th leaf and climbs only `O(log v)` levels, which
+//! is what makes the write cost `O(min(log N, log v))` instead of
+//! `O(log N)`.
+//!
+//! The shape is a rightward *spine*: the spine node at spine-depth `g`
+//! hangs a complete binary tree with `2^g` leaves off its left side and
+//! the next spine node off its right. Leaf `v` (1-based) therefore lands
+//! in group `g = ⌊log₂(v + 1)⌋ - ... ` — concretely, group `g` covers
+//! leaves `2^g .. 2^(g+1) - 1`, at total depth at most `2g + 1`.
+
+use crate::shape::{NodeIdx, TreeShape};
+
+/// The group (spine level) containing the 1-based leaf `v`: group `g`
+/// covers leaves `2^g ..= 2^(g+1) - 1`.
+#[inline]
+pub fn group_of(v: usize) -> usize {
+    debug_assert!(v >= 1);
+    (usize::BITS - 1 - v.leading_zeros()) as usize
+}
+
+/// Number of leaves in group `g` of an unbounded B1 tree.
+#[inline]
+pub fn group_size(g: usize) -> usize {
+    1 << g
+}
+
+/// Upper bound on the depth of the 1-based leaf `v` inside the B1
+/// subtree: spine descent `g`, plus one edge into the group's complete
+/// subtree, plus the subtree's height `g`.
+#[inline]
+pub fn depth_bound(v: usize) -> usize {
+    2 * group_of(v) + 1
+}
+
+/// Builds a B1 tree with `leaf_count ≥ 1` leaves into `shape`, returning
+/// the subtree root and the leaves in value order (leaf `i` of the
+/// returned vector is the `(i + 1)`-th leaf of the tree).
+pub(crate) fn build_b1(shape: &mut TreeShape, leaf_count: usize) -> (NodeIdx, Vec<NodeIdx>) {
+    assert!(leaf_count >= 1);
+    // Split leaves into groups of sizes 1, 2, 4, ... (last group partial).
+    let mut groups = Vec::new();
+    let mut remaining = leaf_count;
+    let mut g = 0usize;
+    while remaining > 0 {
+        let size = group_size(g).min(remaining);
+        groups.push(size);
+        remaining -= size;
+        g += 1;
+    }
+
+    let mut leaves = Vec::with_capacity(leaf_count);
+    // Build the spine top-down. Each spine node's left child is its
+    // group's complete subtree; its right child is the next spine node.
+    // The deepest group needs no spine node of its own: its subtree root
+    // *is* the previous spine node's right child.
+    let mut spine_nodes = Vec::new();
+    let mut group_roots = Vec::new();
+    for &size in &groups {
+        let (root, group_leaves) = shape.build_complete(size);
+        group_roots.push(root);
+        leaves.extend(group_leaves);
+    }
+    if groups.len() == 1 {
+        return (group_roots[0], leaves);
+    }
+    for _ in 0..groups.len() - 1 {
+        spine_nodes.push(shape.add_node());
+    }
+    for (i, &spine) in spine_nodes.iter().enumerate() {
+        let right = if i + 1 < spine_nodes.len() {
+            spine_nodes[i + 1]
+        } else {
+            group_roots[groups.len() - 1]
+        };
+        shape.set_children(spine, Some(group_roots[i]), Some(right));
+    }
+    (spine_nodes[0], leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn built(leaf_count: usize) -> (TreeShape, NodeIdx, Vec<NodeIdx>) {
+        let mut shape = TreeShape::new();
+        let (root, leaves) = build_b1(&mut shape, leaf_count);
+        shape.fix_depths(root);
+        (shape, root, leaves)
+    }
+
+    #[test]
+    fn group_math_matches_powers_of_two() {
+        assert_eq!(group_of(1), 0);
+        assert_eq!(group_of(2), 1);
+        assert_eq!(group_of(3), 1);
+        assert_eq!(group_of(4), 2);
+        assert_eq!(group_of(7), 2);
+        assert_eq!(group_of(8), 3);
+        assert_eq!(group_size(3), 8);
+    }
+
+    #[test]
+    fn produces_exactly_the_requested_leaves() {
+        for k in 1..=100 {
+            let (shape, _, leaves) = built(k);
+            assert_eq!(leaves.len(), k);
+            for &l in &leaves {
+                assert!(shape.node(l).is_leaf());
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_depths_respect_the_bentley_yao_bound() {
+        let (shape, _, leaves) = built(1000);
+        for (i, &l) in leaves.iter().enumerate() {
+            let v = i + 1;
+            let d = shape.node(l).depth;
+            assert!(
+                d <= depth_bound(v),
+                "leaf {v} at depth {d} > bound {}",
+                depth_bound(v)
+            );
+        }
+    }
+
+    #[test]
+    fn first_leaf_is_shallow_even_in_huge_trees() {
+        // Leaf 1 must stay at depth 1 regardless of tree size — this is
+        // the whole point of the B1 shape.
+        for k in [1usize, 2, 10, 1 << 16] {
+            let (shape, _, leaves) = built(k);
+            assert!(shape.node(leaves[0]).depth <= 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn depth_grows_with_value() {
+        let (shape, _, leaves) = built(512);
+        // Depth of leaf 2^g is about 2g; check rough growth.
+        let d1 = shape.node(leaves[0]).depth;
+        let d511 = shape.node(leaves[510]).depth;
+        assert!(d1 < d511);
+        assert!(d511 <= depth_bound(511));
+    }
+
+    #[test]
+    fn single_leaf_tree_is_just_the_leaf() {
+        let (shape, root, leaves) = built(1);
+        assert_eq!(root, leaves[0]);
+        assert_eq!(shape.len(), 1);
+    }
+
+    #[test]
+    fn all_nodes_reachable_from_root() {
+        let (shape, root, _) = built(77);
+        let mut seen = vec![false; shape.len()];
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            assert!(!seen[n], "node {n} reached twice — not a tree");
+            seen[n] = true;
+            if let Some(l) = shape.node(n).left {
+                stack.push(l);
+            }
+            if let Some(r) = shape.node(n).right {
+                stack.push(r);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "orphan nodes exist");
+    }
+}

@@ -1,0 +1,227 @@
+//! The AAC counter from reads and writes only.
+//!
+//! A balanced binary tree with one leaf per process. Leaf `i` is a plain
+//! single-writer register holding process `i`'s increment count; every
+//! internal node is an [`AacMaxRegister`] holding the sum of its
+//! subtree's leaves. `CounterIncrement` bumps the caller's leaf and, at
+//! each node up the path, reads both children and `WriteMax`es their sum
+//! into the node (sums only grow, so a max register can carry them).
+//! `CounterRead` is a single `ReadMax` of the root.
+//!
+//! With max registers bounded by `M` (the restricted-use bound on total
+//! increments), reads cost `O(log M)` and increments
+//! `O(log N · log M)` — `O(log N)` and `O(log² N)` for polynomially many
+//! increments, matching the step complexities quoted in the paper's
+//! introduction. Theorem 2 shows the read side is optimal and forces
+//! `Ω(log N)` increments, so the extra `log` factor on increments is the
+//! price of renouncing CAS.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ruo_sim::ProcessId;
+
+use crate::maxreg::AacMaxRegister;
+use crate::shape::TreeShape;
+use crate::traits::{Counter, MaxRegister};
+
+/// Restricted-use wait-free counter from reads and writes only:
+/// `O(log M)` reads, `O(log N · log M)` increments, supporting at most
+/// `max_increments` increments in total.
+///
+/// ```
+/// use ruo_core::counter::AacCounter;
+/// use ruo_core::Counter;
+/// use ruo_sim::ProcessId;
+///
+/// let counter = AacCounter::new(4, 1_000);
+/// counter.increment(ProcessId(2));
+/// counter.increment(ProcessId(2));
+/// assert_eq!(counter.read(), 2);
+/// ```
+pub struct AacCounter {
+    shape: TreeShape,
+    root: usize,
+    leaves: Vec<usize>,
+    /// Single-writer per-process counts, indexed by leaf node id.
+    leaf_cells: Vec<AtomicU64>,
+    /// Internal-node max registers, indexed by node id (leaf slots are
+    /// `None`).
+    registers: Vec<Option<AacMaxRegister>>,
+    max_increments: u64,
+}
+
+impl fmt::Debug for AacCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AacCounter")
+            .field("n", &self.leaves.len())
+            .field("max_increments", &self.max_increments)
+            .finish()
+    }
+}
+
+impl AacCounter {
+    /// Creates a counter for `n` processes supporting at most
+    /// `max_increments` increments in total (the restricted-use bound —
+    /// the paper assumes this is polynomial in `N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `max_increments == 0`.
+    pub fn new(n: usize, max_increments: u64) -> Self {
+        assert!(n >= 1, "at least one process required");
+        assert!(max_increments >= 1, "bound must be positive");
+        let mut shape = TreeShape::new();
+        let (root, leaves) = shape.build_complete(n);
+        shape.fix_depths(root);
+        let leaf_cells = (0..shape.len()).map(|_| AtomicU64::new(0)).collect();
+        let registers = (0..shape.len())
+            .map(|idx| {
+                if shape.node(idx).is_leaf() {
+                    None
+                } else {
+                    Some(AacMaxRegister::new(max_increments + 1))
+                }
+            })
+            .collect();
+        AacCounter {
+            shape,
+            root,
+            leaves,
+            leaf_cells,
+            registers,
+            max_increments,
+        }
+    }
+
+    /// Number of processes sharing the counter.
+    pub fn n(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The restricted-use bound on total increments.
+    pub fn max_increments(&self) -> u64 {
+        self.max_increments
+    }
+
+    /// Reads the value at node `idx`: the leaf cell for leaves, the max
+    /// register for internal nodes.
+    fn node_value(&self, idx: usize, pid: ProcessId) -> u64 {
+        match &self.registers[idx] {
+            Some(reg) => {
+                let _ = pid;
+                reg.read_max()
+            }
+            None => self.leaf_cells[idx].load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Counter for AacCounter {
+    /// # Panics
+    ///
+    /// Panics if the restricted-use bound is exceeded (an internal
+    /// `WriteMax` would overflow its register).
+    fn increment(&self, pid: ProcessId) {
+        let leaf = self.leaves[pid.index()];
+        let c = self.leaf_cells[leaf].load(Ordering::SeqCst);
+        self.leaf_cells[leaf].store(c + 1, Ordering::SeqCst);
+        for node in self.shape.ancestors(leaf) {
+            let info = self.shape.node(node);
+            let l = info.left.map_or(0, |i| self.node_value(i, pid));
+            let r = info.right.map_or(0, |i| self.node_value(i, pid));
+            self.registers[node]
+                .as_ref()
+                .expect("ancestors are internal nodes")
+                .write_max(pid, l + r);
+        }
+    }
+
+    fn read(&self) -> u64 {
+        self.node_value(self.root, ProcessId(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_counter_reads_zero() {
+        assert_eq!(AacCounter::new(4, 100).read(), 0);
+    }
+
+    #[test]
+    fn sequential_increments_count() {
+        let c = AacCounter::new(3, 64);
+        for i in 0..12usize {
+            c.increment(ProcessId(i % 3));
+            assert_eq!(c.read(), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn single_process_counter_is_just_a_register() {
+        let c = AacCounter::new(1, 8);
+        c.increment(ProcessId(0));
+        c.increment(ProcessId(0));
+        assert_eq!(c.read(), 2);
+    }
+
+    #[test]
+    fn bound_is_enforced() {
+        let c = AacCounter::new(2, 3);
+        for _ in 0..3 {
+            c.increment(ProcessId(0));
+        }
+        assert_eq!(c.read(), 3);
+        let result = std::panic::catch_unwind(|| c.increment(ProcessId(0)));
+        assert!(result.is_err(), "4th increment must exceed the bound");
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted() {
+        let n = 4;
+        let per = 250u64;
+        let c = Arc::new(AacCounter::new(n, n as u64 * per));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        c.increment(ProcessId(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.read(), n as u64 * per);
+    }
+
+    #[test]
+    fn reads_are_monotone_under_concurrency() {
+        let c = Arc::new(AacCounter::new(2, 4000));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let c = Arc::clone(&c);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = c.read();
+                    assert!(v >= last, "count regressed from {last} to {v}");
+                    last = v;
+                }
+            })
+        };
+        for _ in 0..2000 {
+            c.increment(ProcessId(0));
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(c.read(), 2000);
+    }
+}

@@ -1,0 +1,89 @@
+//! Hardware fetch-and-add counter — the out-of-model baseline.
+//!
+//! `fetch_add` is a stronger primitive than the paper's read/write/CAS
+//! model allows, which is exactly why this counter escapes Theorem 1's
+//! tradeoff (`O(1)` read *and* `O(1)` increment). It anchors the
+//! benchmarks: the gap between this and [`super::FArrayCounter`] is the
+//! cost of staying within the model.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ruo_sim::ProcessId;
+
+use crate::traits::Counter;
+
+/// `O(1)`/`O(1)` counter using the hardware fetch-and-add primitive.
+///
+/// ```
+/// use ruo_core::counter::FetchAddCounter;
+/// use ruo_core::Counter;
+/// use ruo_sim::ProcessId;
+///
+/// let counter = FetchAddCounter::new();
+/// counter.increment(ProcessId(0));
+/// assert_eq!(counter.read(), 1);
+/// ```
+#[derive(Default)]
+pub struct FetchAddCounter {
+    cell: AtomicU64,
+}
+
+impl fmt::Debug for FetchAddCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FetchAddCounter")
+            .field("count", &self.read())
+            .finish()
+    }
+}
+
+impl FetchAddCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Counter for FetchAddCounter {
+    fn increment(&self, _pid: ProcessId) {
+        self.cell.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn read(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_increments() {
+        let c = FetchAddCounter::new();
+        assert_eq!(c.read(), 0);
+        c.increment(ProcessId(0));
+        c.increment(ProcessId(1));
+        assert_eq!(c.read(), 2);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = Arc::new(FetchAddCounter::new());
+        let handles: Vec<_> = (0..8usize)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.increment(ProcessId(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.read(), 80_000);
+    }
+}

@@ -1,0 +1,24 @@
+//! Counter implementations.
+//!
+//! | Implementation | Primitives | `CounterRead` | `CounterIncrement` | Progress |
+//! |---|---|---|---|---|
+//! | [`FArrayCounter`] (Jayanti-style, CAS variant) | read/write/CAS | `O(1)` | `O(log N)` | wait-free |
+//! | [`AacCounter`] | read/write | `O(log M)` | `O(log N · log M)` | wait-free, restricted use |
+//! | [`FetchAddCounter`] | fetch-and-add | `O(1)` | `O(1)` | wait-free (stronger primitive) |
+//!
+//! Theorem 1 of the paper says these tradeoffs are inherent for
+//! read/write/CAS: reads in `O(f(N))` force increments to
+//! `Ω(log(N / f(N)))`. The f-array counter sits at one end
+//! (`f(N) = 1`, increments `Θ(log N)`), the AAC counter near the other
+//! (`f(N) = Θ(log N)` for polynomially many increments); the fetch-add
+//! baseline escapes the tradeoff only by using a stronger primitive than
+//! the model allows.
+
+mod aac;
+mod farray;
+mod fetch_add;
+pub mod sim;
+
+pub use aac::AacCounter;
+pub use farray::FArrayCounter;
+pub use fetch_add::FetchAddCounter;

@@ -1,0 +1,358 @@
+//! A generic **f-array** (Jayanti, PODC 2002) — the substrate behind
+//! both the f-array counter and Algorithm A's propagation.
+//!
+//! An f-array maintains `f(a_1, …, a_N)` for an associative,
+//! monotone aggregation `f` over `N` single-writer slots: reading the
+//! aggregate is one step (load the root), updating a slot is `O(log N)`
+//! (bump the leaf, then double-CAS the aggregation up a complete binary
+//! tree). Jayanti's original uses LL/SC; as the paper notes for the
+//! counter case, CAS suffices when node values are monotone — which is
+//! the condition [`Aggregation`] implementations must guarantee and the
+//! reason this type is *restricted*: slot updates must never decrease
+//! the aggregate at any node.
+//!
+//! [`FArray<Sum>`] is the f-array counter generalized to arbitrary
+//! per-slot contributions; [`FArray<Max>`] is an `O(1)`-read max
+//! register over slot values (the complete-tree half of Algorithm A);
+//! [`FArray<Min>`] tracks a minimum over decreasing slots.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use ruo_sim::{ProcessId, Word};
+
+use crate::shape::TreeShape;
+
+/// An associative aggregation with an identity, under which per-slot
+/// updates drive every tree node **monotonically** (this is what makes
+/// the double-CAS propagation ABA-free).
+///
+/// Implementors must guarantee: if every slot evolves monotonically in
+/// the direction given by [`advances`](Aggregation::advances), then so
+/// does `combine` over any subset.
+pub trait Aggregation: Send + Sync + 'static {
+    /// The identity element (value of an empty subtree / initial slot).
+    fn identity() -> Word;
+
+    /// Combines two subtree aggregates.
+    fn combine(a: Word, b: Word) -> Word;
+
+    /// Whether moving a slot from `old` to `new` is a legal (monotone)
+    /// update.
+    fn advances(old: Word, new: Word) -> bool;
+}
+
+/// Sum aggregation over non-negative, non-decreasing slots.
+#[derive(Clone, Copy, Debug)]
+pub struct Sum;
+
+impl Aggregation for Sum {
+    fn identity() -> Word {
+        0
+    }
+    fn combine(a: Word, b: Word) -> Word {
+        a + b
+    }
+    fn advances(old: Word, new: Word) -> bool {
+        new >= old
+    }
+}
+
+/// Maximum aggregation over non-decreasing slots.
+#[derive(Clone, Copy, Debug)]
+pub struct Max;
+
+impl Aggregation for Max {
+    fn identity() -> Word {
+        Word::MIN
+    }
+    fn combine(a: Word, b: Word) -> Word {
+        a.max(b)
+    }
+    fn advances(old: Word, new: Word) -> bool {
+        new >= old
+    }
+}
+
+/// Minimum aggregation over non-increasing slots.
+#[derive(Clone, Copy, Debug)]
+pub struct Min;
+
+impl Aggregation for Min {
+    fn identity() -> Word {
+        Word::MAX
+    }
+    fn combine(a: Word, b: Word) -> Word {
+        a.min(b)
+    }
+    fn advances(old: Word, new: Word) -> bool {
+        new <= old
+    }
+}
+
+/// Wait-free single-writer f-array: `O(1)` aggregate reads, `O(log N)`
+/// slot updates, from read/write/CAS.
+///
+/// ```
+/// use ruo_core::farray::{FArray, Max, Sum};
+/// use ruo_sim::ProcessId;
+///
+/// // Live maximum over 4 workers' progress values:
+/// let max = FArray::<Max>::new(4);
+/// max.update(ProcessId(1), 17);
+/// max.update(ProcessId(3), 9);
+/// assert_eq!(max.read(), 17);
+///
+/// // And a total:
+/// let total = FArray::<Sum>::new(4);
+/// total.update(ProcessId(1), 17);
+/// total.update(ProcessId(3), 9);
+/// assert_eq!(total.read(), 26);
+/// ```
+pub struct FArray<A: Aggregation> {
+    shape: TreeShape,
+    root: usize,
+    leaves: Vec<usize>,
+    cells: Box<[AtomicI64]>,
+    _agg: std::marker::PhantomData<A>,
+}
+
+impl<A: Aggregation> fmt::Debug for FArray<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FArray")
+            .field("n", &self.leaves.len())
+            .field("aggregate", &self.read())
+            .finish()
+    }
+}
+
+impl<A: Aggregation> FArray<A> {
+    /// Creates an f-array with `n` slots, all at the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "at least one slot required");
+        let mut shape = TreeShape::new();
+        let (root, leaves) = shape.build_complete(n);
+        shape.fix_depths(root);
+        let cells = (0..shape.len())
+            .map(|_| AtomicI64::new(A::identity()))
+            .collect();
+        FArray {
+            shape,
+            root,
+            leaves,
+            cells,
+            _agg: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of slots.
+    pub fn n(&self) -> usize {
+        self.leaves.len()
+    }
+
+    #[inline]
+    fn load(&self, idx: usize) -> Word {
+        self.cells[idx].load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn child_agg(&self, idx: usize) -> Word {
+        let info = self.shape.node(idx);
+        let l = info.left.map_or(A::identity(), |i| self.load(i));
+        let r = info.right.map_or(A::identity(), |i| self.load(i));
+        A::combine(l, r)
+    }
+
+    /// Reads the aggregate `f(slot_0, …, slot_{N−1})` — one load.
+    pub fn read(&self) -> Word {
+        self.load(self.root)
+    }
+
+    /// Reads `pid`'s own slot.
+    pub fn slot(&self, pid: ProcessId) -> Word {
+        self.load(self.leaves[pid.index()])
+    }
+
+    /// Sets `pid`'s slot to `value` and propagates — `O(log N)` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or the update is not monotone
+    /// (`A::advances(current, value)` is false) — non-monotone updates
+    /// would reintroduce the ABA problem the CAS propagation excludes.
+    pub fn update(&self, pid: ProcessId, value: Word) {
+        let leaf = self.leaves[pid.index()];
+        let old = self.load(leaf);
+        assert!(
+            A::advances(old, value),
+            "non-monotone slot update {old} -> {value}"
+        );
+        // Single-writer slot: plain store.
+        self.cells[leaf].store(value, Ordering::SeqCst);
+        for node in self.shape.ancestors(leaf) {
+            for _ in 0..2 {
+                let cur = self.load(node);
+                let new = self.child_agg(node);
+                let _ =
+                    self.cells[node].compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Monotone read-modify-write of `pid`'s slot: applies `f` to the
+    /// current slot value and propagates. Returns the new slot value.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`update`](FArray::update).
+    pub fn update_with(&self, pid: ProcessId, f: impl FnOnce(Word) -> Word) -> Word {
+        let new = f(self.slot(pid));
+        self.update(pid, new);
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sum_farray_is_a_counter() {
+        let fa = FArray::<Sum>::new(3);
+        assert_eq!(fa.read(), 0);
+        fa.update_with(ProcessId(0), |v| v + 1);
+        fa.update_with(ProcessId(2), |v| v + 5);
+        fa.update_with(ProcessId(0), |v| v + 1);
+        assert_eq!(fa.read(), 7);
+        assert_eq!(fa.slot(ProcessId(0)), 2);
+    }
+
+    #[test]
+    fn max_farray_tracks_maximum() {
+        let fa = FArray::<Max>::new(4);
+        assert_eq!(fa.read(), Word::MIN);
+        fa.update(ProcessId(1), 10);
+        fa.update(ProcessId(3), 4);
+        assert_eq!(fa.read(), 10);
+        fa.update(ProcessId(3), 22);
+        assert_eq!(fa.read(), 22);
+    }
+
+    #[test]
+    fn min_farray_tracks_minimum() {
+        let fa = FArray::<Min>::new(4);
+        assert_eq!(fa.read(), Word::MAX);
+        fa.update(ProcessId(0), 10);
+        fa.update(ProcessId(2), 4);
+        assert_eq!(fa.read(), 4);
+        fa.update(ProcessId(2), -3);
+        assert_eq!(fa.read(), -3);
+    }
+
+    #[test]
+    fn single_slot_farray_degenerates() {
+        let fa = FArray::<Sum>::new(1);
+        fa.update(ProcessId(0), 9);
+        assert_eq!(fa.read(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn non_monotone_sum_update_is_rejected() {
+        let fa = FArray::<Sum>::new(2);
+        fa.update(ProcessId(0), 5);
+        fa.update(ProcessId(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn non_monotone_min_update_is_rejected() {
+        let fa = FArray::<Min>::new(2);
+        fa.update(ProcessId(0), 3);
+        fa.update(ProcessId(0), 5);
+    }
+
+    #[test]
+    fn concurrent_sum_is_exact() {
+        let n = 8;
+        let per = 1_000i64;
+        let fa = Arc::new(FArray::<Sum>::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                let fa = Arc::clone(&fa);
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        fa.update_with(ProcessId(t), |v| v + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fa.read(), n as i64 * per);
+    }
+
+    #[test]
+    fn concurrent_max_never_regresses() {
+        let n = 4;
+        let fa = Arc::new(FArray::<Max>::new(n));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let fa = Arc::clone(&fa);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = Word::MIN;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = fa.read();
+                    assert!(v >= last, "aggregate regressed: {last} -> {v}");
+                    last = v;
+                }
+            })
+        };
+        let writers: Vec<_> = (0..n)
+            .map(|t| {
+                let fa = Arc::clone(&fa);
+                std::thread::spawn(move || {
+                    for v in 0..2_000i64 {
+                        fa.update(ProcessId(t), v * n as i64 + t as i64);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(fa.read(), 1999 * n as i64 + n as i64 - 1);
+    }
+
+    #[test]
+    fn aggregate_is_always_a_reachable_combination() {
+        // Under concurrency the root must never exceed the sum of what
+        // has been written, nor lag behind what every thread finished.
+        let n = 4;
+        let fa = Arc::new(FArray::<Sum>::new(n));
+        crossbeam_utils::thread::scope(|s| {
+            for t in 0..n {
+                let fa = Arc::clone(&fa);
+                s.spawn(move |_| {
+                    for i in 1..=500i64 {
+                        fa.update(ProcessId(t), i);
+                        let agg = fa.read();
+                        assert!(agg >= i, "own contribution missing");
+                        assert!(agg <= 500 * n as i64, "impossible aggregate {agg}");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(fa.read(), 500 * n as i64);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ruo-core — restricted-use concurrent objects
+//!
+//! From-scratch implementations of the three object families studied in
+//! *"Complexity Tradeoffs for Read and Update Operations"* (Hendler &
+//! Khait, PODC 2014):
+//!
+//! * **Max registers** — [`maxreg::TreeMaxRegister`] is the paper's
+//!   Algorithm A: wait-free, linearizable, `O(1)`-step `ReadMax` and
+//!   `O(min(log N, log v))`-step `WriteMax(v)`, built from `read`/`write`/
+//!   `CAS`. [`maxreg::AacMaxRegister`] is the Aspnes–Attiya–Censor
+//!   register from reads and writes only (`O(log M)` both operations) —
+//!   the prior state of the art the paper improves on for reads.
+//! * **Counters** — [`counter::FArrayCounter`] (Jayanti-style `O(1)` read,
+//!   `O(log N)` increment, CAS variant), [`counter::AacCounter`]
+//!   (read/write only, `O(log N)` read, `O(log N · log M)` increment), and
+//!   hardware baselines.
+//! * **Snapshots** — [`snapshot::DoubleCollectSnapshot`] (obstruction-free),
+//!   [`snapshot::AfekSnapshot`] (wait-free with helping), and
+//!   [`snapshot::PathCopySnapshot`] (restricted-use, `O(1)` consistent
+//!   view acquisition).
+//!
+//! Every algorithm exists in two forms: a real concurrent implementation
+//! on `std::sync::atomic` (this crate's public structs), and a
+//! step-machine implementation against the [`ruo_sim`] simulator (the
+//! `sim` submodules), used for exact step counting and for the mechanized
+//! lower-bound constructions in `ruo-lowerbound`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ruo_core::maxreg::TreeMaxRegister;
+//! use ruo_core::MaxRegister;
+//! use ruo_sim::ProcessId;
+//!
+//! let reg = TreeMaxRegister::new(4); // shared by 4 processes
+//! reg.write_max(ProcessId(0), 17);
+//! reg.write_max(ProcessId(1), 9);
+//! assert_eq!(reg.read_max(), 17);
+//! ```
+
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod b1tree;
+pub mod counter;
+pub mod farray;
+pub mod farray_sim;
+pub mod maxreg;
+pub mod reduction;
+pub mod shape;
+pub mod snapshot;
+mod traits;
+pub mod value;
+
+pub use traits::{Counter, MaxRegister, Snapshot};

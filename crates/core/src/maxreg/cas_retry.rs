@@ -1,0 +1,110 @@
+//! The obvious single-cell max register: a CAS retry loop.
+//!
+//! `ReadMax` is one load; `WriteMax(v)` reads the cell and CASes `v` in
+//! if it is larger, retrying on interference. Both operations are `O(1)`
+//! steps *when run solo* — but the write is only **lock-free**, not
+//! wait-free: an unlucky writer can be starved by faster writers forever.
+//! The paper's tradeoffs are about *wait-free / obstruction-free
+//! worst-case step complexity*, which this baseline sidesteps rather than
+//! beats; it exists to anchor the benchmarks at "what a single CAS cell
+//! buys you".
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ruo_sim::ProcessId;
+
+use crate::traits::MaxRegister;
+use crate::value::MAX_VALUE;
+
+/// Lock-free single-cell max register (CAS retry loop).
+///
+/// ```
+/// use ruo_core::maxreg::CasRetryMaxRegister;
+/// use ruo_core::MaxRegister;
+/// use ruo_sim::ProcessId;
+///
+/// let reg = CasRetryMaxRegister::new();
+/// reg.write_max(ProcessId(0), 12);
+/// reg.write_max(ProcessId(1), 5);
+/// assert_eq!(reg.read_max(), 12);
+/// ```
+#[derive(Default)]
+pub struct CasRetryMaxRegister {
+    cell: AtomicU64,
+}
+
+impl fmt::Debug for CasRetryMaxRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CasRetryMaxRegister")
+            .field("value", &self.cell.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl CasRetryMaxRegister {
+    /// Creates a register reading `0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MaxRegister for CasRetryMaxRegister {
+    fn write_max(&self, _pid: ProcessId, v: u64) {
+        assert!(v <= MAX_VALUE, "value {v} exceeds MAX_VALUE");
+        let mut cur = self.cell.load(Ordering::SeqCst);
+        while cur < v {
+            match self
+                .cell
+                .compare_exchange(cur, v, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn read_max(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn keeps_the_maximum() {
+        let reg = CasRetryMaxRegister::new();
+        reg.write_max(ProcessId(0), 10);
+        reg.write_max(ProcessId(1), 3);
+        assert_eq!(reg.read_max(), 10);
+        reg.write_max(ProcessId(0), 11);
+        assert_eq!(reg.read_max(), 11);
+    }
+
+    #[test]
+    fn fresh_register_reads_zero() {
+        assert_eq!(CasRetryMaxRegister::new().read_max(), 0);
+    }
+
+    #[test]
+    fn concurrent_writes_converge() {
+        let reg = Arc::new(CasRetryMaxRegister::new());
+        let handles: Vec<_> = (0..8usize)
+            .map(|i| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for k in 0..1000u64 {
+                        reg.write_max(ProcessId(i), k * 8 + i as u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.read_max(), 999 * 8 + 7);
+    }
+}

@@ -1,0 +1,93 @@
+//! Mutex-protected max register — the blocking baseline.
+//!
+//! Not part of the paper's model (locks are not wait-free or even
+//! obstruction-free), but the natural "first thing one would write";
+//! included so the wall-clock benchmarks show what the lock-free
+//! structures are being compared against in practice.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+use ruo_sim::ProcessId;
+
+use crate::traits::MaxRegister;
+use crate::value::MAX_VALUE;
+
+/// Blocking max register: one mutex-protected word.
+///
+/// ```
+/// use ruo_core::maxreg::LockMaxRegister;
+/// use ruo_core::MaxRegister;
+/// use ruo_sim::ProcessId;
+///
+/// let reg = LockMaxRegister::new();
+/// reg.write_max(ProcessId(0), 4);
+/// assert_eq!(reg.read_max(), 4);
+/// ```
+#[derive(Default)]
+pub struct LockMaxRegister {
+    value: Mutex<u64>,
+}
+
+impl fmt::Debug for LockMaxRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockMaxRegister")
+            .field("value", &*self.value.lock())
+            .finish()
+    }
+}
+
+impl LockMaxRegister {
+    /// Creates a register reading `0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MaxRegister for LockMaxRegister {
+    fn write_max(&self, _pid: ProcessId, v: u64) {
+        assert!(v <= MAX_VALUE, "value {v} exceeds MAX_VALUE");
+        let mut guard = self.value.lock();
+        if v > *guard {
+            *guard = v;
+        }
+    }
+
+    fn read_max(&self) -> u64 {
+        *self.value.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn keeps_the_maximum() {
+        let reg = LockMaxRegister::new();
+        reg.write_max(ProcessId(0), 2);
+        reg.write_max(ProcessId(1), 9);
+        reg.write_max(ProcessId(0), 4);
+        assert_eq!(reg.read_max(), 9);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let reg = Arc::new(LockMaxRegister::new());
+        let handles: Vec<_> = (0..4usize)
+            .map(|i| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for k in 0..500u64 {
+                        reg.write_max(ProcessId(i), k * 4 + i as u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.read_max(), 499 * 4 + 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! Algorithm A: the paper's wait-free max register with constant-time
+//! reads (Section 5).
+//!
+//! The register is a binary tree of single-word nodes initialized to
+//! `-∞` (Figure 4). `ReadMax` reads the root — one step. `WriteMax(v)`
+//! writes `v` to a leaf (the `v`-th leaf of the B1 subtree `TL` when
+//! `v < N`, else the caller's leaf in the complete subtree `TR`) and
+//! propagates the maximum toward the root: at each level it reads the
+//! parent, reads both children, and CASes `max(left, right)` into the
+//! parent — *twice*. The second attempt guarantees that if both CASes
+//! fail, a concurrent CAS installed a value at least as fresh, which is
+//! the key to linearizability (Lemma 9 of the paper).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use ruo_sim::ProcessId;
+
+use crate::shape::AlgorithmATree;
+use crate::traits::MaxRegister;
+use crate::value::{from_word, to_word};
+
+/// The paper's Algorithm A: `O(1)` `ReadMax`, `O(min(log N, log v))`
+/// `WriteMax(v)`, wait-free, linearizable, from `read`/`write`/`CAS`.
+///
+/// ```
+/// use ruo_core::maxreg::TreeMaxRegister;
+/// use ruo_core::MaxRegister;
+/// use ruo_sim::ProcessId;
+///
+/// let reg = TreeMaxRegister::new(8);
+/// reg.write_max(ProcessId(3), 1_000_000);
+/// reg.write_max(ProcessId(5), 7);
+/// assert_eq!(reg.read_max(), 1_000_000);
+/// ```
+#[derive(Debug)]
+pub struct TreeMaxRegister {
+    tree: AlgorithmATree,
+    cells: Box<[AtomicI64]>,
+}
+
+impl TreeMaxRegister {
+    /// Creates a register shared by `n` processes. All nodes start at
+    /// `-∞`; a fresh register reads `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        let tree = AlgorithmATree::new(n);
+        let cells = (0..tree.shape().len())
+            .map(|_| AtomicI64::new(ruo_sim::NEG_INF))
+            .collect();
+        TreeMaxRegister { tree, cells }
+    }
+
+    /// Number of processes sharing the register.
+    pub fn n(&self) -> usize {
+        self.tree.n()
+    }
+
+    /// The static tree layout (exposed for layout inspection and the
+    /// Figure 4 regeneration binary).
+    pub fn tree(&self) -> &AlgorithmATree {
+        &self.tree
+    }
+
+    #[inline]
+    fn load(&self, idx: usize) -> i64 {
+        self.cells[idx].load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn child_value(&self, idx: Option<usize>) -> i64 {
+        idx.map_or(ruo_sim::NEG_INF, |i| self.load(i))
+    }
+
+    /// The paper's `Propagate(n)`: climb from `leaf` to the root,
+    /// CASing `max(left, right)` into each ancestor twice.
+    fn propagate(&self, leaf: usize) {
+        let shape = self.tree.shape();
+        for node in shape.ancestors(leaf) {
+            let info = shape.node(node);
+            for _ in 0..2 {
+                let old = self.load(node);
+                let new = self
+                    .child_value(info.left)
+                    .max(self.child_value(info.right));
+                // A failed CAS means a concurrent propagator updated the
+                // node after we read `old`; the second iteration (or that
+                // propagator itself) covers our value.
+                let _ =
+                    self.cells[node].compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+impl MaxRegister for TreeMaxRegister {
+    fn write_max(&self, pid: ProcessId, v: u64) {
+        if v == 0 {
+            return; // a fresh register already reads 0
+        }
+        let w = to_word(v);
+        let leaf = self.tree.leaf_for(pid.index(), v);
+        let old = self.load(leaf);
+        if w <= old {
+            // The paper's pseudo-code returns here unconditionally, but
+            // that is unsound for shared TL value-leaves: the process
+            // that stored `v` may be stalled *before* propagating, in
+            // which case returning would complete a WriteMax(v) that no
+            // subsequent ReadMax reflects. Help propagate instead; the
+            // cost stays O(depth(leaf)) = O(min(log N, log v)). TR
+            // leaves are single-writer, so there `w <= old` means our
+            // own earlier (completed, hence fully propagated) write
+            // already covers us and returning is safe.
+            if (v as u128) < self.n() as u128 {
+                self.propagate(leaf);
+            }
+            return;
+        }
+        // TL value-leaves only ever receive the single value `v`; TR
+        // process-leaves are single-writer. Either way a plain store of a
+        // strictly larger value is safe.
+        self.cells[leaf].store(w, Ordering::SeqCst);
+        self.propagate(leaf);
+    }
+
+    fn read_max(&self) -> u64 {
+        from_word(self.load(self.tree.root()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_register_reads_zero() {
+        let reg = TreeMaxRegister::new(4);
+        assert_eq!(reg.read_max(), 0);
+    }
+
+    #[test]
+    fn read_returns_maximum_of_writes() {
+        let reg = TreeMaxRegister::new(4);
+        reg.write_max(ProcessId(0), 5);
+        reg.write_max(ProcessId(1), 3);
+        assert_eq!(reg.read_max(), 5);
+        reg.write_max(ProcessId(2), 9);
+        assert_eq!(reg.read_max(), 9);
+    }
+
+    #[test]
+    fn small_and_large_values_both_propagate() {
+        // Small values go through TL, large through TR; both must reach
+        // the root.
+        let reg = TreeMaxRegister::new(4);
+        reg.write_max(ProcessId(0), 2); // TL (2 < 4)
+        assert_eq!(reg.read_max(), 2);
+        reg.write_max(ProcessId(0), 100); // TR (100 >= 4)
+        assert_eq!(reg.read_max(), 100);
+    }
+
+    #[test]
+    fn write_of_zero_is_a_noop() {
+        let reg = TreeMaxRegister::new(2);
+        reg.write_max(ProcessId(0), 0);
+        assert_eq!(reg.read_max(), 0);
+        reg.write_max(ProcessId(0), 4);
+        reg.write_max(ProcessId(1), 0);
+        assert_eq!(reg.read_max(), 4);
+    }
+
+    #[test]
+    fn single_process_register_works() {
+        let reg = TreeMaxRegister::new(1);
+        reg.write_max(ProcessId(0), 10);
+        reg.write_max(ProcessId(0), 3);
+        assert_eq!(reg.read_max(), 10);
+    }
+
+    #[test]
+    fn same_process_monotone_sequence() {
+        let reg = TreeMaxRegister::new(2);
+        for v in 1..=64u64 {
+            reg.write_max(ProcessId(0), v);
+            assert_eq!(reg.read_max(), v);
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_maximum() {
+        let n = 8;
+        let reg = Arc::new(TreeMaxRegister::new(n));
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for k in 0..per_thread {
+                        let v = k * (n as u64) + i as u64 + 1;
+                        reg.write_max(ProcessId(i), v);
+                        // Reads must never regress below our own writes.
+                        assert!(reg.read_max() >= v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected = (per_thread - 1) * (n as u64) + n as u64;
+        assert_eq!(reg.read_max(), expected);
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotone_values() {
+        let reg = Arc::new(TreeMaxRegister::new(4));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = reg.read_max();
+                        assert!(v >= last, "regressed from {last} to {v}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=2000u64 {
+            reg.write_max(ProcessId(0), v);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(reg.read_max(), 2000);
+    }
+}

@@ -1,0 +1,382 @@
+//! Tree shapes: node arenas, complete binary trees, and Algorithm A's
+//! combined tree (Figure 4 of the paper).
+//!
+//! A [`TreeShape`] is a static arena of nodes with parent/child links.
+//! Both the real-atomics and the simulator implementations of the tree
+//! algorithms (Algorithm A's max register, the f-array counter) share
+//! these shapes; only the cell storage differs.
+
+use std::fmt;
+
+use crate::b1tree;
+
+/// Index of a node inside a [`TreeShape`].
+pub type NodeIdx = usize;
+
+/// One node of a static tree shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeIdx>,
+    /// Left child.
+    pub left: Option<NodeIdx>,
+    /// Right child.
+    pub right: Option<NodeIdx>,
+    /// Distance from the root (root has depth 0).
+    pub depth: usize,
+}
+
+impl NodeInfo {
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.left.is_none() && self.right.is_none()
+    }
+}
+
+/// A static binary-tree shape stored as an arena.
+#[derive(Clone, Debug, Default)]
+pub struct TreeShape {
+    nodes: Vec<NodeInfo>,
+}
+
+impl TreeShape {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_node(&mut self) -> NodeIdx {
+        self.nodes.push(NodeInfo {
+            parent: None,
+            left: None,
+            right: None,
+            depth: 0,
+        });
+        self.nodes.len() - 1
+    }
+
+    pub(crate) fn set_children(
+        &mut self,
+        parent: NodeIdx,
+        left: Option<NodeIdx>,
+        right: Option<NodeIdx>,
+    ) {
+        self.nodes[parent].left = left;
+        self.nodes[parent].right = right;
+        if let Some(l) = left {
+            self.nodes[l].parent = Some(parent);
+        }
+        if let Some(r) = right {
+            self.nodes[r].parent = Some(parent);
+        }
+    }
+
+    /// Recomputes all depths from `root`. Call once after construction.
+    pub(crate) fn fix_depths(&mut self, root: NodeIdx) {
+        let mut stack = vec![(root, 0usize)];
+        while let Some((n, d)) = stack.pop() {
+            self.nodes[n].depth = d;
+            if let Some(l) = self.nodes[n].left {
+                stack.push((l, d + 1));
+            }
+            if let Some(r) = self.nodes[n].right {
+                stack.push((r, d + 1));
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the shape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, idx: NodeIdx) -> &NodeInfo {
+        &self.nodes[idx]
+    }
+
+    /// Parent of `idx`, `None` at the root.
+    pub fn parent(&self, idx: NodeIdx) -> Option<NodeIdx> {
+        self.nodes[idx].parent
+    }
+
+    /// The nodes on the path from `idx` (exclusive) up to and including
+    /// the root, in bottom-up order.
+    pub fn ancestors(&self, idx: NodeIdx) -> Vec<NodeIdx> {
+        let mut path = Vec::new();
+        let mut cur = idx;
+        while let Some(p) = self.nodes[cur].parent {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Builds a complete binary tree with `k ≥ 1` leaves; returns the
+    /// subtree root and the leaves in left-to-right order.
+    pub(crate) fn build_complete(&mut self, k: usize) -> (NodeIdx, Vec<NodeIdx>) {
+        assert!(k >= 1);
+        if k == 1 {
+            let leaf = self.add_node();
+            return (leaf, vec![leaf]);
+        }
+        let left_count = k.div_ceil(2);
+        let (l, mut leaves) = self.build_complete(left_count);
+        let (r, right_leaves) = self.build_complete(k - left_count);
+        leaves.extend(right_leaves);
+        let n = self.add_node();
+        self.set_children(n, Some(l), Some(r));
+        (n, leaves)
+    }
+}
+
+/// Algorithm A's combined tree for `N` processes (Figure 4): the root's
+/// left subtree is a B1 tree with `N − 1` value leaves (leaf for value
+/// `v` at depth `O(log v)`), its right subtree a complete binary tree
+/// with `N` per-process leaves.
+#[derive(Clone)]
+pub struct AlgorithmATree {
+    shape: TreeShape,
+    root: NodeIdx,
+    /// `value_leaves[v - 1]` is the leaf for value `v` (values `1..N`).
+    value_leaves: Vec<NodeIdx>,
+    /// `process_leaves[i]` is the leaf owned by process `i`.
+    process_leaves: Vec<NodeIdx>,
+    n: usize,
+}
+
+impl fmt::Debug for AlgorithmATree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlgorithmATree")
+            .field("n", &self.n)
+            .field("nodes", &self.shape.len())
+            .finish()
+    }
+}
+
+impl AlgorithmATree {
+    /// Builds the tree for `n ≥ 1` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "at least one process required");
+        let mut shape = TreeShape::new();
+        let root = shape.add_node();
+        let (value_leaves, tl_root) = if n >= 2 {
+            let (tl_root, leaves) = b1tree::build_b1(&mut shape, n - 1);
+            (leaves, Some(tl_root))
+        } else {
+            (Vec::new(), None)
+        };
+        let (tr_root, process_leaves) = shape.build_complete(n);
+        shape.set_children(root, tl_root, Some(tr_root));
+        shape.fix_depths(root);
+        AlgorithmATree {
+            shape,
+            root,
+            value_leaves,
+            process_leaves,
+            n,
+        }
+    }
+
+    /// Number of processes sharing the register.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying shape (node arena).
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+
+    /// The root node (holding the register's value).
+    pub fn root(&self) -> NodeIdx {
+        self.root
+    }
+
+    /// The leaf a `WriteMax(v)` by process `pid` starts from: the value
+    /// leaf for `v` if `1 ≤ v < N`, else the process leaf of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == 0` (a `WriteMax(0)` is a semantic no-op and never
+    /// reaches leaf selection) or `pid ≥ N`.
+    pub fn leaf_for(&self, pid: usize, v: u64) -> NodeIdx {
+        assert!(v >= 1, "WriteMax(0) never selects a leaf");
+        assert!(pid < self.n, "process {pid} out of range (N = {})", self.n);
+        if (v as u128) < self.n as u128 {
+            self.value_leaves[(v - 1) as usize]
+        } else {
+            self.process_leaves[pid]
+        }
+    }
+
+    /// Depth of the leaf used by `WriteMax(v)` from `pid` — proportional
+    /// to the operation's step count.
+    pub fn write_depth(&self, pid: usize, v: u64) -> usize {
+        self.shape.node(self.leaf_for(pid, v)).depth
+    }
+
+    /// Renders the tree as ASCII art (used to regenerate Figure 4).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.label(self.root)));
+        let node = self.shape.node(self.root);
+        let children: Vec<NodeIdx> = [node.left, node.right].into_iter().flatten().collect();
+        for (i, c) in children.iter().enumerate() {
+            self.render_node(*c, "", i + 1 == children.len(), &mut out);
+        }
+        out
+    }
+
+    fn label(&self, idx: NodeIdx) -> String {
+        if idx == self.root {
+            return "root".to_string();
+        }
+        if let Some(v) = self.value_leaves.iter().position(|&l| l == idx) {
+            return format!("TL.leaf[v={}]", v + 1);
+        }
+        if let Some(p) = self.process_leaves.iter().position(|&l| l == idx) {
+            return format!("TR.leaf[p{p}]");
+        }
+        format!("n{idx}")
+    }
+
+    fn render_node(&self, idx: NodeIdx, prefix: &str, last: bool, out: &mut String) {
+        let connector = if last { "└── " } else { "├── " };
+        out.push_str(&format!("{prefix}{connector}{}\n", self.label(idx)));
+        let child_prefix = format!("{prefix}{}", if last { "    " } else { "│   " });
+        let node = self.shape.node(idx);
+        let children: Vec<NodeIdx> = [node.left, node.right].into_iter().flatten().collect();
+        for (i, c) in children.iter().enumerate() {
+            self.render_node(*c, &child_prefix, i + 1 == children.len(), out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_tree_has_logarithmic_depth() {
+        for k in 1..=64usize {
+            let mut shape = TreeShape::new();
+            let (root, leaves) = shape.build_complete(k);
+            shape.fix_depths(root);
+            assert_eq!(leaves.len(), k);
+            let max_depth = leaves.iter().map(|&l| shape.node(l).depth).max().unwrap();
+            let bound = (k as f64).log2().ceil() as usize;
+            assert!(max_depth <= bound, "k={k}: depth {max_depth} > {bound}");
+        }
+    }
+
+    #[test]
+    fn complete_tree_leaves_are_leaves() {
+        let mut shape = TreeShape::new();
+        let (root, leaves) = shape.build_complete(10);
+        shape.fix_depths(root);
+        for &l in &leaves {
+            assert!(shape.node(l).is_leaf());
+        }
+        assert!(!shape.node(root).is_leaf());
+        assert_eq!(shape.parent(root), None);
+    }
+
+    #[test]
+    fn ancestors_lead_to_root() {
+        let mut shape = TreeShape::new();
+        let (root, leaves) = shape.build_complete(8);
+        shape.fix_depths(root);
+        let path = shape.ancestors(leaves[3]);
+        assert_eq!(*path.last().unwrap(), root);
+        assert_eq!(path.len(), shape.node(leaves[3]).depth);
+    }
+
+    #[test]
+    fn figure_4_structure_for_n_4() {
+        // The paper's Figure 4: N = 4, TL is a B1 tree with 3 leaves,
+        // TR a complete binary tree with 4 leaves.
+        let t = AlgorithmATree::new(4);
+        assert_eq!(t.value_leaves.len(), 3);
+        assert_eq!(t.process_leaves.len(), 4);
+        // All 4 process leaves at equal depth in the complete subtree.
+        let depths: Vec<usize> = t
+            .process_leaves
+            .iter()
+            .map(|&l| t.shape.node(l).depth)
+            .collect();
+        assert!(depths.iter().all(|&d| d == depths[0]));
+        assert_eq!(depths[0], 3); // root -> TR root -> internal -> leaf
+    }
+
+    #[test]
+    fn leaf_selection_follows_the_paper() {
+        let t = AlgorithmATree::new(4);
+        // v < N: value leaf, independent of pid.
+        assert_eq!(t.leaf_for(0, 2), t.leaf_for(3, 2));
+        // v >= N: process leaf, independent of v.
+        assert_eq!(t.leaf_for(1, 4), t.leaf_for(1, 1000));
+        assert_ne!(t.leaf_for(1, 4), t.leaf_for(2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "WriteMax(0)")]
+    fn value_zero_never_selects_a_leaf() {
+        let t = AlgorithmATree::new(4);
+        let _ = t.leaf_for(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_process_is_rejected() {
+        let t = AlgorithmATree::new(4);
+        let _ = t.leaf_for(4, 10);
+    }
+
+    #[test]
+    fn single_process_tree_has_no_value_leaves() {
+        let t = AlgorithmATree::new(1);
+        assert!(t.value_leaves.is_empty());
+        assert_eq!(t.process_leaves.len(), 1);
+        // Any value goes to the single process leaf.
+        assert_eq!(t.leaf_for(0, 1), t.process_leaves[0]);
+        assert_eq!(t.leaf_for(0, 1 << 40), t.process_leaves[0]);
+    }
+
+    #[test]
+    fn small_value_depth_is_logarithmic_in_value() {
+        // Key property of Algorithm A: writing a small value v costs
+        // O(log v), even when N is huge.
+        let t = AlgorithmATree::new(1 << 12);
+        for v in 1..64u64 {
+            let d = t.write_depth(0, v);
+            let bound = 2 * (64 - (v + 1).leading_zeros()) as usize + 2;
+            assert!(d <= bound, "v={v}: depth {d} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn large_value_depth_is_logarithmic_in_n() {
+        let n = 1 << 10;
+        let t = AlgorithmATree::new(n);
+        let d = t.write_depth(5, u64::MAX >> 1);
+        assert!(d <= 2 + (n as f64).log2().ceil() as usize);
+    }
+
+    #[test]
+    fn render_mentions_both_subtrees() {
+        let t = AlgorithmATree::new(4);
+        let art = t.render();
+        assert!(art.contains("root"));
+        assert!(art.contains("TL.leaf[v=1]"));
+        assert!(art.contains("TR.leaf[p3]"));
+    }
+}

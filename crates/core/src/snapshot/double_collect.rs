@@ -1,0 +1,252 @@
+//! The classic double-collect snapshot.
+//!
+//! Each segment is one word packing a per-segment sequence number with
+//! the value. `Update` is a single-writer read-modify-write of the
+//! caller's own segment (two steps). `Scan` repeatedly *collects* (reads
+//! all `N` segments) until two consecutive collects are identical — a
+//! clean double collect is a consistent cut, because any concurrent
+//! update would have bumped a sequence number between the collects.
+//!
+//! `Scan` is only **obstruction-free**: a steady stream of updates can
+//! starve it forever. This is the `O(1)`-update end of Corollary 1's
+//! tradeoff, paid for on the scan side.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ruo_sim::ProcessId;
+
+use crate::traits::Snapshot;
+
+/// Largest storable segment value: the packed word spends 32 bits on the
+/// per-segment sequence number.
+pub const MAX_SEGMENT_VALUE: u64 = u32::MAX as u64;
+
+#[inline]
+fn pack(seq: u32, val: u32) -> u64 {
+    ((seq as u64) << 32) | val as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// Obstruction-free snapshot: `O(1)` updates, double-collect scans.
+///
+/// ```
+/// use ruo_core::snapshot::DoubleCollectSnapshot;
+/// use ruo_core::Snapshot;
+/// use ruo_sim::ProcessId;
+///
+/// let snap = DoubleCollectSnapshot::new(3);
+/// snap.update(ProcessId(1), 42);
+/// assert_eq!(snap.scan(), vec![0, 42, 0]);
+/// ```
+pub struct DoubleCollectSnapshot {
+    segments: Box<[AtomicU64]>,
+}
+
+impl fmt::Debug for DoubleCollectSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DoubleCollectSnapshot")
+            .field("n", &self.segments.len())
+            .finish()
+    }
+}
+
+impl DoubleCollectSnapshot {
+    /// Creates a snapshot with `n` zeroed segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "at least one segment required");
+        DoubleCollectSnapshot {
+            segments: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn collect(&self) -> Vec<u64> {
+        self.segments
+            .iter()
+            .map(|s| s.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// A bounded-retry scan: attempts at most `max_attempts` double
+    /// collects and returns `None` if updates kept interfering.
+    ///
+    /// `scan` (the trait method) can spin forever under a steady update
+    /// stream — that is what obstruction-freedom means. Latency-bounded
+    /// callers should use this and fall back (retry later, degrade to a
+    /// possibly-torn read, …) on `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0`.
+    pub fn try_scan(&self, max_attempts: usize) -> Option<Vec<u64>> {
+        assert!(max_attempts >= 1, "at least one attempt required");
+        let mut prev = self.collect();
+        for _ in 0..max_attempts {
+            let cur = self.collect();
+            if prev == cur {
+                return Some(cur.into_iter().map(|w| unpack(w).1 as u64).collect());
+            }
+            prev = cur;
+        }
+        None
+    }
+}
+
+impl Snapshot for DoubleCollectSnapshot {
+    fn n(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds [`MAX_SEGMENT_VALUE`] or `pid` is out of
+    /// range.
+    fn update(&self, pid: ProcessId, v: u64) {
+        assert!(
+            v <= MAX_SEGMENT_VALUE,
+            "value {v} exceeds MAX_SEGMENT_VALUE"
+        );
+        let cell = &self.segments[pid.index()];
+        // Single-writer: only `pid` writes this segment, so read + write
+        // (not CAS) suffices.
+        let (seq, _) = unpack(cell.load(Ordering::SeqCst));
+        cell.store(pack(seq.wrapping_add(1), v as u32), Ordering::SeqCst);
+    }
+
+    fn scan(&self) -> Vec<u64> {
+        let mut prev = self.collect();
+        loop {
+            let cur = self.collect();
+            if prev == cur {
+                return cur.into_iter().map(|w| unpack(w).1 as u64).collect();
+            }
+            prev = cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_snapshot_is_all_zero() {
+        assert_eq!(DoubleCollectSnapshot::new(4).scan(), vec![0; 4]);
+    }
+
+    #[test]
+    fn updates_land_in_own_segment() {
+        let s = DoubleCollectSnapshot::new(3);
+        s.update(ProcessId(0), 7);
+        s.update(ProcessId(2), 9);
+        assert_eq!(s.scan(), vec![7, 0, 9]);
+    }
+
+    #[test]
+    fn repeated_updates_overwrite() {
+        let s = DoubleCollectSnapshot::new(2);
+        s.update(ProcessId(1), 1);
+        s.update(ProcessId(1), 2);
+        s.update(ProcessId(1), 3);
+        assert_eq!(s.scan(), vec![0, 3]);
+    }
+
+    #[test]
+    fn same_value_update_still_advances_seq() {
+        // Writing the same value twice must still be detectable by a
+        // concurrent scan (the seq changes) — regression guard for the
+        // packing logic.
+        let s = DoubleCollectSnapshot::new(1);
+        s.update(ProcessId(0), 5);
+        let w1 = s.segments[0].load(Ordering::SeqCst);
+        s.update(ProcessId(0), 5);
+        let w2 = s.segments[0].load(Ordering::SeqCst);
+        assert_ne!(w1, w2);
+        assert_eq!(unpack(w1).1, unpack(w2).1);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_SEGMENT_VALUE")]
+    fn oversized_value_is_rejected() {
+        DoubleCollectSnapshot::new(1).update(ProcessId(0), u64::MAX);
+    }
+
+    #[test]
+    fn try_scan_succeeds_when_quiet() {
+        let s = DoubleCollectSnapshot::new(3);
+        s.update(ProcessId(1), 4);
+        assert_eq!(s.try_scan(1), Some(vec![0, 4, 0]));
+    }
+
+    #[test]
+    fn try_scan_gives_up_under_synthetic_interference() {
+        // Interfere by writing between the collects from this same
+        // thread: impossible via the public API, so emulate contention
+        // by checking the bound is respected with a single attempt on a
+        // snapshot being hammered from another thread.
+        let s = Arc::new(DoubleCollectSnapshot::new(1));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    v += 1;
+                    s.update(ProcessId(0), v % 1000);
+                }
+            })
+        };
+        // With bounded attempts the call MUST return (either verdict).
+        for _ in 0..1000 {
+            let _ = s.try_scan(2);
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        // Quiet again: must succeed.
+        assert!(s.try_scan(1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn try_scan_rejects_zero_attempts() {
+        let _ = DoubleCollectSnapshot::new(1).try_scan(0);
+    }
+
+    #[test]
+    fn concurrent_scans_see_consistent_states() {
+        let s = Arc::new(DoubleCollectSnapshot::new(2));
+        // Writer keeps both segments equal; scanners must never see them
+        // differ by more than one step.
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for v in 1..=2000u64 {
+                    s.update(ProcessId(0), v);
+                    s.update(ProcessId(1), v);
+                }
+            })
+        };
+        let scanner = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let view = s.scan();
+                    let diff = view[0].abs_diff(view[1]);
+                    assert!(diff <= 1, "torn scan: {view:?}");
+                }
+            })
+        };
+        writer.join().unwrap();
+        scanner.join().unwrap();
+    }
+}

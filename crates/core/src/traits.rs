@@ -1,0 +1,62 @@
+//! The three object-family traits.
+
+use ruo_sim::ProcessId;
+
+/// A max register: `ReadMax` returns the largest value previously
+/// written by `WriteMax`.
+///
+/// A fresh register reads `0`; `write_max(_, 0)` is therefore always a
+/// semantic no-op. Implementations shared by `N` processes require
+/// `pid.index() < N`, and each `pid` must be used by at most one thread
+/// at a time (operations of one process are sequential, as in the model).
+pub trait MaxRegister: Send + Sync {
+    /// Writes `v`; after this call `read_max() >= v`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `pid` is out of range, `v` exceeds
+    /// [`crate::value::MAX_VALUE`], or — for bounded implementations —
+    /// `v` exceeds the register's bound.
+    fn write_max(&self, pid: ProcessId, v: u64);
+
+    /// Returns the largest value written so far (`0` if none).
+    fn read_max(&self) -> u64;
+}
+
+/// A counter: `read` returns the number of `increment`s linearized
+/// before it.
+///
+/// Same per-process usage rules as [`MaxRegister`]. Restricted-use
+/// implementations support only a bounded number of increments.
+pub trait Counter: Send + Sync {
+    /// Adds one to the counter.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `pid` is out of range or a restricted-use bound on
+    /// the number of increments is exceeded.
+    fn increment(&self, pid: ProcessId);
+
+    /// Returns the current count.
+    fn read(&self) -> u64;
+}
+
+/// A single-writer atomic snapshot: an array of `N` segments where
+/// process `i` updates only segment `i`, and `scan` returns an
+/// atomic view of all segments.
+pub trait Snapshot: Send + Sync {
+    /// Number of segments.
+    fn n(&self) -> usize;
+
+    /// Sets segment `pid.index()` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `pid` is out of range, `v` exceeds the
+    /// implementation's value width, or a restricted-use bound on the
+    /// number of updates is exceeded.
+    fn update(&self, pid: ProcessId, v: u64);
+
+    /// Returns an atomic view of all segments (all `0` initially).
+    fn scan(&self) -> Vec<u64>;
+}

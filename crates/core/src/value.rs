@@ -1,0 +1,66 @@
+//! Value encoding shared by all implementations.
+//!
+//! Public APIs speak `u64`; the simulator and the atomics layer store
+//! signed words ([`ruo_sim::Word`]) where [`ruo_sim::NEG_INF`] encodes
+//! the `-∞` initial value of Algorithm A's tree nodes. A fresh max
+//! register reads as `0`, so `WriteMax(0)` is always a semantic no-op —
+//! which is why value leaves in the B1 subtree exist only for `v ≥ 1`.
+
+use ruo_sim::{Word, NEG_INF};
+
+/// Largest value accepted by the max registers (`i64::MAX`), so every
+/// value round-trips through a [`Word`].
+pub const MAX_VALUE: u64 = i64::MAX as u64;
+
+/// Encodes a public value as a word.
+///
+/// # Panics
+///
+/// Panics if `v` exceeds [`MAX_VALUE`].
+#[inline]
+pub fn to_word(v: u64) -> Word {
+    assert!(v <= MAX_VALUE, "value {v} exceeds MAX_VALUE");
+    v as Word
+}
+
+/// Decodes a node word as a public value, mapping the `-∞` sentinel (and
+/// any negative sentinel) to `0`.
+#[inline]
+pub fn from_word(w: Word) -> u64 {
+    if w < 0 {
+        0
+    } else {
+        w as u64
+    }
+}
+
+/// Whether a word is the `-∞` sentinel.
+#[inline]
+pub fn is_neg_inf(w: Word) -> bool {
+    w == NEG_INF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_values() {
+        for v in [0u64, 1, 42, MAX_VALUE] {
+            assert_eq!(from_word(to_word(v)), v);
+        }
+    }
+
+    #[test]
+    fn neg_inf_decodes_to_zero() {
+        assert_eq!(from_word(NEG_INF), 0);
+        assert!(is_neg_inf(NEG_INF));
+        assert!(!is_neg_inf(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_VALUE")]
+    fn oversized_value_is_rejected() {
+        let _ = to_word(u64::MAX);
+    }
+}

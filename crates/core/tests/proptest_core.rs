@@ -1,0 +1,214 @@
+//! Property tests for the core objects: structural bounds of the tree
+//! shapes, sequential-specification conformance of every implementation
+//! on arbitrary operation streams, and schedule-independence of the
+//! simulated algorithms.
+
+use proptest::prelude::*;
+use ruo_core::b1tree::depth_bound;
+use ruo_core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
+use ruo_core::farray::{FArray, Max, Min, Sum};
+use ruo_core::maxreg::sim::{SimAacMaxRegister, SimMaxRegister, SimTreeMaxRegister};
+use ruo_core::maxreg::{AacMaxRegister, CasRetryMaxRegister, TreeMaxRegister};
+use ruo_core::shape::AlgorithmATree;
+use ruo_core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
+use ruo_core::{Counter, MaxRegister, Snapshot};
+use ruo_sim::{Machine, Memory, ProcessId};
+
+fn run_solo(mem: &mut Memory, pid: ProcessId, mut m: Machine) -> i64 {
+    while let Some(prim) = m.enabled() {
+        let resp = mem.apply(pid, prim);
+        m.feed(resp);
+    }
+    m.result().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every leaf of Algorithm A's tree respects the Bentley–Yao depth
+    /// bound (value leaves) or the complete-tree bound (process leaves),
+    /// for arbitrary process counts.
+    #[test]
+    fn algorithm_a_tree_depth_bounds(n in 1usize..600) {
+        let tree = AlgorithmATree::new(n);
+        for v in 1..n as u64 {
+            let d = tree.write_depth(0, v);
+            prop_assert!(
+                d <= depth_bound(v as usize) + 1,
+                "value leaf {v}: depth {d} > B1 bound + root edge"
+            );
+        }
+        let complete_bound = (n as f64).log2().ceil() as usize + 2;
+        for p in 0..n {
+            let d = tree.write_depth(p, n as u64 + 1);
+            prop_assert!(d <= complete_bound, "process leaf {p}: {d} > {complete_bound}");
+        }
+    }
+
+    /// Max registers conform to the sequential spec on arbitrary
+    /// write/read streams (real and simulated implementations).
+    #[test]
+    fn max_registers_follow_the_spec(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..256, 0usize..4), 1..40)
+    ) {
+        let n = 4;
+        let cap = 256;
+        let tree = TreeMaxRegister::new(n);
+        let aac = AacMaxRegister::new(cap);
+        let cas = CasRetryMaxRegister::new();
+        let mut mem = Memory::new();
+        let sim_tree = SimTreeMaxRegister::new(&mut mem, n);
+        let sim_aac = SimAacMaxRegister::new(&mut mem, n, cap);
+        let mut expected = 0u64;
+        for (is_write, v, p) in ops {
+            let pid = ProcessId(p);
+            if is_write {
+                expected = expected.max(v);
+                tree.write_max(pid, v);
+                aac.write_max(pid, v);
+                cas.write_max(pid, v);
+                run_solo(&mut mem, pid, sim_tree.write_max(pid, v));
+                run_solo(&mut mem, pid, sim_aac.write_max(pid, v));
+            } else {
+                prop_assert_eq!(tree.read_max(), expected);
+                prop_assert_eq!(aac.read_max(), expected);
+                prop_assert_eq!(cas.read_max(), expected);
+                prop_assert_eq!(run_solo(&mut mem, pid, sim_tree.read_max(pid)) as u64, expected);
+                prop_assert_eq!(run_solo(&mut mem, pid, sim_aac.read_max(pid)) as u64, expected);
+            }
+        }
+    }
+
+    /// The simulated Algorithm A converges to the true maximum under
+    /// EVERY interleaving of concurrent writers (schedule chosen by
+    /// proptest), and intermediate roots never exceed it.
+    #[test]
+    fn sim_tree_register_is_schedule_independent(
+        values in proptest::collection::vec(1u64..10_000, 2..5),
+        schedule in proptest::collection::vec(0usize..5, 0..200),
+    ) {
+        let n = values.len();
+        let mut mem = Memory::new();
+        let reg = SimTreeMaxRegister::new(&mut mem, n);
+        let mut machines: Vec<(ProcessId, Machine)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (ProcessId(i), reg.write_max(ProcessId(i), v)))
+            .collect();
+        let max = *values.iter().max().unwrap();
+        // Drive with the proptest-chosen schedule, then drain round-robin.
+        for pick in schedule {
+            let alive: Vec<usize> = machines
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, m))| !m.is_done())
+                .map(|(i, _)| i)
+                .collect();
+            if alive.is_empty() {
+                break;
+            }
+            let idx = alive[pick % alive.len()];
+            let (pid, m) = &mut machines[idx];
+            let prim = m.enabled().unwrap();
+            let resp = mem.apply(*pid, prim);
+            m.feed(resp);
+            let root = run_solo(&mut mem, ProcessId(0), reg.read_max(ProcessId(0))) as u64;
+            prop_assert!(root <= max, "root {root} exceeds any written value");
+        }
+        for (pid, m) in machines.iter_mut() {
+            while let Some(prim) = m.enabled() {
+                let resp = mem.apply(*pid, prim);
+                m.feed(resp);
+            }
+        }
+        let root = run_solo(&mut mem, ProcessId(0), reg.read_max(ProcessId(0))) as u64;
+        prop_assert_eq!(root, max, "quiescent root must be the maximum");
+    }
+
+    /// Counters conform to the spec on arbitrary increment/read streams.
+    #[test]
+    fn counters_follow_the_spec(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..4), 1..50)
+    ) {
+        let n = 4;
+        let farray = FArrayCounter::new(n);
+        let aac = AacCounter::new(n, 64);
+        let fa = FetchAddCounter::new();
+        let mut expected = 0u64;
+        for (is_inc, p) in ops {
+            let pid = ProcessId(p);
+            if is_inc {
+                expected += 1;
+                farray.increment(pid);
+                aac.increment(pid);
+                fa.increment(pid);
+            } else {
+                prop_assert_eq!(farray.read(), expected);
+                prop_assert_eq!(aac.read(), expected);
+                prop_assert_eq!(fa.read(), expected);
+            }
+        }
+    }
+
+    /// Snapshots conform to the spec on arbitrary update/scan streams.
+    #[test]
+    fn snapshots_follow_the_spec(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1_000_000, 0usize..4), 1..50)
+    ) {
+        let n = 4;
+        let dc = DoubleCollectSnapshot::new(n);
+        let afek = AfekSnapshot::new(n);
+        let pc = PathCopySnapshot::new(n, 64);
+        let mut expected = vec![0u64; n];
+        for (is_update, v, p) in ops {
+            let pid = ProcessId(p);
+            if is_update {
+                expected[p] = v;
+                dc.update(pid, v);
+                afek.update(pid, v);
+                pc.update(pid, v);
+            } else {
+                prop_assert_eq!(dc.scan(), expected.clone());
+                prop_assert_eq!(afek.scan(), expected.clone());
+                prop_assert_eq!(pc.scan(), expected.clone());
+            }
+        }
+    }
+
+    /// The generic f-array maintains exactly the aggregate of its slots
+    /// under arbitrary monotone update streams, for all three
+    /// aggregations.
+    #[test]
+    fn farray_aggregates_exactly(
+        deltas in proptest::collection::vec((0usize..4, 1i64..100), 1..40)
+    ) {
+        let n = 4;
+        let sum = FArray::<Sum>::new(n);
+        let max = FArray::<Max>::new(n);
+        let min = FArray::<Min>::new(n);
+        let mut slots_sum = vec![0i64; n];
+        let mut slots_max = vec![i64::MIN; n];
+        let mut slots_min = vec![i64::MAX; n];
+        for (p, d) in deltas {
+            let pid = ProcessId(p);
+            slots_sum[p] += d;
+            sum.update(pid, slots_sum[p]);
+            slots_max[p] = if slots_max[p] == i64::MIN { d } else { slots_max[p] + d };
+            max.update(pid, slots_max[p]);
+            slots_min[p] = if slots_min[p] == i64::MAX { -d } else { slots_min[p] - d };
+            min.update(pid, slots_min[p]);
+            prop_assert_eq!(sum.read(), slots_sum.iter().sum::<i64>());
+            prop_assert_eq!(max.read(), *slots_max.iter().max().unwrap());
+            prop_assert_eq!(min.read(), *slots_min.iter().min().unwrap());
+        }
+    }
+
+    /// AAC register: any single value round-trips at any capacity.
+    #[test]
+    fn aac_round_trips_at_any_capacity(cap in 1u64..2_000, seed in 0u64..1_000_000) {
+        let v = seed % cap;
+        let reg = AacMaxRegister::new(cap);
+        reg.write_max(ProcessId(0), v);
+        prop_assert_eq!(reg.read_max(), v);
+    }
+}

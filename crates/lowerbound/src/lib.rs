@@ -1,0 +1,42 @@
+//! # ruo-lowerbound — mechanized lower-bound constructions
+//!
+//! The lower bounds of *"Complexity Tradeoffs for Read and Update
+//! Operations"* (Hendler & Khait, PODC 2014) are proved by explicit
+//! adversarial constructions. This crate turns those constructions into
+//! executable code and runs them against the real algorithm
+//! implementations of `ruo-core`:
+//!
+//! * [`flow`] — information-flow analysis: *visibility* of events
+//!   (Definition 1), *awareness* sets of processes (Definitions 2–3) and
+//!   *familiarity* sets of base objects (Definition 4), computed
+//!   event-by-event over a simulator execution.
+//! * [`lemma1`] — the three-phase schedule of Lemma 1 (reads and trivial
+//!   events, then writes, then CAS), which bounds knowledge growth to a
+//!   factor of 3 per round.
+//! * [`theorem1`] — the iterative counter construction of Theorem 1:
+//!   drive `N − 1` concurrent `CounterIncrement`s with the Lemma 1
+//!   schedule, count the rounds until completion, verify
+//!   `M(E_j) ≤ 3^j`, then replay Lemma 3's reader argument.
+//! * [`essential`] — the essential-set construction of Theorem 3 against
+//!   max registers: hidden and supreme sets, the low-contention
+//!   (independent set) and high-contention (CAS/write/read sub-case)
+//!   rounds, erasure by replay (a mechanized Lemma 2), and the
+//!   per-iteration traces that regenerate Figures 1–3.
+//!
+//! The point is not to re-prove the theorems — a finite run proves
+//! nothing asymptotic — but to *execute* the proofs: every counting
+//! invariant the paper claims along the construction (knowledge growth,
+//! hidden-set preservation, essential-set decay) is checked on real
+//! executions of real algorithms, and the measured iteration counts are
+//! the quantities the theorems bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod essential;
+pub mod flow;
+pub mod lemma1;
+pub mod theorem1;
+pub mod turan;
+
+pub use flow::{FlowTracker, ProcSet};

@@ -1,0 +1,141 @@
+//! Property tests for the information-flow analysis: the online tracker
+//! must agree with a brute-force oracle that implements Definition 1
+//! directly over the raw event log.
+
+use proptest::prelude::*;
+use ruo_lowerbound::flow::visible_mutations;
+use ruo_lowerbound::lemma1::lemma1_round;
+use ruo_lowerbound::turan::greedy_independent_set;
+use ruo_lowerbound::FlowTracker;
+use ruo_sim::{cas, done, read, write, Machine, Memory, Prim, ProcessId, Word};
+
+/// One random primitive applied by a random process to a random object.
+fn arb_step(
+    n_procs: usize,
+    n_objs: usize,
+) -> impl Strategy<Value = (usize, usize, u8, Word, Word)> {
+    (0..n_procs, 0..n_objs, 0u8..3, -2i64..3, -2i64..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tracker's per-object contribution sets equal the oracle's
+    /// visible-mutation sets on arbitrary executions.
+    #[test]
+    fn tracker_visibility_matches_definition_1(
+        steps in proptest::collection::vec(arb_step(4, 3), 1..60)
+    ) {
+        let mut mem = Memory::new();
+        let objs = mem.alloc_n(3, 0);
+        for (p, o, kind, a, b) in steps {
+            let prim = match kind {
+                0 => Prim::Read(objs[o]),
+                1 => Prim::Write(objs[o], a),
+                _ => Prim::Cas { obj: objs[o], expected: a, new: b },
+            };
+            mem.apply(ProcessId(p), prim);
+        }
+        let mut tracker = FlowTracker::new(4);
+        tracker.observe_log_suffix(mem.log());
+        for &o in &objs {
+            let mut got = tracker.contribution_seqs(o);
+            got.sort_unstable();
+            let expected = visible_mutations(mem.log().events(), o);
+            prop_assert_eq!(got, expected, "object {}", o);
+        }
+    }
+
+    /// Awareness sets only ever grow as more events are observed, and
+    /// every process is always aware of itself.
+    #[test]
+    fn awareness_is_monotone(
+        steps in proptest::collection::vec(arb_step(4, 3), 1..40)
+    ) {
+        let mut mem = Memory::new();
+        let objs = mem.alloc_n(3, 0);
+        let mut tracker = FlowTracker::new(4);
+        let mut sizes = [0usize; 4];
+        for (p, o, kind, a, b) in steps {
+            let prim = match kind {
+                0 => Prim::Read(objs[o]),
+                1 => Prim::Write(objs[o], a),
+                _ => Prim::Cas { obj: objs[o], expected: a, new: b },
+            };
+            mem.apply(ProcessId(p), prim);
+            tracker.observe_log_suffix(mem.log());
+            for (q, size) in sizes.iter_mut().enumerate() {
+                let aw = tracker.awareness(ProcessId(q));
+                prop_assert!(aw.contains(ProcessId(q)));
+                prop_assert!(aw.len() >= *size, "awareness shrank for p{q}");
+                *size = aw.len();
+            }
+        }
+    }
+
+    /// Lemma 1's knowledge bound holds for arbitrary mixes of one-shot
+    /// read/write/CAS machines scheduled by the three-phase adversary.
+    #[test]
+    fn lemma1_bound_holds_for_random_machines(
+        specs in proptest::collection::vec((0u8..3, 0usize..3, -1i64..4), 2..12),
+        rounds in 1usize..4,
+    ) {
+        let n = specs.len();
+        let mut mem = Memory::new();
+        let objs = mem.alloc_n(3, 0);
+        let mut machines: Vec<Machine> = specs
+            .iter()
+            .map(|&(kind, o, v)| {
+                let obj = objs[o];
+                match kind {
+                    0 => Machine::new(read(obj, done)),
+                    1 => Machine::new(write(obj, v, move || done(0))),
+                    _ => Machine::new(cas(obj, 0, v, done)),
+                }
+            })
+            .collect();
+        let mut tracker = FlowTracker::new(n);
+        let mut bound = 1usize;
+        for _ in 0..rounds {
+            let mut procs: Vec<(ProcessId, &mut Machine)> = machines
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, m)| !m.is_done())
+                .map(|(i, m)| (ProcessId(i), m))
+                .collect();
+            if procs.is_empty() {
+                break;
+            }
+            lemma1_round(&mut mem, &mut procs);
+            tracker.observe_log_suffix(mem.log());
+            bound *= 3;
+            prop_assert!(
+                tracker.max_knowledge() <= bound,
+                "M(E) = {} > {}",
+                tracker.max_knowledge(),
+                bound
+            );
+        }
+    }
+
+    /// Turán: the greedy independent set is independent and meets the
+    /// n/(d̄+1) size guarantee on arbitrary graphs.
+    #[test]
+    fn greedy_independent_set_meets_turan_bound(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..120)
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().filter(|&(a, b)| a < n && b < n).collect();
+        let set = greedy_independent_set(n, &edges);
+        for &(a, b) in &edges {
+            if a != b {
+                prop_assert!(!(set.contains(&a) && set.contains(&b)), "edge ({a},{b}) inside set");
+            }
+        }
+        let real_edges = edges.iter().filter(|(a, b)| a != b).count();
+        let avg = 2.0 * real_edges as f64 / n as f64;
+        let bound = (n as f64 / (avg + 1.0)).floor() as usize;
+        prop_assert!(set.len() >= bound, "|I| = {} < {}", set.len(), bound);
+    }
+}

@@ -1,0 +1,255 @@
+//! Fixed-boundary histograms with wait-free recording.
+
+use std::fmt;
+
+use ruo_core::counter::FArrayCounter;
+use ruo_core::Counter;
+use ruo_sim::ProcessId;
+
+/// A histogram over fixed bucket boundaries: recording is a wait-free
+/// `O(log N)` counter increment into the value's bucket; snapshots read
+/// one atomic per bucket.
+///
+/// Buckets: boundary slice `[b_0 < b_1 < … < b_{k-1}]` produces `k + 1`
+/// buckets — values `≤ b_0`, `(b_0, b_1]`, …, `> b_{k-1}`.
+///
+/// Snapshots are per-bucket linearizable but not atomic *across*
+/// buckets: each bucket count is at least what it was when the snapshot
+/// started and at most what it was when it finished (counts only grow).
+/// For rate-style dashboards that is exactly the right guarantee; if you
+/// need a fully consistent multi-bucket cut, pair the histogram with an
+/// atomic snapshot from `ruo_core::snapshot`.
+///
+/// ```
+/// use ruo_metrics::Histogram;
+/// use ruo_sim::ProcessId;
+///
+/// // Latency buckets (µs): ≤1, ≤10, ≤100, ≤1000, >1000
+/// let h = Histogram::new(4, &[1, 10, 100, 1_000]);
+/// h.record(ProcessId(0), 7);
+/// h.record(ProcessId(1), 450);
+/// h.record(ProcessId(2), 5_000);
+/// let snap = h.snapshot();
+/// assert_eq!(snap.total(), 3);
+/// assert_eq!(snap.bucket_counts(), &[0, 1, 0, 1, 1]);
+/// ```
+pub struct Histogram {
+    /// Upper-inclusive boundaries, strictly increasing.
+    boundaries: Vec<u64>,
+    /// One counter per bucket (`boundaries.len() + 1` buckets).
+    counters: Vec<FArrayCounter>,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("boundaries", &self.boundaries)
+            .field("counts", &self.snapshot().bucket_counts().to_vec())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram shared by `n` recorder identities with the
+    /// given strictly increasing upper-inclusive boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `boundaries` is empty, or the boundaries are
+    /// not strictly increasing.
+    pub fn new(n: usize, boundaries: &[u64]) -> Self {
+        assert!(!boundaries.is_empty(), "at least one boundary required");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must be strictly increasing"
+        );
+        Histogram {
+            boundaries: boundaries.to_vec(),
+            counters: (0..=boundaries.len())
+                .map(|_| FArrayCounter::new(n))
+                .collect(),
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    fn bucket_of(&self, value: u64) -> usize {
+        self.boundaries.partition_point(|&b| b < value)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, pid: ProcessId, value: u64) {
+        self.counters[self.bucket_of(value)].increment(pid);
+    }
+
+    /// Number of buckets (`boundaries + 1`).
+    pub fn buckets(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The bucket boundaries.
+    pub fn boundaries(&self) -> &[u64] {
+        &self.boundaries
+    }
+
+    /// Reads every bucket (one atomic load each).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            boundaries: self.boundaries.clone(),
+            counts: self.counters.iter().map(|c| c.read()).collect(),
+        }
+    }
+}
+
+/// A point-in-time read of a [`Histogram`]'s buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    boundaries: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Per-bucket counts (`boundaries + 1` entries; the last is the
+    /// overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// An upper bound for the `q`-quantile (`0 < q ≤ 1`): the boundary
+    /// of the first bucket whose cumulative count reaches `q · total`.
+    /// Returns `None` for an empty histogram or when the quantile lands
+    /// in the unbounded overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q * total as f64).ceil() as u64;
+        let mut cumulative = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return self.boundaries.get(i).copied();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn hist() -> Histogram {
+        Histogram::new(2, &[10, 100, 1000])
+    }
+
+    #[test]
+    fn values_land_in_the_right_buckets() {
+        let h = hist();
+        // ≤10 | ≤100 | ≤1000 | >1000
+        h.record(ProcessId(0), 0);
+        h.record(ProcessId(0), 10);
+        h.record(ProcessId(0), 11);
+        h.record(ProcessId(0), 100);
+        h.record(ProcessId(0), 999);
+        h.record(ProcessId(0), 1001);
+        assert_eq!(h.snapshot().bucket_counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.snapshot().total(), 6);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = hist();
+        for _ in 0..90 {
+            h.record(ProcessId(0), 5); // bucket ≤10
+        }
+        for _ in 0..10 {
+            h.record(ProcessId(0), 500); // bucket ≤1000
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_bound(0.5), Some(10));
+        assert_eq!(s.quantile_upper_bound(0.9), Some(10));
+        assert_eq!(s.quantile_upper_bound(0.95), Some(1000));
+        assert_eq!(s.quantile_upper_bound(1.0), Some(1000));
+    }
+
+    #[test]
+    fn overflow_quantile_is_none() {
+        let h = hist();
+        h.record(ProcessId(0), 1_000_000);
+        assert_eq!(h.snapshot().quantile_upper_bound(1.0), None);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(hist().snapshot().quantile_upper_bound(0.5), None);
+        assert_eq!(hist().snapshot().total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_boundaries_are_rejected() {
+        let _ = Histogram::new(1, &[10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn zero_quantile_is_rejected() {
+        let _ = hist().snapshot().quantile_upper_bound(0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_counts_exactly() {
+        let h = Arc::new(Histogram::new(4, &[10, 100]));
+        crossbeam_utils::thread::scope(|s| {
+            for t in 0..4usize {
+                let h = Arc::clone(&h);
+                s.spawn(move |_| {
+                    for i in 0..1000u64 {
+                        h.record(ProcessId(t), i % 200);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let s = h.snapshot();
+        assert_eq!(s.total(), 4000);
+        // i % 200: values 0..=10 (11 of 200), 11..=100 (90), 101..=199 (99).
+        assert_eq!(s.bucket_counts(), &[4 * 11 * 5, 4 * 90 * 5, 4 * 99 * 5]);
+    }
+
+    #[test]
+    fn snapshot_totals_are_monotone() {
+        let h = Arc::new(Histogram::new(2, &[50]));
+        crossbeam_utils::thread::scope(|s| {
+            let writer = {
+                let h = Arc::clone(&h);
+                s.spawn(move |_| {
+                    for i in 0..2000u64 {
+                        h.record(ProcessId(0), i % 100);
+                    }
+                })
+            };
+            let mut last = 0;
+            for _ in 0..200 {
+                let t = h.snapshot().total();
+                assert!(t >= last, "total regressed");
+                last = t;
+            }
+            writer.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(h.snapshot().total(), 2000);
+    }
+}

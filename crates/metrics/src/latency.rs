@@ -1,0 +1,156 @@
+//! A composite latency tracker: histogram + both watermarks in one
+//! `observe` call.
+
+use std::fmt;
+
+use ruo_sim::ProcessId;
+
+use crate::{Histogram, HistogramSnapshot, LowWatermark, Watermark};
+
+/// Tracks a latency-like quantity end to end: distribution (histogram
+/// with quantile estimates), the all-time peak, and the all-time best —
+/// the three numbers every service dashboard wants, recorded with one
+/// wait-free call.
+///
+/// ```
+/// use ruo_metrics::LatencyTracker;
+/// use ruo_sim::ProcessId;
+///
+/// let lat = LatencyTracker::new(4, &[1, 10, 100, 1_000]);
+/// lat.observe(ProcessId(0), 7);
+/// lat.observe(ProcessId(1), 340);
+/// let report = lat.report();
+/// assert_eq!(report.peak, 340);
+/// assert_eq!(report.best, Some(7));
+/// assert_eq!(report.histogram.total(), 2);
+/// assert_eq!(report.p99, Some(1_000)); // bucket upper bound
+/// ```
+pub struct LatencyTracker {
+    histogram: Histogram,
+    peak: Watermark,
+    best: LowWatermark,
+}
+
+impl fmt::Debug for LatencyTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyTracker")
+            .field("peak", &self.peak.get())
+            .field("best", &self.best.get())
+            .field("total", &self.histogram.snapshot().total())
+            .finish()
+    }
+}
+
+/// A point-in-time report from a [`LatencyTracker`].
+#[derive(Clone, Debug)]
+pub struct LatencyReport {
+    /// Bucketed distribution.
+    pub histogram: HistogramSnapshot,
+    /// Largest value ever observed (`0` if none).
+    pub peak: u64,
+    /// Smallest value ever observed.
+    pub best: Option<u64>,
+    /// Median upper bound (bucket boundary), if determined.
+    pub p50: Option<u64>,
+    /// 99th-percentile upper bound (bucket boundary), if determined.
+    pub p99: Option<u64>,
+}
+
+impl LatencyTracker {
+    /// Creates a tracker for `n` recorder identities with the given
+    /// histogram boundaries (see [`Histogram::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Histogram::new`].
+    pub fn new(n: usize, boundaries: &[u64]) -> Self {
+        LatencyTracker {
+            histogram: Histogram::new(n, boundaries),
+            peak: Watermark::new(n),
+            best: LowWatermark::new(n),
+        }
+    }
+
+    /// Records one observation into all three metrics — wait-free,
+    /// `O(log N + log v)` total.
+    pub fn observe(&self, pid: ProcessId, value: u64) {
+        self.histogram.record(pid, value);
+        self.peak.record(pid, value);
+        self.best.record(pid, value);
+    }
+
+    /// Reads everything (a handful of atomic loads).
+    pub fn report(&self) -> LatencyReport {
+        let histogram = self.histogram.snapshot();
+        let p50 = if histogram.total() > 0 {
+            histogram.quantile_upper_bound(0.5)
+        } else {
+            None
+        };
+        let p99 = if histogram.total() > 0 {
+            histogram.quantile_upper_bound(0.99)
+        } else {
+            None
+        };
+        LatencyReport {
+            peak: self.peak.get(),
+            best: self.best.get(),
+            p50,
+            p99,
+            histogram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_tracker_reports_nothing() {
+        let lat = LatencyTracker::new(2, &[10, 100]);
+        let r = lat.report();
+        assert_eq!(r.peak, 0);
+        assert_eq!(r.best, None);
+        assert_eq!(r.p50, None);
+        assert_eq!(r.p99, None);
+        assert_eq!(r.histogram.total(), 0);
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let lat = LatencyTracker::new(2, &[10, 100, 1000]);
+        for v in [5u64, 8, 12, 90, 400, 999] {
+            lat.observe(ProcessId(0), v);
+        }
+        let r = lat.report();
+        assert_eq!(r.peak, 999);
+        assert_eq!(r.best, Some(5));
+        assert_eq!(r.histogram.total(), 6);
+        // peak/best bracket every quantile bound.
+        assert!(r.p50.unwrap() >= r.best.unwrap());
+        assert!(r.p99.unwrap() >= r.p50.unwrap());
+    }
+
+    #[test]
+    fn concurrent_observation_is_exact() {
+        let lat = Arc::new(LatencyTracker::new(4, &[100, 1000]));
+        crossbeam_utils::thread::scope(|s| {
+            for t in 0..4usize {
+                let lat = Arc::clone(&lat);
+                s.spawn(move |_| {
+                    for i in 1..=500u64 {
+                        lat.observe(ProcessId(t), i);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let r = lat.report();
+        assert_eq!(r.histogram.total(), 2000);
+        assert_eq!(r.peak, 500);
+        assert_eq!(r.best, Some(1));
+        assert_eq!(r.histogram.bucket_counts(), &[4 * 100, 4 * 400, 0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ruo-metrics — concurrent metrics on restricted-use objects
+//!
+//! The practical payoff of the PODC'14 tradeoffs: metrics are written
+//! rarely-per-event but read on *every* status query, dashboard refresh
+//! and health check — exactly the read-heavy regime where Algorithm A's
+//! `O(1)` reads and the f-array's `O(1)` aggregate reads earn their
+//! keep.
+//!
+//! * [`Watermark`] — high-water mark with one-atomic-load reads
+//!   (Algorithm A under the hood).
+//! * [`LowWatermark`] — the dual: minimum ever recorded.
+//! * [`ProgressGauge`] — exact completed-of-total progress, wait-free.
+//! * [`Histogram`] — fixed-boundary latency/size histogram with
+//!   wait-free recording and quantile estimates.
+//! * [`LatencyTracker`] — histogram + peak + best in one `observe`.
+//!
+//! Every type is shared by a fixed set of `N` recorder identities
+//! ([`ruo_sim::ProcessId`], one per thread), which is what makes the
+//! underlying single-writer structures wait-free without stronger
+//! primitives than `read`/`write`/`CAS`.
+//!
+//! ```
+//! use ruo_metrics::{Histogram, Watermark};
+//! use ruo_sim::ProcessId;
+//!
+//! let latency_high = Watermark::new(4);
+//! let latencies = Histogram::new(4, &[1, 10, 100, 1_000]);
+//! // worker 2 observed a 42µs request:
+//! latency_high.record(ProcessId(2), 42);
+//! latencies.record(ProcessId(2), 42);
+//!
+//! assert_eq!(latency_high.get(), 42); // one atomic load
+//! assert_eq!(latencies.snapshot().total(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod gauge;
+mod histogram;
+mod latency;
+mod watermark;
+
+pub use gauge::ProgressGauge;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use latency::{LatencyReport, LatencyTracker};
+pub use watermark::{LowWatermark, Watermark};

@@ -1,0 +1,182 @@
+//! High- and low-water marks.
+
+use std::fmt;
+
+use ruo_core::farray::{FArray, Min};
+use ruo_core::maxreg::TreeMaxRegister;
+use ruo_core::MaxRegister;
+use ruo_sim::ProcessId;
+
+/// The largest value ever recorded — a wait-free max register
+/// (Algorithm A) with `O(1)` reads and `O(min(log N, log v))` records.
+///
+/// Use for: peak latency, largest request, highest replicated offset,
+/// deepest queue depth — anything where the *maximum* is the metric and
+/// reads dominate.
+///
+/// ```
+/// use ruo_metrics::Watermark;
+/// use ruo_sim::ProcessId;
+///
+/// let peak = Watermark::new(8);
+/// peak.record(ProcessId(3), 250);
+/// peak.record(ProcessId(5), 90);
+/// assert_eq!(peak.get(), 250);
+/// ```
+pub struct Watermark {
+    reg: TreeMaxRegister,
+}
+
+impl fmt::Debug for Watermark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Watermark")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+impl Watermark {
+    /// Creates a watermark shared by `n` recorder identities. Reads `0`
+    /// until something is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        Watermark {
+            reg: TreeMaxRegister::new(n),
+        }
+    }
+
+    /// Raises the watermark to at least `value`. Each `pid` must be used
+    /// by one thread at a time.
+    pub fn record(&self, pid: ProcessId, value: u64) {
+        self.reg.write_max(pid, value);
+    }
+
+    /// The largest value recorded so far (`0` if none) — one atomic
+    /// load.
+    pub fn get(&self) -> u64 {
+        self.reg.read_max()
+    }
+}
+
+/// The smallest value ever recorded — an `FArray<Min>` with `O(1)`
+/// reads.
+///
+/// Use for: fastest response seen, minimum available capacity, earliest
+/// pending timestamp.
+///
+/// ```
+/// use ruo_metrics::LowWatermark;
+/// use ruo_sim::ProcessId;
+///
+/// let fastest = LowWatermark::new(4);
+/// fastest.record(ProcessId(0), 120);
+/// fastest.record(ProcessId(1), 35);
+/// assert_eq!(fastest.get(), Some(35));
+/// ```
+pub struct LowWatermark {
+    fa: FArray<Min>,
+}
+
+impl fmt::Debug for LowWatermark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LowWatermark")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+impl LowWatermark {
+    /// Creates a low-watermark shared by `n` recorder identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        LowWatermark {
+            fa: FArray::<Min>::new(n),
+        }
+    }
+
+    /// Lowers the watermark to at most `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds `i64::MAX` (values are stored in signed
+    /// words).
+    pub fn record(&self, pid: ProcessId, value: u64) {
+        let v = i64::try_from(value).expect("value exceeds i64::MAX");
+        // Per-slot minimum keeps the slot monotone (non-increasing), as
+        // FArray<Min> requires.
+        if v < self.fa.slot(pid) {
+            self.fa.update(pid, v);
+        }
+    }
+
+    /// The smallest value recorded so far, or `None` if nothing was
+    /// recorded — one atomic load.
+    pub fn get(&self) -> Option<u64> {
+        let v = self.fa.read();
+        (v != i64::MAX).then_some(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn watermark_tracks_maximum() {
+        let w = Watermark::new(2);
+        assert_eq!(w.get(), 0);
+        w.record(ProcessId(0), 10);
+        w.record(ProcessId(1), 4);
+        assert_eq!(w.get(), 10);
+    }
+
+    #[test]
+    fn low_watermark_tracks_minimum() {
+        let w = LowWatermark::new(2);
+        assert_eq!(w.get(), None);
+        w.record(ProcessId(0), 10);
+        assert_eq!(w.get(), Some(10));
+        w.record(ProcessId(1), 25);
+        assert_eq!(w.get(), Some(10));
+        w.record(ProcessId(1), 3);
+        assert_eq!(w.get(), Some(3));
+    }
+
+    #[test]
+    fn low_watermark_ignores_higher_values_per_slot() {
+        let w = LowWatermark::new(1);
+        w.record(ProcessId(0), 5);
+        w.record(ProcessId(0), 9); // must not raise the minimum
+        assert_eq!(w.get(), Some(5));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let hi = Arc::new(Watermark::new(4));
+        let lo = Arc::new(LowWatermark::new(4));
+        crossbeam_utils::thread::scope(|s| {
+            for t in 0..4usize {
+                let hi = Arc::clone(&hi);
+                let lo = Arc::clone(&lo);
+                s.spawn(move |_| {
+                    for i in 0..1000u64 {
+                        let v = 1 + (i * 7 + t as u64 * 13) % 5000;
+                        hi.record(ProcessId(t), v);
+                        lo.record(ProcessId(t), v);
+                        assert!(hi.get() >= v || hi.get() >= 1);
+                        assert!(lo.get().unwrap() <= v);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(hi.get() >= lo.get().unwrap());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the metrics toolkit: every metric must agree with
+//! a naive sequential oracle on arbitrary recording streams.
+
+use proptest::prelude::*;
+use ruo_metrics::{Histogram, LowWatermark, ProgressGauge, Watermark};
+use ruo_sim::ProcessId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Watermark == max of all recorded values.
+    #[test]
+    fn watermark_matches_max_oracle(
+        records in proptest::collection::vec((0usize..4, 0u64..1_000_000), 0..60)
+    ) {
+        let w = Watermark::new(4);
+        let mut oracle = 0u64;
+        for (p, v) in records {
+            w.record(ProcessId(p), v);
+            oracle = oracle.max(v);
+            prop_assert_eq!(w.get(), oracle);
+        }
+    }
+
+    /// LowWatermark == min of all recorded values (None when empty).
+    #[test]
+    fn low_watermark_matches_min_oracle(
+        records in proptest::collection::vec((0usize..4, 0u64..1_000_000), 0..60)
+    ) {
+        let w = LowWatermark::new(4);
+        let mut oracle: Option<u64> = None;
+        for (p, v) in records {
+            w.record(ProcessId(p), v);
+            oracle = Some(oracle.map_or(v, |o| o.min(v)));
+            prop_assert_eq!(w.get(), oracle);
+        }
+    }
+
+    /// Histogram bucket counts match a naive per-value classification,
+    /// and quantile upper bounds match a sorted-oracle quantile's bucket.
+    #[test]
+    fn histogram_matches_bucket_oracle(
+        boundaries in proptest::collection::btree_set(1u64..500, 1..6),
+        values in proptest::collection::vec(0u64..600, 1..80),
+    ) {
+        let bounds: Vec<u64> = boundaries.into_iter().collect();
+        let h = Histogram::new(2, &bounds);
+        let mut oracle = vec![0u64; bounds.len() + 1];
+        for &v in &values {
+            h.record(ProcessId(0), v);
+            let idx = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+            oracle[idx] += 1;
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.bucket_counts(), &oracle[..]);
+        prop_assert_eq!(snap.total(), values.len() as u64);
+
+        // Quantile oracle: the bucket bound of the ceil(q·total)-th
+        // smallest value. The rank-th smallest value lies in bucket j
+        // exactly when the cumulative count first reaches the rank at j,
+        // so the histogram's answer must match this oracle EXACTLY.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.25f64, 0.5, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let val = sorted[rank - 1];
+            let expected = bounds.iter().find(|&&b| val <= b).copied();
+            prop_assert_eq!(
+                snap.quantile_upper_bound(q),
+                expected,
+                "q={} rank={} value={}",
+                q,
+                rank,
+                val
+            );
+        }
+    }
+
+    /// ProgressGauge: done/remaining/fraction are consistent with the
+    /// number of completions.
+    #[test]
+    fn gauge_matches_completion_oracle(
+        completions in 0u64..50,
+        total in 50u64..200,
+    ) {
+        let g = ProgressGauge::new(2, total);
+        for i in 0..completions {
+            g.complete(ProcessId((i % 2) as usize));
+        }
+        prop_assert_eq!(g.done(), completions);
+        prop_assert_eq!(g.remaining(), total - completions);
+        prop_assert_eq!(g.total(), total);
+        let f = g.fraction();
+        prop_assert!((f - completions as f64 / total as f64).abs() < 1e-12);
+        prop_assert_eq!(g.is_complete(), completions >= total);
+    }
+}

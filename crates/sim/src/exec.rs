@@ -1,0 +1,334 @@
+//! The executor: runs workloads of operations under a scheduler.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::history::{History, OpDesc, OpOutput, OpRecord};
+use crate::{Machine, Memory, ProcessId, Scheduler, Word};
+
+type StartFn = Box<dyn FnOnce() -> Machine + Send>;
+type FinishFn = Box<dyn FnOnce(Word) -> OpOutput + Send>;
+
+/// One operation a process will perform: a description (for the history)
+/// plus a constructor for its step machine.
+pub struct OpSpec {
+    desc: OpDesc,
+    start: StartFn,
+    finish: FinishFn,
+}
+
+impl fmt::Debug for OpSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpSpec").field("desc", &self.desc).finish()
+    }
+}
+
+impl OpSpec {
+    /// An update-type operation (output is [`OpOutput::Unit`]).
+    pub fn update(desc: OpDesc, start: impl FnOnce() -> Machine + Send + 'static) -> Self {
+        OpSpec {
+            desc,
+            start: Box::new(start),
+            finish: Box::new(|_| OpOutput::Unit),
+        }
+    }
+
+    /// A read-type operation whose machine result is the returned value.
+    pub fn value(desc: OpDesc, start: impl FnOnce() -> Machine + Send + 'static) -> Self {
+        OpSpec {
+            desc,
+            start: Box::new(start),
+            finish: Box::new(OpOutput::Value),
+        }
+    }
+
+    /// A scan-type operation; `finish` maps the machine's word result
+    /// (typically an index into a side table owned by the object) to the
+    /// scanned vector.
+    pub fn vector(
+        desc: OpDesc,
+        start: impl FnOnce() -> Machine + Send + 'static,
+        finish: impl FnOnce(Word) -> Vec<Word> + Send + 'static,
+    ) -> Self {
+        OpSpec {
+            desc,
+            start: Box::new(start),
+            finish: Box::new(move |w| OpOutput::Vector(finish(w))),
+        }
+    }
+
+    /// The operation's description.
+    pub fn desc(&self) -> &OpDesc {
+        &self.desc
+    }
+}
+
+/// Assigns each process the sequence of operations it will perform.
+#[derive(Debug)]
+pub struct WorkloadBuilder {
+    queues: Vec<VecDeque<OpSpec>>,
+}
+
+impl WorkloadBuilder {
+    /// A workload for `n` processes (ids `0..n`), all initially idle.
+    pub fn new(n: usize) -> Self {
+        WorkloadBuilder {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Appends an operation to `pid`'s queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn op(&mut self, pid: ProcessId, spec: OpSpec) -> &mut Self {
+        self.queues[pid.index()].push_back(spec);
+        self
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+/// What happened when an executor ran a workload.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// The invocation/response history of every operation that was
+    /// invoked.
+    pub history: History,
+    /// Whether every queued operation completed. `false` means the step
+    /// budget ran out first — expected for obstruction-free algorithms
+    /// under adversarial schedules.
+    pub all_done: bool,
+}
+
+struct Running {
+    machine: Machine,
+    hist_idx: usize,
+    finish: Option<FinishFn>,
+}
+
+struct ProcState {
+    queue: VecDeque<OpSpec>,
+    current: Option<Running>,
+}
+
+/// Runs workloads step by step under a scheduler.
+#[derive(Debug, Default)]
+pub struct Executor {
+    max_steps: Option<usize>,
+}
+
+impl Executor {
+    /// An executor with no step budget (suitable for wait-free
+    /// algorithms, which always terminate).
+    pub fn new() -> Self {
+        Executor { max_steps: None }
+    }
+
+    /// Limits the total number of shared-memory steps. Use for
+    /// obstruction-free algorithms (e.g. double-collect scans), whose
+    /// operations an adversarial schedule can starve forever.
+    pub fn with_step_budget(max_steps: usize) -> Self {
+        Executor {
+            max_steps: Some(max_steps),
+        }
+    }
+
+    /// Runs the workload on `mem` under `sched` until every operation
+    /// completes or the step budget is exhausted.
+    pub fn run(
+        &self,
+        mem: &mut Memory,
+        workload: WorkloadBuilder,
+        sched: &mut dyn Scheduler,
+    ) -> ExecOutcome {
+        let mut history = History::new();
+        let mut procs: Vec<ProcState> = workload
+            .queues
+            .into_iter()
+            .map(|queue| ProcState {
+                queue,
+                current: None,
+            })
+            .collect();
+
+        loop {
+            let runnable: Vec<ProcessId> = procs
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.current.is_some() || !st.queue.is_empty())
+                .map(|(i, _)| ProcessId(i))
+                .collect();
+            if runnable.is_empty() {
+                return ExecOutcome {
+                    history,
+                    all_done: true,
+                };
+            }
+            if let Some(budget) = self.max_steps {
+                if mem.steps() >= budget {
+                    return ExecOutcome {
+                        history,
+                        all_done: false,
+                    };
+                }
+            }
+            let choice = sched.pick(&runnable);
+            let pid = runnable[choice];
+            let st = &mut procs[pid.index()];
+
+            if st.current.is_none() {
+                let spec = st.queue.pop_front().expect("runnable implies work");
+                let machine = (spec.start)();
+                let invoke = mem.steps();
+                history.push(OpRecord {
+                    pid,
+                    desc: spec.desc,
+                    invoke,
+                    response: None,
+                    output: None,
+                    steps: 0,
+                });
+                let hist_idx = history.len() - 1;
+                if machine.is_done() {
+                    let result = machine.result().expect("done machine has result");
+                    let rec = &mut history.ops_mut()[hist_idx];
+                    rec.response = Some(invoke);
+                    rec.output = Some((spec.finish)(result));
+                    continue;
+                }
+                st.current = Some(Running {
+                    machine,
+                    hist_idx,
+                    finish: Some(spec.finish),
+                });
+            }
+
+            let running = st.current.as_mut().expect("current op present");
+            let prim = running.machine.enabled().expect("running op has event");
+            let resp = mem.apply(pid, prim);
+            let finished = running.machine.feed(resp);
+            history.ops_mut()[running.hist_idx].steps = running.machine.steps();
+            if finished {
+                let result = running.machine.result().expect("finished machine");
+                let finish = running.finish.take().expect("finish not yet used");
+                let rec = &mut history.ops_mut()[running.hist_idx];
+                rec.response = Some(mem.steps());
+                rec.output = Some(finish(result));
+                st.current = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpDesc;
+    use crate::{cas, done, read, RandomScheduler, RoundRobin, Solo};
+
+    /// A CAS-loop counter increment on a single cell.
+    fn incr(o: crate::ObjId) -> crate::Step {
+        read(o, move |v| {
+            cas(
+                o,
+                v,
+                v + 1,
+                move |ok| if ok == 1 { done(v + 1) } else { incr(o) },
+            )
+        })
+    }
+
+    fn workload(n: usize, o: crate::ObjId) -> WorkloadBuilder {
+        let mut w = WorkloadBuilder::new(n);
+        for i in 0..n {
+            w.op(
+                ProcessId(i),
+                OpSpec::update(OpDesc::CounterIncrement, move || Machine::new(incr(o))),
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn round_robin_runs_all_increments() {
+        let mut mem = Memory::new();
+        let o = mem.alloc(0);
+        let outcome = Executor::new().run(&mut mem, workload(4, o), &mut RoundRobin::new());
+        assert!(outcome.all_done);
+        assert_eq!(mem.peek(o), 4);
+        assert_eq!(outcome.history.len(), 4);
+        assert!(outcome.history.completed().count() == 4);
+    }
+
+    #[test]
+    fn solo_runs_operations_without_interference() {
+        let mut mem = Memory::new();
+        let o = mem.alloc(0);
+        let outcome = Executor::new().run(&mut mem, workload(3, o), &mut Solo::new());
+        assert!(outcome.all_done);
+        assert_eq!(mem.peek(o), 3);
+        // Solo: every increment succeeds on the first CAS — exactly 2 steps.
+        for op in outcome.history.ops() {
+            assert_eq!(op.steps, 2);
+        }
+    }
+
+    #[test]
+    fn random_schedules_still_count_correctly() {
+        for seed in 0..16 {
+            let mut mem = Memory::new();
+            let o = mem.alloc(0);
+            let outcome =
+                Executor::new().run(&mut mem, workload(5, o), &mut RandomScheduler::new(seed));
+            assert!(outcome.all_done);
+            assert_eq!(mem.peek(o), 5, "seed {seed}");
+            assert!(outcome.history.ops().iter().all(|op| op.is_complete()));
+        }
+    }
+
+    #[test]
+    fn step_budget_stops_execution() {
+        let mut mem = Memory::new();
+        let o = mem.alloc(0);
+        let outcome =
+            Executor::with_step_budget(3).run(&mut mem, workload(4, o), &mut RoundRobin::new());
+        assert!(!outcome.all_done);
+        assert_eq!(mem.steps(), 3);
+    }
+
+    #[test]
+    fn history_intervals_nest_inside_execution() {
+        let mut mem = Memory::new();
+        let o = mem.alloc(0);
+        let outcome = Executor::new().run(&mut mem, workload(3, o), &mut RandomScheduler::new(42));
+        for op in outcome.history.ops() {
+            let resp = op.response.unwrap();
+            assert!(op.invoke < resp);
+            assert!(resp <= mem.steps());
+        }
+    }
+
+    #[test]
+    fn per_process_sequences_run_in_order() {
+        // One process does two increments; they must not overlap.
+        let mut mem = Memory::new();
+        let o = mem.alloc(0);
+        let mut w = WorkloadBuilder::new(1);
+        for _ in 0..2 {
+            w.op(
+                ProcessId(0),
+                OpSpec::update(OpDesc::CounterIncrement, move || Machine::new(incr(o))),
+            );
+        }
+        let outcome = Executor::new().run(&mut mem, w, &mut RoundRobin::new());
+        let ops = outcome.history.ops();
+        assert_eq!(ops.len(), 2);
+        assert!(ops[0].precedes(&ops[1]));
+        assert_eq!(mem.peek(o), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Invocation/response histories for linearizability checking.
+//!
+//! The executor records, for every operation instance, the interval
+//! `[invoke, response]` measured in *global event ticks* (positions in the
+//! execution's event log). Operation `a` *precedes* operation `b` exactly
+//! when `a.response < b.invoke`, matching the paper's definition
+//! ("Φ1 precedes Φ2 in E if Φ1 completes in E before the first event of
+//! Φ2 has been issued").
+
+use std::fmt;
+
+use crate::{ProcessId, Word};
+
+/// What kind of high-level operation an [`OpRecord`] describes.
+///
+/// These are the operations of the paper's three object families
+/// (Section 2): max registers, counters, and single-writer snapshots.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OpDesc {
+    /// `WriteMax(v)` on a max register.
+    WriteMax(Word),
+    /// `ReadMax()` on a max register.
+    ReadMax,
+    /// `CounterIncrement()` on a counter.
+    CounterIncrement,
+    /// `CounterRead()` on a counter.
+    CounterRead,
+    /// `Update(v)` of the caller's segment of a single-writer snapshot.
+    Update(Word),
+    /// `Scan()` of a snapshot.
+    Scan,
+}
+
+impl fmt::Display for OpDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpDesc::WriteMax(v) => write!(f, "WriteMax({v})"),
+            OpDesc::ReadMax => write!(f, "ReadMax"),
+            OpDesc::CounterIncrement => write!(f, "CounterIncrement"),
+            OpDesc::CounterRead => write!(f, "CounterRead"),
+            OpDesc::Update(v) => write!(f, "Update({v})"),
+            OpDesc::Scan => write!(f, "Scan"),
+        }
+    }
+}
+
+/// The value an operation returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpOutput {
+    /// No meaningful return value (writes, increments, updates).
+    Unit,
+    /// A single word (reads).
+    Value(Word),
+    /// A vector of segment values (scans).
+    Vector(Vec<Word>),
+}
+
+impl OpOutput {
+    /// The single-word value, if this output is one.
+    pub fn value(&self) -> Option<Word> {
+        match self {
+            OpOutput::Value(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The vector value, if this output is one.
+    pub fn vector(&self) -> Option<&[Word]> {
+        match self {
+            OpOutput::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One completed (or still-pending) operation instance in a history.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// The process that performed the operation.
+    pub pid: ProcessId,
+    /// What the operation was.
+    pub desc: OpDesc,
+    /// Global event tick at which the operation was invoked (the length
+    /// of the event log just before its first event).
+    pub invoke: usize,
+    /// Global event tick at which the operation responded, if it did.
+    pub response: Option<usize>,
+    /// The operation's output, if it completed.
+    pub output: Option<OpOutput>,
+    /// Number of shared-memory steps the operation took.
+    pub steps: usize,
+}
+
+impl OpRecord {
+    /// Whether this operation completed.
+    pub fn is_complete(&self) -> bool {
+        self.response.is_some()
+    }
+
+    /// Whether `self` precedes `other` in real time (`self` responded
+    /// before `other` was invoked).
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        match self.response {
+            Some(r) => r <= other.invoke,
+            None => false,
+        }
+    }
+
+    /// Whether the two operations' intervals overlap (neither precedes
+    /// the other).
+    pub fn overlaps(&self, other: &OpRecord) -> bool {
+        !self.precedes(other) && !other.precedes(self)
+    }
+}
+
+/// A history: every operation instance of an execution, in invocation
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    ops: Vec<OpRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record. Records must be pushed in invocation order.
+    pub fn push(&mut self, rec: OpRecord) {
+        debug_assert!(self
+            .ops
+            .last()
+            .map(|prev| prev.invoke <= rec.invoke)
+            .unwrap_or(true));
+        self.ops.push(rec);
+    }
+
+    /// All records in invocation order.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// Mutable access for executors filling in responses.
+    pub fn ops_mut(&mut self) -> &mut [OpRecord] {
+        &mut self.ops
+    }
+
+    /// Number of operation instances.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Only the completed operations.
+    pub fn completed(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter().filter(|o| o.is_complete())
+    }
+
+    /// Drops pending (incomplete) operations, returning a complete
+    /// history. Pending update-type operations may or may not have taken
+    /// effect; the exact checker treats the resulting history as-is, so
+    /// callers should only strip pending *read-type* operations this way.
+    pub fn without_pending(&self) -> History {
+        History {
+            ops: self
+                .ops
+                .iter()
+                .filter(|o| o.is_complete())
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a History {
+    type Item = &'a OpRecord;
+    type IntoIter = std::slice::Iter<'a, OpRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+impl FromIterator<OpRecord> for History {
+    fn from_iter<T: IntoIterator<Item = OpRecord>>(iter: T) -> Self {
+        let mut h = History::new();
+        for rec in iter {
+            h.push(rec);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pid: usize, desc: OpDesc, invoke: usize, response: usize) -> OpRecord {
+        OpRecord {
+            pid: ProcessId(pid),
+            desc,
+            invoke,
+            response: Some(response),
+            output: Some(OpOutput::Unit),
+            steps: response - invoke,
+        }
+    }
+
+    #[test]
+    fn precedence_matches_paper_definition() {
+        let a = rec(0, OpDesc::CounterIncrement, 0, 2);
+        let b = rec(1, OpDesc::CounterRead, 3, 5);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn overlapping_intervals_do_not_precede() {
+        let a = rec(0, OpDesc::CounterIncrement, 0, 4);
+        let b = rec(1, OpDesc::CounterRead, 2, 6);
+        assert!(a.overlaps(&b));
+        assert!(!a.precedes(&b));
+    }
+
+    #[test]
+    fn pending_op_precedes_nothing() {
+        let pending = OpRecord {
+            pid: ProcessId(0),
+            desc: OpDesc::ReadMax,
+            invoke: 0,
+            response: None,
+            output: None,
+            steps: 1,
+        };
+        let later = rec(1, OpDesc::ReadMax, 10, 11);
+        assert!(!pending.precedes(&later));
+        assert!(pending.overlaps(&later));
+    }
+
+    #[test]
+    fn without_pending_strips_incomplete_ops() {
+        let mut h = History::new();
+        h.push(rec(0, OpDesc::ReadMax, 0, 1));
+        h.push(OpRecord {
+            pid: ProcessId(1),
+            desc: OpDesc::ReadMax,
+            invoke: 2,
+            response: None,
+            output: None,
+            steps: 0,
+        });
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.without_pending().len(), 1);
+    }
+
+    #[test]
+    fn output_accessors() {
+        assert_eq!(OpOutput::Value(3).value(), Some(3));
+        assert_eq!(OpOutput::Unit.value(), None);
+        assert_eq!(OpOutput::Vector(vec![1, 2]).vector(), Some(&[1, 2][..]));
+        assert_eq!(OpOutput::Value(3).vector(), None);
+    }
+}

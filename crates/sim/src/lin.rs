@@ -1,0 +1,824 @@
+//! Linearizability checking.
+//!
+//! Two layers:
+//!
+//! * [`check_exact`] — a complete Wing–Gong-style search. Decides
+//!   linearizability exactly, but its cost is exponential in the number
+//!   of overlapping operations, so it is reserved for small histories
+//!   (the test suite uses it on histories of up to ~14 operations and to
+//!   validate the fast checkers below).
+//! * [`check_max_register`], [`check_counter`], [`check_snapshot`] —
+//!   fast, *sound* checkers built on interval conditions specific to each
+//!   object family. Sound means every reported [`Violation`] is a real
+//!   linearizability violation; they may in principle accept a
+//!   pathological non-linearizable history, so the property-test suite
+//!   cross-validates them against [`check_exact`] on small histories.
+//!
+//! All checkers take the executor's [`History`]: operation intervals in
+//! global event ticks, where operation `a` precedes `b` iff
+//! `a.response <= b.invoke`.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::history::{History, OpDesc, OpOutput, OpRecord};
+use crate::spec::{SeqSpec, SpecState};
+use crate::Word;
+
+/// Why a history is not linearizable (or not checkable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A read returned a value smaller than one it was required to see.
+    StaleRead,
+    /// A read returned a value that no operation ever wrote.
+    UnwrittenValue,
+    /// Two non-overlapping reads returned values in the wrong order.
+    NonMonotone,
+    /// A counter read fell outside its feasible interval.
+    CountOutOfRange,
+    /// Two scans returned vectors that no single linearization can order.
+    IncomparableScans,
+    /// The exhaustive search found no legal linearization.
+    NoLinearization,
+    /// The history violates a checker precondition (e.g. duplicate
+    /// per-process update values for the snapshot checker).
+    BadWorkload,
+}
+
+/// A linearizability violation, with human-readable detail.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The kind of violation.
+    pub kind: ViolationKind,
+    /// Human-readable description naming the offending operations.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(kind: ViolationKind, detail: impl Into<String>) -> Self {
+        Violation {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.detail)
+    }
+}
+
+impl Error for Violation {}
+
+/// Exhaustively decides whether `history` is linearizable with respect to
+/// `spec`.
+///
+/// Pending operations (no response) are treated per the standard
+/// completion rule: each may be linearized at any point after its
+/// invocation, or omitted entirely.
+///
+/// # Errors
+///
+/// Returns [`ViolationKind::NoLinearization`] if no legal order exists.
+///
+/// # Panics
+///
+/// Panics if the history has more than 63 operations (use the fast
+/// checkers for large histories).
+pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
+    let ops = history.ops();
+    assert!(
+        ops.len() <= 63,
+        "exact checker supports at most 63 operations, got {}",
+        ops.len()
+    );
+    let n = ops.len();
+    let all_complete: u64 = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_complete())
+        .fold(0u64, |m, (i, _)| m | (1 << i));
+
+    // Precompute precedence: must[i] = set of ops that must come before i.
+    let mut must_before: Vec<u64> = vec![0; n];
+    for (i, oi) in ops.iter().enumerate() {
+        for (j, oj) in ops.iter().enumerate() {
+            if i != j && oj.precedes(oi) {
+                must_before[i] |= 1 << j;
+            }
+        }
+    }
+
+    let mut failed: HashSet<(u64, SpecState)> = HashSet::new();
+
+    fn dfs(
+        mask: u64,
+        state: &SpecState,
+        ops: &[OpRecord],
+        spec: &SeqSpec,
+        all_complete: u64,
+        must_before: &[u64],
+        failed: &mut HashSet<(u64, SpecState)>,
+    ) -> bool {
+        if mask & all_complete == all_complete {
+            return true;
+        }
+        if failed.contains(&(mask, state.clone())) {
+            return false;
+        }
+        for (i, op) in ops.iter().enumerate() {
+            let bit = 1u64 << i;
+            if mask & bit != 0 {
+                continue;
+            }
+            if must_before[i] & !mask != 0 {
+                continue; // some predecessor not yet linearized
+            }
+            let (next, expected) = spec.apply(state, op.pid, &op.desc);
+            if let Some(observed) = &op.output {
+                let ok = match &expected {
+                    OpOutput::Unit => true,
+                    other => observed == other,
+                };
+                if !ok {
+                    continue;
+                }
+            }
+            if dfs(
+                mask | bit,
+                &next,
+                ops,
+                spec,
+                all_complete,
+                must_before,
+                failed,
+            ) {
+                return true;
+            }
+        }
+        failed.insert((mask, state.clone()));
+        false
+    }
+
+    if dfs(
+        0,
+        &spec.init(),
+        ops,
+        spec,
+        all_complete,
+        &must_before,
+        &mut failed,
+    ) {
+        Ok(())
+    } else {
+        Err(Violation::new(
+            ViolationKind::NoLinearization,
+            format!("no legal linearization of {n} operations exists"),
+        ))
+    }
+}
+
+fn fmt_op(i: usize, op: &OpRecord) -> String {
+    format!(
+        "op#{i} {} by {} [{}, {}]",
+        op.desc,
+        op.pid,
+        op.invoke,
+        op.response
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "pending".into())
+    )
+}
+
+/// Fast sound checker for max-register histories.
+///
+/// Verifies, for every completed `ReadMax` returning `v`:
+///
+/// 1. `v` is `initial` or was the operand of some `WriteMax(v)` invoked
+///    before the read responded (no value materializes from nowhere);
+/// 2. `v` is at least the operand of every `WriteMax` that completed
+///    before the read was invoked (reads do not miss completed writes);
+/// 3. non-overlapping reads return non-decreasing values (the register
+///    is monotone).
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn check_max_register(history: &History, initial: Word) -> Result<(), Violation> {
+    let ops = history.ops();
+    let reads: Vec<(usize, &OpRecord, Word)> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.desc == OpDesc::ReadMax && o.is_complete())
+        .map(|(i, o)| {
+            let v = o
+                .output
+                .as_ref()
+                .and_then(|out| out.value())
+                .expect("completed ReadMax has a value");
+            (i, o, v)
+        })
+        .collect();
+
+    for &(i, read, v) in &reads {
+        // Condition 1: the value was actually written (or is the floor).
+        if v != initial {
+            let written = ops.iter().any(|o| {
+                matches!(o.desc, OpDesc::WriteMax(w) if w == v) && o.invoke < read.response.unwrap()
+            });
+            if !written {
+                return Err(Violation::new(
+                    ViolationKind::UnwrittenValue,
+                    format!(
+                        "{} returned {v}, never written before its response",
+                        fmt_op(i, read)
+                    ),
+                ));
+            }
+        }
+        // Condition 2: no completed preceding write is missed.
+        for (j, w) in ops.iter().enumerate() {
+            if let OpDesc::WriteMax(wv) = w.desc {
+                if w.precedes(read) && wv > v {
+                    return Err(Violation::new(
+                        ViolationKind::StaleRead,
+                        format!(
+                            "{} returned {v} but {} completed before it",
+                            fmt_op(i, read),
+                            fmt_op(j, w)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // Condition 3: monotone across non-overlapping reads.
+    for &(i1, r1, v1) in &reads {
+        for &(i2, r2, v2) in &reads {
+            if r1.precedes(r2) && v1 > v2 {
+                return Err(Violation::new(
+                    ViolationKind::NonMonotone,
+                    format!(
+                        "{} returned {v1} but later {} returned {v2}",
+                        fmt_op(i1, r1),
+                        fmt_op(i2, r2)
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fast sound checker for counter histories.
+///
+/// Verifies, for every completed `CounterRead` returning `c`:
+///
+/// 1. `c` is at least the number of `CounterIncrement`s that completed
+///    before the read was invoked;
+/// 2. `c` is at most the number of `CounterIncrement`s invoked before the
+///    read responded;
+/// 3. non-overlapping reads return non-decreasing counts.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn check_counter(history: &History) -> Result<(), Violation> {
+    let ops = history.ops();
+    let reads: Vec<(usize, &OpRecord, Word)> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.desc == OpDesc::CounterRead && o.is_complete())
+        .map(|(i, o)| {
+            let v = o
+                .output
+                .as_ref()
+                .and_then(|out| out.value())
+                .expect("completed CounterRead has a value");
+            (i, o, v)
+        })
+        .collect();
+
+    for &(i, read, c) in &reads {
+        let completed_before = ops
+            .iter()
+            .filter(|o| o.desc == OpDesc::CounterIncrement && o.precedes(read))
+            .count() as Word;
+        let invoked_before = ops
+            .iter()
+            .filter(|o| o.desc == OpDesc::CounterIncrement && o.invoke < read.response.unwrap())
+            .count() as Word;
+        if c < completed_before || c > invoked_before {
+            return Err(Violation::new(
+                ViolationKind::CountOutOfRange,
+                format!(
+                    "{} returned {c}, feasible interval is [{completed_before}, {invoked_before}]",
+                    fmt_op(i, read)
+                ),
+            ));
+        }
+    }
+    for &(i1, r1, c1) in &reads {
+        for &(i2, r2, c2) in &reads {
+            if r1.precedes(r2) && c1 > c2 {
+                return Err(Violation::new(
+                    ViolationKind::NonMonotone,
+                    format!(
+                        "{} returned {c1} but later {} returned {c2}",
+                        fmt_op(i1, r1),
+                        fmt_op(i2, r2)
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fast sound checker for single-writer snapshot histories.
+///
+/// Preconditions on the workload (checked, reported as
+/// [`ViolationKind::BadWorkload`]): each process's `Update` operands are
+/// pairwise distinct and distinct from `initial`, so a scanned segment
+/// value identifies a unique position in that process's update sequence.
+///
+/// Verifies, for every completed `Scan` returning `vec`:
+///
+/// 1. every `vec[i]` is `initial` or an operand of some `Update` by
+///    process `i` invoked before the scan responded;
+/// 2. `vec[i]` is not older (in process `i`'s update order) than the last
+///    update by `i` that completed before the scan was invoked;
+/// 3. all scan vectors are coordinatewise comparable (scans are totally
+///    ordered), and non-overlapping scans respect that order.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn check_snapshot(history: &History, n: usize, initial: Word) -> Result<(), Violation> {
+    let ops = history.ops();
+
+    // Per-process update sequences; value -> 1-based index therein.
+    let mut seqs: Vec<Vec<(usize, &OpRecord, Word)>> = vec![Vec::new(); n];
+    for (i, o) in ops.iter().enumerate() {
+        if let OpDesc::Update(v) = o.desc {
+            if o.pid.index() >= n {
+                return Err(Violation::new(
+                    ViolationKind::BadWorkload,
+                    format!("{} updates segment out of range", fmt_op(i, o)),
+                ));
+            }
+            let seq = &mut seqs[o.pid.index()];
+            if v == initial || seq.iter().any(|&(_, _, prev)| prev == v) {
+                return Err(Violation::new(
+                    ViolationKind::BadWorkload,
+                    format!(
+                        "{} reuses value {v}; checker needs distinct operands",
+                        fmt_op(i, o)
+                    ),
+                ));
+            }
+            seq.push((i, o, v));
+        }
+    }
+    let pos_of = |seg: usize, v: Word| -> Option<usize> {
+        if v == initial {
+            return Some(0);
+        }
+        seqs[seg]
+            .iter()
+            .position(|&(_, _, sv)| sv == v)
+            .map(|p| p + 1)
+    };
+
+    let scans: Vec<(usize, &OpRecord, &[Word])> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.desc == OpDesc::Scan && o.is_complete())
+        .map(|(i, o)| {
+            let v = o
+                .output
+                .as_ref()
+                .and_then(|out| out.vector())
+                .expect("completed Scan has a vector");
+            (i, o, v)
+        })
+        .collect();
+
+    let mut scan_positions: Vec<(usize, &OpRecord, Vec<usize>)> = Vec::new();
+    for &(i, scan, vec) in &scans {
+        if vec.len() != n {
+            return Err(Violation::new(
+                ViolationKind::BadWorkload,
+                format!(
+                    "{} returned {} segments, expected {n}",
+                    fmt_op(i, scan),
+                    vec.len()
+                ),
+            ));
+        }
+        let mut positions = Vec::with_capacity(n);
+        for (seg, &v) in vec.iter().enumerate() {
+            // Condition 1: value exists and was invoked before the response.
+            let pos = match pos_of(seg, v) {
+                Some(p) => p,
+                None => {
+                    return Err(Violation::new(
+                        ViolationKind::UnwrittenValue,
+                        format!(
+                            "{} saw {v} in segment {seg}, never written",
+                            fmt_op(i, scan)
+                        ),
+                    ))
+                }
+            };
+            if pos > 0 {
+                let (ui, upd, _) = seqs[seg][pos - 1];
+                if upd.invoke >= scan.response.unwrap() {
+                    return Err(Violation::new(
+                        ViolationKind::UnwrittenValue,
+                        format!(
+                            "{} saw {v} in segment {seg}, but {} was invoked after the scan responded",
+                            fmt_op(i, scan),
+                            fmt_op(ui, upd)
+                        ),
+                    ));
+                }
+            }
+            // Condition 2: not older than the last preceding completed update.
+            let last_completed = seqs[seg]
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, upd, _))| upd.precedes(scan))
+                .map(|(k, _)| k + 1)
+                .max()
+                .unwrap_or(0);
+            if pos < last_completed {
+                let (ui, upd, _) = seqs[seg][last_completed - 1];
+                return Err(Violation::new(
+                    ViolationKind::StaleRead,
+                    format!(
+                        "{} saw position {pos} of segment {seg}, but {} completed before it",
+                        fmt_op(i, scan),
+                        fmt_op(ui, upd)
+                    ),
+                ));
+            }
+            positions.push(pos);
+        }
+        scan_positions.push((i, scan, positions));
+    }
+
+    // Condition 3: total order on scans.
+    for a in 0..scan_positions.len() {
+        for b in (a + 1)..scan_positions.len() {
+            let (ia, sa, pa) = &scan_positions[a];
+            let (ib, sb, pb) = &scan_positions[b];
+            let a_le_b = pa.iter().zip(pb).all(|(x, y)| x <= y);
+            let b_le_a = pb.iter().zip(pa).all(|(x, y)| x <= y);
+            if !a_le_b && !b_le_a {
+                return Err(Violation::new(
+                    ViolationKind::IncomparableScans,
+                    format!(
+                        "{} and {} are incomparable",
+                        fmt_op(*ia, sa),
+                        fmt_op(*ib, sb)
+                    ),
+                ));
+            }
+            if sa.precedes(sb) && !a_le_b {
+                return Err(Violation::new(
+                    ViolationKind::NonMonotone,
+                    format!(
+                        "{} precedes {} but saw newer values",
+                        fmt_op(*ia, sa),
+                        fmt_op(*ib, sb)
+                    ),
+                ));
+            }
+            if sb.precedes(sa) && !b_le_a {
+                return Err(Violation::new(
+                    ViolationKind::NonMonotone,
+                    format!(
+                        "{} precedes {} but saw newer values",
+                        fmt_op(*ib, sb),
+                        fmt_op(*ia, sa)
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{OpDesc, OpOutput, OpRecord};
+    use crate::ProcessId;
+
+    fn op(pid: usize, desc: OpDesc, invoke: usize, response: usize, output: OpOutput) -> OpRecord {
+        OpRecord {
+            pid: ProcessId(pid),
+            desc,
+            invoke,
+            response: Some(response),
+            output: Some(output),
+            steps: 1,
+        }
+    }
+
+    fn hist(ops: Vec<OpRecord>) -> History {
+        let mut sorted = ops;
+        sorted.sort_by_key(|o| o.invoke);
+        sorted.into_iter().collect()
+    }
+
+    const MAX_SPEC: SeqSpec = SeqSpec::MaxRegister { initial: -1 };
+
+    #[test]
+    fn sequential_max_register_history_is_linearizable() {
+        let h = hist(vec![
+            op(0, OpDesc::WriteMax(5), 0, 1, OpOutput::Unit),
+            op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(5)),
+        ]);
+        assert!(check_exact(&h, &MAX_SPEC).is_ok());
+        assert!(check_max_register(&h, -1).is_ok());
+    }
+
+    #[test]
+    fn stale_read_is_rejected_by_both_checkers() {
+        let h = hist(vec![
+            op(0, OpDesc::WriteMax(5), 0, 1, OpOutput::Unit),
+            op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(-1)),
+        ]);
+        assert!(check_exact(&h, &MAX_SPEC).is_err());
+        let v = check_max_register(&h, -1).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::StaleRead);
+    }
+
+    #[test]
+    fn concurrent_write_may_or_may_not_be_seen() {
+        // Write overlaps read: both outcomes linearizable.
+        for seen in [-1, 5] {
+            let h = hist(vec![
+                op(0, OpDesc::WriteMax(5), 0, 4, OpOutput::Unit),
+                op(1, OpDesc::ReadMax, 1, 3, OpOutput::Value(seen)),
+            ]);
+            assert!(check_exact(&h, &MAX_SPEC).is_ok(), "seen={seen}");
+            assert!(check_max_register(&h, -1).is_ok(), "seen={seen}");
+        }
+    }
+
+    #[test]
+    fn unwritten_value_is_rejected() {
+        let h = hist(vec![op(1, OpDesc::ReadMax, 0, 1, OpOutput::Value(9))]);
+        assert!(check_exact(&h, &MAX_SPEC).is_err());
+        let v = check_max_register(&h, -1).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::UnwrittenValue);
+    }
+
+    #[test]
+    fn non_monotone_reads_are_rejected() {
+        let h = hist(vec![
+            op(0, OpDesc::WriteMax(5), 0, 10, OpOutput::Unit),
+            op(1, OpDesc::ReadMax, 1, 2, OpOutput::Value(5)),
+            op(2, OpDesc::ReadMax, 3, 4, OpOutput::Value(-1)),
+        ]);
+        assert!(check_exact(&h, &MAX_SPEC).is_err());
+        let v = check_max_register(&h, -1).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::NonMonotone);
+    }
+
+    #[test]
+    fn counter_interval_conditions() {
+        // inc [0,1]; read [2,3] must return exactly 1.
+        let ok = hist(vec![
+            op(0, OpDesc::CounterIncrement, 0, 1, OpOutput::Unit),
+            op(1, OpDesc::CounterRead, 2, 3, OpOutput::Value(1)),
+        ]);
+        assert!(check_counter(&ok).is_ok());
+        assert!(check_exact(&ok, &SeqSpec::Counter).is_ok());
+
+        let missed = hist(vec![
+            op(0, OpDesc::CounterIncrement, 0, 1, OpOutput::Unit),
+            op(1, OpDesc::CounterRead, 2, 3, OpOutput::Value(0)),
+        ]);
+        assert_eq!(
+            check_counter(&missed).unwrap_err().kind,
+            ViolationKind::CountOutOfRange
+        );
+        assert!(check_exact(&missed, &SeqSpec::Counter).is_err());
+
+        let overcount = hist(vec![
+            op(0, OpDesc::CounterIncrement, 0, 1, OpOutput::Unit),
+            op(1, OpDesc::CounterRead, 2, 3, OpOutput::Value(2)),
+        ]);
+        assert_eq!(
+            check_counter(&overcount).unwrap_err().kind,
+            ViolationKind::CountOutOfRange
+        );
+        assert!(check_exact(&overcount, &SeqSpec::Counter).is_err());
+    }
+
+    #[test]
+    fn concurrent_increment_gives_slack() {
+        let h = hist(vec![
+            op(0, OpDesc::CounterIncrement, 0, 10, OpOutput::Unit),
+            op(1, OpDesc::CounterRead, 1, 2, OpOutput::Value(1)),
+        ]);
+        assert!(check_counter(&h).is_ok());
+        assert!(check_exact(&h, &SeqSpec::Counter).is_ok());
+    }
+
+    #[test]
+    fn counter_reads_must_be_monotone() {
+        let h = hist(vec![
+            op(0, OpDesc::CounterIncrement, 0, 20, OpOutput::Unit),
+            op(1, OpDesc::CounterRead, 1, 2, OpOutput::Value(1)),
+            op(2, OpDesc::CounterRead, 3, 4, OpOutput::Value(0)),
+        ]);
+        assert_eq!(
+            check_counter(&h).unwrap_err().kind,
+            ViolationKind::NonMonotone
+        );
+        assert!(check_exact(&h, &SeqSpec::Counter).is_err());
+    }
+
+    #[test]
+    fn snapshot_consistent_scans_pass() {
+        let h = hist(vec![
+            op(0, OpDesc::Update(1), 0, 1, OpOutput::Unit),
+            op(1, OpDesc::Update(2), 2, 3, OpOutput::Unit),
+            op(2, OpDesc::Scan, 4, 5, OpOutput::Vector(vec![1, 2])),
+        ]);
+        assert!(check_snapshot(&h, 2, 0).is_ok());
+        assert!(check_exact(&h, &SeqSpec::Snapshot { n: 2, initial: 0 }).is_ok());
+    }
+
+    #[test]
+    fn snapshot_missed_update_fails() {
+        let h = hist(vec![
+            op(0, OpDesc::Update(1), 0, 1, OpOutput::Unit),
+            op(2, OpDesc::Scan, 2, 3, OpOutput::Vector(vec![0, 0])),
+        ]);
+        assert_eq!(
+            check_snapshot(&h, 2, 0).unwrap_err().kind,
+            ViolationKind::StaleRead
+        );
+        assert!(check_exact(&h, &SeqSpec::Snapshot { n: 2, initial: 0 }).is_err());
+    }
+
+    #[test]
+    fn snapshot_incomparable_scans_fail() {
+        // Two concurrent updates; two scans each seeing only one of them.
+        let h = hist(vec![
+            op(0, OpDesc::Update(1), 0, 10, OpOutput::Unit),
+            op(1, OpDesc::Update(2), 0, 10, OpOutput::Unit),
+            op(2, OpDesc::Scan, 1, 2, OpOutput::Vector(vec![1, 0])),
+            op(3, OpDesc::Scan, 3, 4, OpOutput::Vector(vec![0, 2])),
+        ]);
+        let v = check_snapshot(&h, 2, 0).unwrap_err();
+        assert!(
+            v.kind == ViolationKind::IncomparableScans || v.kind == ViolationKind::NonMonotone,
+            "{v}"
+        );
+        assert!(check_exact(&h, &SeqSpec::Snapshot { n: 2, initial: 0 }).is_err());
+    }
+
+    #[test]
+    fn snapshot_checker_rejects_duplicate_values() {
+        let h = hist(vec![
+            op(0, OpDesc::Update(1), 0, 1, OpOutput::Unit),
+            op(0, OpDesc::Update(1), 2, 3, OpOutput::Unit),
+        ]);
+        assert_eq!(
+            check_snapshot(&h, 2, 0).unwrap_err().kind,
+            ViolationKind::BadWorkload
+        );
+    }
+
+    #[test]
+    fn pending_write_may_linearize_or_not() {
+        // A pending WriteMax(7) may or may not take effect; reads seeing
+        // either value are fine, but monotonicity still applies.
+        let pending = OpRecord {
+            pid: ProcessId(0),
+            desc: OpDesc::WriteMax(7),
+            invoke: 0,
+            response: None,
+            output: None,
+            steps: 1,
+        };
+        for seen in [-1, 7] {
+            let mut h = History::new();
+            h.push(pending.clone());
+            h.push(op(1, OpDesc::ReadMax, 1, 2, OpOutput::Value(seen)));
+            assert!(check_exact(&h, &MAX_SPEC).is_ok(), "seen={seen}");
+            assert!(check_max_register(&h, -1).is_ok(), "seen={seen}");
+        }
+    }
+
+    #[test]
+    fn exact_checker_handles_interleaved_counter() {
+        // Two concurrent increments and a concurrent read seeing 0, 1 or 2.
+        for seen in 0..=2 {
+            let h = hist(vec![
+                op(0, OpDesc::CounterIncrement, 0, 5, OpOutput::Unit),
+                op(1, OpDesc::CounterIncrement, 1, 6, OpOutput::Unit),
+                op(2, OpDesc::CounterRead, 2, 4, OpOutput::Value(seen)),
+            ]);
+            assert!(check_exact(&h, &SeqSpec::Counter).is_ok(), "seen={seen}");
+            assert!(check_counter(&h).is_ok(), "seen={seen}");
+        }
+        let h = hist(vec![
+            op(0, OpDesc::CounterIncrement, 0, 5, OpOutput::Unit),
+            op(1, OpDesc::CounterIncrement, 1, 6, OpOutput::Unit),
+            op(2, OpDesc::CounterRead, 2, 4, OpOutput::Value(3)),
+        ]);
+        assert!(check_exact(&h, &SeqSpec::Counter).is_err());
+        assert!(check_counter(&h).is_err());
+    }
+
+    #[test]
+    fn snapshot_checker_rejects_wrong_vector_length() {
+        let h = hist(vec![op(
+            0,
+            OpDesc::Scan,
+            0,
+            1,
+            OpOutput::Vector(vec![0, 0, 0]),
+        )]);
+        assert_eq!(
+            check_snapshot(&h, 2, 0).unwrap_err().kind,
+            ViolationKind::BadWorkload
+        );
+    }
+
+    #[test]
+    fn snapshot_checker_rejects_out_of_range_updater() {
+        let h = hist(vec![op(5, OpDesc::Update(1), 0, 1, OpOutput::Unit)]);
+        assert_eq!(
+            check_snapshot(&h, 2, 0).unwrap_err().kind,
+            ViolationKind::BadWorkload
+        );
+    }
+
+    #[test]
+    fn snapshot_scan_of_unwritten_value_is_rejected() {
+        let h = hist(vec![op(
+            0,
+            OpDesc::Scan,
+            0,
+            1,
+            OpOutput::Vector(vec![7, 0]),
+        )]);
+        assert_eq!(
+            check_snapshot(&h, 2, 0).unwrap_err().kind,
+            ViolationKind::UnwrittenValue
+        );
+    }
+
+    #[test]
+    fn snapshot_scan_of_future_update_is_rejected() {
+        // Scan responds BEFORE the update is invoked, yet sees it.
+        let h = hist(vec![
+            op(0, OpDesc::Scan, 0, 1, OpOutput::Vector(vec![9, 0])),
+            op(0, OpDesc::Update(9), 2, 3, OpOutput::Unit),
+        ]);
+        assert_eq!(
+            check_snapshot(&h, 2, 0).unwrap_err().kind,
+            ViolationKind::UnwrittenValue
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 63 operations")]
+    fn exact_checker_rejects_oversized_histories() {
+        let ops: Vec<OpRecord> = (0..64)
+            .map(|i| {
+                op(
+                    0,
+                    OpDesc::CounterIncrement,
+                    2 * i,
+                    2 * i + 1,
+                    OpOutput::Unit,
+                )
+            })
+            .collect();
+        let _ = check_exact(&hist(ops), &SeqSpec::Counter);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let h = hist(vec![
+            op(0, OpDesc::WriteMax(5), 0, 1, OpOutput::Unit),
+            op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(0)),
+        ]);
+        let v = check_max_register(&h, 0).unwrap_err();
+        let text = v.to_string();
+        assert!(text.contains("StaleRead"), "{text}");
+        assert!(text.contains("WriteMax(5)"), "{text}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Shared base-object memory.
+
+use crate::{Event, EventLog, ObjId, Prim, ProcessId, Word};
+
+/// The set `B` of shared base objects, with an event log.
+///
+/// Every [`apply`](Memory::apply) is one *step* in the paper's complexity
+/// measure and appends one [`Event`] to the log. Adversaries and test
+/// harnesses may inspect values without taking steps via
+/// [`peek`](Memory::peek); algorithms must not.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    cells: Vec<Word>,
+    log: EventLog,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new base object with the given initial value.
+    ///
+    /// Allocation is part of setting up the *initial configuration* and
+    /// does not count as a step, matching the paper's model where "each
+    /// base object is assigned an initial value".
+    pub fn alloc(&mut self, init: Word) -> ObjId {
+        let id = ObjId(self.cells.len());
+        self.cells.push(init);
+        id
+    }
+
+    /// Allocates `n` objects, all with the same initial value.
+    pub fn alloc_n(&mut self, n: usize, init: Word) -> Vec<ObjId> {
+        (0..n).map(|_| self.alloc(init)).collect()
+    }
+
+    /// Number of allocated base objects.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no objects have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Applies a primitive on behalf of `pid`, logging the event and
+    /// returning the response (read: the value; write: `0`; CAS: `1` on
+    /// success, `0` on failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the primitive targets an object not allocated from this
+    /// memory.
+    pub fn apply(&mut self, pid: ProcessId, prim: Prim) -> Word {
+        let obj = prim.obj();
+        let prev = self.cells[obj.0];
+        let resp = match prim {
+            Prim::Read(_) => prev,
+            Prim::Write(_, v) => {
+                self.cells[obj.0] = v;
+                0
+            }
+            Prim::Cas { expected, new, .. } => {
+                if prev == expected {
+                    self.cells[obj.0] = new;
+                    1
+                } else {
+                    0
+                }
+            }
+        };
+        self.log.push(Event {
+            seq: self.log.len(),
+            pid,
+            prim,
+            prev,
+            resp,
+        });
+        resp
+    }
+
+    /// Reads an object's current value without taking a step (no event is
+    /// logged). For adversaries, invariant checks and tests only.
+    pub fn peek(&self, obj: ObjId) -> Word {
+        self.cells[obj.0]
+    }
+
+    /// The execution so far.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Total number of steps taken by all processes.
+    pub fn steps(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Resets all cells to the provided snapshot of initial values and
+    /// clears the log. Used by replay-based adversaries (Lemma 2 erasure
+    /// is implemented by replaying the surviving events from the initial
+    /// configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` does not have one value per allocated object.
+    pub fn reset_to(&mut self, initial: &[Word]) {
+        assert_eq!(
+            initial.len(),
+            self.cells.len(),
+            "reset snapshot must cover every allocated object"
+        );
+        self.cells.copy_from_slice(initial);
+        self.log = EventLog::new();
+    }
+
+    /// Snapshot of every cell's current value, usable with
+    /// [`reset_to`](Memory::reset_to).
+    pub fn snapshot(&self) -> Vec<Word> {
+        self.cells.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_dense_ids_and_initial_values() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(1);
+        let b = mem.alloc(2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(mem.peek(a), 1);
+        assert_eq!(mem.peek(b), 2);
+        assert_eq!(mem.len(), 2);
+    }
+
+    #[test]
+    fn read_returns_value_and_logs() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(5);
+        let resp = mem.apply(ProcessId(0), Prim::Read(a));
+        assert_eq!(resp, 5);
+        assert_eq!(mem.steps(), 1);
+        assert_eq!(mem.log().events()[0].prev, 5);
+    }
+
+    #[test]
+    fn write_stores_value() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(0);
+        mem.apply(ProcessId(1), Prim::Write(a, 9));
+        assert_eq!(mem.peek(a), 9);
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_expected() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(3);
+        let ok = mem.apply(
+            ProcessId(0),
+            Prim::Cas {
+                obj: a,
+                expected: 3,
+                new: 4,
+            },
+        );
+        assert_eq!(ok, 1);
+        assert_eq!(mem.peek(a), 4);
+        let fail = mem.apply(
+            ProcessId(0),
+            Prim::Cas {
+                obj: a,
+                expected: 3,
+                new: 5,
+            },
+        );
+        assert_eq!(fail, 0);
+        assert_eq!(mem.peek(a), 4);
+    }
+
+    #[test]
+    fn peek_takes_no_step() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(3);
+        let _ = mem.peek(a);
+        assert_eq!(mem.steps(), 0);
+    }
+
+    #[test]
+    fn reset_restores_initial_configuration() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(3);
+        let init = mem.snapshot();
+        mem.apply(ProcessId(0), Prim::Write(a, 10));
+        assert_eq!(mem.peek(a), 10);
+        mem.reset_to(&init);
+        assert_eq!(mem.peek(a), 3);
+        assert_eq!(mem.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reset snapshot")]
+    fn reset_rejects_mismatched_snapshot() {
+        let mut mem = Memory::new();
+        let _ = mem.alloc(0);
+        mem.reset_to(&[]);
+    }
+}

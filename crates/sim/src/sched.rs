@@ -1,0 +1,221 @@
+//! Schedulers: who moves next.
+//!
+//! The model is asynchronous — an adversarial scheduler interleaves the
+//! enabled events of active processes arbitrarily. The executor asks a
+//! [`Scheduler`] to pick among the currently runnable processes at every
+//! step. Deterministic schedulers (given the same seed) reproduce the
+//! same execution, which keeps every experiment in this repository
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ProcessId;
+
+/// Picks the next process to take a step.
+pub trait Scheduler {
+    /// Chooses an index into `runnable` (the processes that currently
+    /// have an enabled event). `runnable` is never empty and is sorted by
+    /// process id.
+    fn pick(&mut self, runnable: &[ProcessId]) -> usize;
+}
+
+/// Cycles through processes in id order, giving each one step in turn.
+///
+/// Round-robin is the "fair" schedule; under it every wait-free operation
+/// completes in its worst-case step bound.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    last: Option<ProcessId>,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, runnable: &[ProcessId]) -> usize {
+        let idx = match self.last {
+            None => 0,
+            Some(last) => runnable.iter().position(|&p| p > last).unwrap_or_default(),
+        };
+        self.last = Some(runnable[idx]);
+        idx
+    }
+}
+
+/// Chooses uniformly at random among runnable processes, deterministically
+/// from a seed.
+///
+/// Random schedules are the workhorse of the linearizability test suite:
+/// they explore interleavings that neither round-robin nor solo runs
+/// reach, and the seed makes failures replayable.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, runnable: &[ProcessId]) -> usize {
+        self.rng.gen_range(0..runnable.len())
+    }
+}
+
+/// Runs the lowest-id runnable process until it finishes, then the next —
+/// i.e. every operation runs *solo*.
+///
+/// Solo runs are how obstruction-free progress is exercised, and how
+/// *solo step complexity* (the measure in the paper's theorems) is
+/// measured: an operation's solo step count is its step complexity
+/// without interference.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Solo;
+
+impl Solo {
+    /// Creates a solo scheduler.
+    pub fn new() -> Self {
+        Solo
+    }
+}
+
+impl Scheduler for Solo {
+    fn pick(&mut self, _runnable: &[ProcessId]) -> usize {
+        0
+    }
+}
+
+/// Replays a fixed sequence of process choices — the scheduler form of a
+/// hand-crafted adversarial schedule (failure injection, regression
+/// schedules, paper counterexamples).
+///
+/// Each entry names the process that should move next. If the named
+/// process is not runnable at that point (already finished), the entry
+/// is skipped. When the script runs out, scheduling falls back to
+/// round-robin so executions always drain.
+#[derive(Clone, Debug)]
+pub struct ScriptedScheduler {
+    script: std::collections::VecDeque<ProcessId>,
+    fallback: RoundRobin,
+}
+
+impl ScriptedScheduler {
+    /// Creates a scheduler from the given process order.
+    pub fn new(script: impl IntoIterator<Item = ProcessId>) -> Self {
+        ScriptedScheduler {
+            script: script.into_iter().collect(),
+            fallback: RoundRobin::new(),
+        }
+    }
+
+    /// Number of scripted choices remaining.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn pick(&mut self, runnable: &[ProcessId]) -> usize {
+        while let Some(next) = self.script.pop_front() {
+            if let Some(idx) = runnable.iter().position(|&p| p == next) {
+                return idx;
+            }
+            // Named process is not runnable here; skip the entry.
+        }
+        self.fallback.pick(runnable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ids: &[usize]) -> Vec<ProcessId> {
+        ids.iter().map(|&i| ProcessId(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_in_id_order() {
+        let mut rr = RoundRobin::new();
+        let r = pids(&[0, 1, 2]);
+        assert_eq!(rr.pick(&r), 0);
+        assert_eq!(rr.pick(&r), 1);
+        assert_eq!(rr.pick(&r), 2);
+        assert_eq!(rr.pick(&r), 0);
+    }
+
+    #[test]
+    fn round_robin_skips_finished_processes() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(&pids(&[0, 1, 2])), 0);
+        // p1 finished; after p0 the next runnable above p0 is p2.
+        assert_eq!(rr.pick(&pids(&[0, 2])), 1);
+        // wrap around
+        assert_eq!(rr.pick(&pids(&[0, 2])), 0);
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed() {
+        let r = pids(&[0, 1, 2, 3]);
+        let picks1: Vec<usize> = {
+            let mut s = RandomScheduler::new(7);
+            (0..32).map(|_| s.pick(&r)).collect()
+        };
+        let picks2: Vec<usize> = {
+            let mut s = RandomScheduler::new(7);
+            (0..32).map(|_| s.pick(&r)).collect()
+        };
+        assert_eq!(picks1, picks2);
+        let picks3: Vec<usize> = {
+            let mut s = RandomScheduler::new(8);
+            (0..32).map(|_| s.pick(&r)).collect()
+        };
+        assert_ne!(picks1, picks3, "different seeds should differ");
+    }
+
+    #[test]
+    fn solo_always_picks_first() {
+        let mut s = Solo::new();
+        assert_eq!(s.pick(&pids(&[2, 5])), 0);
+        assert_eq!(s.pick(&pids(&[5])), 0);
+    }
+
+    #[test]
+    fn scripted_scheduler_follows_the_script() {
+        let mut s = ScriptedScheduler::new([ProcessId(2), ProcessId(0), ProcessId(1)]);
+        let r = pids(&[0, 1, 2]);
+        assert_eq!(s.pick(&r), 2);
+        assert_eq!(s.pick(&r), 0);
+        assert_eq!(s.pick(&r), 1);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn scripted_scheduler_skips_unrunnable_entries() {
+        let mut s = ScriptedScheduler::new([ProcessId(7), ProcessId(1)]);
+        let r = pids(&[0, 1]);
+        // p7 is not runnable: skip to p1.
+        assert_eq!(s.pick(&r), 1);
+    }
+
+    #[test]
+    fn scripted_scheduler_falls_back_to_round_robin() {
+        let mut s = ScriptedScheduler::new([ProcessId(1)]);
+        let r = pids(&[0, 1]);
+        assert_eq!(s.pick(&r), 1);
+        // Script exhausted: round-robin continues after p1 -> p0.
+        assert_eq!(s.pick(&r), 0);
+        assert_eq!(s.pick(&r), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Sequential specifications of the paper's three object families.
+//!
+//! A [`SeqSpec`] is an executable form of the object's sequential
+//! specification (Section 2 of the paper). The exact linearizability
+//! checker ([`crate::lin::check_exact`]) searches for an order of the
+//! history's operations that is legal under the spec and consistent with
+//! real-time precedence.
+
+use crate::history::{OpDesc, OpOutput};
+use crate::{ProcessId, Word};
+
+/// Which object family a history is checked against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SeqSpec {
+    /// A max register with the given initial value (`ReadMax` on a fresh
+    /// register returns this; Algorithm A uses `-∞`, modeled here as any
+    /// chosen floor value, typically `-1` or `0` at the public API).
+    MaxRegister {
+        /// Value returned by `ReadMax` before any `WriteMax`.
+        initial: Word,
+    },
+    /// A counter starting at zero.
+    Counter,
+    /// A single-writer snapshot with `n` segments, all starting at
+    /// `initial`.
+    Snapshot {
+        /// Number of segments (one per process).
+        n: usize,
+        /// Initial value of every segment.
+        initial: Word,
+    },
+}
+
+/// Sequential object state evolved by [`SeqSpec::apply`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SpecState {
+    /// Current maximum for a max register.
+    Max(Word),
+    /// Current count for a counter.
+    Count(u64),
+    /// Current segment vector for a snapshot.
+    Snap(Vec<Word>),
+}
+
+impl SeqSpec {
+    /// The object's initial state.
+    pub fn init(&self) -> SpecState {
+        match *self {
+            SeqSpec::MaxRegister { initial } => SpecState::Max(initial),
+            SeqSpec::Counter => SpecState::Count(0),
+            SeqSpec::Snapshot { n, initial } => SpecState::Snap(vec![initial; n]),
+        }
+    }
+
+    /// Applies `desc` (performed by `pid`) to `state`, returning the next
+    /// state and the output the operation must produce at this point of a
+    /// legal sequential history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not belong to this object family
+    /// (e.g. `CounterRead` against a max-register spec).
+    pub fn apply(&self, state: &SpecState, pid: ProcessId, desc: &OpDesc) -> (SpecState, OpOutput) {
+        match (self, state, desc) {
+            (SeqSpec::MaxRegister { .. }, SpecState::Max(m), OpDesc::WriteMax(v)) => {
+                (SpecState::Max((*m).max(*v)), OpOutput::Unit)
+            }
+            (SeqSpec::MaxRegister { .. }, SpecState::Max(m), OpDesc::ReadMax) => {
+                (SpecState::Max(*m), OpOutput::Value(*m))
+            }
+            (SeqSpec::Counter, SpecState::Count(c), OpDesc::CounterIncrement) => {
+                (SpecState::Count(c + 1), OpOutput::Unit)
+            }
+            (SeqSpec::Counter, SpecState::Count(c), OpDesc::CounterRead) => {
+                (SpecState::Count(*c), OpOutput::Value(*c as Word))
+            }
+            (SeqSpec::Snapshot { .. }, SpecState::Snap(vec), OpDesc::Update(v)) => {
+                let mut next = vec.clone();
+                next[pid.index()] = *v;
+                (SpecState::Snap(next), OpOutput::Unit)
+            }
+            (SeqSpec::Snapshot { .. }, SpecState::Snap(vec), OpDesc::Scan) => {
+                (SpecState::Snap(vec.clone()), OpOutput::Vector(vec.clone()))
+            }
+            (spec, state, desc) => {
+                panic!("operation {desc:?} does not apply to {spec:?} in state {state:?}")
+            }
+        }
+    }
+
+    /// Whether `observed` is an acceptable output for `desc` at `state`.
+    /// Update-type operations accept any output (their output is `Unit`).
+    pub fn output_matches(
+        &self,
+        state: &SpecState,
+        pid: ProcessId,
+        desc: &OpDesc,
+        observed: &OpOutput,
+    ) -> bool {
+        let (_, expected) = self.apply(state, pid, desc);
+        match expected {
+            OpOutput::Unit => true,
+            other => *observed == other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_register_returns_running_maximum() {
+        let spec = SeqSpec::MaxRegister { initial: -1 };
+        let s0 = spec.init();
+        let (s1, _) = spec.apply(&s0, ProcessId(0), &OpDesc::WriteMax(5));
+        let (s2, _) = spec.apply(&s1, ProcessId(1), &OpDesc::WriteMax(3));
+        let (_, out) = spec.apply(&s2, ProcessId(2), &OpDesc::ReadMax);
+        assert_eq!(out, OpOutput::Value(5));
+    }
+
+    #[test]
+    fn fresh_max_register_reads_initial() {
+        let spec = SeqSpec::MaxRegister { initial: -1 };
+        let (_, out) = spec.apply(&spec.init(), ProcessId(0), &OpDesc::ReadMax);
+        assert_eq!(out, OpOutput::Value(-1));
+    }
+
+    #[test]
+    fn counter_counts_increments() {
+        let spec = SeqSpec::Counter;
+        let mut st = spec.init();
+        for _ in 0..3 {
+            st = spec.apply(&st, ProcessId(0), &OpDesc::CounterIncrement).0;
+        }
+        let (_, out) = spec.apply(&st, ProcessId(1), &OpDesc::CounterRead);
+        assert_eq!(out, OpOutput::Value(3));
+    }
+
+    #[test]
+    fn snapshot_scan_reflects_updates() {
+        let spec = SeqSpec::Snapshot { n: 3, initial: 0 };
+        let mut st = spec.init();
+        st = spec.apply(&st, ProcessId(1), &OpDesc::Update(9)).0;
+        let (_, out) = spec.apply(&st, ProcessId(0), &OpDesc::Scan);
+        assert_eq!(out, OpOutput::Vector(vec![0, 9, 0]));
+    }
+
+    #[test]
+    fn output_matches_accepts_unit_for_updates() {
+        let spec = SeqSpec::Counter;
+        let st = spec.init();
+        assert!(spec.output_matches(
+            &st,
+            ProcessId(0),
+            &OpDesc::CounterIncrement,
+            &OpOutput::Unit
+        ));
+        assert!(spec.output_matches(&st, ProcessId(0), &OpDesc::CounterRead, &OpOutput::Value(0)));
+        assert!(!spec.output_matches(&st, ProcessId(0), &OpDesc::CounterRead, &OpOutput::Value(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not apply")]
+    fn mismatched_operation_panics() {
+        let spec = SeqSpec::Counter;
+        let st = spec.init();
+        let _ = spec.apply(&st, ProcessId(0), &OpDesc::ReadMax);
+    }
+}

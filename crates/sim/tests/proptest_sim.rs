@@ -1,0 +1,262 @@
+//! Property tests for the simulator: memory semantics, executor
+//! determinism, and cross-validation of the fast linearizability
+//! checkers against the exact search.
+
+use proptest::prelude::*;
+use ruo_sim::history::{History, OpDesc, OpOutput, OpRecord};
+use ruo_sim::lin::{check_counter, check_exact, check_max_register};
+use ruo_sim::spec::SeqSpec;
+use ruo_sim::{
+    cas, done, read, Executor, Machine, Memory, ObjId, OpSpec, Prim, ProcessId, RandomScheduler,
+    Step, Word, WorkloadBuilder,
+};
+
+fn arb_prim(n_objs: usize) -> impl Strategy<Value = (usize, u8, Word, Word)> {
+    (0..n_objs, 0u8..3, -3i64..4, -3i64..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Memory responses follow the primitive semantics exactly, and the
+    /// log reconstructs the final state.
+    #[test]
+    fn memory_semantics_hold(steps in proptest::collection::vec(arb_prim(3), 1..60)) {
+        let mut mem = Memory::new();
+        let objs = mem.alloc_n(3, 0);
+        let mut shadow = [0i64; 3];
+        for (o, kind, a, b) in steps {
+            let prim = match kind {
+                0 => Prim::Read(objs[o]),
+                1 => Prim::Write(objs[o], a),
+                _ => Prim::Cas { obj: objs[o], expected: a, new: b },
+            };
+            let resp = mem.apply(ProcessId(0), prim);
+            match prim {
+                Prim::Read(_) => prop_assert_eq!(resp, shadow[o]),
+                Prim::Write(_, v) => {
+                    prop_assert_eq!(resp, 0);
+                    shadow[o] = v;
+                }
+                Prim::Cas { expected, new, .. } => {
+                    if shadow[o] == expected {
+                        prop_assert_eq!(resp, 1);
+                        shadow[o] = new;
+                    } else {
+                        prop_assert_eq!(resp, 0);
+                    }
+                }
+            }
+            prop_assert_eq!(mem.peek(objs[o]), shadow[o]);
+        }
+        // The event log replays to the same final state.
+        let events: Vec<_> = mem.log().events().to_vec();
+        let mut mem2 = Memory::new();
+        let objs2 = mem2.alloc_n(3, 0);
+        for e in &events {
+            let prim = match e.prim {
+                Prim::Read(o) => Prim::Read(objs2[o.index()]),
+                Prim::Write(o, v) => Prim::Write(objs2[o.index()], v),
+                Prim::Cas { obj, expected, new } => Prim::Cas {
+                    obj: objs2[obj.index()],
+                    expected,
+                    new,
+                },
+            };
+            let resp = mem2.apply(e.pid, prim);
+            prop_assert_eq!(resp, e.resp, "replay diverged at seq {}", e.seq);
+        }
+        for o in 0..3 {
+            prop_assert_eq!(mem2.peek(objs2[o]), shadow[o]);
+        }
+    }
+
+    /// The executor is deterministic per scheduler seed: same seed, same
+    /// history; and CAS-loop increments never lose counts under any seed.
+    #[test]
+    fn executor_is_deterministic_and_exact(seed in 0u64..10_000, n in 2usize..6) {
+        fn incr(o: ObjId) -> Step {
+            read(o, move |v| {
+                cas(o, v, v + 1, move |ok| if ok == 1 { done(v + 1) } else { incr(o) })
+            })
+        }
+        let run = |seed: u64| {
+            let mut mem = Memory::new();
+            let o = mem.alloc(0);
+            let mut w = WorkloadBuilder::new(n);
+            for p in 0..n {
+                w.op(
+                    ProcessId(p),
+                    OpSpec::update(OpDesc::CounterIncrement, move || Machine::new(incr(o))),
+                );
+            }
+            let outcome = Executor::new().run(&mut mem, w, &mut RandomScheduler::new(seed));
+            (mem.peek(o), mem.steps(), outcome.history.len())
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a, b, "same seed must reproduce the execution");
+        prop_assert_eq!(a.0, n as i64, "increments lost or duplicated");
+    }
+
+    /// Fast max-register checker is sound relative to the exact search:
+    /// whenever the fast checker accepts a random small history, so does
+    /// the exact checker... in contrapositive form: exact-violation ⇒
+    /// fast result may be either, but fast-violation ⇒ exact-violation.
+    #[test]
+    fn fast_maxreg_checker_never_cries_wolf(
+        ops in proptest::collection::vec((0u8..2, 0i64..4, 0usize..8, 1usize..8), 1..7)
+    ) {
+        // Build a random (possibly nonsense) complete history.
+        let mut recs = Vec::new();
+        let mut t = 0usize;
+        for (i, (kind, v, gap, len)) in ops.iter().enumerate() {
+            let invoke = t + gap;
+            let response = invoke + len;
+            t = invoke + 1;
+            let (desc, output) = if *kind == 0 {
+                (OpDesc::WriteMax(*v), OpOutput::Unit)
+            } else {
+                (OpDesc::ReadMax, OpOutput::Value(*v))
+            };
+            recs.push(OpRecord {
+                pid: ProcessId(i % 3),
+                desc,
+                invoke,
+                response: Some(response),
+                output: Some(output),
+                steps: 1,
+            });
+        }
+        recs.sort_by_key(|r| r.invoke);
+        let history: History = recs.into_iter().collect();
+        let fast = check_max_register(&history, 0);
+        let exact = check_exact(&history, &SeqSpec::MaxRegister { initial: 0 });
+        if fast.is_err() {
+            prop_assert!(
+                exact.is_err(),
+                "fast checker reported a violation the exact checker rejects: {:?}",
+                fast.unwrap_err()
+            );
+        }
+    }
+
+    /// Same soundness cross-check for the counter checker.
+    #[test]
+    fn fast_counter_checker_never_cries_wolf(
+        ops in proptest::collection::vec((0u8..2, 0i64..5, 0usize..8, 1usize..8), 1..7)
+    ) {
+        let mut recs = Vec::new();
+        let mut t = 0usize;
+        for (i, (kind, v, gap, len)) in ops.iter().enumerate() {
+            let invoke = t + gap;
+            let response = invoke + len;
+            t = invoke + 1;
+            let (desc, output) = if *kind == 0 {
+                (OpDesc::CounterIncrement, OpOutput::Unit)
+            } else {
+                (OpDesc::CounterRead, OpOutput::Value(*v))
+            };
+            recs.push(OpRecord {
+                pid: ProcessId(i % 3),
+                desc,
+                invoke,
+                response: Some(response),
+                output: Some(output),
+                steps: 1,
+            });
+        }
+        recs.sort_by_key(|r| r.invoke);
+        let history: History = recs.into_iter().collect();
+        let fast = check_counter(&history);
+        let exact = check_exact(&history, &SeqSpec::Counter);
+        if fast.is_err() {
+            prop_assert!(exact.is_err(), "fast counter checker false positive");
+        }
+    }
+
+    /// And the exact checker accepts every *truly sequential* legal
+    /// history (generated by running the spec).
+    #[test]
+    fn exact_checker_accepts_legal_sequential_histories(
+        kinds in proptest::collection::vec((0u8..2, 0usize..3), 1..10)
+    ) {
+        let spec = SeqSpec::Counter;
+        let mut state = spec.init();
+        let mut recs = Vec::new();
+        for (i, (kind, p)) in kinds.iter().enumerate() {
+            let pid = ProcessId(*p);
+            let desc = if *kind == 0 {
+                OpDesc::CounterIncrement
+            } else {
+                OpDesc::CounterRead
+            };
+            let (next, output) = spec.apply(&state, pid, &desc);
+            state = next;
+            recs.push(OpRecord {
+                pid,
+                desc,
+                invoke: 2 * i,
+                response: Some(2 * i + 1),
+                output: Some(output),
+                steps: 1,
+            });
+        }
+        let history: History = recs.into_iter().collect();
+        prop_assert!(check_exact(&history, &spec).is_ok());
+        prop_assert!(check_counter(&history).is_ok());
+    }
+}
+
+mod explore_props {
+    use proptest::prelude::*;
+    use ruo_sim::explore::{enumerate, history_is_wellformed, ExploreOp};
+    use ruo_sim::{done, read, Machine, Memory, ObjId, OpDesc, ProcessId, Step};
+
+    /// A pure read chain of exactly `len` events.
+    fn chain(o: ObjId, len: usize) -> Step {
+        if len == 1 {
+            read(o, done)
+        } else {
+            read(o, move |_| chain(o, len - 1))
+        }
+    }
+
+    /// `C(a+b, a)`, computed termwise (exact: each prefix product of
+    /// consecutive binomial factors divides evenly).
+    fn binomial(a: u64, b: u64) -> u64 {
+        let n = a + b;
+        let k = a.min(b);
+        let mut num = 1u64;
+        for i in 0..k {
+            num = num * (n - i) / (i + 1);
+        }
+        num
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Enumeration over two fixed-length independent operations
+        /// yields exactly C(a+b, a) schedules.
+        #[test]
+        fn enumeration_count_is_binomial(a in 1usize..6, b in 1usize..6) {
+            let setup = move || {
+                let mut mem = Memory::new();
+                let o = mem.alloc(0);
+                (mem, vec![
+                    Machine::new(chain(o, a)),
+                    Machine::new(chain(o, b)),
+                ])
+            };
+            let ops = vec![
+                ExploreOp { pid: ProcessId(0), desc: OpDesc::ReadMax, returns_value: true },
+                ExploreOp { pid: ProcessId(1), desc: OpDesc::ReadMax, returns_value: true },
+            ];
+            let summary = enumerate(&setup, &ops, &mut |h| history_is_wellformed(h), 100_000);
+            prop_assert!(!summary.truncated);
+            prop_assert!(summary.violation.is_none());
+            prop_assert_eq!(summary.schedules as u64, binomial(a as u64, b as u64));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Scenario: a service's live metrics page, built entirely from
+//! restricted-use objects.
+//!
+//! Four worker threads serve "requests" (simulated work with a
+//! deterministic latency distribution); a dashboard thread renders
+//! peak/fastest latency, a latency histogram with quantile estimates,
+//! and exact progress — all reads costing one atomic load per metric
+//! component, no locks anywhere.
+//!
+//! Run with `cargo run --release --example metrics_dashboard`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use ruo::metrics::{Histogram, LowWatermark, ProgressGauge, Watermark};
+use ruo::sim::ProcessId;
+
+const WORKERS: usize = 4;
+const REQUESTS_PER_WORKER: u64 = 200_000;
+
+struct Metrics {
+    peak_latency: Watermark,
+    fastest: LowWatermark,
+    latencies: Histogram,
+    progress: ProgressGauge,
+}
+
+fn main() {
+    let metrics = Arc::new(Metrics {
+        peak_latency: Watermark::new(WORKERS),
+        fastest: LowWatermark::new(WORKERS),
+        latencies: Histogram::new(WORKERS, &[50, 100, 250, 500, 1_000, 5_000]),
+        progress: ProgressGauge::new(WORKERS, WORKERS as u64 * REQUESTS_PER_WORKER),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let dashboard = {
+        let m = Arc::clone(&metrics);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut renders = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = m.latencies.snapshot();
+                let p50 = snap.quantile_upper_bound(0.5);
+                let p99 = snap.quantile_upper_bound(0.99);
+                renders += 1;
+                if renders.is_multiple_of(50) {
+                    println!(
+                        "[{:>5.1}%] served={:>7}  peak={:>5}µs  fastest={:>3}µs  p50≤{:?}µs  p99≤{:?}µs",
+                        m.progress.fraction() * 100.0,
+                        snap.total(),
+                        m.peak_latency.get(),
+                        m.fastest.get().unwrap_or(0),
+                        p50,
+                        p99,
+                    );
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+            renders
+        })
+    };
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|t| {
+            let m = Arc::clone(&metrics);
+            thread::spawn(move || {
+                let pid = ProcessId(t);
+                let mut state = t as u64 + 1;
+                for _ in 0..REQUESTS_PER_WORKER {
+                    // Deterministic heavy-tailed "latency" in µs.
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let r = state >> 33;
+                    let latency = 20 + r % 80 + if r.is_multiple_of(97) { 2_000 } else { 0 };
+                    m.peak_latency.record(pid, latency);
+                    m.fastest.record(pid, latency);
+                    m.latencies.record(pid, latency);
+                    m.progress.complete(pid);
+                }
+            })
+        })
+        .collect();
+
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let renders = dashboard.join().unwrap();
+
+    let snap = metrics.latencies.snapshot();
+    println!(
+        "\nfinal: {} requests, {} dashboard renders",
+        snap.total(),
+        renders
+    );
+    println!(
+        "bucket counts (≤50, ≤100, ≤250, ≤500, ≤1000, ≤5000, >5000): {:?}",
+        snap.bucket_counts()
+    );
+    assert_eq!(snap.total(), WORKERS as u64 * REQUESTS_PER_WORKER);
+    assert!(metrics.progress.is_complete());
+    assert!(
+        metrics.peak_latency.get() >= 2_000,
+        "the tail must register"
+    );
+    assert!(metrics.fastest.get().unwrap() >= 20);
+}

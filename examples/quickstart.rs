@@ -1,0 +1,60 @@
+//! Quickstart: a wait-free max register shared by eight threads.
+//!
+//! `TreeMaxRegister` is the paper's Algorithm A — reads cost one atomic
+//! load no matter how many threads write.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::sync::Arc;
+use std::thread;
+
+use ruo::core::maxreg::TreeMaxRegister;
+use ruo::core::MaxRegister;
+use ruo::sim::ProcessId;
+
+fn main() {
+    const THREADS: usize = 8;
+    const WRITES_PER_THREAD: u64 = 10_000;
+
+    // One register shared by THREADS processes. Each thread must use its
+    // own ProcessId (the id picks the thread's leaf in the tree).
+    let reg = Arc::new(TreeMaxRegister::new(THREADS));
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                for i in 0..WRITES_PER_THREAD {
+                    // Interleaved value streams: thread t writes t, t+8, ...
+                    reg.write_max(ProcessId(t), i * THREADS as u64 + t as u64);
+                }
+            })
+        })
+        .collect();
+
+    // A reader can watch the high-water mark live; values only grow.
+    let watcher = {
+        let reg = Arc::clone(&reg);
+        thread::spawn(move || {
+            let mut last = 0;
+            let mut observations = 0u64;
+            while last < (WRITES_PER_THREAD - 1) * THREADS as u64 + THREADS as u64 - 1 {
+                let v = reg.read_max(); // O(1): a single atomic load
+                assert!(v >= last, "max register regressed: {last} -> {v}");
+                last = v;
+                observations += 1;
+            }
+            observations
+        })
+    };
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    let observations = watcher.join().unwrap();
+
+    let expected = (WRITES_PER_THREAD - 1) * THREADS as u64 + THREADS as u64 - 1;
+    println!("final maximum: {} (expected {expected})", reg.read_max());
+    println!("watcher performed {observations} O(1) reads while writers ran");
+    assert_eq!(reg.read_max(), expected);
+}

@@ -1,0 +1,21 @@
+//! # ruo — restricted-use objects with read/update complexity tradeoffs
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! overview and `DESIGN.md` for the mapping to the PODC 2014 paper
+//! *"Complexity Tradeoffs for Read and Update Operations"* (Hendler &
+//! Khait).
+//!
+//! * [`core`] — the concurrent objects: max registers (Algorithm A, AAC),
+//!   counters and single-writer snapshots, each with a real-atomics
+//!   implementation and a simulator step-machine implementation.
+//! * [`sim`] — the deterministic shared-memory simulator (base objects,
+//!   schedulers, exact step counting, linearizability checking).
+//! * [`lowerbound`] — the mechanized lower-bound constructions
+//!   (information flow, the Lemma 1 adversary, essential sets).
+//! * [`metrics`] — a practical metrics toolkit (watermarks, progress
+//!   gauges, histograms) built on the objects above.
+
+pub use ruo_core as core;
+pub use ruo_lowerbound as lowerbound;
+pub use ruo_metrics as metrics;
+pub use ruo_sim as sim;

@@ -1,0 +1,143 @@
+//! Cross-crate integration of the lower-bound adversaries with the
+//! algorithm implementations: the paper's counting invariants must hold
+//! at moderate scale against every simulated object.
+
+use ruo::core::counter::sim::{SimCasLoopCounter, SimFArrayCounter};
+use ruo::core::maxreg::sim::{SimAacMaxRegister, SimTreeMaxRegister};
+use ruo::lowerbound::essential::{run_essential, EssentialConfig, StopReason};
+use ruo::lowerbound::theorem1::run_theorem1;
+use ruo::sim::Memory;
+
+#[test]
+fn theorem1_invariants_hold_across_scales() {
+    for n in [4usize, 16, 64, 256] {
+        let mut mem = Memory::new();
+        let c = SimFArrayCounter::new(&mut mem, n);
+        let out = run_theorem1(&c, &mut mem, 1_000_000);
+        assert!(out.knowledge_bound_held, "N={n}: M(E_j) ≤ 3^j violated");
+        assert_eq!(out.reader_value, n as i64 - 1, "N={n}: wrong count");
+        assert_eq!(out.reader_awareness, n, "N={n}: Lemma 3 violated");
+        assert!(
+            out.rounds >= out.predicted_rounds(),
+            "N={n}: Theorem 1 lower bound violated: {} < {}",
+            out.rounds,
+            out.predicted_rounds()
+        );
+    }
+}
+
+#[test]
+fn theorem1_tradeoff_product_grows_logarithmically() {
+    // The product (read steps) · (increment rounds) must grow at least
+    // like log N for any read/write/CAS counter. Check the shape across
+    // a 64x range of N for both ends of the tradeoff.
+    let measure = |n: usize, cas_loop: bool| -> (usize, usize) {
+        let mut mem = Memory::new();
+        if cas_loop {
+            let c = SimCasLoopCounter::new(&mut mem, n);
+            let out = run_theorem1(&c, &mut mem, 1_000_000);
+            (out.reader_steps, out.rounds)
+        } else {
+            let c = SimFArrayCounter::new(&mut mem, n);
+            let out = run_theorem1(&c, &mut mem, 1_000_000);
+            (out.reader_steps, out.rounds)
+        }
+    };
+    for cas_loop in [false, true] {
+        let (r8, u8_) = measure(8, cas_loop);
+        let (r512, u512) = measure(512, cas_loop);
+        assert!(
+            r512 * u512 > r8 * u8_,
+            "cas_loop={cas_loop}: tradeoff product did not grow"
+        );
+        let predicted = ((512.0f64 / r512 as f64).log(3.0)).floor() as usize;
+        assert!(
+            u512 >= predicted,
+            "cas_loop={cas_loop}: below Theorem 1 bound"
+        );
+    }
+}
+
+#[test]
+fn essential_construction_invariants_hold_for_algorithm_a() {
+    for k in [16usize, 64, 256] {
+        let mut mem = Memory::new();
+        let reg = SimTreeMaxRegister::new(&mut mem, k);
+        let out = run_essential(&reg, &mut mem, k, EssentialConfig::default());
+        assert!(
+            out.hidden_invariant_held,
+            "K={k}: hidden-set invariant broken"
+        );
+        assert!(out.replays_faithful, "K={k}: Lemma 2 replay diverged");
+        assert!(out.iterations >= 1, "K={k}: construction made no progress");
+        assert!(
+            out.reader_value >= out.max_completed_value,
+            "K={k}: reader missed a completed write"
+        );
+        // Lemma 4's decay floor.
+        for t in &out.trace {
+            let floor = (((t.active_before as f64).sqrt() / 3.0) - 2.0).floor();
+            assert!(
+                t.essential_after as f64 >= floor,
+                "K={k} iter {}: essential set decayed below √m/3 − 2",
+                t.iteration
+            );
+        }
+    }
+}
+
+#[test]
+fn essential_construction_respects_read_cost_threshold() {
+    // With an artificially large f(K) the construction must stop early
+    // with the threshold reason (or run out of set size), never panic.
+    let k = 64;
+    let mut mem = Memory::new();
+    let reg = SimAacMaxRegister::new(&mut mem, k, k as u64);
+    let out = run_essential(
+        &reg,
+        &mut mem,
+        k,
+        EssentialConfig {
+            f_k: 16,
+            ..EssentialConfig::default()
+        },
+    );
+    assert!(
+        matches!(
+            out.stop,
+            StopReason::EssentialBelowThreshold
+                | StopReason::EssentialTooSmall
+                | StopReason::HalfCompleted
+        ),
+        "unexpected stop: {:?}",
+        out.stop
+    );
+}
+
+#[test]
+fn essential_iterations_reflect_read_cost() {
+    // O(1)-read registers must endure at least as many forced iterations
+    // as O(log K)-read registers at the same K (Theorem 3's shape).
+    let k = 256;
+    let mut mem = Memory::new();
+    let tree = SimTreeMaxRegister::new(&mut mem, k);
+    let tree_out = run_essential(&tree, &mut mem, k, EssentialConfig::default());
+
+    let mut mem2 = Memory::new();
+    let aac = SimAacMaxRegister::new(&mut mem2, k, k as u64);
+    let aac_out = run_essential(
+        &aac,
+        &mut mem2,
+        k,
+        EssentialConfig {
+            f_k: 9, // measured O(log K) read cost
+            ..EssentialConfig::default()
+        },
+    );
+    assert!(
+        tree_out.iterations >= aac_out.iterations,
+        "O(1)-read register endured fewer iterations ({}) than O(log K)-read one ({})",
+        tree_out.iterations,
+        aac_out.iterations
+    );
+}

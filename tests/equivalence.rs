@@ -1,0 +1,203 @@
+//! Cross-implementation equivalence: every implementation of an object
+//! family must agree with the sequential specification — and therefore
+//! with each other — on arbitrary sequential operation streams, both in
+//! the real-atomics world and in the simulator.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ruo::core::counter::sim::{SimAacCounter, SimCasLoopCounter, SimCounter, SimFArrayCounter};
+use ruo::core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
+use ruo::core::maxreg::sim::{
+    SimAacMaxRegister, SimCasRetryMaxRegister, SimMaxRegister, SimTreeMaxRegister,
+};
+use ruo::core::maxreg::{
+    AacMaxRegister, CasRetryMaxRegister, FArrayMaxRegister, LockMaxRegister, TreeMaxRegister,
+};
+use ruo::core::reduction::CounterFromSnapshot;
+use ruo::core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
+use ruo::core::{Counter, MaxRegister, Snapshot};
+use ruo::sim::{Memory, ProcessId};
+
+fn run_sim_solo(mem: &mut Memory, pid: ProcessId, mut m: ruo::sim::Machine) -> i64 {
+    while let Some(prim) = m.enabled() {
+        let resp = mem.apply(pid, prim);
+        m.feed(resp);
+    }
+    m.result().unwrap()
+}
+
+#[test]
+fn all_max_registers_agree_on_random_sequential_streams() {
+    let mut rng = StdRng::seed_from_u64(2014);
+    for _case in 0..50 {
+        let n = rng.gen_range(1..=6);
+        let cap = 1u64 << rng.gen_range(3..=10);
+        let tree = TreeMaxRegister::new(n);
+        let aac = AacMaxRegister::new(cap);
+        let cas = CasRetryMaxRegister::new();
+        let lock = LockMaxRegister::new();
+        let farray = FArrayMaxRegister::new(n);
+        let mut mem = Memory::new();
+        let sim_tree = SimTreeMaxRegister::new(&mut mem, n);
+        let sim_aac = SimAacMaxRegister::new(&mut mem, n, cap);
+        let sim_cas = SimCasRetryMaxRegister::new(&mut mem, n);
+        let mut expected = 0u64;
+        for _op in 0..40 {
+            let pid = ProcessId(rng.gen_range(0..n));
+            if rng.gen_bool(0.6) {
+                let v = rng.gen_range(0..cap);
+                expected = expected.max(v);
+                tree.write_max(pid, v);
+                aac.write_max(pid, v);
+                cas.write_max(pid, v);
+                lock.write_max(pid, v);
+                farray.write_max(pid, v);
+                run_sim_solo(&mut mem, pid, sim_tree.write_max(pid, v));
+                run_sim_solo(&mut mem, pid, sim_aac.write_max(pid, v));
+                run_sim_solo(&mut mem, pid, sim_cas.write_max(pid, v));
+            } else {
+                assert_eq!(tree.read_max(), expected, "TreeMaxRegister");
+                assert_eq!(aac.read_max(), expected, "AacMaxRegister");
+                assert_eq!(cas.read_max(), expected, "CasRetryMaxRegister");
+                assert_eq!(lock.read_max(), expected, "LockMaxRegister");
+                assert_eq!(farray.read_max(), expected, "FArrayMaxRegister");
+                assert_eq!(
+                    run_sim_solo(&mut mem, pid, sim_tree.read_max(pid)) as u64,
+                    expected,
+                    "SimTreeMaxRegister"
+                );
+                assert_eq!(
+                    run_sim_solo(&mut mem, pid, sim_aac.read_max(pid)) as u64,
+                    expected,
+                    "SimAacMaxRegister"
+                );
+                assert_eq!(
+                    run_sim_solo(&mut mem, pid, sim_cas.read_max(pid)) as u64,
+                    expected,
+                    "SimCasRetryMaxRegister"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_counters_agree_on_random_sequential_streams() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _case in 0..40 {
+        let n = rng.gen_range(1..=6);
+        let farray = FArrayCounter::new(n);
+        let aac = AacCounter::new(n, 100);
+        let fa = FetchAddCounter::new();
+        let red = CounterFromSnapshot::new(DoubleCollectSnapshot::new(n));
+        let mut mem = Memory::new();
+        let sim_farray = SimFArrayCounter::new(&mut mem, n);
+        let sim_aac = SimAacCounter::new(&mut mem, n, 100);
+        let sim_cas = SimCasLoopCounter::new(&mut mem, n);
+        let mut expected = 0u64;
+        for _op in 0..50 {
+            let pid = ProcessId(rng.gen_range(0..n));
+            if rng.gen_bool(0.6) {
+                expected += 1;
+                farray.increment(pid);
+                aac.increment(pid);
+                fa.increment(pid);
+                red.increment(pid);
+                run_sim_solo(&mut mem, pid, sim_farray.increment(pid));
+                run_sim_solo(&mut mem, pid, sim_aac.increment(pid));
+                run_sim_solo(&mut mem, pid, sim_cas.increment(pid));
+            } else {
+                assert_eq!(farray.read(), expected, "FArrayCounter");
+                assert_eq!(aac.read(), expected, "AacCounter");
+                assert_eq!(fa.read(), expected, "FetchAddCounter");
+                assert_eq!(red.read(), expected, "CounterFromSnapshot");
+                assert_eq!(
+                    run_sim_solo(&mut mem, pid, sim_farray.read(pid)) as u64,
+                    expected,
+                    "SimFArrayCounter"
+                );
+                assert_eq!(
+                    run_sim_solo(&mut mem, pid, sim_aac.read(pid)) as u64,
+                    expected,
+                    "SimAacCounter"
+                );
+                assert_eq!(
+                    run_sim_solo(&mut mem, pid, sim_cas.read(pid)) as u64,
+                    expected,
+                    "SimCasLoopCounter"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_snapshots_agree_on_random_sequential_streams() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _case in 0..40 {
+        let n = rng.gen_range(1..=5);
+        let dc = DoubleCollectSnapshot::new(n);
+        let afek = AfekSnapshot::new(n);
+        let pc = PathCopySnapshot::new(n, 200);
+        let mut expected = vec![0u64; n];
+        for _op in 0..60 {
+            let pid = ProcessId(rng.gen_range(0..n));
+            if rng.gen_bool(0.6) {
+                let v = rng.gen_range(0..1_000_000u64);
+                expected[pid.index()] = v;
+                dc.update(pid, v);
+                afek.update(pid, v);
+                pc.update(pid, v);
+            } else {
+                assert_eq!(dc.scan(), expected, "DoubleCollectSnapshot");
+                assert_eq!(afek.scan(), expected, "AfekSnapshot");
+                assert_eq!(pc.scan(), expected, "PathCopySnapshot");
+                // Views agree with scans.
+                let view = pc.view();
+                for (i, &e) in expected.iter().enumerate() {
+                    assert_eq!(view.get(i), e, "SnapshotView");
+                }
+            }
+        }
+    }
+}
+
+/// Sim machines driven by an interleaving scheduler must agree with the
+/// real implementations at quiescence.
+#[test]
+fn sim_and_real_tree_registers_converge_identically() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _case in 0..20 {
+        let n = 4;
+        let real = Arc::new(TreeMaxRegister::new(n));
+        let mut mem = Memory::new();
+        let sim = SimTreeMaxRegister::new(&mut mem, n);
+        // Concurrent-ish sim run: interleave four write machines randomly.
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10_000)).collect();
+        let mut machines: Vec<_> = (0..n)
+            .map(|i| (ProcessId(i), sim.write_max(ProcessId(i), values[i])))
+            .collect();
+        while machines.iter().any(|(_, m)| !m.is_done()) {
+            let alive: Vec<usize> = machines
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, m))| !m.is_done())
+                .map(|(i, _)| i)
+                .collect();
+            let pick = alive[rng.gen_range(0..alive.len())];
+            let (pid, m) = &mut machines[pick];
+            let prim = m.enabled().unwrap();
+            let resp = mem.apply(*pid, prim);
+            m.feed(resp);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            real.write_max(ProcessId(i), v);
+        }
+        let sim_result = run_sim_solo(&mut mem, ProcessId(0), sim.read_max(ProcessId(0))) as u64;
+        assert_eq!(sim_result, real.read_max());
+        assert_eq!(sim_result, *values.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,330 @@
+//! Failure injection: crafted adversarial schedules that (a) break a
+//! deliberately weakened variant of Algorithm A — demonstrating that
+//! the paper's *double* CAS per level is load-bearing — and (b) confirm
+//! the real algorithm helps stalled writers.
+//!
+//! Algorithm A performs the read-children-then-CAS step **twice** per
+//! level; the paper's Lemma 9 shows the second attempt is exactly what
+//! makes a failed CAS harmless. The first test builds the classic
+//! counterexample for the single-CAS variant:
+//!
+//! 1. `A` (writing 2) propagates into the shared subtree root, then
+//!    pauses just before its root CAS, holding a stale max of 2;
+//! 2. `B` (writing 3) propagates 3 into the subtree root, reads it,
+//!    and pauses before its root CAS holding max 3;
+//! 3. `A`'s CAS installs 2 at the root; `B`'s CAS fails — and the
+//!    single-CAS variant gives up, completing `WriteMax(3)` with the
+//!    root stuck at 2. A subsequent `ReadMax` returns 2: not
+//!    linearizable, and the history checker says so.
+//!
+//! The same schedule against the real double-CAS machine ends with the
+//! root at 3.
+
+use std::sync::Arc;
+
+use ruo::core::maxreg::sim::{SimMaxRegister, SimTreeMaxRegister};
+use ruo::core::shape::AlgorithmATree;
+use ruo::sim::history::{History, OpDesc, OpOutput, OpRecord};
+use ruo::sim::lin::{check_max_register, ViolationKind};
+use ruo::sim::{cas, done, read, write, Machine, Memory, ObjId, ProcessId, Step, Word, NEG_INF};
+
+/// Applies exactly `k` events of `machine` (panics if it finishes
+/// early).
+fn advance(mem: &mut Memory, pid: ProcessId, machine: &mut Machine, k: usize) {
+    for i in 0..k {
+        let prim = machine
+            .enabled()
+            .unwrap_or_else(|| panic!("machine finished after {i} of {k} events"));
+        let resp = mem.apply(pid, prim);
+        machine.feed(resp);
+    }
+}
+
+/// Runs `machine` to completion.
+fn finish(mem: &mut Memory, pid: ProcessId, machine: &mut Machine) -> usize {
+    let mut extra = 0;
+    while let Some(prim) = machine.enabled() {
+        let resp = mem.apply(pid, prim);
+        machine.feed(resp);
+        extra += 1;
+    }
+    extra
+}
+
+/// One propagation level: parent cell plus optional child cells.
+type Levels = Arc<Vec<(ObjId, Option<ObjId>, Option<ObjId>)>>;
+
+/// The *broken* variant: Algorithm A's write with only ONE
+/// read-children-and-CAS attempt per level.
+struct BrokenTreeWrite {
+    tree: Arc<AlgorithmATree>,
+    cells: Arc<Vec<ObjId>>,
+}
+
+impl BrokenTreeWrite {
+    fn new(mem: &mut Memory, n: usize) -> Self {
+        let tree = AlgorithmATree::new(n);
+        let cells = mem.alloc_n(tree.shape().len(), NEG_INF);
+        BrokenTreeWrite {
+            tree: Arc::new(tree),
+            cells: Arc::new(cells),
+        }
+    }
+
+    fn write_max(&self, pid: ProcessId, v: u64) -> Machine {
+        let leaf = self.tree.leaf_for(pid.index(), v);
+        let shape = self.tree.shape();
+        let levels: Levels = Arc::new(
+            shape
+                .ancestors(leaf)
+                .into_iter()
+                .map(|a| {
+                    let info = shape.node(a);
+                    (
+                        self.cells[a],
+                        info.left.map(|i| self.cells[i]),
+                        info.right.map(|i| self.cells[i]),
+                    )
+                })
+                .collect(),
+        );
+        let leaf_cell = self.cells[leaf];
+        let w = v as Word;
+        fn level(levels: Levels, i: usize) -> Step {
+            if i == levels.len() {
+                return done(0);
+            }
+            let (node, l, r) = levels[i];
+            let rd = move |o: Option<ObjId>, k: Box<dyn FnOnce(Word) -> Step + Send>| match o {
+                Some(o) => read(o, k),
+                None => k(NEG_INF),
+            };
+            read(node, move |old| {
+                rd(
+                    l,
+                    Box::new(move |lv| {
+                        rd(
+                            r,
+                            Box::new(move |rv| {
+                                // ONE attempt only — the injected fault.
+                                cas(node, old, lv.max(rv), move |_| level(levels, i + 1))
+                            }),
+                        )
+                    }),
+                )
+            })
+        }
+        Machine::new(read(leaf_cell, move |old| {
+            if w <= old {
+                done(0)
+            } else {
+                write(leaf_cell, w, move || level(levels, 0))
+            }
+        }))
+    }
+
+    fn read_max(&self) -> Machine {
+        let root = self.cells[self.tree.root()];
+        Machine::new(read(root, |v| done(v.max(0))))
+    }
+}
+
+/// The crafted schedule. With `per_level_pause` = events to advance each
+/// writer before unleashing the CAS race: leaf (2 events) + first level
+/// (one full attempt) + root-level reads (3 events).
+#[test]
+fn single_cas_variant_loses_a_completed_write() {
+    let mut mem = Memory::new();
+    let reg = BrokenTreeWrite::new(&mut mem, 2);
+    let a = ProcessId(0);
+    let b = ProcessId(1);
+    // N = 2: values ≥ 2 go to the writers' TR leaves; the propagation
+    // path is [TR-root, root]. Broken machine: 2 leaf events + 4 events
+    // per level.
+    let mut wa = reg.write_max(a, 2);
+    let mut wb = reg.write_max(b, 3);
+
+    advance(&mut mem, a, &mut wa, 2 + 4 + 3); // A: through root-level reads (holds max 2)
+    advance(&mut mem, b, &mut wb, 2 + 4 + 3); // B: same (holds max 3; TR-root is 3 now)
+    advance(&mut mem, a, &mut wa, 1); // A's root CAS installs 2
+    assert!(wa.is_done());
+    advance(&mut mem, b, &mut wb, 1); // B's root CAS fails; single-CAS gives up
+    assert!(
+        wb.is_done(),
+        "single-CAS variant completes after one failure"
+    );
+
+    let mut rd = reg.read_max();
+    finish(&mut mem, a, &mut rd);
+    let seen = rd.result().unwrap();
+    assert_eq!(seen, 2, "the completed WriteMax(3) was lost");
+
+    // The history checker flags it.
+    let mut h = History::new();
+    h.push(OpRecord {
+        pid: a,
+        desc: OpDesc::WriteMax(2),
+        invoke: 0,
+        response: Some(9),
+        output: Some(OpOutput::Unit),
+        steps: 10,
+    });
+    h.push(OpRecord {
+        pid: b,
+        desc: OpDesc::WriteMax(3),
+        invoke: 1,
+        response: Some(10),
+        output: Some(OpOutput::Unit),
+        steps: 10,
+    });
+    h.push(OpRecord {
+        pid: a,
+        desc: OpDesc::ReadMax,
+        invoke: 11,
+        response: Some(12),
+        output: Some(OpOutput::Value(seen)),
+        steps: 1,
+    });
+    let violation = check_max_register(&h, 0).unwrap_err();
+    assert_eq!(violation.kind, ViolationKind::StaleRead);
+}
+
+/// The same adversarial schedule against the REAL register: the second
+/// CAS attempt (Lemma 9) repairs the race and the root ends at 3.
+#[test]
+fn double_cas_survives_the_same_schedule() {
+    let mut mem = Memory::new();
+    let reg = SimTreeMaxRegister::new(&mut mem, 2);
+    let a = ProcessId(0);
+    let b = ProcessId(1);
+    // Real machine: 2 leaf events + 8 events per level (two attempts of
+    // read node / read left / read right / CAS).
+    let mut wa = reg.write_max(a, 2);
+    let mut wb = reg.write_max(b, 3);
+
+    advance(&mut mem, a, &mut wa, 2 + 8 + 3); // A: root-level attempt-1 reads done
+    advance(&mut mem, b, &mut wb, 2 + 8 + 3); // B: likewise (holds 3)
+    advance(&mut mem, a, &mut wa, 1); // A installs 2 at the root
+    advance(&mut mem, b, &mut wb, 1); // B's first root CAS fails...
+    assert!(!wb.is_done(), "the real algorithm retries");
+    finish(&mut mem, b, &mut wb); // ...second attempt installs 3
+    finish(&mut mem, a, &mut wa);
+
+    let mut rd = reg.read_max(a);
+    finish(&mut mem, a, &mut rd);
+    assert_eq!(rd.result().unwrap(), 3, "double CAS preserves the maximum");
+}
+
+/// A writer that stalls forever mid-propagation does not block others,
+/// and its leaf value is *helped* to the root by later writers passing
+/// through the same subtree (the max(children) computation carries it).
+#[test]
+fn stalled_writer_is_helped_by_later_writers() {
+    let mut mem = Memory::new();
+    let reg = SimTreeMaxRegister::new(&mut mem, 2);
+    let a = ProcessId(0);
+    let b = ProcessId(1);
+
+    // A writes 100 into its TR leaf, then stalls before propagating.
+    let mut wa = reg.write_max(a, 100);
+    advance(&mut mem, a, &mut wa, 2); // read leaf + write leaf only
+
+    // B's smaller write shares the TR subtree and must carry A's 100 up.
+    let mut wb = reg.write_max(b, 50);
+    finish(&mut mem, b, &mut wb);
+
+    let mut rd = reg.read_max(b);
+    finish(&mut mem, b, &mut rd);
+    assert_eq!(
+        rd.result().unwrap(),
+        100,
+        "B's propagation must publish the stalled writer's larger value"
+    );
+    // A can still finish later without breaking anything.
+    finish(&mut mem, a, &mut wa);
+    let mut rd2 = reg.read_max(a);
+    finish(&mut mem, a, &mut rd2);
+    assert_eq!(rd2.result().unwrap(), 100);
+}
+
+/// The PAPER'S LITERAL pseudo-code ("if value ≤ old_value then return",
+/// line 16 of Algorithm A) is unsound on shared TL value-leaves: if the
+/// first writer of `v` stalls after the leaf store but before
+/// propagating, a second `WriteMax(v)` returns after a single read —
+/// completing an operation that no subsequent `ReadMax` reflects. Our
+/// implementation deviates by *helping* (propagating) on that path; this
+/// test keeps the literal variant around and shows the resulting history
+/// is rejected by the checker. See DESIGN.md ("Deviations").
+#[test]
+fn literal_early_return_is_not_linearizable() {
+    let mut mem = Memory::new();
+    // The literal variant: reuse the broken-machine scaffolding but with
+    // the paper's double CAS — the fault under test is ONLY the early
+    // return, which `BrokenTreeWrite` shares with the paper's listing.
+    let reg = BrokenTreeWrite::new(&mut mem, 4);
+    let a = ProcessId(0);
+    let b = ProcessId(1);
+
+    // A writes v = 2 (TL value leaf) and stalls right after the leaf
+    // store, before any propagation.
+    let mut wa = reg.write_max(a, 2);
+    advance(&mut mem, a, &mut wa, 2);
+
+    // B's WriteMax(2) hits the leaf already holding 2 and returns after
+    // one read — a COMPLETED WriteMax(2).
+    let mut wb = reg.write_max(b, 2);
+    let steps = finish(&mut mem, b, &mut wb);
+    assert_eq!(steps, 1, "literal early return completes after one read");
+
+    // A reader now sees 0: B's completed write is invisible.
+    let mut rd = reg.read_max();
+    finish(&mut mem, b, &mut rd);
+    let seen = rd.result().unwrap();
+    assert_eq!(seen, 0, "the literal pseudo-code loses B's completed write");
+
+    let mut h = History::new();
+    h.push(OpRecord {
+        pid: b,
+        desc: OpDesc::WriteMax(2),
+        invoke: 0,
+        response: Some(1),
+        output: Some(OpOutput::Unit),
+        steps: 1,
+    });
+    h.push(OpRecord {
+        pid: b,
+        desc: OpDesc::ReadMax,
+        invoke: 2,
+        response: Some(3),
+        output: Some(OpOutput::Value(seen)),
+        steps: 1,
+    });
+    let violation = check_max_register(&h, 0).unwrap_err();
+    assert_eq!(violation.kind, ViolationKind::StaleRead);
+}
+
+/// With the helping fix, a stalled writer of a *small* value in the B1
+/// subtree is covered by a same-value writer, which propagates on the
+/// dominated path instead of returning.
+#[test]
+fn stalled_small_value_writer_is_covered_by_same_value_writer() {
+    let mut mem = Memory::new();
+    let reg = SimTreeMaxRegister::new(&mut mem, 4);
+    let a = ProcessId(0);
+    let b = ProcessId(1);
+
+    // Both write v = 2 (same TL value leaf). A stalls after the leaf
+    // write; B runs to completion and publishes 2 for both.
+    let mut wa = reg.write_max(a, 2);
+    advance(&mut mem, a, &mut wa, 2);
+    let mut wb = reg.write_max(b, 2);
+    finish(&mut mem, b, &mut wb);
+
+    let mut rd = reg.read_max(b);
+    finish(&mut mem, b, &mut rd);
+    assert_eq!(rd.result().unwrap(), 2);
+    finish(&mut mem, a, &mut wa);
+    let mut rd2 = reg.read_max(a);
+    finish(&mut mem, a, &mut rd2);
+    assert_eq!(rd2.result().unwrap(), 2);
+}

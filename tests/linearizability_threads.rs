@@ -1,0 +1,204 @@
+//! Linearizability of the real-atomics implementations under genuine
+//! hardware concurrency (experiment T5, real-thread half).
+//!
+//! Threads time-stamp each operation's invocation and response with a
+//! shared atomic tick counter; the recorded histories are then checked
+//! with the same sound checkers the simulator histories go through. Any
+//! violation these checkers report is a real linearizability bug.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ruo::core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
+use ruo::core::maxreg::{
+    AacMaxRegister, CasRetryMaxRegister, FArrayMaxRegister, LockMaxRegister, TreeMaxRegister,
+};
+use ruo::core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
+use ruo::core::{Counter, MaxRegister, Snapshot};
+use ruo::sim::history::{History, OpDesc, OpOutput, OpRecord};
+use ruo::sim::lin::{check_counter, check_max_register, check_snapshot};
+use ruo::sim::ProcessId;
+
+/// Shared recorder: a global tick plus per-thread op logs.
+struct Recorder {
+    tick: AtomicUsize,
+    ops: Mutex<Vec<OpRecord>>,
+}
+
+impl Recorder {
+    fn new() -> Self {
+        Recorder {
+            tick: AtomicUsize::new(0),
+            ops: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn record<T>(&self, pid: ProcessId, desc: OpDesc, op: impl FnOnce() -> (T, OpOutput)) -> T {
+        let invoke = self.tick.fetch_add(1, Ordering::SeqCst);
+        let (value, output) = op();
+        let response = self.tick.fetch_add(1, Ordering::SeqCst);
+        self.ops.lock().unwrap().push(OpRecord {
+            pid,
+            desc,
+            invoke,
+            response: Some(response),
+            output: Some(output),
+            steps: 0,
+        });
+        value
+    }
+
+    fn history(&self) -> History {
+        let mut ops = self.ops.lock().unwrap().clone();
+        ops.sort_by_key(|o| o.invoke);
+        ops.into_iter().collect()
+    }
+}
+
+fn exercise_maxreg<R: MaxRegister>(reg: &R, name: &str) {
+    let rec = Recorder::new();
+    let threads = 4;
+    let ops = 300u64;
+    crossbeam_utils::thread::scope(|s| {
+        for t in 0..threads {
+            let rec = &rec;
+            s.spawn(move |_| {
+                let pid = ProcessId(t);
+                for i in 0..ops {
+                    if i % 3 == 2 {
+                        rec.record(pid, OpDesc::ReadMax, || {
+                            let v = reg.read_max();
+                            ((), OpOutput::Value(v as i64))
+                        });
+                    } else {
+                        let v = i * threads as u64 + t as u64 + 1;
+                        rec.record(pid, OpDesc::WriteMax(v as i64), || {
+                            reg.write_max(pid, v);
+                            ((), OpOutput::Unit)
+                        });
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    let history = rec.history();
+    check_max_register(&history, 0).unwrap_or_else(|v| panic!("{name}: {v}"));
+}
+
+#[test]
+fn tree_max_register_threads_are_linearizable() {
+    exercise_maxreg(&TreeMaxRegister::new(4), "TreeMaxRegister");
+}
+
+#[test]
+fn aac_max_register_threads_are_linearizable() {
+    exercise_maxreg(&AacMaxRegister::new(1 << 12), "AacMaxRegister");
+}
+
+#[test]
+fn cas_retry_max_register_threads_are_linearizable() {
+    exercise_maxreg(&CasRetryMaxRegister::new(), "CasRetryMaxRegister");
+}
+
+#[test]
+fn lock_max_register_threads_are_linearizable() {
+    exercise_maxreg(&LockMaxRegister::new(), "LockMaxRegister");
+}
+
+#[test]
+fn farray_max_register_threads_are_linearizable() {
+    exercise_maxreg(&FArrayMaxRegister::new(4), "FArrayMaxRegister");
+}
+
+fn exercise_counter<C: Counter>(counter: &C, name: &str) {
+    let rec = Recorder::new();
+    let threads = 4;
+    let ops = 300u64;
+    crossbeam_utils::thread::scope(|s| {
+        for t in 0..threads {
+            let rec = &rec;
+            s.spawn(move |_| {
+                let pid = ProcessId(t);
+                for i in 0..ops {
+                    if i % 3 == 2 {
+                        rec.record(pid, OpDesc::CounterRead, || {
+                            let v = counter.read();
+                            ((), OpOutput::Value(v as i64))
+                        });
+                    } else {
+                        rec.record(pid, OpDesc::CounterIncrement, || {
+                            counter.increment(pid);
+                            ((), OpOutput::Unit)
+                        });
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    let history = rec.history();
+    check_counter(&history).unwrap_or_else(|v| panic!("{name}: {v}"));
+}
+
+#[test]
+fn farray_counter_threads_are_linearizable() {
+    exercise_counter(&FArrayCounter::new(4), "FArrayCounter");
+}
+
+#[test]
+fn aac_counter_threads_are_linearizable() {
+    exercise_counter(&AacCounter::new(4, 1200), "AacCounter");
+}
+
+#[test]
+fn fetch_add_counter_threads_are_linearizable() {
+    exercise_counter(&FetchAddCounter::new(), "FetchAddCounter");
+}
+
+fn exercise_snapshot<S: Snapshot>(snap: &S, name: &str) {
+    let rec = Recorder::new();
+    let threads = snap.n();
+    let ops = 150u64;
+    crossbeam_utils::thread::scope(|s| {
+        for t in 0..threads {
+            let rec = &rec;
+            s.spawn(move |_| {
+                let pid = ProcessId(t);
+                for i in 0..ops {
+                    if i % 2 == 0 {
+                        // Distinct values per process.
+                        let v = t as u64 * 10_000 + i + 1;
+                        rec.record(pid, OpDesc::Update(v as i64), || {
+                            snap.update(pid, v);
+                            ((), OpOutput::Unit)
+                        });
+                    } else {
+                        rec.record(pid, OpDesc::Scan, || {
+                            let v: Vec<i64> = snap.scan().iter().map(|&x| x as i64).collect();
+                            ((), OpOutput::Vector(v))
+                        });
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    let history = rec.history();
+    check_snapshot(&history, threads, 0).unwrap_or_else(|v| panic!("{name}: {v}"));
+}
+
+#[test]
+fn double_collect_snapshot_threads_are_linearizable() {
+    exercise_snapshot(&DoubleCollectSnapshot::new(3), "DoubleCollectSnapshot");
+}
+
+#[test]
+fn afek_snapshot_threads_are_linearizable() {
+    exercise_snapshot(&AfekSnapshot::new(3), "AfekSnapshot");
+}
+
+#[test]
+fn path_copy_snapshot_threads_are_linearizable() {
+    exercise_snapshot(&PathCopySnapshot::new(3, 10_000), "PathCopySnapshot");
+}
