@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruo_bench::timing::{bench_batch, BenchConfig};
 use ruo_core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
 use ruo_core::Counter;
 use ruo_sim::ProcessId;
@@ -15,9 +15,9 @@ use ruo_sim::ProcessId;
 const OPS: u64 = 2_000;
 
 fn run_batch<C: Counter>(counter: &C, threads: usize, read_pct: u64, sink: &AtomicU64) {
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut acc = 0u64;
                 let mut state = (t as u64 + 1) * 0x9E37_79B9;
                 for _ in 0..OPS {
@@ -33,42 +33,30 @@ fn run_batch<C: Counter>(counter: &C, threads: usize, read_pct: u64, sink: &Atom
                 sink.fetch_xor(acc, Ordering::Relaxed);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
-fn bench_counter(c: &mut Criterion) {
+fn main() {
+    let cfg = BenchConfig::from_args();
     let sink = AtomicU64::new(0);
     for &threads in &[1usize, 2, 4] {
         for &read_pct in &[50u64, 90, 99] {
-            let mut group = c.benchmark_group(format!("counter/t{threads}/r{read_pct}"));
-            group.throughput(Throughput::Elements(OPS * threads as u64));
-            group.sample_size(10);
-            group.measurement_time(std::time::Duration::from_secs(2));
-            group.warm_up_time(std::time::Duration::from_millis(500));
-            group.bench_function(BenchmarkId::from_parameter("farray"), |b| {
-                b.iter(|| {
-                    let counter = FArrayCounter::new(threads);
-                    run_batch(&counter, threads, read_pct, &sink);
-                })
+            let prefix = format!("counter/t{threads}/r{read_pct}");
+            let elements = OPS * threads as u64;
+            bench_batch(&cfg, &format!("{prefix}/farray"), elements, || {
+                let counter = FArrayCounter::new(threads);
+                run_batch(&counter, threads, read_pct, &sink);
             });
-            group.bench_function(BenchmarkId::from_parameter("aac"), |b| {
-                b.iter(|| {
-                    // Bound: every op could be an increment.
-                    let counter = AacCounter::new(threads, OPS * threads as u64 + 1);
-                    run_batch(&counter, threads, read_pct, &sink);
-                })
+            bench_batch(&cfg, &format!("{prefix}/aac"), elements, || {
+                // Bound: every op could be an increment.
+                let counter = AacCounter::new(threads, OPS * threads as u64 + 1);
+                run_batch(&counter, threads, read_pct, &sink);
             });
-            group.bench_function(BenchmarkId::from_parameter("fetch_add"), |b| {
-                b.iter(|| {
-                    let counter = FetchAddCounter::new();
-                    run_batch(&counter, threads, read_pct, &sink);
-                })
+            bench_batch(&cfg, &format!("{prefix}/fetch_add"), elements, || {
+                let counter = FetchAddCounter::new();
+                run_batch(&counter, threads, read_pct, &sink);
             });
-            group.finish();
         }
     }
+    eprintln!("# sink {}", sink.load(Ordering::Relaxed));
 }
-
-criterion_group!(benches, bench_counter);
-criterion_main!(benches);

@@ -11,7 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruo_bench::timing::{bench_batch, BenchConfig};
 use ruo_core::maxreg::{
     AacMaxRegister, CasRetryMaxRegister, FArrayMaxRegister, LockMaxRegister, TreeMaxRegister,
 };
@@ -25,9 +25,9 @@ const OPS: u64 = 2_000;
 const AAC_CAPACITY: u64 = 1 << 12;
 
 fn run_batch<R: MaxRegister>(reg: &R, threads: usize, read_pct: u64, sink: &AtomicU64) {
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut acc = 0u64;
                 let mut state = (t as u64 + 1) * 0x9E37_79B9;
                 for i in 0..OPS {
@@ -46,59 +46,42 @@ fn run_batch<R: MaxRegister>(reg: &R, threads: usize, read_pct: u64, sink: &Atom
                 sink.fetch_xor(acc, Ordering::Relaxed);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
-fn bench_maxreg(c: &mut Criterion) {
+fn main() {
+    let cfg = BenchConfig::from_args();
     let sink = AtomicU64::new(0);
     for &threads in &[1usize, 2, 4] {
         for &read_pct in &[50u64, 90, 99] {
-            let mut group = c.benchmark_group(format!("maxreg/t{threads}/r{read_pct}"));
-            group.throughput(Throughput::Elements(OPS * threads as u64));
-            group.sample_size(10);
-            group.measurement_time(std::time::Duration::from_secs(2));
-            group.warm_up_time(std::time::Duration::from_millis(500));
-            group.bench_function(BenchmarkId::from_parameter("algorithm_a"), |b| {
-                b.iter(|| {
-                    let reg = TreeMaxRegister::new(threads);
-                    run_batch(&reg, threads, read_pct, &sink);
-                })
+            let prefix = format!("maxreg/t{threads}/r{read_pct}");
+            let elements = OPS * threads as u64;
+            bench_batch(&cfg, &format!("{prefix}/algorithm_a"), elements, || {
+                let reg = TreeMaxRegister::new(threads);
+                run_batch(&reg, threads, read_pct, &sink);
             });
-            group.bench_function(BenchmarkId::from_parameter("aac"), |b| {
-                b.iter(|| {
-                    let reg = AacMaxRegister::new(AAC_CAPACITY);
-                    run_batch(&reg, threads, read_pct, &sink);
-                })
+            bench_batch(&cfg, &format!("{prefix}/aac"), elements, || {
+                let reg = AacMaxRegister::new(AAC_CAPACITY);
+                run_batch(&reg, threads, read_pct, &sink);
             });
-            group.bench_function(BenchmarkId::from_parameter("aac_unbalanced"), |b| {
-                b.iter(|| {
-                    let reg = AacMaxRegister::new_unbalanced(AAC_CAPACITY);
-                    run_batch(&reg, threads, read_pct, &sink);
-                })
+            bench_batch(&cfg, &format!("{prefix}/aac_unbalanced"), elements, || {
+                let reg = AacMaxRegister::new_unbalanced(AAC_CAPACITY);
+                run_batch(&reg, threads, read_pct, &sink);
             });
-            group.bench_function(BenchmarkId::from_parameter("farray"), |b| {
-                b.iter(|| {
-                    let reg = FArrayMaxRegister::new(threads);
-                    run_batch(&reg, threads, read_pct, &sink);
-                })
+            bench_batch(&cfg, &format!("{prefix}/farray"), elements, || {
+                let reg = FArrayMaxRegister::new(threads);
+                run_batch(&reg, threads, read_pct, &sink);
             });
-            group.bench_function(BenchmarkId::from_parameter("cas_cell"), |b| {
-                b.iter(|| {
-                    let reg = CasRetryMaxRegister::new();
-                    run_batch(&reg, threads, read_pct, &sink);
-                })
+            bench_batch(&cfg, &format!("{prefix}/cas_cell"), elements, || {
+                let reg = CasRetryMaxRegister::new();
+                run_batch(&reg, threads, read_pct, &sink);
             });
-            group.bench_function(BenchmarkId::from_parameter("mutex"), |b| {
-                b.iter(|| {
-                    let reg = LockMaxRegister::new();
-                    run_batch(&reg, threads, read_pct, &sink);
-                })
+            bench_batch(&cfg, &format!("{prefix}/mutex"), elements, || {
+                let reg = LockMaxRegister::new();
+                run_batch(&reg, threads, read_pct, &sink);
             });
-            group.finish();
         }
     }
+    // Keep the accumulated reads observable so nothing is optimized out.
+    eprintln!("# sink {}", sink.load(Ordering::Relaxed));
 }
-
-criterion_group!(benches, bench_maxreg);
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruo_bench::timing::{bench_batch, BenchConfig};
 use ruo_core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
 use ruo_core::Snapshot;
 use ruo_sim::ProcessId;
@@ -15,9 +15,9 @@ use ruo_sim::ProcessId;
 const OPS: u64 = 1_000;
 
 fn run_batch<S: Snapshot>(snap: &S, threads: usize, scan_pct: u64, sink: &AtomicU64) {
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut acc = 0u64;
                 let mut state = (t as u64 + 1) * 0x9E37_79B9;
                 for i in 0..OPS {
@@ -33,41 +33,29 @@ fn run_batch<S: Snapshot>(snap: &S, threads: usize, scan_pct: u64, sink: &Atomic
                 sink.fetch_xor(acc, Ordering::Relaxed);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
-fn bench_snapshot(c: &mut Criterion) {
+fn main() {
+    let cfg = BenchConfig::from_args();
     let sink = AtomicU64::new(0);
     for &threads in &[1usize, 2, 4] {
         for &scan_pct in &[50u64, 90] {
-            let mut group = c.benchmark_group(format!("snapshot/t{threads}/s{scan_pct}"));
-            group.throughput(Throughput::Elements(OPS * threads as u64));
-            group.sample_size(10);
-            group.measurement_time(std::time::Duration::from_secs(2));
-            group.warm_up_time(std::time::Duration::from_millis(500));
-            group.bench_function(BenchmarkId::from_parameter("double_collect"), |b| {
-                b.iter(|| {
-                    let snap = DoubleCollectSnapshot::new(threads);
-                    run_batch(&snap, threads, scan_pct, &sink);
-                })
+            let prefix = format!("snapshot/t{threads}/s{scan_pct}");
+            let elements = OPS * threads as u64;
+            bench_batch(&cfg, &format!("{prefix}/double_collect"), elements, || {
+                let snap = DoubleCollectSnapshot::new(threads);
+                run_batch(&snap, threads, scan_pct, &sink);
             });
-            group.bench_function(BenchmarkId::from_parameter("path_copy"), |b| {
-                b.iter(|| {
-                    let snap = PathCopySnapshot::new(threads, OPS * threads as u64 + 1);
-                    run_batch(&snap, threads, scan_pct, &sink);
-                })
+            bench_batch(&cfg, &format!("{prefix}/path_copy"), elements, || {
+                let snap = PathCopySnapshot::new(threads, OPS * threads as u64 + 1);
+                run_batch(&snap, threads, scan_pct, &sink);
             });
-            group.bench_function(BenchmarkId::from_parameter("afek"), |b| {
-                b.iter(|| {
-                    let snap = AfekSnapshot::new(threads);
-                    run_batch(&snap, threads, scan_pct, &sink);
-                })
+            bench_batch(&cfg, &format!("{prefix}/afek"), elements, || {
+                let snap = AfekSnapshot::new(threads);
+                run_batch(&snap, threads, scan_pct, &sink);
             });
-            group.finish();
         }
     }
+    eprintln!("# sink {}", sink.load(Ordering::Relaxed));
 }
-
-criterion_group!(benches, bench_snapshot);
-criterion_main!(benches);

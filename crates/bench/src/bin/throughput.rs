@@ -1,0 +1,419 @@
+//! Experiment W4 — reproducible contended-throughput harness.
+//!
+//! Runs every real-atomics implementation of all three object families
+//! under multi-threaded contended workloads and writes the results as
+//! machine-readable JSON (`BENCH_throughput.json` when run from the
+//! repository root), so before/after comparisons across commits are a
+//! `diff` rather than a scrollback hunt.
+//!
+//! Workloads per family:
+//!
+//! * `read_heavy`  — 90% reads / scans
+//! * `mixed`       — 50% reads
+//! * `write_heavy` — 10% reads
+//!
+//! Writer value streams are uniform in `[0, VALUE_BOUND)`, so for max
+//! registers the share of *dominated* writes (`v ≤ current max`) grows
+//! over the run exactly as it does in watermark-style production use —
+//! the regime the paper's Algorithm A targets.
+//!
+//! Thread counts: 1, 2, 4, and the machine's available parallelism if
+//! larger. On few-core machines contention comes from preemption rather
+//! than parallel cache-line traffic; both are real contention.
+//!
+//! CLI: `--quick` (smoke run: fewer ops and samples),
+//! `--out <path>` (default `BENCH_throughput.json`),
+//! any positional argument = substring filter on the benchmark id.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ruo_core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
+use ruo_core::maxreg::{
+    AacMaxRegister, CasRetryMaxRegister, FArrayMaxRegister, LockMaxRegister, TreeMaxRegister,
+};
+use ruo_core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
+use ruo_core::{Counter, MaxRegister, Snapshot};
+use ruo_sim::{ProcessId, SplitMix64};
+
+/// Operand bound for max-register writes; also the AAC capacity, kept
+/// small enough that building the AAC switch arena stays negligible.
+const VALUE_BOUND: u64 = 1 << 12;
+
+#[derive(Clone, Debug)]
+struct Config {
+    quick: bool,
+    out: String,
+    filters: Vec<String>,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Config {
+            quick: false,
+            out: "BENCH_throughput.json".to_string(),
+            filters: Vec::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cfg.quick = true,
+                "--out" => {
+                    cfg.out = args.next().expect("--out requires a path");
+                }
+                a if a.starts_with("--") => {}
+                a => cfg.filters.push(a.to_string()),
+            }
+        }
+        cfg
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    fn ops_per_thread(&self, family: Family) -> u64 {
+        let base = match family {
+            Family::MaxReg | Family::Counter => 20_000,
+            // Scans are O(N)–O(N²); keep batches comparable in duration.
+            Family::Snapshot => 2_000,
+        };
+        if self.quick {
+            base / 20
+        } else {
+            base
+        }
+    }
+
+    fn samples(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            7
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Family {
+    MaxReg,
+    Counter,
+    Snapshot,
+}
+
+impl Family {
+    fn name(self) -> &'static str {
+        match self {
+            Family::MaxReg => "maxreg",
+            Family::Counter => "counter",
+            Family::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// `(workload name, read/scan percentage)`.
+const WORKLOADS: [(&str, u64); 3] = [("read_heavy", 90), ("mixed", 50), ("write_heavy", 10)];
+
+/// One measured configuration.
+struct Result {
+    family: Family,
+    impl_name: String,
+    workload: &'static str,
+    threads: usize,
+    total_ops: u64,
+    median_ns: f64,
+}
+
+impl Result {
+    fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/t{}",
+            self.family.name(),
+            self.impl_name,
+            self.workload,
+            self.threads
+        )
+    }
+
+    fn ns_per_op(&self) -> f64 {
+        self.median_ns / self.total_ops as f64
+    }
+
+    fn mops(&self) -> f64 {
+        self.total_ops as f64 / self.median_ns * 1e3
+    }
+}
+
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4];
+    if let Ok(par) = std::thread::available_parallelism() {
+        if par.get() > 4 {
+            counts.push(par.get());
+        }
+    }
+    counts
+}
+
+/// Runs `batch` (a fresh object + full contended workload each call)
+/// `samples` times after one warm-up and returns the median elapsed ns.
+fn measure<F: FnMut()>(samples: usize, mut batch: F) -> f64 {
+    batch(); // warm-up
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            batch();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Contended max-register batch: each thread mixes reads with writes of
+/// uniform values (seeded per thread and per sample via `round`).
+fn maxreg_batch<R: MaxRegister + ?Sized>(
+    reg: &R,
+    threads: usize,
+    ops: u64,
+    read_pct: u64,
+    sink: &AtomicU64,
+) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0x9e37 + t as u64);
+                let mut acc = 0u64;
+                for _ in 0..ops {
+                    if rng.gen_below(100) < read_pct {
+                        acc ^= reg.read_max();
+                    } else {
+                        reg.write_max(ProcessId(t), rng.gen_below(VALUE_BOUND));
+                    }
+                }
+                sink.fetch_xor(acc, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+fn counter_batch<C: Counter + ?Sized>(
+    ctr: &C,
+    threads: usize,
+    ops: u64,
+    read_pct: u64,
+    sink: &AtomicU64,
+) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0x9e37 + t as u64);
+                let mut acc = 0u64;
+                for _ in 0..ops {
+                    if rng.gen_below(100) < read_pct {
+                        acc ^= ctr.read();
+                    } else {
+                        ctr.increment(ProcessId(t));
+                    }
+                }
+                sink.fetch_xor(acc, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+fn snapshot_batch<S: Snapshot + ?Sized>(
+    snap: &S,
+    threads: usize,
+    ops: u64,
+    scan_pct: u64,
+    sink: &AtomicU64,
+) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0x9e37 + t as u64);
+                let mut acc = 0u64;
+                for i in 0..ops {
+                    if rng.gen_below(100) < scan_pct {
+                        acc ^= snap.scan().iter().sum::<u64>();
+                    } else {
+                        snap.update(ProcessId(t), i + 1);
+                    }
+                }
+                sink.fetch_xor(acc, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+/// JSON string escaping for the hand-rolled writer (ids are ASCII, but
+/// stay correct anyway).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn write_json(cfg: &Config, results: &[Result]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ruo-throughput-v1\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", cfg.quick));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"impl\": \"{}\", \"workload\": \"{}\", \
+             \"threads\": {}, \"total_ops\": {}, \"median_ns\": {:.0}, \
+             \"ns_per_op\": {:.2}, \"mops_per_s\": {:.4}}}{}\n",
+            json_escape(r.family.name()),
+            json_escape(&r.impl_name),
+            json_escape(r.workload),
+            r.threads,
+            r.total_ops,
+            r.median_ns,
+            r.ns_per_op(),
+            r.mops(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&cfg.out, out)
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let sink = AtomicU64::new(0);
+    let mut results: Vec<Result> = Vec::new();
+
+    // Macro-free generic dispatch: one closure per (impl, constructor).
+    // Each batch constructs a fresh object so runs are independent.
+    for threads in thread_counts() {
+        for &(workload, read_pct) in &WORKLOADS {
+            let ops = cfg.ops_per_thread(Family::MaxReg);
+            let total = ops * threads as u64;
+            let mut run_maxreg = |name: &str, mk: &dyn Fn() -> Box<dyn MaxRegister>| {
+                let r = Result {
+                    family: Family::MaxReg,
+                    impl_name: name.to_string(),
+                    workload,
+                    threads,
+                    total_ops: total,
+                    median_ns: 0.0,
+                };
+                if !cfg.matches(&r.id()) {
+                    return;
+                }
+                let median = measure(cfg.samples(), || {
+                    let reg = mk();
+                    maxreg_batch(reg.as_ref(), threads, ops, read_pct, &sink);
+                });
+                let r = Result {
+                    median_ns: median,
+                    ..r
+                };
+                println!(
+                    "{:<44} {:>10.1} ns/op {:>9.2} Mops/s",
+                    r.id(),
+                    r.ns_per_op(),
+                    r.mops()
+                );
+                results.push(r);
+            };
+            run_maxreg("tree", &|| Box::new(TreeMaxRegister::new(threads)));
+            run_maxreg("aac", &|| Box::new(AacMaxRegister::new(VALUE_BOUND)));
+            run_maxreg("aac_unbalanced", &|| {
+                Box::new(AacMaxRegister::new_unbalanced(VALUE_BOUND))
+            });
+            run_maxreg("farray", &|| Box::new(FArrayMaxRegister::new(threads)));
+            run_maxreg("cas_cell", &|| Box::new(CasRetryMaxRegister::new()));
+            run_maxreg("mutex", &|| Box::new(LockMaxRegister::new()));
+
+            let ops = cfg.ops_per_thread(Family::Counter);
+            let total = ops * threads as u64;
+            let max_incs = ops * threads as u64 + 1;
+            let mut run_counter = |name: &str, mk: &dyn Fn() -> Box<dyn Counter>| {
+                let r = Result {
+                    family: Family::Counter,
+                    impl_name: name.to_string(),
+                    workload,
+                    threads,
+                    total_ops: total,
+                    median_ns: 0.0,
+                };
+                if !cfg.matches(&r.id()) {
+                    return;
+                }
+                let median = measure(cfg.samples(), || {
+                    let ctr = mk();
+                    counter_batch(ctr.as_ref(), threads, ops, read_pct, &sink);
+                });
+                let r = Result {
+                    median_ns: median,
+                    ..r
+                };
+                println!(
+                    "{:<44} {:>10.1} ns/op {:>9.2} Mops/s",
+                    r.id(),
+                    r.ns_per_op(),
+                    r.mops()
+                );
+                results.push(r);
+            };
+            run_counter("farray", &|| Box::new(FArrayCounter::new(threads)));
+            run_counter("aac", &|| Box::new(AacCounter::new(threads, max_incs)));
+            run_counter("fetch_add", &|| Box::new(FetchAddCounter::new()));
+
+            let ops = cfg.ops_per_thread(Family::Snapshot);
+            let total = ops * threads as u64;
+            let max_updates = ops * threads as u64 + 1;
+            let mut run_snapshot = |name: &str, mk: &dyn Fn() -> Box<dyn Snapshot>| {
+                let r = Result {
+                    family: Family::Snapshot,
+                    impl_name: name.to_string(),
+                    workload,
+                    threads,
+                    total_ops: total,
+                    median_ns: 0.0,
+                };
+                if !cfg.matches(&r.id()) {
+                    return;
+                }
+                let median = measure(cfg.samples(), || {
+                    let snap = mk();
+                    snapshot_batch(snap.as_ref(), threads, ops, read_pct, &sink);
+                });
+                let r = Result {
+                    median_ns: median,
+                    ..r
+                };
+                println!(
+                    "{:<44} {:>10.1} ns/op {:>9.2} Mops/s",
+                    r.id(),
+                    r.ns_per_op(),
+                    r.mops()
+                );
+                results.push(r);
+            };
+            run_snapshot("double_collect", &|| {
+                Box::new(DoubleCollectSnapshot::new(threads))
+            });
+            run_snapshot("path_copy", &|| {
+                Box::new(PathCopySnapshot::new(threads, max_updates))
+            });
+            run_snapshot("afek", &|| Box::new(AfekSnapshot::new(threads)));
+        }
+    }
+
+    write_json(&cfg, &results).expect("write throughput JSON");
+    eprintln!("# sink {}", sink.load(Ordering::Relaxed));
+    println!("\nwrote {} results to {}", results.len(), cfg.out);
+}

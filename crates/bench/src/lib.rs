@@ -2,8 +2,10 @@
 //!
 //! The binaries in `src/bin/` regenerate the paper's tables and figures
 //! (see `EXPERIMENTS.md` at the repository root for the index); the
-//! Criterion benches in `benches/` measure wall-clock throughput of the
-//! real-atomics implementations.
+//! plain-timing benches in `benches/` (`harness = false`) measure
+//! wall-clock throughput of the real-atomics implementations.
+
+pub mod timing;
 
 use ruo_sim::{Machine, Memory, ProcessId, Word};
 

@@ -1,0 +1,141 @@
+//! A minimal wall-clock benchmark runner.
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! `benches/` targets (`harness = false`) use this instead of Criterion:
+//! each benchmark runs a warm-up, then a fixed number of timed samples,
+//! and reports the median — robust against one-off scheduler noise.
+//!
+//! CLI, matching how CI drove the Criterion benches:
+//!
+//! * any positional argument filters benchmark ids by substring
+//!   (`cargo bench -p ruo-bench -- maxreg/t1/r50`);
+//! * `--quick` cuts warm-up and sample counts for smoke runs.
+
+use std::time::Instant;
+
+/// Run configuration parsed from the process arguments.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Substring filters; a benchmark runs if any filter matches (or no
+    /// filter was given).
+    pub filters: Vec<String>,
+    /// Fewer samples/iterations for smoke-testing.
+    pub quick: bool,
+}
+
+impl BenchConfig {
+    /// Parses `std::env::args`, ignoring flags Criterion used to accept
+    /// (`--bench`, `--quick`) so existing invocations keep working.
+    pub fn from_args() -> Self {
+        let mut filters = Vec::new();
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filters.push(a.to_string()),
+            }
+        }
+        BenchConfig { filters, quick }
+    }
+
+    /// Whether `id` passes the filter set.
+    pub fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn samples(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            10
+        }
+    }
+
+    /// Number of warm-up (untimed) batches per benchmark.
+    pub fn warmup(&self) -> usize {
+        if self.quick {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+/// Times `f` (one call = one batch of `elements` operations) and prints
+/// `id`, the median time per operation, and throughput. Skips silently
+/// when `id` does not match the config's filters.
+pub fn bench_batch<F: FnMut()>(cfg: &BenchConfig, id: &str, elements: u64, mut f: F) {
+    if !cfg.matches(id) {
+        return;
+    }
+    for _ in 0..cfg.warmup() {
+        f();
+    }
+    let mut samples_ns: Vec<f64> = (0..cfg.samples())
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let ns_per_op = median / elements as f64;
+    let mops = elements as f64 / median * 1e3;
+    println!("{id:<44} {ns_per_op:>10.1} ns/op {mops:>9.2} Mops/s");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_match_substrings() {
+        let cfg = BenchConfig {
+            filters: vec!["maxreg/t1".into()],
+            quick: true,
+        };
+        assert!(cfg.matches("maxreg/t1/r50/algorithm_a"));
+        assert!(!cfg.matches("counter/t1/r50"));
+        let open = BenchConfig {
+            filters: vec![],
+            quick: false,
+        };
+        assert!(open.matches("anything"));
+    }
+
+    #[test]
+    fn quick_reduces_work() {
+        let quick = BenchConfig {
+            filters: vec![],
+            quick: true,
+        };
+        let full = BenchConfig {
+            filters: vec![],
+            quick: false,
+        };
+        assert!(quick.samples() < full.samples());
+        assert!(quick.warmup() < full.warmup());
+    }
+
+    #[test]
+    fn bench_batch_runs_the_closure() {
+        let cfg = BenchConfig {
+            filters: vec![],
+            quick: true,
+        };
+        let mut calls = 0;
+        bench_batch(&cfg, "smoke", 1, || calls += 1);
+        assert_eq!(calls, cfg.warmup() + cfg.samples());
+        let mut skipped = 0;
+        let cfg2 = BenchConfig {
+            filters: vec!["other".into()],
+            quick: true,
+        };
+        bench_batch(&cfg2, "smoke", 1, || skipped += 1);
+        assert_eq!(skipped, 0);
+    }
+}

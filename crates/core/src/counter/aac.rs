@@ -112,6 +112,9 @@ impl AacCounter {
                 let _ = pid;
                 reg.read_max()
             }
+            // SeqCst: sibling-leaf reads during sum propagation pair
+            // with the SeqCst leaf store in `increment` (store-buffering
+            // — DESIGN.md § Memory orderings).
             None => self.leaf_cells[idx].load(Ordering::SeqCst),
         }
     }
@@ -124,7 +127,13 @@ impl Counter for AacCounter {
     /// `WriteMax` would overflow its register).
     fn increment(&self, pid: ProcessId) {
         let leaf = self.leaves[pid.index()];
-        let c = self.leaf_cells[leaf].load(Ordering::SeqCst);
+        // Relaxed: the leaf is single-writer, so this load only reads the
+        // caller's own last store. The store below stays SeqCst: a
+        // concurrent incrementer publishes its leaf and then reads ours
+        // via `node_value` — the store-buffering pattern that
+        // Release/Acquire would not forbid (DESIGN.md § Memory
+        // orderings).
+        let c = self.leaf_cells[leaf].load(Ordering::Relaxed);
         self.leaf_cells[leaf].store(c + 1, Ordering::SeqCst);
         for node in self.shape.ancestors(leaf) {
             let info = self.shape.node(node);

@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ruo_sim::ProcessId;
 
-use crate::shape::TreeShape;
+use crate::pad::CachePadded;
+use crate::shape::{PathNode, TreeShape, NO_CHILD};
 use crate::traits::Counter;
 
 /// Wait-free counter with `O(1)` reads and `O(log N)` increments from
@@ -38,10 +39,12 @@ use crate::traits::Counter;
 /// assert_eq!(counter.read(), 2);
 /// ```
 pub struct FArrayCounter {
-    shape: TreeShape,
     root: usize,
     leaves: Vec<usize>,
-    cells: Box<[AtomicU64]>,
+    /// Padded cells: one cache-line pair per node (see [`crate::pad`]).
+    cells: Box<[CachePadded<AtomicU64>]>,
+    /// Precomputed leaf-to-root propagation paths, indexed by process.
+    paths: Vec<Box<[PathNode]>>,
 }
 
 impl fmt::Debug for FArrayCounter {
@@ -64,12 +67,18 @@ impl FArrayCounter {
         let mut shape = TreeShape::new();
         let (root, leaves) = shape.build_complete(n);
         shape.fix_depths(root);
-        let cells = (0..shape.len()).map(|_| AtomicU64::new(0)).collect();
+        let cells = (0..shape.len())
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        let paths = leaves
+            .iter()
+            .map(|&leaf| shape.propagation_path(leaf))
+            .collect();
         FArrayCounter {
-            shape,
             root,
             leaves,
             cells,
+            paths,
         }
     }
 
@@ -79,40 +88,55 @@ impl FArrayCounter {
     }
 
     #[inline]
-    fn load(&self, idx: usize) -> u64 {
-        self.cells[idx].load(Ordering::SeqCst)
-    }
-
-    #[inline]
-    fn child_sum(&self, idx: usize) -> u64 {
-        let info = self.shape.node(idx);
-        let l = info.left.map_or(0, |i| self.load(i));
-        let r = info.right.map_or(0, |i| self.load(i));
-        l + r
+    fn child_load(&self, idx: u32) -> u64 {
+        // SeqCst: sibling reads pair with leaf stores in the
+        // store-buffering pattern of the propagation (DESIGN.md
+        // § Memory orderings).
+        if idx == NO_CHILD {
+            0
+        } else {
+            self.cells[idx as usize].load(Ordering::SeqCst)
+        }
     }
 }
 
 impl Counter for FArrayCounter {
     fn increment(&self, pid: ProcessId) {
         let leaf = self.leaves[pid.index()];
-        // Single-writer leaf: read + write suffices.
-        let c = self.load(leaf);
+        // Single-writer leaf: read + write suffices, and the read is
+        // Relaxed because it returns our own last store.
+        let c = self.cells[leaf].load(Ordering::Relaxed);
+        // SeqCst: the store must be ordered before the sibling reads
+        // below (store-buffering — DESIGN.md § Memory orderings).
         self.cells[leaf].store(c + 1, Ordering::SeqCst);
-        for node in self.shape.ancestors(leaf) {
+        for step in &self.paths[pid.index()] {
+            let node = step.node as usize;
             for _ in 0..2 {
-                let old = self.load(node);
-                let new = self.child_sum(node);
-                // Sums are monotone, so a failed CAS means someone else
-                // already installed a value covering ours (or will, on
-                // their second attempt).
-                let _ =
-                    self.cells[node].compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst);
+                let old = self.cells[node].load(Ordering::SeqCst);
+                let new = self.child_load(step.left) + self.child_load(step.right);
+                // Sums are monotone, so `new >= old` always; equality
+                // means the node already covers what we just read.
+                if new == old {
+                    break;
+                }
+                // A failed CAS means someone else already installed a
+                // value covering ours (or will, on their second attempt);
+                // Acquire failure orders that covering write before our
+                // completion.
+                if self.cells[node]
+                    .compare_exchange(old, new, Ordering::SeqCst, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
             }
         }
     }
 
     fn read(&self) -> u64 {
-        self.load(self.root)
+        // Acquire: the read linearizes at this load; node values are
+        // monotone and covering writes are at-least-Release.
+        self.cells[self.root].load(Ordering::Acquire)
     }
 }
 

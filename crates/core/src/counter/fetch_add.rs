@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ruo_sim::ProcessId;
 
+use crate::pad::CachePadded;
 use crate::traits::Counter;
 
 /// `O(1)`/`O(1)` counter using the hardware fetch-and-add primitive.
@@ -26,7 +27,9 @@ use crate::traits::Counter;
 /// ```
 #[derive(Default)]
 pub struct FetchAddCounter {
-    cell: AtomicU64,
+    /// Padded so the counter never false-shares with neighbouring
+    /// allocations in the embedding structure.
+    cell: CachePadded<AtomicU64>,
 }
 
 impl fmt::Debug for FetchAddCounter {
@@ -46,11 +49,17 @@ impl FetchAddCounter {
 
 impl Counter for FetchAddCounter {
     fn increment(&self, _pid: ProcessId) {
-        self.cell.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: the RMW still participates in the cell's total
+        // modification order, which alone linearizes increments; the
+        // counter publishes nothing but its own value (DESIGN.md
+        // § Memory orderings).
+        self.cell.fetch_add(1, Ordering::Relaxed);
     }
 
     fn read(&self) -> u64 {
-        self.cell.load(Ordering::SeqCst)
+        // Acquire: reads linearize at the load and see every increment
+        // that happens-before them.
+        self.cell.load(Ordering::Acquire)
     }
 }
 

@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicI64, Ordering};
 
 use ruo_sim::{ProcessId, Word};
 
-use crate::shape::TreeShape;
+use crate::pad::CachePadded;
+use crate::shape::{PathNode, TreeShape, NO_CHILD};
 
 /// An associative aggregation with an identity, under which per-slot
 /// updates drive every tree node **monotonically** (this is what makes
@@ -110,10 +111,12 @@ impl Aggregation for Min {
 /// assert_eq!(total.read(), 26);
 /// ```
 pub struct FArray<A: Aggregation> {
-    shape: TreeShape,
     root: usize,
     leaves: Vec<usize>,
-    cells: Box<[AtomicI64]>,
+    /// Padded cells: one cache-line pair per node (see [`crate::pad`]).
+    cells: Box<[CachePadded<AtomicI64>]>,
+    /// Precomputed leaf-to-root propagation paths, indexed by slot.
+    paths: Vec<Box<[PathNode]>>,
     _agg: std::marker::PhantomData<A>,
 }
 
@@ -138,13 +141,17 @@ impl<A: Aggregation> FArray<A> {
         let (root, leaves) = shape.build_complete(n);
         shape.fix_depths(root);
         let cells = (0..shape.len())
-            .map(|_| AtomicI64::new(A::identity()))
+            .map(|_| CachePadded::new(AtomicI64::new(A::identity())))
+            .collect();
+        let paths = leaves
+            .iter()
+            .map(|&leaf| shape.propagation_path(leaf))
             .collect();
         FArray {
-            shape,
             root,
             leaves,
             cells,
+            paths,
             _agg: std::marker::PhantomData,
         }
     }
@@ -155,26 +162,27 @@ impl<A: Aggregation> FArray<A> {
     }
 
     #[inline]
-    fn load(&self, idx: usize) -> Word {
-        self.cells[idx].load(Ordering::SeqCst)
-    }
-
-    #[inline]
-    fn child_agg(&self, idx: usize) -> Word {
-        let info = self.shape.node(idx);
-        let l = info.left.map_or(A::identity(), |i| self.load(i));
-        let r = info.right.map_or(A::identity(), |i| self.load(i));
-        A::combine(l, r)
+    fn child_load(&self, idx: u32) -> Word {
+        // SeqCst: sibling reads pair with slot stores in the
+        // store-buffering pattern of the propagation (DESIGN.md
+        // § Memory orderings).
+        if idx == NO_CHILD {
+            A::identity()
+        } else {
+            self.cells[idx as usize].load(Ordering::SeqCst)
+        }
     }
 
     /// Reads the aggregate `f(slot_0, …, slot_{N−1})` — one load.
     pub fn read(&self) -> Word {
-        self.load(self.root)
+        // Acquire: the read linearizes at this load; covering writes are
+        // at-least-Release CASes and node values are monotone.
+        self.cells[self.root].load(Ordering::Acquire)
     }
 
     /// Reads `pid`'s own slot.
     pub fn slot(&self, pid: ProcessId) -> Word {
-        self.load(self.leaves[pid.index()])
+        self.cells[self.leaves[pid.index()]].load(Ordering::Acquire)
     }
 
     /// Sets `pid`'s slot to `value` and propagates — `O(log N)` steps.
@@ -186,19 +194,33 @@ impl<A: Aggregation> FArray<A> {
     /// would reintroduce the ABA problem the CAS propagation excludes.
     pub fn update(&self, pid: ProcessId, value: Word) {
         let leaf = self.leaves[pid.index()];
-        let old = self.load(leaf);
+        // Relaxed: the slot is single-writer, so this reads our own
+        // last store; the value only feeds the monotonicity assert.
+        let old = self.cells[leaf].load(Ordering::Relaxed);
         assert!(
             A::advances(old, value),
             "non-monotone slot update {old} -> {value}"
         );
-        // Single-writer slot: plain store.
+        // Single-writer slot: plain store. SeqCst because the store must
+        // be ordered before the sibling reads below (store-buffering —
+        // DESIGN.md § Memory orderings).
         self.cells[leaf].store(value, Ordering::SeqCst);
-        for node in self.shape.ancestors(leaf) {
+        for step in &self.paths[pid.index()] {
+            let node = step.node as usize;
             for _ in 0..2 {
-                let cur = self.load(node);
-                let new = self.child_agg(node);
-                let _ =
-                    self.cells[node].compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst);
+                let cur = self.cells[node].load(Ordering::SeqCst);
+                let new = A::combine(self.child_load(step.left), self.child_load(step.right));
+                // Monotone children make `new >= cur`; equality means the
+                // node already covers what we just read.
+                if new == cur {
+                    break;
+                }
+                if self.cells[node]
+                    .compare_exchange(cur, new, Ordering::SeqCst, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
             }
         }
     }
@@ -339,10 +361,10 @@ mod tests {
         // has been written, nor lag behind what every thread finished.
         let n = 4;
         let fa = Arc::new(FArray::<Sum>::new(n));
-        crossbeam_utils::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..n {
                 let fa = Arc::clone(&fa);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 1..=500i64 {
                         fa.update(ProcessId(t), i);
                         let agg = fa.read();
@@ -351,8 +373,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(fa.read(), 500 * n as i64);
     }
 }

@@ -45,6 +45,7 @@ pub mod counter;
 pub mod farray;
 pub mod farray_sim;
 pub mod maxreg;
+pub mod pad;
 pub mod reduction;
 pub mod shape;
 pub mod snapshot;

@@ -23,8 +23,15 @@ use ruo_sim::ProcessId;
 
 use crate::traits::MaxRegister;
 
-/// Hard cap on the register capacity: the switch tree materializes
-/// `capacity − 1` internal nodes.
+/// Hard cap on the register capacity.
+///
+/// The switch tree materializes **eagerly**: a capacity-`M` register
+/// allocates `2M − 1` [`AacNode`]s (64 bytes each) plus `M − 1` one-byte
+/// switches up front — roughly `128 · M` bytes, about 8 GiB at this cap.
+/// Use [`AacMaxRegister::try_new`] to detect oversized capacities
+/// gracefully instead of panicking; see
+/// [`AacShape::estimated_bytes`] for the footprint a given capacity
+/// implies.
 pub const MAX_CAPACITY: u64 = 1 << 26;
 
 /// One node of the AAC switch tree.
@@ -64,17 +71,31 @@ impl fmt::Debug for AacShape {
 }
 
 impl AacShape {
+    /// Approximate heap footprint (bytes) of the eagerly materialized
+    /// switch tree for `capacity`: `2·capacity − 1` nodes plus
+    /// `capacity − 1` switch bytes.
+    pub fn estimated_bytes(capacity: u64) -> u64 {
+        capacity
+            .saturating_mul(2)
+            .saturating_mul(std::mem::size_of::<AacNode>() as u64)
+            .saturating_add(capacity)
+    }
+
     /// Builds the balanced switch tree for values `0 .. capacity`:
     /// every value at depth `⌈log₂ capacity⌉`.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is `0` or exceeds [`MAX_CAPACITY`].
+    /// Panics if `capacity` is `0` or exceeds [`MAX_CAPACITY`] — the
+    /// tree is materialized eagerly, so capacities near the cap already
+    /// commit gigabytes (see [`AacShape::estimated_bytes`]).
     pub fn new(capacity: u64) -> Self {
         assert!(capacity >= 1, "capacity must be positive");
         assert!(
             capacity <= MAX_CAPACITY,
-            "capacity {capacity} exceeds MAX_CAPACITY ({MAX_CAPACITY})"
+            "capacity {capacity} exceeds MAX_CAPACITY ({MAX_CAPACITY}): the switch tree \
+             materializes eagerly and would need ~{} MiB",
+            AacShape::estimated_bytes(capacity) >> 20
         );
         let mut shape = AacShape {
             nodes: Vec::new(),
@@ -98,12 +119,15 @@ impl AacShape {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is `0` or exceeds [`MAX_CAPACITY`].
+    /// Panics if `capacity` is `0` or exceeds [`MAX_CAPACITY`] (same
+    /// eager-materialization concern as [`AacShape::new`]).
     pub fn new_unbalanced(capacity: u64) -> Self {
         assert!(capacity >= 1, "capacity must be positive");
         assert!(
             capacity <= MAX_CAPACITY,
-            "capacity {capacity} exceeds MAX_CAPACITY ({MAX_CAPACITY})"
+            "capacity {capacity} exceeds MAX_CAPACITY ({MAX_CAPACITY}): the switch tree \
+             materializes eagerly and would need ~{} MiB",
+            AacShape::estimated_bytes(capacity) >> 20
         );
         let mut shape = AacShape {
             nodes: Vec::new(),
@@ -245,6 +269,39 @@ impl fmt::Debug for AacMaxRegister {
     }
 }
 
+/// Error returned by [`AacMaxRegister::try_new`] /
+/// [`AacMaxRegister::try_new_unbalanced`] when the requested capacity is
+/// zero or large enough that eagerly materializing the switch tree
+/// would commit an unreasonable amount of memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapacityError {
+    /// The rejected capacity.
+    pub capacity: u64,
+    /// The hard cap ([`MAX_CAPACITY`]).
+    pub max_capacity: u64,
+    /// Approximate bytes the switch tree for `capacity` would allocate.
+    pub estimated_bytes: u64,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.capacity == 0 {
+            write!(f, "AAC capacity must be positive")
+        } else {
+            write!(
+                f,
+                "AAC capacity {} exceeds MAX_CAPACITY ({}): the switch tree materializes \
+                 eagerly and would allocate ~{} MiB up front",
+                self.capacity,
+                self.max_capacity,
+                self.estimated_bytes >> 20
+            )
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
 /// Error returned by [`AacMaxRegister::try_write_max`] when the value
 /// does not fit the register's bound.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -273,9 +330,47 @@ impl AacMaxRegister {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is `0` or exceeds [`MAX_CAPACITY`].
+    /// Panics (with the estimated memory footprint in the message) if
+    /// `capacity` is `0` or exceeds [`MAX_CAPACITY`]; use
+    /// [`try_new`](AacMaxRegister::try_new) to handle oversized
+    /// capacities gracefully.
     pub fn new(capacity: u64) -> Self {
-        Self::with_shape(AacShape::new(capacity))
+        Self::try_new(capacity).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`new`](AacMaxRegister::new): rejects a zero or
+    /// over-cap capacity with a [`CapacityError`] (carrying the
+    /// estimated eager-allocation size) instead of panicking.
+    ///
+    /// ```
+    /// use ruo_core::maxreg::AacMaxRegister;
+    ///
+    /// assert!(AacMaxRegister::try_new(1024).is_ok());
+    /// let err = AacMaxRegister::try_new(u64::MAX).unwrap_err();
+    /// assert!(err.estimated_bytes > 1 << 30);
+    /// ```
+    pub fn try_new(capacity: u64) -> Result<Self, CapacityError> {
+        Self::check_capacity(capacity)?;
+        Ok(Self::with_shape(AacShape::new(capacity)))
+    }
+
+    /// Fallible form of
+    /// [`new_unbalanced`](AacMaxRegister::new_unbalanced).
+    pub fn try_new_unbalanced(capacity: u64) -> Result<Self, CapacityError> {
+        Self::check_capacity(capacity)?;
+        Ok(Self::with_shape(AacShape::new_unbalanced(capacity)))
+    }
+
+    fn check_capacity(capacity: u64) -> Result<(), CapacityError> {
+        if (1..=MAX_CAPACITY).contains(&capacity) {
+            Ok(())
+        } else {
+            Err(CapacityError {
+                capacity,
+                max_capacity: MAX_CAPACITY,
+                estimated_bytes: AacShape::estimated_bytes(capacity),
+            })
+        }
     }
 
     /// Creates an `M`-bounded register with the Bentley–Yao-skewed shape:
@@ -294,9 +389,12 @@ impl AacMaxRegister {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is `0` or exceeds [`MAX_CAPACITY`].
+    /// Panics (with the estimated memory footprint in the message) if
+    /// `capacity` is `0` or exceeds [`MAX_CAPACITY`]; use
+    /// [`try_new_unbalanced`](AacMaxRegister::try_new_unbalanced) to
+    /// handle oversized capacities gracefully.
     pub fn new_unbalanced(capacity: u64) -> Self {
-        Self::with_shape(AacShape::new_unbalanced(capacity))
+        Self::try_new_unbalanced(capacity).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn with_shape(shape: AacShape) -> Self {
@@ -317,7 +415,10 @@ impl AacMaxRegister {
     }
 
     fn switch_is_set(&self, idx: usize) -> bool {
-        self.switches[idx].load(Ordering::SeqCst) != 0
+        // Acquire pairs with the Release store in `descend_write`: a set
+        // switch publishes every deeper switch the writer set before it
+        // (classic message passing — DESIGN.md § Memory orderings).
+        self.switches[idx].load(Ordering::Acquire) != 0
     }
 
     /// Writes `v` if it fits the bound.
@@ -347,8 +448,10 @@ impl AacMaxRegister {
                 // Descend right with the shifted value, then set the
                 // switch — the order matters: once the switch is set,
                 // readers go right and must find the value there.
+                // Release publishes the deeper switches to the Acquire
+                // load in `switch_is_set`.
                 self.descend_write(right, v - node.half);
-                self.switches[switch].store(1, Ordering::SeqCst);
+                self.switches[switch].store(1, Ordering::Release);
                 return;
             }
             // Lower half: only meaningful while the switch is unset.
@@ -443,6 +546,25 @@ mod tests {
                 assert_eq!(reg.read_max(), v, "cap={cap} v={v}");
             }
         }
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_capacities() {
+        let err = AacMaxRegister::try_new(MAX_CAPACITY + 1).unwrap_err();
+        assert_eq!(err.capacity, MAX_CAPACITY + 1);
+        assert_eq!(err.max_capacity, MAX_CAPACITY);
+        assert!(err.estimated_bytes > 1 << 30);
+        assert!(err.to_string().contains("MiB"));
+        assert!(AacMaxRegister::try_new(0).is_err());
+        assert!(AacMaxRegister::try_new_unbalanced(MAX_CAPACITY + 1).is_err());
+        assert!(AacMaxRegister::try_new(16).is_ok());
+        assert!(AacMaxRegister::try_new_unbalanced(16).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "materializes eagerly")]
+    fn oversized_capacity_panics_with_the_footprint() {
+        let _ = AacMaxRegister::new(MAX_CAPACITY + 1);
     }
 
     #[test]

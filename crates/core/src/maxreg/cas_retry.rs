@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ruo_sim::ProcessId;
 
+use crate::pad::CachePadded;
 use crate::traits::MaxRegister;
 use crate::value::MAX_VALUE;
 
@@ -31,7 +32,9 @@ use crate::value::MAX_VALUE;
 /// ```
 #[derive(Default)]
 pub struct CasRetryMaxRegister {
-    cell: AtomicU64,
+    /// Padded so the register never false-shares with whatever the
+    /// embedding structure allocates next to it.
+    cell: CachePadded<AtomicU64>,
 }
 
 impl fmt::Debug for CasRetryMaxRegister {
@@ -52,11 +55,16 @@ impl CasRetryMaxRegister {
 impl MaxRegister for CasRetryMaxRegister {
     fn write_max(&self, _pid: ProcessId, v: u64) {
         assert!(v <= MAX_VALUE, "value {v} exceeds MAX_VALUE");
-        let mut cur = self.cell.load(Ordering::SeqCst);
+        // Single-cell object: every operation is one atomic access, so
+        // AcqRel/Acquire suffice — the cell's modification order is the
+        // linearization order (DESIGN.md § Memory orderings). Returning
+        // on `cur >= v` is sound because the Acquire load orders the
+        // observed covering write before our completion.
+        let mut cur = self.cell.load(Ordering::Acquire);
         while cur < v {
             match self
                 .cell
-                .compare_exchange(cur, v, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(cur, v, Ordering::AcqRel, Ordering::Acquire)
             {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
@@ -65,7 +73,7 @@ impl MaxRegister for CasRetryMaxRegister {
     }
 
     fn read_max(&self) -> u64 {
-        self.cell.load(Ordering::SeqCst)
+        self.cell.load(Ordering::Acquire)
     }
 }
 

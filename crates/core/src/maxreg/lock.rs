@@ -6,8 +6,8 @@
 //! structures are being compared against in practice.
 
 use std::fmt;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use ruo_sim::ProcessId;
 
 use crate::traits::MaxRegister;
@@ -32,7 +32,7 @@ pub struct LockMaxRegister {
 impl fmt::Debug for LockMaxRegister {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LockMaxRegister")
-            .field("value", &*self.value.lock())
+            .field("value", &*self.value.lock().unwrap())
             .finish()
     }
 }
@@ -47,14 +47,14 @@ impl LockMaxRegister {
 impl MaxRegister for LockMaxRegister {
     fn write_max(&self, _pid: ProcessId, v: u64) {
         assert!(v <= MAX_VALUE, "value {v} exceeds MAX_VALUE");
-        let mut guard = self.value.lock();
+        let mut guard = self.value.lock().unwrap();
         if v > *guard {
             *guard = v;
         }
     }
 
     fn read_max(&self) -> u64 {
-        *self.value.lock()
+        *self.value.lock().unwrap()
     }
 }
 

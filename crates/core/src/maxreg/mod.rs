@@ -19,7 +19,7 @@ mod lock;
 pub mod sim;
 mod tree;
 
-pub use aac::{AacMaxRegister, AacShape};
+pub use aac::{AacMaxRegister, AacShape, CapacityError};
 pub use cas_retry::CasRetryMaxRegister;
 pub use farray::FArrayMaxRegister;
 pub use lock::LockMaxRegister;

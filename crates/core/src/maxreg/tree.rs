@@ -10,12 +10,23 @@
 //! parent — *twice*. The second attempt guarantees that if both CASes
 //! fail, a concurrent CAS installed a value at least as fresh, which is
 //! the key to linearizability (Lemma 9 of the paper).
+//!
+//! This implementation additionally takes an `O(1)` *dominated-write*
+//! fast path: `WriteMax(v)` first reads the root and returns when the
+//! root already carries `v` or more. Unlike the paper's leaf-based
+//! early return (which is unsound on shared value-leaves — see
+//! `DESIGN.md` § Deviations), the root check observes a fully
+//! propagated covering write, so returning is linearizable. Leaf-to-root
+//! paths are precomputed at construction and each node sits on its own
+//! padded cache-line pair, keeping the contended propagation loop free
+//! of allocation and false sharing.
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
 use ruo_sim::ProcessId;
 
-use crate::shape::AlgorithmATree;
+use crate::pad::CachePadded;
+use crate::shape::{AlgorithmATree, NO_CHILD};
 use crate::traits::MaxRegister;
 use crate::value::{from_word, to_word};
 
@@ -35,7 +46,10 @@ use crate::value::{from_word, to_word};
 #[derive(Debug)]
 pub struct TreeMaxRegister {
     tree: AlgorithmATree,
-    cells: Box<[AtomicI64]>,
+    /// One padded cell per tree node: neighbouring nodes never share a
+    /// cache-line pair, so a CAS on one node does not invalidate its
+    /// arena neighbours under every other core (see [`crate::pad`]).
+    cells: Box<[CachePadded<AtomicI64>]>,
 }
 
 impl TreeMaxRegister {
@@ -48,7 +62,7 @@ impl TreeMaxRegister {
     pub fn new(n: usize) -> Self {
         let tree = AlgorithmATree::new(n);
         let cells = (0..tree.shape().len())
-            .map(|_| AtomicI64::new(ruo_sim::NEG_INF))
+            .map(|_| CachePadded::new(AtomicI64::new(ruo_sim::NEG_INF)))
             .collect();
         TreeMaxRegister { tree, cells }
     }
@@ -65,31 +79,47 @@ impl TreeMaxRegister {
     }
 
     #[inline]
-    fn load(&self, idx: usize) -> i64 {
-        self.cells[idx].load(Ordering::SeqCst)
+    fn child_value(&self, idx: u32) -> i64 {
+        // SeqCst: these sibling reads pair with leaf stores in the
+        // store-buffering pattern of `Propagate`; see DESIGN.md
+        // § Memory orderings.
+        if idx == NO_CHILD {
+            ruo_sim::NEG_INF
+        } else {
+            self.cells[idx as usize].load(Ordering::SeqCst)
+        }
     }
 
-    #[inline]
-    fn child_value(&self, idx: Option<usize>) -> i64 {
-        idx.map_or(ruo_sim::NEG_INF, |i| self.load(i))
-    }
-
-    /// The paper's `Propagate(n)`: climb from `leaf` to the root,
-    /// CASing `max(left, right)` into each ancestor twice.
+    /// The paper's `Propagate(n)`: climb the precomputed leaf-to-root
+    /// path, CASing `max(left, right)` into each ancestor (at most)
+    /// twice. The path carries inlined child links, so the loop touches
+    /// no shape metadata and performs no allocation.
     fn propagate(&self, leaf: usize) {
-        let shape = self.tree.shape();
-        for node in shape.ancestors(leaf) {
-            let info = shape.node(node);
+        for step in self.tree.path_for(leaf) {
+            let node = step.node as usize;
             for _ in 0..2 {
-                let old = self.load(node);
+                let old = self.cells[node].load(Ordering::SeqCst);
                 let new = self
-                    .child_value(info.left)
-                    .max(self.child_value(info.right));
+                    .child_value(step.left)
+                    .max(self.child_value(step.right));
+                // Node values are monotone (each CAS installs a max of
+                // monotone children), so `new >= old` always holds; when
+                // they are equal the node already covers everything we
+                // just read and the CAS would be a no-op — skip it.
+                if new == old {
+                    break;
+                }
                 // A failed CAS means a concurrent propagator updated the
                 // node after we read `old`; the second iteration (or that
-                // propagator itself) covers our value.
-                let _ =
-                    self.cells[node].compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst);
+                // propagator itself) covers our value. Failure ordering
+                // is Acquire so the covering write is ordered before our
+                // completion (DESIGN.md § Memory orderings).
+                if self.cells[node]
+                    .compare_exchange(old, new, Ordering::SeqCst, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
             }
         }
     }
@@ -101,8 +131,21 @@ impl MaxRegister for TreeMaxRegister {
             return; // a fresh register already reads 0
         }
         let w = to_word(v);
+        // O(1) dominated-write fast path: if the root already carries a
+        // value ≥ v, some WriteMax(v') with v' ≥ v has fully propagated,
+        // and the root is monotone — every later ReadMax returns ≥ v.
+        // Linearize this write immediately after that covering write.
+        // This is sound precisely BECAUSE it reads the root, unlike the
+        // paper's leaf-based early return (see DESIGN.md § Deviations
+        // and § Dominated-write fast path).
+        if w <= self.cells[self.tree.root()].load(Ordering::Acquire) {
+            return;
+        }
         let leaf = self.tree.leaf_for(pid.index(), v);
-        let old = self.load(leaf);
+        // Relaxed is enough here: for a TR (single-writer) leaf this
+        // reads our own last store, and for a TL leaf the branch below
+        // never returns early, so nothing is concluded from the value.
+        let old = self.cells[leaf].load(Ordering::Relaxed);
         if w <= old {
             // The paper's pseudo-code returns here unconditionally, but
             // that is unsound for shared TL value-leaves: the process
@@ -120,13 +163,21 @@ impl MaxRegister for TreeMaxRegister {
         }
         // TL value-leaves only ever receive the single value `v`; TR
         // process-leaves are single-writer. Either way a plain store of a
-        // strictly larger value is safe.
+        // strictly larger value is safe. SeqCst: the store must be
+        // ordered before the sibling reads in `propagate` (both ours and
+        // helpers'); Release would allow the store-buffering reordering
+        // that loses the write (DESIGN.md § Memory orderings).
         self.cells[leaf].store(w, Ordering::SeqCst);
         self.propagate(leaf);
     }
 
     fn read_max(&self) -> u64 {
-        from_word(self.load(self.tree.root()))
+        // Acquire: ReadMax linearizes at this single load. Covering
+        // writes are installed with at-least-Release CASes, the root is
+        // monotone, and Acquire synchronizes with the covering write —
+        // SeqCst adds nothing a reader can observe (DESIGN.md § Memory
+        // orderings).
+        from_word(self.cells[self.tree.root()].load(Ordering::Acquire))
     }
 }
 
@@ -187,6 +238,21 @@ mod tests {
             reg.write_max(ProcessId(0), v);
             assert_eq!(reg.read_max(), v);
         }
+    }
+
+    #[test]
+    fn dominated_writes_take_the_fast_path() {
+        let reg = TreeMaxRegister::new(4);
+        reg.write_max(ProcessId(0), 100);
+        // All dominated: the root check returns in O(1); TL value
+        // leaves, TR leaves and equal values are all covered.
+        reg.write_max(ProcessId(1), 1); // TL value leaf
+        reg.write_max(ProcessId(2), 50); // TR process leaf
+        reg.write_max(ProcessId(3), 100); // equal value
+        assert_eq!(reg.read_max(), 100);
+        // A fresh maximum still goes through the slow path.
+        reg.write_max(ProcessId(1), 101);
+        assert_eq!(reg.read_max(), 101);
     }
 
     #[test]

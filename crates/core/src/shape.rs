@@ -13,6 +13,27 @@ use crate::b1tree;
 /// Index of a node inside a [`TreeShape`].
 pub type NodeIdx = usize;
 
+/// Sentinel in a [`PathNode`] for a missing child.
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// One precomputed step of a leaf-to-root propagation path: an ancestor
+/// node with both child links resolved inline, so the hot propagation
+/// loops of the real-atomics implementations follow a flat slice instead
+/// of chasing `Option<usize>` parent pointers (and allocating a fresh
+/// `Vec` per write, as [`TreeShape::ancestors`] does).
+///
+/// Indices are `u32` to keep a step at 12 bytes; [`NO_CHILD`] marks an
+/// absent child. Tree arenas are bounded far below `u32::MAX` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathNode {
+    /// The ancestor node to CAS.
+    pub node: u32,
+    /// Its left child, or [`NO_CHILD`].
+    pub left: u32,
+    /// Its right child, or [`NO_CHILD`].
+    pub right: u32,
+}
+
 /// One node of a static tree shape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeInfo {
@@ -116,6 +137,25 @@ impl TreeShape {
         path
     }
 
+    /// The propagation path from `idx` (exclusive) up to and including
+    /// the root, with each ancestor's child links inlined — the
+    /// allocation-free-iterable form of [`ancestors`](TreeShape::ancestors),
+    /// computed once at construction time by the tree implementations.
+    pub fn propagation_path(&self, idx: NodeIdx) -> Box<[PathNode]> {
+        assert!(self.nodes.len() < u32::MAX as usize, "arena too large");
+        self.ancestors(idx)
+            .into_iter()
+            .map(|n| {
+                let info = &self.nodes[n];
+                PathNode {
+                    node: n as u32,
+                    left: info.left.map_or(NO_CHILD, |i| i as u32),
+                    right: info.right.map_or(NO_CHILD, |i| i as u32),
+                }
+            })
+            .collect()
+    }
+
     /// Builds a complete binary tree with `k ≥ 1` leaves; returns the
     /// subtree root and the leaves in left-to-right order.
     pub(crate) fn build_complete(&mut self, k: usize) -> (NodeIdx, Vec<NodeIdx>) {
@@ -146,6 +186,9 @@ pub struct AlgorithmATree {
     value_leaves: Vec<NodeIdx>,
     /// `process_leaves[i]` is the leaf owned by process `i`.
     process_leaves: Vec<NodeIdx>,
+    /// Precomputed leaf-to-root propagation paths, indexed by node;
+    /// empty at internal nodes. `WriteMax` never recomputes its path.
+    paths: Vec<Box<[PathNode]>>,
     n: usize,
 }
 
@@ -177,11 +220,21 @@ impl AlgorithmATree {
         let (tr_root, process_leaves) = shape.build_complete(n);
         shape.set_children(root, tl_root, Some(tr_root));
         shape.fix_depths(root);
+        let paths = (0..shape.len())
+            .map(|idx| {
+                if shape.node(idx).is_leaf() {
+                    shape.propagation_path(idx)
+                } else {
+                    Box::default()
+                }
+            })
+            .collect();
         AlgorithmATree {
             shape,
             root,
             value_leaves,
             process_leaves,
+            paths,
             n,
         }
     }
@@ -216,6 +269,14 @@ impl AlgorithmATree {
         } else {
             self.process_leaves[pid]
         }
+    }
+
+    /// The precomputed propagation path (bottom-up ancestors with child
+    /// links inlined) for `leaf`; empty unless `leaf` is one of the
+    /// tree's leaves.
+    #[inline]
+    pub fn path_for(&self, leaf: NodeIdx) -> &[PathNode] {
+        &self.paths[leaf]
     }
 
     /// Depth of the leaf used by `WriteMax(v)` from `pid` — proportional
@@ -298,6 +359,38 @@ mod tests {
         let path = shape.ancestors(leaves[3]);
         assert_eq!(*path.last().unwrap(), root);
         assert_eq!(path.len(), shape.node(leaves[3]).depth);
+    }
+
+    #[test]
+    fn propagation_path_matches_ancestors() {
+        let mut shape = TreeShape::new();
+        let (root, leaves) = shape.build_complete(9);
+        shape.fix_depths(root);
+        for &leaf in &leaves {
+            let path = shape.propagation_path(leaf);
+            let ancestors = shape.ancestors(leaf);
+            assert_eq!(path.len(), ancestors.len());
+            for (step, &a) in path.iter().zip(&ancestors) {
+                assert_eq!(step.node as usize, a);
+                let info = shape.node(a);
+                assert_eq!(step.left, info.left.map_or(NO_CHILD, |i| i as u32));
+                assert_eq!(step.right, info.right.map_or(NO_CHILD, |i| i as u32));
+            }
+            assert_eq!(path.last().unwrap().node as usize, root);
+        }
+    }
+
+    #[test]
+    fn algorithm_a_tree_caches_every_leaf_path() {
+        let t = AlgorithmATree::new(6);
+        for &leaf in t.value_leaves.iter().chain(&t.process_leaves) {
+            let path = t.path_for(leaf);
+            assert!(!path.is_empty());
+            assert_eq!(path.last().unwrap().node as usize, t.root());
+            assert_eq!(path.len(), t.shape.node(leaf).depth);
+        }
+        // Internal nodes carry no path.
+        assert!(t.path_for(t.root()).is_empty());
     }
 
     #[test]

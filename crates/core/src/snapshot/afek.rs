@@ -12,15 +12,21 @@
 //! updates) finish in `O(N²)` steps: wait-free from reads and writes of
 //! (wide) registers.
 //!
-//! Segments here are pointers to immutable records, managed with
-//! `crossbeam-epoch` so readers never see freed memory.
+//! Segments here are pointers to immutable records. Superseded records
+//! are pushed onto a lock-free retire list and reclaimed when the
+//! snapshot is dropped, so readers never see freed memory without any
+//! external epoch/hazard machinery (the workspace builds offline with
+//! zero dependencies). Memory therefore grows with the number of
+//! updates over the snapshot's lifetime — see the "Deviations" note in
+//! `DESIGN.md`.
 
 use std::fmt;
-use std::sync::atomic::Ordering;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
 
-use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned};
 use ruo_sim::ProcessId;
 
+use crate::pad::CachePadded;
 use crate::traits::Snapshot;
 
 struct Cell {
@@ -29,6 +35,9 @@ struct Cell {
     /// The embedded view: the updater's scan at the time of the update.
     /// `None` only for the initial (seq 0) cells.
     view: Option<Box<[u64]>>,
+    /// Intrusive link for the retire list; written only while the record
+    /// is being retired (after it has been unlinked from its segment).
+    retired_next: AtomicPtr<Cell>,
 }
 
 /// Wait-free snapshot with embedded-scan helping: `O(N²)` scans and
@@ -45,7 +54,9 @@ struct Cell {
 /// assert_eq!(snap.scan(), vec![11, 0, 22]);
 /// ```
 pub struct AfekSnapshot {
-    cells: Box<[Atomic<Cell>]>,
+    cells: Box<[CachePadded<AtomicPtr<Cell>>]>,
+    /// Treiber-stack head of superseded records, reclaimed on drop.
+    retired: AtomicPtr<Cell>,
 }
 
 impl fmt::Debug for AfekSnapshot {
@@ -66,38 +77,61 @@ impl AfekSnapshot {
         assert!(n >= 1, "at least one segment required");
         let cells = (0..n)
             .map(|_| {
-                Atomic::new(Cell {
+                CachePadded::new(AtomicPtr::new(Box::into_raw(Box::new(Cell {
                     seq: 0,
                     val: 0,
                     view: None,
-                })
+                    retired_next: AtomicPtr::new(ptr::null_mut()),
+                }))))
             })
             .collect();
-        AfekSnapshot { cells }
+        AfekSnapshot {
+            cells,
+            retired: AtomicPtr::new(ptr::null_mut()),
+        }
     }
 
-    /// Reads every cell once, returning `(seq, val, view-or-None)` refs
-    /// valid for the guard's lifetime.
-    fn collect<'g>(&self, guard: &'g Guard) -> Vec<&'g Cell> {
+    /// Reads every cell once, returning record refs that stay valid for
+    /// the borrow of `self`: records are never freed before `drop`.
+    fn collect(&self) -> Vec<&Cell> {
         self.cells
             .iter()
             .map(|c| {
-                let shared = c.load(Ordering::SeqCst, guard);
-                // SAFETY: cells are only replaced via `swap` in `update`,
-                // and the old record is handed to `defer_destroy` under
-                // this epoch scheme, so a record loaded under `guard`
-                // stays alive for the guard's lifetime.
-                unsafe { shared.deref() }
+                let p = c.load(Ordering::Acquire);
+                // SAFETY: segments always hold a record installed by
+                // `new` or `update`; superseded records go to the retire
+                // list and are only freed in `drop`, which requires
+                // `&mut self` — so `p` outlives this shared borrow.
+                unsafe { &*p }
             })
             .collect()
     }
 
-    fn scan_inner(&self, guard: &Guard) -> Vec<u64> {
+    /// Pushes a superseded record onto the retire list (lock-free).
+    fn retire(&self, record: *mut Cell) {
+        let mut head = self.retired.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `record` was just unlinked by the CAS/swap in
+            // `update`; only the retiring thread writes `retired_next`.
+            unsafe { (*record).retired_next.store(head, Ordering::Relaxed) };
+            match self.retired.compare_exchange_weak(
+                head,
+                record,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    fn scan_inner(&self) -> Vec<u64> {
         let n = self.cells.len();
         let mut moved = vec![0u8; n];
-        let mut prev = self.collect(guard);
+        let mut prev = self.collect();
         loop {
-            let cur = self.collect(guard);
+            let cur = self.collect();
             if prev.iter().zip(cur.iter()).all(|(a, b)| a.seq == b.seq) {
                 return cur.iter().map(|c| c.val).collect();
             }
@@ -126,45 +160,54 @@ impl Snapshot for AfekSnapshot {
     }
 
     fn update(&self, pid: ProcessId, v: u64) {
-        let guard = epoch::pin();
-        let view = self.scan_inner(&guard);
+        let view = self.scan_inner();
         let cell = &self.cells[pid.index()];
-        let old_seq = {
-            let shared = cell.load(Ordering::SeqCst, &guard);
-            // SAFETY: see `collect` — records stay alive under the guard.
-            unsafe { shared.deref() }.seq
-        };
-        let new = Owned::new(Cell {
+        // SAFETY: see `collect` — records live until `drop`.
+        let old_seq = unsafe { &*cell.load(Ordering::Acquire) }.seq;
+        let new = Box::into_raw(Box::new(Cell {
             seq: old_seq + 1,
             val: v,
             view: Some(view.into_boxed_slice()),
-        });
-        let old = cell.swap(new, Ordering::SeqCst, &guard);
-        // SAFETY: `old` was just unlinked by the swap; no new reader can
-        // obtain it, and current readers hold epoch guards, which is
-        // exactly what defer_destroy waits for.
-        unsafe { guard.defer_destroy(old) };
+            retired_next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        // Release publishes the record's contents to readers that
+        // Acquire-load this segment pointer; AcqRel also orders the
+        // unlinked record's retirement after any prior publication.
+        let old = cell.swap(new, Ordering::AcqRel);
+        self.retire(old);
     }
 
     fn scan(&self) -> Vec<u64> {
-        let guard = epoch::pin();
-        self.scan_inner(&guard)
+        self.scan_inner()
     }
 }
 
 impl Drop for AfekSnapshot {
     fn drop(&mut self) {
-        let guard = unsafe { epoch::unprotected() };
+        // `&mut self`: no concurrent readers; free current + retired.
         for cell in self.cells.iter() {
-            let shared = cell.load(Ordering::Relaxed, guard);
-            if !shared.is_null() {
-                // SAFETY: we have `&mut self`, so no other thread can
-                // access the cells; taking ownership is safe.
-                drop(unsafe { shared.into_owned() });
+            let p = cell.load(Ordering::Relaxed);
+            if !p.is_null() {
+                // SAFETY: exclusive access; `p` came from Box::into_raw.
+                drop(unsafe { Box::from_raw(p) });
             }
+        }
+        let mut p = self.retired.load(Ordering::Relaxed);
+        while !p.is_null() {
+            // SAFETY: exclusive access; each retired record came from
+            // Box::into_raw and appears on the list exactly once.
+            let next = unsafe { &*p }.retired_next.load(Ordering::Relaxed);
+            drop(unsafe { Box::from_raw(p) });
+            p = next;
         }
     }
 }
+
+// SAFETY: the raw pointers are only ever to heap records transferred
+// between threads through atomics with Release/Acquire ordering, and
+// reclamation is confined to `drop(&mut self)`.
+unsafe impl Send for AfekSnapshot {}
+unsafe impl Sync for AfekSnapshot {}
 
 #[cfg(test)]
 mod tests {

@@ -7,9 +7,8 @@
 //! path-copying snapshots rely on wide registers / pointers and exist as
 //! real-atomics implementations only (see `DESIGN.md`).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
 use ruo_sim::{done, read, write, Machine, Memory, ObjId, ProcessId, Step, Word};
 
 /// A snapshot whose operations are simulator step machines.
@@ -95,7 +94,7 @@ fn scan_attempt(
         Box::new(move |cur| {
             if prev.as_deref() == Some(cur.as_slice()) {
                 let vals: Vec<u64> = cur.iter().map(|&w| unpack_val(w)).collect();
-                let mut table = results.lock();
+                let mut table = results.lock().unwrap();
                 table.push(vals);
                 done(table.len() as Word - 1)
             } else {
@@ -134,7 +133,7 @@ impl SimSnapshot for SimDoubleCollectSnapshot {
     }
 
     fn take_scan_result(&self, token: Word) -> Vec<u64> {
-        self.results.lock()[token as usize].clone()
+        self.results.lock().unwrap()[token as usize].clone()
     }
 }
 

@@ -2,8 +2,13 @@
 //! shapes, sequential-specification conformance of every implementation
 //! on arbitrary operation streams, and schedule-independence of the
 //! simulated algorithms.
+//!
+//! The workspace builds offline with no external dependencies, so these
+//! are deterministic randomized property tests driven by the local
+//! [`ruo_sim::SplitMix64`] generator rather than `proptest`: each test
+//! runs a fixed number of seeded cases, and a failure message always
+//! includes the case number so the exact input can be regenerated.
 
-use proptest::prelude::*;
 use ruo_core::b1tree::depth_bound;
 use ruo_core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
 use ruo_core::farray::{FArray, Max, Min, Sum};
@@ -12,7 +17,7 @@ use ruo_core::maxreg::{AacMaxRegister, CasRetryMaxRegister, TreeMaxRegister};
 use ruo_core::shape::AlgorithmATree;
 use ruo_core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
 use ruo_core::{Counter, MaxRegister, Snapshot};
-use ruo_sim::{Machine, Memory, ProcessId};
+use ruo_sim::{Machine, Memory, ProcessId, SplitMix64};
 
 fn run_solo(mem: &mut Memory, pid: ProcessId, mut m: Machine) -> i64 {
     while let Some(prim) = m.enabled() {
@@ -22,35 +27,39 @@ fn run_solo(mem: &mut Memory, pid: ProcessId, mut m: Machine) -> i64 {
     m.result().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every leaf of Algorithm A's tree respects the Bentley–Yao depth
-    /// bound (value leaves) or the complete-tree bound (process leaves),
-    /// for arbitrary process counts.
-    #[test]
-    fn algorithm_a_tree_depth_bounds(n in 1usize..600) {
+/// Every leaf of Algorithm A's tree respects the Bentley–Yao depth
+/// bound (value leaves) or the complete-tree bound (process leaves),
+/// for arbitrary process counts.
+#[test]
+fn algorithm_a_tree_depth_bounds() {
+    let mut rng = SplitMix64::new(0x51ee7);
+    for case in 0..128 {
+        let n = 1 + rng.gen_index(599);
         let tree = AlgorithmATree::new(n);
         for v in 1..n as u64 {
             let d = tree.write_depth(0, v);
-            prop_assert!(
+            assert!(
                 d <= depth_bound(v as usize) + 1,
-                "value leaf {v}: depth {d} > B1 bound + root edge"
+                "case {case} (n={n}): value leaf {v}: depth {d} > B1 bound + root edge"
             );
         }
         let complete_bound = (n as f64).log2().ceil() as usize + 2;
         for p in 0..n {
             let d = tree.write_depth(p, n as u64 + 1);
-            prop_assert!(d <= complete_bound, "process leaf {p}: {d} > {complete_bound}");
+            assert!(
+                d <= complete_bound,
+                "case {case} (n={n}): process leaf {p}: {d} > {complete_bound}"
+            );
         }
     }
+}
 
-    /// Max registers conform to the sequential spec on arbitrary
-    /// write/read streams (real and simulated implementations).
-    #[test]
-    fn max_registers_follow_the_spec(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..256, 0usize..4), 1..40)
-    ) {
+/// Max registers conform to the sequential spec on arbitrary
+/// write/read streams (real and simulated implementations).
+#[test]
+fn max_registers_follow_the_spec() {
+    let mut rng = SplitMix64::new(0x20140a);
+    for case in 0..128 {
         let n = 4;
         let cap = 256;
         let tree = TreeMaxRegister::new(n);
@@ -60,8 +69,11 @@ proptest! {
         let sim_tree = SimTreeMaxRegister::new(&mut mem, n);
         let sim_aac = SimAacMaxRegister::new(&mut mem, n, cap);
         let mut expected = 0u64;
-        for (is_write, v, p) in ops {
-            let pid = ProcessId(p);
+        let ops = 1 + rng.gen_index(39);
+        for _ in 0..ops {
+            let is_write = rng.gen_bool(0.5);
+            let v = rng.gen_below(256);
+            let pid = ProcessId(rng.gen_index(4));
             if is_write {
                 expected = expected.max(v);
                 tree.write_max(pid, v);
@@ -70,24 +82,34 @@ proptest! {
                 run_solo(&mut mem, pid, sim_tree.write_max(pid, v));
                 run_solo(&mut mem, pid, sim_aac.write_max(pid, v));
             } else {
-                prop_assert_eq!(tree.read_max(), expected);
-                prop_assert_eq!(aac.read_max(), expected);
-                prop_assert_eq!(cas.read_max(), expected);
-                prop_assert_eq!(run_solo(&mut mem, pid, sim_tree.read_max(pid)) as u64, expected);
-                prop_assert_eq!(run_solo(&mut mem, pid, sim_aac.read_max(pid)) as u64, expected);
+                assert_eq!(tree.read_max(), expected, "case {case}: tree");
+                assert_eq!(aac.read_max(), expected, "case {case}: aac");
+                assert_eq!(cas.read_max(), expected, "case {case}: cas");
+                assert_eq!(
+                    run_solo(&mut mem, pid, sim_tree.read_max(pid)) as u64,
+                    expected,
+                    "case {case}: sim tree"
+                );
+                assert_eq!(
+                    run_solo(&mut mem, pid, sim_aac.read_max(pid)) as u64,
+                    expected,
+                    "case {case}: sim aac"
+                );
             }
         }
     }
+}
 
-    /// The simulated Algorithm A converges to the true maximum under
-    /// EVERY interleaving of concurrent writers (schedule chosen by
-    /// proptest), and intermediate roots never exceed it.
-    #[test]
-    fn sim_tree_register_is_schedule_independent(
-        values in proptest::collection::vec(1u64..10_000, 2..5),
-        schedule in proptest::collection::vec(0usize..5, 0..200),
-    ) {
-        let n = values.len();
+/// The simulated Algorithm A converges to the true maximum under
+/// randomly chosen interleavings of concurrent writers, and
+/// intermediate roots never exceed it.
+#[test]
+fn sim_tree_register_is_schedule_independent() {
+    let mut rng = SplitMix64::new(0xdead1e);
+    for case in 0..128 {
+        let n = 2 + rng.gen_index(3);
+        let values: Vec<u64> = (0..n).map(|_| 1 + rng.gen_below(9_999)).collect();
+        let schedule_len = rng.gen_index(200);
         let mut mem = Memory::new();
         let reg = SimTreeMaxRegister::new(&mut mem, n);
         let mut machines: Vec<(ProcessId, Machine)> = values
@@ -96,8 +118,8 @@ proptest! {
             .map(|(i, &v)| (ProcessId(i), reg.write_max(ProcessId(i), v)))
             .collect();
         let max = *values.iter().max().unwrap();
-        // Drive with the proptest-chosen schedule, then drain round-robin.
-        for pick in schedule {
+        // Drive with a random schedule, then drain round-robin.
+        for _ in 0..schedule_len {
             let alive: Vec<usize> = machines
                 .iter()
                 .enumerate()
@@ -107,13 +129,16 @@ proptest! {
             if alive.is_empty() {
                 break;
             }
-            let idx = alive[pick % alive.len()];
+            let idx = alive[rng.gen_index(alive.len())];
             let (pid, m) = &mut machines[idx];
             let prim = m.enabled().unwrap();
             let resp = mem.apply(*pid, prim);
             m.feed(resp);
             let root = run_solo(&mut mem, ProcessId(0), reg.read_max(ProcessId(0))) as u64;
-            prop_assert!(root <= max, "root {root} exceeds any written value");
+            assert!(
+                root <= max,
+                "case {case}: root {root} exceeds any written value"
+            );
         }
         for (pid, m) in machines.iter_mut() {
             while let Some(prim) = m.enabled() {
@@ -122,66 +147,72 @@ proptest! {
             }
         }
         let root = run_solo(&mut mem, ProcessId(0), reg.read_max(ProcessId(0))) as u64;
-        prop_assert_eq!(root, max, "quiescent root must be the maximum");
+        assert_eq!(root, max, "case {case}: quiescent root must be the maximum");
     }
+}
 
-    /// Counters conform to the spec on arbitrary increment/read streams.
-    #[test]
-    fn counters_follow_the_spec(
-        ops in proptest::collection::vec((any::<bool>(), 0usize..4), 1..50)
-    ) {
+/// Counters conform to the spec on arbitrary increment/read streams.
+#[test]
+fn counters_follow_the_spec() {
+    let mut rng = SplitMix64::new(0xc0417e5);
+    for case in 0..128 {
         let n = 4;
         let farray = FArrayCounter::new(n);
         let aac = AacCounter::new(n, 64);
         let fa = FetchAddCounter::new();
         let mut expected = 0u64;
-        for (is_inc, p) in ops {
-            let pid = ProcessId(p);
-            if is_inc {
+        let ops = 1 + rng.gen_index(49);
+        for _ in 0..ops {
+            let pid = ProcessId(rng.gen_index(4));
+            if rng.gen_bool(0.5) && expected < 64 {
                 expected += 1;
                 farray.increment(pid);
                 aac.increment(pid);
                 fa.increment(pid);
             } else {
-                prop_assert_eq!(farray.read(), expected);
-                prop_assert_eq!(aac.read(), expected);
-                prop_assert_eq!(fa.read(), expected);
+                assert_eq!(farray.read(), expected, "case {case}: farray");
+                assert_eq!(aac.read(), expected, "case {case}: aac");
+                assert_eq!(fa.read(), expected, "case {case}: fetch-add");
             }
         }
     }
+}
 
-    /// Snapshots conform to the spec on arbitrary update/scan streams.
-    #[test]
-    fn snapshots_follow_the_spec(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..1_000_000, 0usize..4), 1..50)
-    ) {
+/// Snapshots conform to the spec on arbitrary update/scan streams.
+#[test]
+fn snapshots_follow_the_spec() {
+    let mut rng = SplitMix64::new(0x54a9);
+    for case in 0..128 {
         let n = 4;
         let dc = DoubleCollectSnapshot::new(n);
         let afek = AfekSnapshot::new(n);
         let pc = PathCopySnapshot::new(n, 64);
         let mut expected = vec![0u64; n];
-        for (is_update, v, p) in ops {
+        let ops = 1 + rng.gen_index(49);
+        for _ in 0..ops {
+            let p = rng.gen_index(4);
             let pid = ProcessId(p);
-            if is_update {
+            let v = rng.gen_below(1_000_000);
+            if rng.gen_bool(0.5) {
                 expected[p] = v;
                 dc.update(pid, v);
                 afek.update(pid, v);
                 pc.update(pid, v);
             } else {
-                prop_assert_eq!(dc.scan(), expected.clone());
-                prop_assert_eq!(afek.scan(), expected.clone());
-                prop_assert_eq!(pc.scan(), expected.clone());
+                assert_eq!(dc.scan(), expected, "case {case}: double collect");
+                assert_eq!(afek.scan(), expected, "case {case}: afek");
+                assert_eq!(pc.scan(), expected, "case {case}: path copy");
             }
         }
     }
+}
 
-    /// The generic f-array maintains exactly the aggregate of its slots
-    /// under arbitrary monotone update streams, for all three
-    /// aggregations.
-    #[test]
-    fn farray_aggregates_exactly(
-        deltas in proptest::collection::vec((0usize..4, 1i64..100), 1..40)
-    ) {
+/// The generic f-array maintains exactly the aggregate of its slots
+/// under arbitrary monotone update streams, for all three aggregations.
+#[test]
+fn farray_aggregates_exactly() {
+    let mut rng = SplitMix64::new(0xfa_aa44);
+    for case in 0..128 {
         let n = 4;
         let sum = FArray::<Sum>::new(n);
         let max = FArray::<Max>::new(n);
@@ -189,26 +220,41 @@ proptest! {
         let mut slots_sum = vec![0i64; n];
         let mut slots_max = vec![i64::MIN; n];
         let mut slots_min = vec![i64::MAX; n];
-        for (p, d) in deltas {
+        let deltas = 1 + rng.gen_index(39);
+        for _ in 0..deltas {
+            let p = rng.gen_index(4);
+            let d = 1 + rng.gen_below(99) as i64;
             let pid = ProcessId(p);
             slots_sum[p] += d;
             sum.update(pid, slots_sum[p]);
-            slots_max[p] = if slots_max[p] == i64::MIN { d } else { slots_max[p] + d };
+            slots_max[p] = if slots_max[p] == i64::MIN {
+                d
+            } else {
+                slots_max[p] + d
+            };
             max.update(pid, slots_max[p]);
-            slots_min[p] = if slots_min[p] == i64::MAX { -d } else { slots_min[p] - d };
+            slots_min[p] = if slots_min[p] == i64::MAX {
+                -d
+            } else {
+                slots_min[p] - d
+            };
             min.update(pid, slots_min[p]);
-            prop_assert_eq!(sum.read(), slots_sum.iter().sum::<i64>());
-            prop_assert_eq!(max.read(), *slots_max.iter().max().unwrap());
-            prop_assert_eq!(min.read(), *slots_min.iter().min().unwrap());
+            assert_eq!(sum.read(), slots_sum.iter().sum::<i64>(), "case {case}");
+            assert_eq!(max.read(), *slots_max.iter().max().unwrap(), "case {case}");
+            assert_eq!(min.read(), *slots_min.iter().min().unwrap(), "case {case}");
         }
     }
+}
 
-    /// AAC register: any single value round-trips at any capacity.
-    #[test]
-    fn aac_round_trips_at_any_capacity(cap in 1u64..2_000, seed in 0u64..1_000_000) {
-        let v = seed % cap;
+/// AAC register: any single value round-trips at any capacity.
+#[test]
+fn aac_round_trips_at_any_capacity() {
+    let mut rng = SplitMix64::new(0xaac);
+    for case in 0..128 {
+        let cap = 1 + rng.gen_below(1_999);
+        let v = rng.gen_below(cap);
         let reg = AacMaxRegister::new(cap);
         reg.write_max(ProcessId(0), v);
-        prop_assert_eq!(reg.read_max(), v);
+        assert_eq!(reg.read_max(), v, "case {case}: cap={cap} v={v}");
     }
 }

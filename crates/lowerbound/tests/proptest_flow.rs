@@ -1,38 +1,50 @@
 //! Property tests for the information-flow analysis: the online tracker
 //! must agree with a brute-force oracle that implements Definition 1
 //! directly over the raw event log.
+//!
+//! The workspace builds offline with no external dependencies, so these
+//! are deterministic randomized property tests driven by the local
+//! [`ruo_sim::SplitMix64`] generator rather than `proptest`: each test
+//! runs a fixed number of seeded cases, and a failure message always
+//! includes the case number so the exact input can be regenerated.
 
-use proptest::prelude::*;
 use ruo_lowerbound::flow::visible_mutations;
 use ruo_lowerbound::lemma1::lemma1_round;
 use ruo_lowerbound::turan::greedy_independent_set;
 use ruo_lowerbound::FlowTracker;
-use ruo_sim::{cas, done, read, write, Machine, Memory, Prim, ProcessId, Word};
+use ruo_sim::{cas, done, read, write, Machine, Memory, Prim, ProcessId, SplitMix64, Word};
 
-/// One random primitive applied by a random process to a random object.
-fn arb_step(
-    n_procs: usize,
-    n_objs: usize,
-) -> impl Strategy<Value = (usize, usize, u8, Word, Word)> {
-    (0..n_procs, 0..n_objs, 0u8..3, -2i64..3, -2i64..3)
+/// One random primitive applied by a random process to a random object;
+/// operands in -2..3.
+fn arb_step(rng: &mut SplitMix64, n_procs: usize, n_objs: usize) -> (usize, usize, u8, Word, Word) {
+    (
+        rng.gen_index(n_procs),
+        rng.gen_index(n_objs),
+        rng.gen_below(3) as u8,
+        rng.gen_below(5) as Word - 2,
+        rng.gen_below(5) as Word - 2,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The tracker's per-object contribution sets equal the oracle's
-    /// visible-mutation sets on arbitrary executions.
-    #[test]
-    fn tracker_visibility_matches_definition_1(
-        steps in proptest::collection::vec(arb_step(4, 3), 1..60)
-    ) {
+/// The tracker's per-object contribution sets equal the oracle's
+/// visible-mutation sets on arbitrary executions.
+#[test]
+fn tracker_visibility_matches_definition_1() {
+    let mut rng = SplitMix64::new(0xf100d);
+    for case in 0..256 {
         let mut mem = Memory::new();
         let objs = mem.alloc_n(3, 0);
-        for (p, o, kind, a, b) in steps {
+        let steps = 1 + rng.gen_index(59);
+        for _ in 0..steps {
+            let (p, o, kind, a, b) = arb_step(&mut rng, 4, 3);
             let prim = match kind {
                 0 => Prim::Read(objs[o]),
                 1 => Prim::Write(objs[o], a),
-                _ => Prim::Cas { obj: objs[o], expected: a, new: b },
+                _ => Prim::Cas {
+                    obj: objs[o],
+                    expected: a,
+                    new: b,
+                },
             };
             mem.apply(ProcessId(p), prim);
         }
@@ -42,51 +54,60 @@ proptest! {
             let mut got = tracker.contribution_seqs(o);
             got.sort_unstable();
             let expected = visible_mutations(mem.log().events(), o);
-            prop_assert_eq!(got, expected, "object {}", o);
+            assert_eq!(got, expected, "case {case}: object {o}");
         }
     }
+}
 
-    /// Awareness sets only ever grow as more events are observed, and
-    /// every process is always aware of itself.
-    #[test]
-    fn awareness_is_monotone(
-        steps in proptest::collection::vec(arb_step(4, 3), 1..40)
-    ) {
+/// Awareness sets only ever grow as more events are observed, and
+/// every process is always aware of itself.
+#[test]
+fn awareness_is_monotone() {
+    let mut rng = SplitMix64::new(0xa3a3);
+    for case in 0..256 {
         let mut mem = Memory::new();
         let objs = mem.alloc_n(3, 0);
         let mut tracker = FlowTracker::new(4);
         let mut sizes = [0usize; 4];
-        for (p, o, kind, a, b) in steps {
+        let steps = 1 + rng.gen_index(39);
+        for _ in 0..steps {
+            let (p, o, kind, a, b) = arb_step(&mut rng, 4, 3);
             let prim = match kind {
                 0 => Prim::Read(objs[o]),
                 1 => Prim::Write(objs[o], a),
-                _ => Prim::Cas { obj: objs[o], expected: a, new: b },
+                _ => Prim::Cas {
+                    obj: objs[o],
+                    expected: a,
+                    new: b,
+                },
             };
             mem.apply(ProcessId(p), prim);
             tracker.observe_log_suffix(mem.log());
             for (q, size) in sizes.iter_mut().enumerate() {
                 let aw = tracker.awareness(ProcessId(q));
-                prop_assert!(aw.contains(ProcessId(q)));
-                prop_assert!(aw.len() >= *size, "awareness shrank for p{q}");
+                assert!(aw.contains(ProcessId(q)), "case {case}");
+                assert!(aw.len() >= *size, "case {case}: awareness shrank for p{q}");
                 *size = aw.len();
             }
         }
     }
+}
 
-    /// Lemma 1's knowledge bound holds for arbitrary mixes of one-shot
-    /// read/write/CAS machines scheduled by the three-phase adversary.
-    #[test]
-    fn lemma1_bound_holds_for_random_machines(
-        specs in proptest::collection::vec((0u8..3, 0usize..3, -1i64..4), 2..12),
-        rounds in 1usize..4,
-    ) {
-        let n = specs.len();
+/// Lemma 1's knowledge bound holds for arbitrary mixes of one-shot
+/// read/write/CAS machines scheduled by the three-phase adversary.
+#[test]
+fn lemma1_bound_holds_for_random_machines() {
+    let mut rng = SplitMix64::new(0x1e111a1);
+    for case in 0..256 {
+        let n = 2 + rng.gen_index(10);
+        let rounds = 1 + rng.gen_index(3);
         let mut mem = Memory::new();
         let objs = mem.alloc_n(3, 0);
-        let mut machines: Vec<Machine> = specs
-            .iter()
-            .map(|&(kind, o, v)| {
-                let obj = objs[o];
+        let mut machines: Vec<Machine> = (0..n)
+            .map(|_| {
+                let kind = rng.gen_below(3) as u8;
+                let obj = objs[rng.gen_index(3)];
+                let v = rng.gen_below(5) as Word - 1;
                 match kind {
                     0 => Machine::new(read(obj, done)),
                     1 => Machine::new(write(obj, v, move || done(0))),
@@ -109,33 +130,45 @@ proptest! {
             lemma1_round(&mut mem, &mut procs);
             tracker.observe_log_suffix(mem.log());
             bound *= 3;
-            prop_assert!(
+            assert!(
                 tracker.max_knowledge() <= bound,
-                "M(E) = {} > {}",
+                "case {case}: M(E) = {} > {}",
                 tracker.max_knowledge(),
                 bound
             );
         }
     }
+}
 
-    /// Turán: the greedy independent set is independent and meets the
-    /// n/(d̄+1) size guarantee on arbitrary graphs.
-    #[test]
-    fn greedy_independent_set_meets_turan_bound(
-        n in 1usize..40,
-        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..120)
-    ) {
-        let edges: Vec<(usize, usize)> =
-            edges.into_iter().filter(|&(a, b)| a < n && b < n).collect();
+/// Turán: the greedy independent set is independent and meets the
+/// n/(d̄+1) size guarantee on arbitrary graphs.
+#[test]
+fn greedy_independent_set_meets_turan_bound() {
+    let mut rng = SplitMix64::new(0x7a9a4);
+    for case in 0..256 {
+        let n = 1 + rng.gen_index(39);
+        let n_edges = rng.gen_index(120);
+        let edges: Vec<(usize, usize)> = (0..n_edges)
+            .map(|_| (rng.gen_index(40), rng.gen_index(40)))
+            .filter(|&(a, b)| a < n && b < n)
+            .collect();
         let set = greedy_independent_set(n, &edges);
         for &(a, b) in &edges {
             if a != b {
-                prop_assert!(!(set.contains(&a) && set.contains(&b)), "edge ({a},{b}) inside set");
+                assert!(
+                    !(set.contains(&a) && set.contains(&b)),
+                    "case {case}: edge ({a},{b}) inside set"
+                );
             }
         }
         let real_edges = edges.iter().filter(|(a, b)| a != b).count();
         let avg = 2.0 * real_edges as f64 / n as f64;
         let bound = (n as f64 / (avg + 1.0)).floor() as usize;
-        prop_assert!(set.len() >= bound, "|I| = {} < {}", set.len(), bound);
+        assert!(
+            set.len() >= bound,
+            "case {case}: |I| = {} < {}",
+            set.len(),
+            bound
+        );
     }
 }

@@ -119,10 +119,10 @@ mod tests {
         let n = 4;
         let per = 500u64;
         let g = Arc::new(ProgressGauge::new(n, n as u64 * per));
-        crossbeam_utils::thread::scope(|s| {
+        std::thread::scope(|s| {
             let monitor = {
                 let g = Arc::clone(&g);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut last = 0.0;
                     while !g.is_complete() {
                         let f = g.fraction();
@@ -133,15 +133,14 @@ mod tests {
             };
             for t in 0..n {
                 let g = Arc::clone(&g);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..per {
                         g.complete(ProcessId(t));
                     }
                 });
             }
             monitor.join().unwrap();
-        })
-        .unwrap();
+        });
         assert_eq!(g.done(), n as u64 * per);
     }
 

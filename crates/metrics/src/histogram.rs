@@ -212,17 +212,16 @@ mod tests {
     #[test]
     fn concurrent_recording_counts_exactly() {
         let h = Arc::new(Histogram::new(4, &[10, 100]));
-        crossbeam_utils::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4usize {
                 let h = Arc::clone(&h);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..1000u64 {
                         h.record(ProcessId(t), i % 200);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let s = h.snapshot();
         assert_eq!(s.total(), 4000);
         // i % 200: values 0..=10 (11 of 200), 11..=100 (90), 101..=199 (99).
@@ -232,10 +231,10 @@ mod tests {
     #[test]
     fn snapshot_totals_are_monotone() {
         let h = Arc::new(Histogram::new(2, &[50]));
-        crossbeam_utils::thread::scope(|s| {
+        std::thread::scope(|s| {
             let writer = {
                 let h = Arc::clone(&h);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..2000u64 {
                         h.record(ProcessId(0), i % 100);
                     }
@@ -248,8 +247,7 @@ mod tests {
                 last = t;
             }
             writer.join().unwrap();
-        })
-        .unwrap();
+        });
         assert_eq!(h.snapshot().total(), 2000);
     }
 }

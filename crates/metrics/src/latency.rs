@@ -136,17 +136,16 @@ mod tests {
     #[test]
     fn concurrent_observation_is_exact() {
         let lat = Arc::new(LatencyTracker::new(4, &[100, 1000]));
-        crossbeam_utils::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4usize {
                 let lat = Arc::clone(&lat);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 1..=500u64 {
                         lat.observe(ProcessId(t), i);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let r = lat.report();
         assert_eq!(r.histogram.total(), 2000);
         assert_eq!(r.peak, 500);

@@ -1,49 +1,66 @@
 //! Property tests for the metrics toolkit: every metric must agree with
 //! a naive sequential oracle on arbitrary recording streams.
+//!
+//! The workspace builds offline with no external dependencies, so these
+//! are deterministic randomized property tests driven by the local
+//! [`ruo_sim::SplitMix64`] generator rather than `proptest`: each test
+//! runs a fixed number of seeded cases, and a failure message always
+//! includes the case number so the exact input can be regenerated.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
+
 use ruo_metrics::{Histogram, LowWatermark, ProgressGauge, Watermark};
-use ruo_sim::ProcessId;
+use ruo_sim::{ProcessId, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Watermark == max of all recorded values.
-    #[test]
-    fn watermark_matches_max_oracle(
-        records in proptest::collection::vec((0usize..4, 0u64..1_000_000), 0..60)
-    ) {
+/// Watermark == max of all recorded values.
+#[test]
+fn watermark_matches_max_oracle() {
+    let mut rng = SplitMix64::new(0x3a7e5);
+    for case in 0..128 {
         let w = Watermark::new(4);
         let mut oracle = 0u64;
-        for (p, v) in records {
+        for _ in 0..rng.gen_index(60) {
+            let p = rng.gen_index(4);
+            let v = rng.gen_below(1_000_000);
             w.record(ProcessId(p), v);
             oracle = oracle.max(v);
-            prop_assert_eq!(w.get(), oracle);
+            assert_eq!(w.get(), oracle, "case {case}");
         }
     }
+}
 
-    /// LowWatermark == min of all recorded values (None when empty).
-    #[test]
-    fn low_watermark_matches_min_oracle(
-        records in proptest::collection::vec((0usize..4, 0u64..1_000_000), 0..60)
-    ) {
+/// LowWatermark == min of all recorded values (None when empty).
+#[test]
+fn low_watermark_matches_min_oracle() {
+    let mut rng = SplitMix64::new(0x10_3a7e5);
+    for case in 0..128 {
         let w = LowWatermark::new(4);
         let mut oracle: Option<u64> = None;
-        for (p, v) in records {
+        for _ in 0..rng.gen_index(60) {
+            let p = rng.gen_index(4);
+            let v = rng.gen_below(1_000_000);
             w.record(ProcessId(p), v);
             oracle = Some(oracle.map_or(v, |o| o.min(v)));
-            prop_assert_eq!(w.get(), oracle);
+            assert_eq!(w.get(), oracle, "case {case}");
         }
     }
+}
 
-    /// Histogram bucket counts match a naive per-value classification,
-    /// and quantile upper bounds match a sorted-oracle quantile's bucket.
-    #[test]
-    fn histogram_matches_bucket_oracle(
-        boundaries in proptest::collection::btree_set(1u64..500, 1..6),
-        values in proptest::collection::vec(0u64..600, 1..80),
-    ) {
+/// Histogram bucket counts match a naive per-value classification,
+/// and quantile upper bounds match a sorted-oracle quantile's bucket.
+#[test]
+fn histogram_matches_bucket_oracle() {
+    let mut rng = SplitMix64::new(0x815709);
+    for case in 0..128 {
+        let n_bounds = 1 + rng.gen_index(5);
+        let mut boundaries = BTreeSet::new();
+        while boundaries.len() < n_bounds {
+            boundaries.insert(1 + rng.gen_below(499));
+        }
         let bounds: Vec<u64> = boundaries.into_iter().collect();
+        let n_values = 1 + rng.gen_index(79);
+        let values: Vec<u64> = (0..n_values).map(|_| rng.gen_below(600)).collect();
+
         let h = Histogram::new(2, &bounds);
         let mut oracle = vec![0u64; bounds.len() + 1];
         for &v in &values {
@@ -52,8 +69,8 @@ proptest! {
             oracle[idx] += 1;
         }
         let snap = h.snapshot();
-        prop_assert_eq!(snap.bucket_counts(), &oracle[..]);
-        prop_assert_eq!(snap.total(), values.len() as u64);
+        assert_eq!(snap.bucket_counts(), &oracle[..], "case {case}");
+        assert_eq!(snap.total(), values.len() as u64, "case {case}");
 
         // Quantile oracle: the bucket bound of the ceil(q·total)-th
         // smallest value. The rank-th smallest value lies in bucket j
@@ -65,33 +82,35 @@ proptest! {
             let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
             let val = sorted[rank - 1];
             let expected = bounds.iter().find(|&&b| val <= b).copied();
-            prop_assert_eq!(
+            assert_eq!(
                 snap.quantile_upper_bound(q),
                 expected,
-                "q={} rank={} value={}",
-                q,
-                rank,
-                val
+                "case {case}: q={q} rank={rank} value={val}"
             );
         }
     }
+}
 
-    /// ProgressGauge: done/remaining/fraction are consistent with the
-    /// number of completions.
-    #[test]
-    fn gauge_matches_completion_oracle(
-        completions in 0u64..50,
-        total in 50u64..200,
-    ) {
+/// ProgressGauge: done/remaining/fraction are consistent with the
+/// number of completions.
+#[test]
+fn gauge_matches_completion_oracle() {
+    let mut rng = SplitMix64::new(0x9a09e);
+    for case in 0..128 {
+        let completions = rng.gen_below(50);
+        let total = 50 + rng.gen_below(150);
         let g = ProgressGauge::new(2, total);
         for i in 0..completions {
             g.complete(ProcessId((i % 2) as usize));
         }
-        prop_assert_eq!(g.done(), completions);
-        prop_assert_eq!(g.remaining(), total - completions);
-        prop_assert_eq!(g.total(), total);
+        assert_eq!(g.done(), completions, "case {case}");
+        assert_eq!(g.remaining(), total - completions, "case {case}");
+        assert_eq!(g.total(), total, "case {case}");
         let f = g.fraction();
-        prop_assert!((f - completions as f64 / total as f64).abs() < 1e-12);
-        prop_assert_eq!(g.is_complete(), completions >= total);
+        assert!(
+            (f - completions as f64 / total as f64).abs() < 1e-12,
+            "case {case}"
+        );
+        assert_eq!(g.is_complete(), completions >= total, "case {case}");
     }
 }

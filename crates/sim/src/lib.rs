@@ -52,6 +52,7 @@ mod exec;
 mod ids;
 mod machine;
 mod mem;
+mod rng;
 mod sched;
 
 pub mod explore;
@@ -66,6 +67,7 @@ pub use history::{History, OpDesc, OpOutput, OpRecord};
 pub use ids::{ObjId, ProcessId};
 pub use machine::{cas, done, read, write, BoxedStep, Machine, Step};
 pub use mem::Memory;
+pub use rng::SplitMix64;
 pub use sched::{RandomScheduler, RoundRobin, Scheduler, ScriptedScheduler, Solo};
 
 /// The value stored in a base object.

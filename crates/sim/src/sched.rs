@@ -7,9 +7,7 @@
 //! same execution, which keeps every experiment in this repository
 //! reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::SplitMix64;
 use crate::ProcessId;
 
 /// Picks the next process to take a step.
@@ -55,21 +53,21 @@ impl Scheduler for RoundRobin {
 /// reach, and the seed makes failures replayable.
 #[derive(Clone, Debug)]
 pub struct RandomScheduler {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomScheduler {
     /// Creates a random scheduler from a seed.
     pub fn new(seed: u64) -> Self {
         RandomScheduler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 }
 
 impl Scheduler for RandomScheduler {
     fn pick(&mut self, runnable: &[ProcessId]) -> usize {
-        self.rng.gen_range(0..runnable.len())
+        self.rng.gen_index(runnable.len())
     }
 }
 

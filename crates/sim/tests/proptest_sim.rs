@@ -1,53 +1,69 @@
 //! Property tests for the simulator: memory semantics, executor
 //! determinism, and cross-validation of the fast linearizability
 //! checkers against the exact search.
+//!
+//! The workspace builds offline with no external dependencies, so these
+//! are deterministic randomized property tests driven by the local
+//! [`ruo_sim::SplitMix64`] generator rather than `proptest`: each test
+//! runs a fixed number of seeded cases, and a failure message always
+//! includes the case number so the exact input can be regenerated.
 
-use proptest::prelude::*;
 use ruo_sim::history::{History, OpDesc, OpOutput, OpRecord};
 use ruo_sim::lin::{check_counter, check_exact, check_max_register};
 use ruo_sim::spec::SeqSpec;
 use ruo_sim::{
     cas, done, read, Executor, Machine, Memory, ObjId, OpSpec, Prim, ProcessId, RandomScheduler,
-    Step, Word, WorkloadBuilder,
+    SplitMix64, Step, Word, WorkloadBuilder,
 };
 
-fn arb_prim(n_objs: usize) -> impl Strategy<Value = (usize, u8, Word, Word)> {
-    (0..n_objs, 0u8..3, -3i64..4, -3i64..4)
+/// One random primitive kind/object/operand triple; operands in -3..4.
+fn arb_prim(rng: &mut SplitMix64, n_objs: usize) -> (usize, u8, Word, Word) {
+    (
+        rng.gen_index(n_objs),
+        rng.gen_below(3) as u8,
+        rng.gen_below(7) as Word - 3,
+        rng.gen_below(7) as Word - 3,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Memory responses follow the primitive semantics exactly, and the
-    /// log reconstructs the final state.
-    #[test]
-    fn memory_semantics_hold(steps in proptest::collection::vec(arb_prim(3), 1..60)) {
+/// Memory responses follow the primitive semantics exactly, and the
+/// log reconstructs the final state.
+#[test]
+fn memory_semantics_hold() {
+    let mut rng = SplitMix64::new(0x3e3);
+    for case in 0..256 {
         let mut mem = Memory::new();
         let objs = mem.alloc_n(3, 0);
         let mut shadow = [0i64; 3];
-        for (o, kind, a, b) in steps {
+        let steps = 1 + rng.gen_index(59);
+        for _ in 0..steps {
+            let (o, kind, a, b) = arb_prim(&mut rng, 3);
             let prim = match kind {
                 0 => Prim::Read(objs[o]),
                 1 => Prim::Write(objs[o], a),
-                _ => Prim::Cas { obj: objs[o], expected: a, new: b },
+                _ => Prim::Cas {
+                    obj: objs[o],
+                    expected: a,
+                    new: b,
+                },
             };
             let resp = mem.apply(ProcessId(0), prim);
             match prim {
-                Prim::Read(_) => prop_assert_eq!(resp, shadow[o]),
+                Prim::Read(_) => assert_eq!(resp, shadow[o], "case {case}"),
                 Prim::Write(_, v) => {
-                    prop_assert_eq!(resp, 0);
+                    assert_eq!(resp, 0, "case {case}");
                     shadow[o] = v;
                 }
                 Prim::Cas { expected, new, .. } => {
                     if shadow[o] == expected {
-                        prop_assert_eq!(resp, 1);
+                        assert_eq!(resp, 1, "case {case}");
                         shadow[o] = new;
                     } else {
-                        prop_assert_eq!(resp, 0);
+                        assert_eq!(resp, 0, "case {case}");
                     }
                 }
             }
-            prop_assert_eq!(mem.peek(objs[o]), shadow[o]);
+            assert_eq!(mem.peek(objs[o]), shadow[o], "case {case}");
         }
         // The event log replays to the same final state.
         let events: Vec<_> = mem.log().events().to_vec();
@@ -64,22 +80,36 @@ proptest! {
                 },
             };
             let resp = mem2.apply(e.pid, prim);
-            prop_assert_eq!(resp, e.resp, "replay diverged at seq {}", e.seq);
+            assert_eq!(
+                resp, e.resp,
+                "case {case}: replay diverged at seq {}",
+                e.seq
+            );
         }
         for o in 0..3 {
-            prop_assert_eq!(mem2.peek(objs2[o]), shadow[o]);
+            assert_eq!(mem2.peek(objs2[o]), shadow[o], "case {case}");
         }
     }
+}
 
-    /// The executor is deterministic per scheduler seed: same seed, same
-    /// history; and CAS-loop increments never lose counts under any seed.
-    #[test]
-    fn executor_is_deterministic_and_exact(seed in 0u64..10_000, n in 2usize..6) {
-        fn incr(o: ObjId) -> Step {
-            read(o, move |v| {
-                cas(o, v, v + 1, move |ok| if ok == 1 { done(v + 1) } else { incr(o) })
-            })
-        }
+/// The executor is deterministic per scheduler seed: same seed, same
+/// history; and CAS-loop increments never lose counts under any seed.
+#[test]
+fn executor_is_deterministic_and_exact() {
+    fn incr(o: ObjId) -> Step {
+        read(o, move |v| {
+            cas(
+                o,
+                v,
+                v + 1,
+                move |ok| if ok == 1 { done(v + 1) } else { incr(o) },
+            )
+        })
+    }
+    let mut rng = SplitMix64::new(0xe8ec);
+    for case in 0..256 {
+        let seed = rng.gen_below(10_000);
+        let n = 2 + rng.gen_index(4);
         let run = |seed: u64| {
             let mut mem = Memory::new();
             let o = mem.alloc(0);
@@ -95,29 +125,33 @@ proptest! {
         };
         let a = run(seed);
         let b = run(seed);
-        prop_assert_eq!(a, b, "same seed must reproduce the execution");
-        prop_assert_eq!(a.0, n as i64, "increments lost or duplicated");
+        assert_eq!(a, b, "case {case}: same seed must reproduce the execution");
+        assert_eq!(a.0, n as i64, "case {case}: increments lost or duplicated");
     }
+}
 
-    /// Fast max-register checker is sound relative to the exact search:
-    /// whenever the fast checker accepts a random small history, so does
-    /// the exact checker... in contrapositive form: exact-violation ⇒
-    /// fast result may be either, but fast-violation ⇒ exact-violation.
-    #[test]
-    fn fast_maxreg_checker_never_cries_wolf(
-        ops in proptest::collection::vec((0u8..2, 0i64..4, 0usize..8, 1usize..8), 1..7)
-    ) {
-        // Build a random (possibly nonsense) complete history.
+/// Fast max-register checker is sound relative to the exact search:
+/// whenever the fast checker reports a violation on a random small
+/// history, the exact checker must also reject it.
+#[test]
+fn fast_maxreg_checker_never_cries_wolf() {
+    let mut rng = SplitMix64::new(0x10_bb);
+    for case in 0..256 {
+        let n_ops = 1 + rng.gen_index(6);
         let mut recs = Vec::new();
         let mut t = 0usize;
-        for (i, (kind, v, gap, len)) in ops.iter().enumerate() {
+        for i in 0..n_ops {
+            let kind = rng.gen_below(2) as u8;
+            let v = rng.gen_below(4) as i64;
+            let gap = rng.gen_index(8);
+            let len = 1 + rng.gen_index(7);
             let invoke = t + gap;
             let response = invoke + len;
             t = invoke + 1;
-            let (desc, output) = if *kind == 0 {
-                (OpDesc::WriteMax(*v), OpOutput::Unit)
+            let (desc, output) = if kind == 0 {
+                (OpDesc::WriteMax(v), OpOutput::Unit)
             } else {
-                (OpDesc::ReadMax, OpOutput::Value(*v))
+                (OpDesc::ReadMax, OpOutput::Value(v))
             };
             recs.push(OpRecord {
                 pid: ProcessId(i % 3),
@@ -132,30 +166,36 @@ proptest! {
         let history: History = recs.into_iter().collect();
         let fast = check_max_register(&history, 0);
         let exact = check_exact(&history, &SeqSpec::MaxRegister { initial: 0 });
-        if fast.is_err() {
-            prop_assert!(
+        if let Err(violation) = fast {
+            assert!(
                 exact.is_err(),
-                "fast checker reported a violation the exact checker rejects: {:?}",
-                fast.unwrap_err()
+                "case {case}: fast checker reported a violation the exact checker rejects: \
+                 {violation:?}"
             );
         }
     }
+}
 
-    /// Same soundness cross-check for the counter checker.
-    #[test]
-    fn fast_counter_checker_never_cries_wolf(
-        ops in proptest::collection::vec((0u8..2, 0i64..5, 0usize..8, 1usize..8), 1..7)
-    ) {
+/// Same soundness cross-check for the counter checker.
+#[test]
+fn fast_counter_checker_never_cries_wolf() {
+    let mut rng = SplitMix64::new(0xc2_bb);
+    for case in 0..256 {
+        let n_ops = 1 + rng.gen_index(6);
         let mut recs = Vec::new();
         let mut t = 0usize;
-        for (i, (kind, v, gap, len)) in ops.iter().enumerate() {
+        for i in 0..n_ops {
+            let kind = rng.gen_below(2) as u8;
+            let v = rng.gen_below(5) as i64;
+            let gap = rng.gen_index(8);
+            let len = 1 + rng.gen_index(7);
             let invoke = t + gap;
             let response = invoke + len;
             t = invoke + 1;
-            let (desc, output) = if *kind == 0 {
+            let (desc, output) = if kind == 0 {
                 (OpDesc::CounterIncrement, OpOutput::Unit)
             } else {
-                (OpDesc::CounterRead, OpOutput::Value(*v))
+                (OpDesc::CounterRead, OpOutput::Value(v))
             };
             recs.push(OpRecord {
                 pid: ProcessId(i % 3),
@@ -171,22 +211,27 @@ proptest! {
         let fast = check_counter(&history);
         let exact = check_exact(&history, &SeqSpec::Counter);
         if fast.is_err() {
-            prop_assert!(exact.is_err(), "fast counter checker false positive");
+            assert!(
+                exact.is_err(),
+                "case {case}: fast counter checker false positive"
+            );
         }
     }
+}
 
-    /// And the exact checker accepts every *truly sequential* legal
-    /// history (generated by running the spec).
-    #[test]
-    fn exact_checker_accepts_legal_sequential_histories(
-        kinds in proptest::collection::vec((0u8..2, 0usize..3), 1..10)
-    ) {
+/// And the exact checker accepts every *truly sequential* legal
+/// history (generated by running the spec).
+#[test]
+fn exact_checker_accepts_legal_sequential_histories() {
+    let mut rng = SplitMix64::new(0x5e9);
+    for case in 0..256 {
         let spec = SeqSpec::Counter;
         let mut state = spec.init();
         let mut recs = Vec::new();
-        for (i, (kind, p)) in kinds.iter().enumerate() {
-            let pid = ProcessId(*p);
-            let desc = if *kind == 0 {
+        let n_ops = 1 + rng.gen_index(9);
+        for i in 0..n_ops {
+            let pid = ProcessId(rng.gen_index(3));
+            let desc = if rng.gen_bool(0.5) {
                 OpDesc::CounterIncrement
             } else {
                 OpDesc::CounterRead
@@ -203,13 +248,12 @@ proptest! {
             });
         }
         let history: History = recs.into_iter().collect();
-        prop_assert!(check_exact(&history, &spec).is_ok());
-        prop_assert!(check_counter(&history).is_ok());
+        assert!(check_exact(&history, &spec).is_ok(), "case {case}");
+        assert!(check_counter(&history).is_ok(), "case {case}");
     }
 }
 
 mod explore_props {
-    use proptest::prelude::*;
     use ruo_sim::explore::{enumerate, history_is_wellformed, ExploreOp};
     use ruo_sim::{done, read, Machine, Memory, ObjId, OpDesc, ProcessId, Step};
 
@@ -234,29 +278,42 @@ mod explore_props {
         num
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Enumeration over two fixed-length independent operations
-        /// yields exactly C(a+b, a) schedules.
-        #[test]
-        fn enumeration_count_is_binomial(a in 1usize..6, b in 1usize..6) {
-            let setup = move || {
-                let mut mem = Memory::new();
-                let o = mem.alloc(0);
-                (mem, vec![
-                    Machine::new(chain(o, a)),
-                    Machine::new(chain(o, b)),
-                ])
-            };
-            let ops = vec![
-                ExploreOp { pid: ProcessId(0), desc: OpDesc::ReadMax, returns_value: true },
-                ExploreOp { pid: ProcessId(1), desc: OpDesc::ReadMax, returns_value: true },
-            ];
-            let summary = enumerate(&setup, &ops, &mut |h| history_is_wellformed(h), 100_000);
-            prop_assert!(!summary.truncated);
-            prop_assert!(summary.violation.is_none());
-            prop_assert_eq!(summary.schedules as u64, binomial(a as u64, b as u64));
+    /// Enumeration over two fixed-length independent operations yields
+    /// exactly C(a+b, a) schedules — checked exhaustively for all
+    /// lengths the proptest original sampled from.
+    #[test]
+    fn enumeration_count_is_binomial() {
+        for a in 1usize..6 {
+            for b in 1usize..6 {
+                let setup = move || {
+                    let mut mem = Memory::new();
+                    let o = mem.alloc(0);
+                    (
+                        mem,
+                        vec![Machine::new(chain(o, a)), Machine::new(chain(o, b))],
+                    )
+                };
+                let ops = vec![
+                    ExploreOp {
+                        pid: ProcessId(0),
+                        desc: OpDesc::ReadMax,
+                        returns_value: true,
+                    },
+                    ExploreOp {
+                        pid: ProcessId(1),
+                        desc: OpDesc::ReadMax,
+                        returns_value: true,
+                    },
+                ];
+                let summary = enumerate(&setup, &ops, &mut |h| history_is_wellformed(h), 100_000);
+                assert!(!summary.truncated, "a={a} b={b}");
+                assert!(summary.violation.is_none(), "a={a} b={b}");
+                assert_eq!(
+                    summary.schedules as u64,
+                    binomial(a as u64, b as u64),
+                    "a={a} b={b}"
+                );
+            }
         }
     }
 }

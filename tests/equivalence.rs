@@ -5,8 +5,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ruo::sim::SplitMix64;
 
 use ruo::core::counter::sim::{SimAacCounter, SimCasLoopCounter, SimCounter, SimFArrayCounter};
 use ruo::core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
@@ -31,10 +30,10 @@ fn run_sim_solo(mem: &mut Memory, pid: ProcessId, mut m: ruo::sim::Machine) -> i
 
 #[test]
 fn all_max_registers_agree_on_random_sequential_streams() {
-    let mut rng = StdRng::seed_from_u64(2014);
+    let mut rng = SplitMix64::new(2014);
     for _case in 0..50 {
-        let n = rng.gen_range(1..=6);
-        let cap = 1u64 << rng.gen_range(3..=10);
+        let n = 1 + rng.gen_index(6);
+        let cap = 1u64 << (3 + rng.gen_below(8));
         let tree = TreeMaxRegister::new(n);
         let aac = AacMaxRegister::new(cap);
         let cas = CasRetryMaxRegister::new();
@@ -46,9 +45,9 @@ fn all_max_registers_agree_on_random_sequential_streams() {
         let sim_cas = SimCasRetryMaxRegister::new(&mut mem, n);
         let mut expected = 0u64;
         for _op in 0..40 {
-            let pid = ProcessId(rng.gen_range(0..n));
+            let pid = ProcessId(rng.gen_index(n));
             if rng.gen_bool(0.6) {
-                let v = rng.gen_range(0..cap);
+                let v = rng.gen_below(cap);
                 expected = expected.max(v);
                 tree.write_max(pid, v);
                 aac.write_max(pid, v);
@@ -86,9 +85,9 @@ fn all_max_registers_agree_on_random_sequential_streams() {
 
 #[test]
 fn all_counters_agree_on_random_sequential_streams() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::new(7);
     for _case in 0..40 {
-        let n = rng.gen_range(1..=6);
+        let n = 1 + rng.gen_index(6);
         let farray = FArrayCounter::new(n);
         let aac = AacCounter::new(n, 100);
         let fa = FetchAddCounter::new();
@@ -99,7 +98,7 @@ fn all_counters_agree_on_random_sequential_streams() {
         let sim_cas = SimCasLoopCounter::new(&mut mem, n);
         let mut expected = 0u64;
         for _op in 0..50 {
-            let pid = ProcessId(rng.gen_range(0..n));
+            let pid = ProcessId(rng.gen_index(n));
             if rng.gen_bool(0.6) {
                 expected += 1;
                 farray.increment(pid);
@@ -136,17 +135,17 @@ fn all_counters_agree_on_random_sequential_streams() {
 
 #[test]
 fn all_snapshots_agree_on_random_sequential_streams() {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = SplitMix64::new(42);
     for _case in 0..40 {
-        let n = rng.gen_range(1..=5);
+        let n = 1 + rng.gen_index(5);
         let dc = DoubleCollectSnapshot::new(n);
         let afek = AfekSnapshot::new(n);
         let pc = PathCopySnapshot::new(n, 200);
         let mut expected = vec![0u64; n];
         for _op in 0..60 {
-            let pid = ProcessId(rng.gen_range(0..n));
+            let pid = ProcessId(rng.gen_index(n));
             if rng.gen_bool(0.6) {
-                let v = rng.gen_range(0..1_000_000u64);
+                let v = rng.gen_below(1_000_000);
                 expected[pid.index()] = v;
                 dc.update(pid, v);
                 afek.update(pid, v);
@@ -169,14 +168,14 @@ fn all_snapshots_agree_on_random_sequential_streams() {
 /// real implementations at quiescence.
 #[test]
 fn sim_and_real_tree_registers_converge_identically() {
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SplitMix64::new(99);
     for _case in 0..20 {
         let n = 4;
         let real = Arc::new(TreeMaxRegister::new(n));
         let mut mem = Memory::new();
         let sim = SimTreeMaxRegister::new(&mut mem, n);
         // Concurrent-ish sim run: interleave four write machines randomly.
-        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10_000)).collect();
+        let values: Vec<u64> = (0..n).map(|_| 1 + rng.gen_below(9_999)).collect();
         let mut machines: Vec<_> = (0..n)
             .map(|i| (ProcessId(i), sim.write_max(ProcessId(i), values[i])))
             .collect();
@@ -187,7 +186,7 @@ fn sim_and_real_tree_registers_converge_identically() {
                 .filter(|(_, (_, m))| !m.is_done())
                 .map(|(i, _)| i)
                 .collect();
-            let pick = alive[rng.gen_range(0..alive.len())];
+            let pick = alive[rng.gen_index(alive.len())];
             let (pid, m) = &mut machines[pick];
             let prim = m.enabled().unwrap();
             let resp = mem.apply(*pid, prim);

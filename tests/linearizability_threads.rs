@@ -59,10 +59,10 @@ fn exercise_maxreg<R: MaxRegister>(reg: &R, name: &str) {
     let rec = Recorder::new();
     let threads = 4;
     let ops = 300u64;
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let rec = &rec;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let pid = ProcessId(t);
                 for i in 0..ops {
                     if i % 3 == 2 {
@@ -80,8 +80,7 @@ fn exercise_maxreg<R: MaxRegister>(reg: &R, name: &str) {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     let history = rec.history();
     check_max_register(&history, 0).unwrap_or_else(|v| panic!("{name}: {v}"));
 }
@@ -111,14 +110,79 @@ fn farray_max_register_threads_are_linearizable() {
     exercise_maxreg(&FArrayMaxRegister::new(4), "FArrayMaxRegister");
 }
 
+/// Contended stress config: more threads than the 4-thread smoke runs,
+/// with a mix of deliberately dominated writes (small values that hit
+/// the O(1) root fast path long after larger maxima land) and fresh
+/// maxima. This is the workload where an unsound early return would
+/// lose a completed write.
+fn exercise_maxreg_contended<R: MaxRegister>(reg: &R, name: &str) {
+    let rec = Recorder::new();
+    let threads = 8;
+    let ops = 400u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let rec = &rec;
+            s.spawn(move || {
+                let pid = ProcessId(t);
+                for i in 0..ops {
+                    match i % 4 {
+                        0 => {
+                            // Fresh maximum: strictly growing across the run.
+                            let v = i * threads as u64 + t as u64 + 1;
+                            rec.record(pid, OpDesc::WriteMax(v as i64), || {
+                                reg.write_max(pid, v);
+                                ((), OpOutput::Unit)
+                            });
+                        }
+                        1 | 2 => {
+                            // Dominated write: bounded by the values the
+                            // `i % 4 == 0` branch wrote many rounds ago,
+                            // so under contention it almost always sees
+                            // `root >= v` and returns via the fast path.
+                            let v = (i / 4) * threads as u64 + 1;
+                            rec.record(pid, OpDesc::WriteMax(v as i64), || {
+                                reg.write_max(pid, v);
+                                ((), OpOutput::Unit)
+                            });
+                        }
+                        _ => {
+                            rec.record(pid, OpDesc::ReadMax, || {
+                                let v = reg.read_max();
+                                ((), OpOutput::Value(v as i64))
+                            });
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let history = rec.history();
+    check_max_register(&history, 0).unwrap_or_else(|v| panic!("{name}: {v}"));
+}
+
+#[test]
+fn tree_max_register_contended_mixed_writes_are_linearizable() {
+    exercise_maxreg_contended(&TreeMaxRegister::new(8), "TreeMaxRegister/contended");
+}
+
+#[test]
+fn farray_max_register_contended_mixed_writes_are_linearizable() {
+    exercise_maxreg_contended(&FArrayMaxRegister::new(8), "FArrayMaxRegister/contended");
+}
+
+#[test]
+fn cas_retry_max_register_contended_mixed_writes_are_linearizable() {
+    exercise_maxreg_contended(&CasRetryMaxRegister::new(), "CasRetryMaxRegister/contended");
+}
+
 fn exercise_counter<C: Counter>(counter: &C, name: &str) {
     let rec = Recorder::new();
     let threads = 4;
     let ops = 300u64;
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let rec = &rec;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let pid = ProcessId(t);
                 for i in 0..ops {
                     if i % 3 == 2 {
@@ -135,8 +199,7 @@ fn exercise_counter<C: Counter>(counter: &C, name: &str) {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     let history = rec.history();
     check_counter(&history).unwrap_or_else(|v| panic!("{name}: {v}"));
 }
@@ -160,10 +223,10 @@ fn exercise_snapshot<S: Snapshot>(snap: &S, name: &str) {
     let rec = Recorder::new();
     let threads = snap.n();
     let ops = 150u64;
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let rec = &rec;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let pid = ProcessId(t);
                 for i in 0..ops {
                     if i % 2 == 0 {
@@ -182,8 +245,7 @@ fn exercise_snapshot<S: Snapshot>(snap: &S, name: &str) {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     let history = rec.history();
     check_snapshot(&history, threads, 0).unwrap_or_else(|v| panic!("{name}: {v}"));
 }

@@ -12,10 +12,10 @@ use ruo::sim::ProcessId;
 
 fn hammer<S: Snapshot + 'static>(snap: S, threads: usize, per: u64) {
     let counter = Arc::new(CounterFromSnapshot::new(snap));
-    crossbeam_utils::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let counter = Arc::clone(&counter);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut last = 0;
                 for i in 0..per {
                     counter.increment(ProcessId(t));
@@ -28,8 +28,7 @@ fn hammer<S: Snapshot + 'static>(snap: S, threads: usize, per: u64) {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(counter.read(), threads as u64 * per);
 }
 
