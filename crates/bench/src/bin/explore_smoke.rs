@@ -1,0 +1,168 @@
+//! Experiment W5 — exhaustive-explorer smoke harness.
+//!
+//! Runs the canonical scaled scope (three `WriteMax`es — two dominated —
+//! plus a `ReadMax` against the real Algorithm A on `N = 4` with the
+//! § 4.5 root fast path) twice over identical inputs: once enumerating
+//! every interleaving, once with sleep-set pruning. Both runs must
+//! complete un-truncated with no violation; the harness reports schedule
+//! counts, the pruning factor, replay-steps saved by incremental
+//! execution, and wall-clock, and writes the results as
+//! machine-readable JSON (`BENCH_explore.json` when run from the
+//! repository root) so before/after comparisons are a `diff`.
+//!
+//! CLI: `--quick` (1 timing sample instead of 3 — the CI smoke target),
+//! `--out <path>` (default `BENCH_explore.json`).
+
+use std::time::Instant;
+
+use ruo_core::maxreg::sim::{SimMaxRegister, SimTreeMaxRegister};
+use ruo_metrics::ExploreGauges;
+use ruo_sim::explore::{explore, ExploreConfig, ExploreOp, ExploreSummary};
+use ruo_sim::lin::check_max_register;
+use ruo_sim::{Machine, Memory, OpDesc, ProcessId};
+
+/// The seeded scope's initial max-register value.
+const SEEDED_MAX: i64 = 3;
+
+fn setup() -> (Memory, Vec<Machine>) {
+    let mut mem = Memory::new();
+    let reg = SimTreeMaxRegister::with_root_fast_path(&mut mem, 4);
+    // Seed: WriteMax(3) runs solo to completion, so two of the scope's
+    // writers hit the dominated-write fast path.
+    let mut seed = reg.write_max(ProcessId(0), SEEDED_MAX as u64);
+    while let Some(prim) = seed.enabled() {
+        let resp = mem.apply(ProcessId(0), prim);
+        seed.feed(resp);
+    }
+    let machines = vec![
+        reg.write_max(ProcessId(0), 4),
+        reg.write_max(ProcessId(1), 2),
+        reg.write_max(ProcessId(2), 3),
+        reg.read_max(ProcessId(3)),
+    ];
+    (mem, machines)
+}
+
+fn ops() -> Vec<ExploreOp> {
+    vec![
+        ExploreOp {
+            pid: ProcessId(0),
+            desc: OpDesc::WriteMax(4),
+            returns_value: false,
+        },
+        ExploreOp {
+            pid: ProcessId(1),
+            desc: OpDesc::WriteMax(2),
+            returns_value: false,
+        },
+        ExploreOp {
+            pid: ProcessId(2),
+            desc: OpDesc::WriteMax(3),
+            returns_value: false,
+        },
+        ExploreOp {
+            pid: ProcessId(3),
+            desc: OpDesc::ReadMax,
+            returns_value: true,
+        },
+    ]
+}
+
+/// One timed run; panics on any violation or truncation — this harness
+/// is also the CI gate that the scope stays exhaustively checkable.
+fn run(prune: bool) -> (ExploreSummary, f64) {
+    let ops = ops();
+    let start = Instant::now();
+    let summary = explore(
+        &setup,
+        &ops,
+        &mut |h| check_max_register(h, SEEDED_MAX).is_ok(),
+        ExploreConfig {
+            max_schedules: 100_000,
+            prune,
+        },
+    );
+    let secs = start.elapsed().as_secs_f64();
+    assert!(
+        summary.violation.is_none(),
+        "W5 scope violated linearizability: {:?}",
+        summary.violation
+    );
+    assert!(!summary.truncated, "W5 scope must complete un-truncated");
+    (summary, secs)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = "BENCH_explore.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            a => panic!("unknown argument: {a}"),
+        }
+    }
+    let samples = if quick { 1 } else { 3 };
+
+    let gauges = ExploreGauges::new(2);
+    let mut full_secs = Vec::new();
+    let mut pruned_secs = Vec::new();
+    let mut full = None;
+    let mut pruned = None;
+    for _ in 0..samples {
+        let (s, t) = run(false);
+        gauges.record(ProcessId(0), &s.stats);
+        full_secs.push(t);
+        full = Some(s);
+        let (s, t) = run(true);
+        gauges.record(ProcessId(1), &s.stats);
+        pruned_secs.push(t);
+        pruned = Some(s);
+    }
+    let full = full.expect("at least one sample");
+    let pruned = pruned.expect("at least one sample");
+    let full_t = median(&mut full_secs);
+    let pruned_t = median(&mut pruned_secs);
+    let factor = full.schedules as f64 / pruned.schedules as f64;
+    let replay_factor = pruned.stats.replay_steps_saved as f64 / pruned.stats.executed_steps as f64;
+
+    println!("W5: exhaustive explorer, scaled scope (3 writers + 1 reader, N=4, § 4.5 fast path)");
+    println!(
+        "  full:   {:>6} schedules  {:>8.1} ms",
+        full.schedules,
+        full_t * 1e3
+    );
+    println!(
+        "  pruned: {:>6} schedules  {:>8.1} ms  ({} branches cut, {:.1}x fewer schedules)",
+        pruned.schedules,
+        pruned_t * 1e3,
+        pruned.stats.pruned_branches,
+        factor
+    );
+    println!(
+        "  incremental replay: {} steps executed, {} replay steps saved ({:.1}x)",
+        pruned.stats.executed_steps, pruned.stats.replay_steps_saved, replay_factor
+    );
+    println!("  gauges: {gauges:?}");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"W5\",\n  \"quick\": {quick},\n  \"samples\": {samples},\n  \
+         \"full\": {{ \"schedules\": {}, \"seconds\": {full_t:.6} }},\n  \
+         \"pruned\": {{ \"schedules\": {}, \"seconds\": {pruned_t:.6}, \
+         \"pruned_branches\": {}, \"executed_steps\": {}, \"replay_steps_saved\": {} }},\n  \
+         \"pruning_factor\": {factor:.3},\n  \"replay_savings_factor\": {replay_factor:.3}\n}}\n",
+        full.schedules,
+        pruned.schedules,
+        pruned.stats.pruned_branches,
+        pruned.stats.executed_steps,
+        pruned.stats.replay_steps_saved,
+    );
+    std::fs::write(&out, json).expect("write results JSON");
+    println!("  wrote {out}");
+}

@@ -51,6 +51,7 @@ struct Level {
 pub struct SimTreeMaxRegister {
     tree: Arc<AlgorithmATree>,
     cells: Arc<Vec<ObjId>>,
+    root_fast_path: bool,
 }
 
 impl SimTreeMaxRegister {
@@ -61,7 +62,22 @@ impl SimTreeMaxRegister {
         SimTreeMaxRegister {
             tree: Arc::new(tree),
             cells: Arc::new(cells),
+            root_fast_path: false,
         }
+    }
+
+    /// Like [`new`](SimTreeMaxRegister::new), but `WriteMax(v)` first
+    /// reads the root and returns immediately when the root already
+    /// carries `v` or more — the `O(1)` dominated-write fast path of the
+    /// real [`TreeMaxRegister`](crate::maxreg::TreeMaxRegister)
+    /// (DESIGN.md § 4.5: the root is monotone, and root ≥ v means some
+    /// covering write has fully propagated, so returning is
+    /// linearizable). Opt-in so the default machines keep the paper's
+    /// exact per-level step counts pinned by `tests/step_counts.rs`.
+    pub fn with_root_fast_path(mem: &mut Memory, n: usize) -> Self {
+        let mut reg = Self::new(mem, n);
+        reg.root_fast_path = true;
+        reg
     }
 
     /// The tree layout.
@@ -127,17 +143,35 @@ impl SimMaxRegister for SimTreeMaxRegister {
         // return is unsound there). TR leaves are single-writer: our own
         // earlier completed write covers us, so returning is safe.
         let help = (v as u128) < self.tree.n() as u128;
-        Machine::new(read(leaf_cell, move |old| {
-            if w <= old {
-                if help {
-                    propagate(levels, 0, 0)
+        let body = move || {
+            read(leaf_cell, move |old| {
+                if w <= old {
+                    if help {
+                        propagate(levels, 0, 0)
+                    } else {
+                        done(0)
+                    }
                 } else {
-                    done(0)
+                    write(leaf_cell, w, move || propagate(levels, 0, 0))
                 }
-            } else {
-                write(leaf_cell, w, move || propagate(levels, 0, 0))
-            }
-        }))
+            })
+        };
+        if self.root_fast_path {
+            // Dominated-write fast path (DESIGN.md § 4.5): the root is
+            // monotone and only reaches `v` after a covering write fully
+            // propagated, so root ≥ v makes an immediate return
+            // linearizable — one step total.
+            let root_cell = self.cells[self.tree.root()];
+            Machine::new(read(root_cell, move |r| {
+                if from_word(r) >= v {
+                    done(0)
+                } else {
+                    body()
+                }
+            }))
+        } else {
+            Machine::new(body())
+        }
     }
 
     fn read_max(&self, _pid: ProcessId) -> Machine {
@@ -414,6 +448,37 @@ mod tests {
         );
         // 8 events per level for large values over a depth-~11 path.
         assert!(steps_large <= 2 + 8 * 12);
+    }
+
+    #[test]
+    fn root_fast_path_makes_dominated_writes_one_step() {
+        let mut mem = Memory::new();
+        let reg = SimTreeMaxRegister::with_root_fast_path(&mut mem, 4);
+        run_solo(&mut mem, ProcessId(0), reg.write_max(ProcessId(0), 3));
+        // Strictly dominated and equal-value writes: one root read.
+        let (_, dom) = run_solo(&mut mem, ProcessId(1), reg.write_max(ProcessId(1), 2));
+        assert_eq!(dom, 1, "dominated write must be the O(1) fast path");
+        let (_, eq) = run_solo(&mut mem, ProcessId(2), reg.write_max(ProcessId(2), 3));
+        assert_eq!(eq, 1, "equal-value write must be the O(1) fast path");
+        let (v, _) = run_solo(&mut mem, ProcessId(3), reg.read_max(ProcessId(3)));
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn root_fast_path_costs_one_extra_step_when_not_dominated() {
+        // Same write, with and without the fast-path probe: the probe
+        // adds exactly one root read when it does not trigger.
+        let mut mem_a = Memory::new();
+        let plain = SimTreeMaxRegister::new(&mut mem_a, 4);
+        let (_, base) = run_solo(&mut mem_a, ProcessId(0), plain.write_max(ProcessId(0), 3));
+        let mut mem_b = Memory::new();
+        let fast = SimTreeMaxRegister::with_root_fast_path(&mut mem_b, 4);
+        let (_, probed) = run_solo(&mut mem_b, ProcessId(0), fast.write_max(ProcessId(0), 3));
+        assert_eq!(probed, base + 1);
+        let (va, _) = run_solo(&mut mem_a, ProcessId(1), plain.read_max(ProcessId(1)));
+        let (vb, _) = run_solo(&mut mem_b, ProcessId(1), fast.read_max(ProcessId(1)));
+        assert_eq!(va, vb);
+        assert_eq!(va, 3);
     }
 
     #[test]

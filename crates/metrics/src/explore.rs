@@ -1,0 +1,207 @@
+//! Gauges for bounded model-checking runs.
+
+use std::fmt;
+
+use ruo_core::farray::{FArray, Sum};
+use ruo_sim::explore::ExploreStats;
+use ruo_sim::{ProcessId, Word};
+
+use crate::Watermark;
+
+/// Aggregated counters for a fleet of [`ruo_sim::explore`] runs.
+///
+/// Each worker thread explores a different scope (or shard of one) and
+/// reports its [`ExploreStats`] here; readers — a progress printer, a CI
+/// smoke harness — see exact totals with `O(1)` reads, courtesy of the
+/// f-array's root-cached sums. Totals are add-by-`k` (a whole run's
+/// counters land in one `record` call), which is why these are
+/// [`FArray<Sum>`] slots updated with `update_with` rather than
+/// unit-increment counters.
+///
+/// ```
+/// use ruo_metrics::ExploreGauges;
+/// use ruo_sim::explore::ExploreStats;
+/// use ruo_sim::ProcessId;
+///
+/// let gauges = ExploreGauges::new(2);
+/// gauges.record(
+///     ProcessId(0),
+///     &ExploreStats {
+///         schedules: 132,
+///         pruned_branches: 40,
+///         executed_steps: 700,
+///         replay_steps_saved: 1_900,
+///         peak_depth: 8,
+///     },
+/// );
+/// assert_eq!(gauges.schedules(), 132);
+/// assert_eq!(gauges.peak_depth(), 8);
+/// ```
+pub struct ExploreGauges {
+    schedules: FArray<Sum>,
+    pruned_branches: FArray<Sum>,
+    executed_steps: FArray<Sum>,
+    replay_steps_saved: FArray<Sum>,
+    peak_depth: Watermark,
+}
+
+impl fmt::Debug for ExploreGauges {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExploreGauges")
+            .field("schedules", &self.schedules())
+            .field("pruned_branches", &self.pruned_branches())
+            .field("executed_steps", &self.executed_steps())
+            .field("replay_steps_saved", &self.replay_steps_saved())
+            .field("peak_depth", &self.peak_depth())
+            .finish()
+    }
+}
+
+/// Clamps an exploration counter into a [`Word`] slot delta.
+fn to_delta(v: u64) -> Word {
+    Word::try_from(v).unwrap_or(Word::MAX)
+}
+
+impl ExploreGauges {
+    /// Creates gauges shared by `n` explorer identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        ExploreGauges {
+            schedules: FArray::new(n),
+            pruned_branches: FArray::new(n),
+            executed_steps: FArray::new(n),
+            replay_steps_saved: FArray::new(n),
+            peak_depth: Watermark::new(n),
+        }
+    }
+
+    /// Folds one finished run's counters into the totals. Wait-free:
+    /// four single-writer slot updates plus one max-register write.
+    pub fn record(&self, pid: ProcessId, stats: &ExploreStats) {
+        self.schedules
+            .update_with(pid, |cur| cur + to_delta(stats.schedules as u64));
+        self.pruned_branches
+            .update_with(pid, |cur| cur + to_delta(stats.pruned_branches as u64));
+        self.executed_steps
+            .update_with(pid, |cur| cur + to_delta(stats.executed_steps));
+        self.replay_steps_saved
+            .update_with(pid, |cur| cur + to_delta(stats.replay_steps_saved));
+        self.peak_depth.record(pid, stats.peak_depth as u64);
+    }
+
+    /// Total complete schedules checked across all recorded runs.
+    pub fn schedules(&self) -> u64 {
+        self.schedules.read() as u64
+    }
+
+    /// Total sleep-set branch skips across all recorded runs.
+    pub fn pruned_branches(&self) -> u64 {
+        self.pruned_branches.read() as u64
+    }
+
+    /// Total shared-memory events executed across all recorded runs.
+    pub fn executed_steps(&self) -> u64 {
+        self.executed_steps.read() as u64
+    }
+
+    /// Total replay work avoided by snapshot/restore, in memory events.
+    pub fn replay_steps_saved(&self) -> u64 {
+        self.replay_steps_saved.read() as u64
+    }
+
+    /// Deepest DFS prefix any recorded run reached.
+    pub fn peak_depth(&self) -> u64 {
+        self.peak_depth.get()
+    }
+
+    /// `replay_steps_saved / executed_steps`: how many times over the
+    /// incremental explorer would have re-paid its executed work under
+    /// full-prefix replay. `0.0` until something has been recorded.
+    pub fn replay_savings_factor(&self) -> f64 {
+        let executed = self.executed_steps();
+        if executed == 0 {
+            return 0.0;
+        }
+        self.replay_steps_saved() as f64 / executed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn stats(
+        schedules: usize,
+        pruned: usize,
+        steps: u64,
+        saved: u64,
+        depth: usize,
+    ) -> ExploreStats {
+        ExploreStats {
+            schedules,
+            pruned_branches: pruned,
+            executed_steps: steps,
+            replay_steps_saved: saved,
+            peak_depth: depth,
+        }
+    }
+
+    #[test]
+    fn totals_sum_and_depth_takes_the_max() {
+        let g = ExploreGauges::new(2);
+        g.record(ProcessId(0), &stats(100, 10, 500, 1_500, 6));
+        g.record(ProcessId(1), &stats(32, 5, 200, 400, 8));
+        assert_eq!(g.schedules(), 132);
+        assert_eq!(g.pruned_branches(), 15);
+        assert_eq!(g.executed_steps(), 700);
+        assert_eq!(g.replay_steps_saved(), 1_900);
+        assert_eq!(g.peak_depth(), 8);
+    }
+
+    #[test]
+    fn repeated_records_accumulate_per_slot() {
+        let g = ExploreGauges::new(1);
+        for _ in 0..3 {
+            g.record(ProcessId(0), &stats(10, 1, 50, 75, 4));
+        }
+        assert_eq!(g.schedules(), 30);
+        assert_eq!(g.replay_steps_saved(), 225);
+        assert_eq!(g.peak_depth(), 4);
+    }
+
+    #[test]
+    fn savings_factor_is_zero_before_any_record() {
+        let g = ExploreGauges::new(1);
+        assert_eq!(g.replay_savings_factor(), 0.0);
+        g.record(ProcessId(0), &stats(1, 0, 100, 300, 2));
+        assert!((g.replay_savings_factor() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_counts() {
+        let n = 4;
+        let runs = 100;
+        let g = Arc::new(ExploreGauges::new(n));
+        std::thread::scope(|s| {
+            for t in 0..n {
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    for _ in 0..runs {
+                        g.record(ProcessId(t), &stats(3, 1, 10, 20, t + 1));
+                    }
+                });
+            }
+        });
+        let runs = runs as u64;
+        let n = n as u64;
+        assert_eq!(g.schedules(), 3 * runs * n);
+        assert_eq!(g.pruned_branches(), runs * n);
+        assert_eq!(g.executed_steps(), 10 * runs * n);
+        assert_eq!(g.replay_steps_saved(), 20 * runs * n);
+        assert_eq!(g.peak_depth(), n);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`Histogram`] — fixed-boundary latency/size histogram with
 //!   wait-free recording and quantile estimates.
 //! * [`LatencyTracker`] — histogram + peak + best in one `observe`.
+//! * [`ExploreGauges`] — totals for bounded model-checking runs
+//!   (schedules, pruned branches, replay savings, peak DFS depth).
 //!
 //! Every type is shared by a fixed set of `N` recorder identities
 //! ([`ruo_sim::ProcessId`], one per thread), which is what makes the
@@ -36,11 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod explore;
 mod gauge;
 mod histogram;
 mod latency;
 mod watermark;
 
+pub use explore::ExploreGauges;
 pub use gauge::ProgressGauge;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use latency::{LatencyReport, LatencyTracker};

@@ -148,6 +148,10 @@ impl EventLog {
         self.events.push(ev);
     }
 
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        self.events.pop()
+    }
+
     /// Number of events in the execution.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -197,7 +197,12 @@ impl Executor {
                 if machine.is_done() {
                     let result = machine.result().expect("done machine has result");
                     let rec = &mut history.ops_mut()[hist_idx];
-                    rec.response = Some(invoke);
+                    // Completion consumes a tick: a zero-step operation
+                    // occupies [invoke, invoke + 1], never a zero-width
+                    // interval (response == invoke would make two
+                    // same-tick operations mutually precede each other
+                    // and poison the checkers' precedence relation).
+                    rec.response = Some(invoke + 1);
                     rec.output = Some((spec.finish)(result));
                     continue;
                 }
@@ -311,6 +316,34 @@ mod tests {
             assert!(op.invoke < resp);
             assert!(resp <= mem.steps());
         }
+    }
+
+    #[test]
+    fn zero_step_ops_never_get_zero_width_intervals() {
+        // Two already-done machines invoked at the same tick: each must
+        // be recorded with response == invoke + 1, so neither precedes
+        // the other (regression: response == invoke created a mutual-
+        // precedence cycle).
+        let mut mem = Memory::new();
+        let _ = mem.alloc(0);
+        let mut w = WorkloadBuilder::new(2);
+        for i in 0..2 {
+            w.op(
+                ProcessId(i),
+                OpSpec::update(OpDesc::WriteMax(0), || Machine::completed(0)),
+            );
+        }
+        let outcome = Executor::new().run(&mut mem, w, &mut RoundRobin::new());
+        assert!(outcome.all_done);
+        let ops = outcome.history.ops();
+        assert_eq!(ops.len(), 2);
+        for op in ops {
+            assert_eq!(op.invoke, 0);
+            assert_eq!(op.response, Some(1));
+        }
+        assert!(ops[0].overlaps(&ops[1]));
+        assert!(!ops[0].precedes(&ops[1]));
+        assert!(!ops[1].precedes(&ops[0]));
     }
 
     #[test]

@@ -1,21 +1,68 @@
 //! Exhaustive small-scope schedule exploration.
 //!
-//! For a workload of one operation per process, [`enumerate`] walks
-//! *every* interleaving of the operations' shared-memory events (up to a
+//! For a workload of one operation per process, [`explore`] walks every
+//! interleaving of the operations' shared-memory events (up to a
 //! schedule budget) and hands each complete execution's [`History`] to a
 //! checker. This is bounded model checking for linearizability: if an
 //! algorithm has a bad schedule within the scope, enumeration *will*
 //! find it — no luck required, unlike random schedules.
 //!
+//! Two things keep the search scalable:
+//!
+//! * **Incremental execution.** The DFS never replays a prefix. Taking a
+//!   step applies one primitive; backtracking undoes it with
+//!   [`Memory::undo_last`] (`O(1)` — each [`Event`](crate::Event) logs
+//!   the overwritten value) and rebuilds only the stepped machine by
+//!   re-feeding its recorded responses into a fresh machine from a pool
+//!   (continuations are `FnOnce`, so a consumed machine cannot be
+//!   rewound directly). Legacy full-prefix replay cost
+//!   `O(tree-size × depth)` memory events; the incremental scheme costs
+//!   `O(tree-size)` plus the (per-process, usually much shorter) machine
+//!   re-feeds.
+//!
+//! * **Independence-based pruning** (sleep sets, Godefroid-style),
+//!   enabled via [`ExploreConfig::prune`]. Two steps by different
+//!   processes are *independent* when they commute as memory actions
+//!   (different cells, or both reads) **and** neither is an operation
+//!   boundary adjacent to the other's boundary (see below). Schedules
+//!   that differ only by swapping adjacent independent steps produce
+//!   identical histories, so only one representative per equivalence
+//!   class is explored. The opt-out (`prune: false`, the [`enumerate`]
+//!   default) enumerates every interleaving — tests use it to prove the
+//!   pruned search reaches the same verdicts and histories.
+//!
+//! # Why pruning is sound here
+//!
+//! A checker's verdict depends only on (a) each operation's output and
+//! (b) the precedence relation `a.response <= b.invoke` between
+//! operations (every built-in checker condition is expressible in those
+//! terms). Swapping two adjacent steps that commute as memory actions
+//! leaves every response — and hence every output and every machine's
+//! subsequent behavior — unchanged. It can shift `invoke`/`response`
+//! *ticks* by one, which changes the precedence relation only when the
+//! earlier step is the **last** step of its operation and the later step
+//! is the **first** step of its operation (completion-before-invocation
+//! is exactly what `precedes` observes). The dependence relation
+//! therefore additionally marks such boundary pairs dependent, which
+//! restores history equality for all remaining swaps. Consequence: with
+//! pruning enabled the checker must not distinguish histories beyond
+//! outputs + precedence (raw-tick inspection may differ between
+//! representatives); all checkers in [`crate::lin`] qualify.
+//!
 //! The number of interleavings is exponential (for two operations of
-//! `a` and `b` steps it is `C(a+b, a)`), so keep scopes tiny: 2–3
-//! processes with short operations. The test suite uses this to verify
-//! Algorithm A exhaustively at small sizes and to *rediscover* the
-//! counterexample schedule against the single-CAS variant
-//! automatically.
+//! `a` and `b` steps it is `C(a+b, a)`); pruning typically removes the
+//! commuting bulk, extending exhaustive scopes to 3–4 processes with
+//! realistic operations (see `tests/exhaustive.rs` and EXPERIMENTS.md
+//! § W5). The test suite uses this to verify Algorithm A exhaustively at
+//! small sizes and to *rediscover* the counterexample schedule against
+//! the single-CAS variant automatically — with pruning on and off.
 
 use crate::history::{History, OpOutput, OpRecord};
-use crate::{Machine, Memory, OpDesc, ProcessId};
+use crate::{Machine, Memory, ObjId, OpDesc, ProcessId, Word};
+
+/// Hard per-operation step cap: a machine exceeding this many steps in
+/// one schedule would make enumeration meaningless.
+const STEP_CAP: usize = 10_000;
 
 /// One process's single operation for exploration: a description plus a
 /// machine factory (invoked afresh for every schedule).
@@ -30,6 +77,48 @@ pub struct ExploreOp {
     pub returns_value: bool,
 }
 
+/// Search configuration for [`explore`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Schedule budget: the search stops (and reports
+    /// [`ExploreSummary::truncated`]) once this many complete schedules
+    /// have been checked and more remain.
+    pub max_schedules: usize,
+    /// Whether to prune trace-equivalent interleavings via sleep sets.
+    /// Sound for checkers that depend only on operation outputs and the
+    /// precedence relation (all of [`crate::lin`]); disable to enumerate
+    /// every interleaving.
+    pub prune: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_schedules: 1_000_000,
+            prune: true,
+        }
+    }
+}
+
+/// Counters describing how much work an exploration did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreStats {
+    /// Complete schedules checked (same as [`ExploreSummary::schedules`]).
+    pub schedules: usize,
+    /// Branches skipped because the process was in the sleep set (each
+    /// skip removes an entire subtree of interleavings).
+    pub pruned_branches: usize,
+    /// Shared-memory events actually executed during the search.
+    pub executed_steps: u64,
+    /// Memory events a full-prefix-replay explorer would have executed,
+    /// minus this search's actual cost (forward steps are counted by
+    /// `executed_steps`; machine re-feeds on backtrack are subtracted
+    /// here). A direct measure of what snapshot/restore saves.
+    pub replay_steps_saved: u64,
+    /// Deepest DFS prefix reached (= longest schedule length).
+    pub peak_depth: usize,
+}
+
 /// Summary of an exploration run.
 #[derive(Clone, Debug)]
 pub struct ExploreSummary {
@@ -41,140 +130,345 @@ pub struct ExploreSummary {
     /// The first violating schedule found, if any: the order in which
     /// processes took steps.
     pub violation: Option<Vec<ProcessId>>,
+    /// Work counters for the run.
+    pub stats: ExploreStats,
 }
 
-/// Enumerates every interleaving of one-shot operations.
+/// What the explorer remembers about one executed step, for undo and for
+/// the independence relation.
+#[derive(Clone, Copy, Debug)]
+struct StepInfo {
+    /// Index (into `ops`) of the process that stepped.
+    idx: usize,
+    /// The cell the primitive accessed.
+    obj: ObjId,
+    /// Whether the primitive was a read.
+    is_read: bool,
+    /// Whether this was the operation's first step.
+    was_first: bool,
+    /// Whether this step completed the operation.
+    was_last: bool,
+}
+
+/// Memory-level commutativity: steps on different cells always commute;
+/// steps on the same cell commute only if both are reads.
+fn commutes(a_obj: ObjId, a_is_read: bool, b: &StepInfo) -> bool {
+    a_obj != b.obj || (a_is_read && b.is_read)
+}
+
+/// Full independence between two *executed* steps (both boundary flags
+/// known): they commute as memory actions and neither's last step
+/// immediately precedes the other's first (which is the one swap that
+/// can change the precedence relation — see the module docs).
+fn independent(a: &StepInfo, b: &StepInfo) -> bool {
+    commutes(a.obj, a.is_read, b) && !(a.was_last && b.was_first) && !(b.was_last && a.was_first)
+}
+
+struct Explorer<'a> {
+    setup: &'a dyn Fn() -> (Memory, Vec<Machine>),
+    ops: &'a [ExploreOp],
+    check: &'a mut dyn FnMut(&History) -> bool,
+    cfg: ExploreConfig,
+    /// The one memory being mutated and un-mutated in place.
+    mem: Memory,
+    /// Event-log length when exploration started (setups may pre-run
+    /// seed operations; those events are never undone).
+    base: usize,
+    /// Current machine state per operation.
+    machines: Vec<Machine>,
+    /// Responses fed to each machine so far, for rebuild on backtrack.
+    resp_log: Vec<Vec<Word>>,
+    /// Pool of fresh (never-stepped) machines per operation, refilled by
+    /// extra `setup` calls.
+    spare: Vec<Vec<Machine>>,
+    /// Tick of each operation's first event, if it has stepped.
+    first_step: Vec<Option<usize>>,
+    /// Tick just after each operation's last event, if it completed by
+    /// stepping (zero-step operations stay `None`).
+    completed_at: Vec<Option<usize>>,
+    /// The current schedule prefix (operation indices).
+    prefix: Vec<usize>,
+    schedules: usize,
+    truncated: bool,
+    violation: Option<Vec<ProcessId>>,
+    stats: ExploreStats,
+}
+
+impl Explorer<'_> {
+    /// Executes one step of operation `idx` against `mem`, recording
+    /// everything needed to undo it.
+    fn step_forward(&mut self, idx: usize) -> StepInfo {
+        let prim = self.machines[idx].enabled().expect("runnable step exists");
+        let was_first = self.first_step[idx].is_none();
+        let t = self.mem.steps();
+        let resp = self.mem.apply(self.ops[idx].pid, prim);
+        self.stats.executed_steps += 1;
+        let finished = self.machines[idx].feed(resp);
+        self.resp_log[idx].push(resp);
+        if was_first {
+            self.first_step[idx] = Some(t);
+        }
+        if finished {
+            self.completed_at[idx] = Some(t + 1);
+        }
+        assert!(
+            self.machines[idx].steps() <= STEP_CAP,
+            "operation exceeded the exploration step cap"
+        );
+        self.prefix.push(idx);
+        StepInfo {
+            idx,
+            obj: prim.obj(),
+            is_read: prim.is_read(),
+            was_first,
+            was_last: finished,
+        }
+    }
+
+    /// Undoes the step described by `info`: the memory event is reversed
+    /// in `O(1)` and the stepped machine is rebuilt from a fresh machine
+    /// by re-feeding its remaining recorded responses.
+    fn step_back(&mut self, info: &StepInfo) {
+        self.prefix.pop();
+        let idx = info.idx;
+        self.mem.undo_last();
+        self.resp_log[idx].pop();
+        if info.was_last {
+            self.completed_at[idx] = None;
+        }
+        if info.was_first {
+            self.first_step[idx] = None;
+        }
+        let mut m = self.fresh_machine(idx);
+        let refeeds = self.resp_log[idx].len();
+        for i in 0..refeeds {
+            m.feed(self.resp_log[idx][i]);
+        }
+        self.stats.replay_steps_saved =
+            self.stats.replay_steps_saved.saturating_sub(refeeds as u64);
+        self.machines[idx] = m;
+    }
+
+    /// A never-stepped machine for operation `idx`, from the pool —
+    /// refilled by calling `setup` again (deterministic by contract; the
+    /// extra memory it builds is discarded).
+    fn fresh_machine(&mut self, idx: usize) -> Machine {
+        if let Some(m) = self.spare[idx].pop() {
+            return m;
+        }
+        let (_, machines) = (self.setup)();
+        assert_eq!(machines.len(), self.ops.len(), "setup/ops arity mismatch");
+        for (j, m) in machines.into_iter().enumerate() {
+            self.spare[j].push(m);
+        }
+        self.spare[idx]
+            .pop()
+            .expect("setup provides one machine per op")
+    }
+
+    /// The child's sleep set after executing `info`: every process asleep
+    /// at this node (inherited or an already-explored sibling) stays
+    /// asleep iff its deferred step is independent of `info`.
+    fn child_sleep(&self, asleep: u64, explored: &[StepInfo], info: &StepInfo) -> u64 {
+        let mut out = 0u64;
+        let mut explored_mask = 0u64;
+        for s in explored {
+            explored_mask |= 1 << s.idx;
+            if independent(s, info) {
+                out |= 1 << s.idx;
+            }
+        }
+        let mut inherited = asleep & !explored_mask;
+        while inherited != 0 {
+            let q = inherited.trailing_zeros() as usize;
+            inherited &= inherited - 1;
+            let prim = self.machines[q].enabled().expect("sleeping op is enabled");
+            // Whether q's deferred step would be its operation's *last*
+            // is unknown without executing it — assume it could be
+            // (conservative: waking a process early never loses a trace
+            // class, it only explores more).
+            let q_first = self.first_step[q].is_none();
+            if commutes(prim.obj(), prim.is_read(), info)
+                && !info.was_first
+                && !(info.was_last && q_first)
+            {
+                out |= 1 << q;
+            }
+        }
+        out
+    }
+
+    /// Builds the history of the (complete) current schedule.
+    fn build_history(&self) -> History {
+        let mut recs: Vec<OpRecord> = self
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let machine = &self.machines[i];
+                let output = if op.returns_value {
+                    OpOutput::Value(machine.result().expect("complete schedule has results"))
+                } else {
+                    OpOutput::Unit
+                };
+                let invoke = self.first_step[i].unwrap_or(self.base);
+                // Completion consumes a tick: a zero-step operation
+                // occupies the virtual interval [invoke, invoke + 1], so
+                // `response > invoke` holds for every record (see the
+                // invariant on `OpRecord::invoke`).
+                let response = self.completed_at[i].unwrap_or(invoke + 1);
+                debug_assert!(response > invoke);
+                OpRecord {
+                    pid: op.pid,
+                    desc: op.desc.clone(),
+                    invoke,
+                    response: Some(response),
+                    output: Some(output),
+                    steps: machine.steps(),
+                }
+            })
+            .collect();
+        recs.sort_by_key(|r| r.invoke);
+        recs.into_iter().collect()
+    }
+
+    fn dfs(&mut self, sleep: u64) {
+        if self.violation.is_some() || self.truncated {
+            return;
+        }
+        if self.schedules >= self.cfg.max_schedules {
+            self.truncated = true;
+            return;
+        }
+        let depth = self.prefix.len();
+        self.stats.peak_depth = self.stats.peak_depth.max(depth);
+        if depth > 0 {
+            // A full-prefix-replay explorer re-executes the whole prefix
+            // to reach this node; the incremental scheme paid one step.
+            self.stats.replay_steps_saved += (depth - 1) as u64;
+        }
+        let runnable: Vec<usize> = (0..self.machines.len())
+            .filter(|&i| !self.machines[i].is_done())
+            .collect();
+        if runnable.is_empty() {
+            // Complete schedule: build the history and check it.
+            self.schedules += 1;
+            let history = self.build_history();
+            if !(self.check)(&history) {
+                self.violation = Some(self.prefix.iter().map(|&i| self.ops[i].pid).collect());
+            }
+            return;
+        }
+        let mut asleep = sleep;
+        let mut explored: Vec<StepInfo> = Vec::new();
+        for &idx in &runnable {
+            if self.cfg.prune && asleep & (1 << idx) != 0 {
+                self.stats.pruned_branches += 1;
+                continue;
+            }
+            let info = self.step_forward(idx);
+            let child_sleep = if self.cfg.prune {
+                self.child_sleep(asleep, &explored, &info)
+            } else {
+                0
+            };
+            self.dfs(child_sleep);
+            self.step_back(&info);
+            if self.violation.is_some() || self.truncated {
+                return;
+            }
+            // Subsequent siblings may defer idx's step until something
+            // dependent on it executes.
+            asleep |= 1 << idx;
+            explored.push(info);
+        }
+    }
+}
+
+/// Explores interleavings of one-shot operations under `cfg`.
 ///
-/// * `setup` — builds a fresh memory and machines for each replay; must
-///   be deterministic.
+/// * `setup` — builds a fresh memory and machines; must be
+///   deterministic (it is re-invoked to refill the machine pool). It may
+///   pre-run seed operations solo before returning: exploration starts
+///   from whatever state `setup` leaves, and recorded ticks are absolute
+///   positions in that memory's event log.
 /// * `ops` — descriptions matching `setup`'s machines (same order).
 /// * `check` — called with each complete execution's history; returning
 ///   `false` marks the schedule as a violation and stops the search.
-/// * `max_schedules` — search budget.
+///   With [`ExploreConfig::prune`] set, the verdict must depend only on
+///   operation outputs and the precedence relation (see module docs).
 ///
 /// Returns the summary; exploration stops at the first violation.
 ///
 /// # Panics
 ///
 /// Panics if `setup` returns a different number of machines than `ops`
-/// describes, or if any machine exceeds `10_000` steps in one schedule
-/// (which would make enumeration meaningless).
+/// describes, if there are more than 64 operations, or if any machine
+/// exceeds `10_000` steps in one schedule.
+pub fn explore(
+    setup: &dyn Fn() -> (Memory, Vec<Machine>),
+    ops: &[ExploreOp],
+    check: &mut dyn FnMut(&History) -> bool,
+    cfg: ExploreConfig,
+) -> ExploreSummary {
+    assert!(
+        ops.len() <= 64,
+        "explorer supports at most 64 operations, got {}",
+        ops.len()
+    );
+    let (mem, machines) = setup();
+    assert_eq!(machines.len(), ops.len(), "setup/ops arity mismatch");
+    let n = machines.len();
+    let base = mem.steps();
+    let mut explorer = Explorer {
+        setup,
+        ops,
+        check,
+        cfg,
+        mem,
+        base,
+        machines,
+        resp_log: vec![Vec::new(); n],
+        spare: (0..n).map(|_| Vec::new()).collect(),
+        first_step: vec![None; n],
+        completed_at: vec![None; n],
+        prefix: Vec::new(),
+        schedules: 0,
+        truncated: false,
+        violation: None,
+        stats: ExploreStats::default(),
+    };
+    explorer.dfs(0);
+    let mut stats = explorer.stats;
+    stats.schedules = explorer.schedules;
+    ExploreSummary {
+        schedules: explorer.schedules,
+        truncated: explorer.truncated,
+        violation: explorer.violation,
+        stats,
+    }
+}
+
+/// Enumerates *every* interleaving of one-shot operations (no pruning).
+///
+/// Equivalent to [`explore`] with [`ExploreConfig::prune`] off: schedule
+/// counts are exact interleaving counts, and the checker may inspect raw
+/// ticks. See [`explore`] for parameter docs and panics.
 pub fn enumerate(
     setup: &dyn Fn() -> (Memory, Vec<Machine>),
     ops: &[ExploreOp],
     check: &mut dyn FnMut(&History) -> bool,
     max_schedules: usize,
 ) -> ExploreSummary {
-    let mut summary = ExploreSummary {
-        schedules: 0,
-        truncated: false,
-        violation: None,
-    };
-    let mut prefix: Vec<usize> = Vec::new();
-    dfs(setup, ops, check, max_schedules, &mut prefix, &mut summary);
-    summary
-}
-
-/// Per-op timing from a replayed prefix: `first_step` is the position of
-/// the op's first event (its effective invocation time — invoking any
-/// later than that is indistinguishable, and this choice maximizes the
-/// precedence constraints the checker can exploit), `completed_at` the
-/// position just after its last event.
-struct Timing {
-    first_step: Vec<Option<usize>>,
-    completed_at: Vec<Option<usize>>,
-}
-
-/// Replays `prefix` against a fresh setup.
-fn replay(
-    setup: &dyn Fn() -> (Memory, Vec<Machine>),
-    ops: &[ExploreOp],
-    prefix: &[usize],
-) -> (Memory, Vec<Machine>, Timing) {
-    let (mut mem, mut machines) = setup();
-    assert_eq!(machines.len(), ops.len(), "setup/ops arity mismatch");
-    let mut timing = Timing {
-        first_step: vec![None; machines.len()],
-        completed_at: machines
-            .iter()
-            .map(|m| if m.is_done() { Some(0) } else { None })
-            .collect(),
-    };
-    for (t, &idx) in prefix.iter().enumerate() {
-        timing.first_step[idx].get_or_insert(t);
-        let prim = machines[idx].enabled().expect("replay step exists");
-        let resp = mem.apply(ops[idx].pid, prim);
-        if machines[idx].feed(resp) {
-            timing.completed_at[idx] = Some(t + 1);
-        }
-        assert!(
-            machines[idx].steps() <= 10_000,
-            "operation exceeded the exploration step cap"
-        );
-    }
-    (mem, machines, timing)
-}
-
-fn dfs(
-    setup: &dyn Fn() -> (Memory, Vec<Machine>),
-    ops: &[ExploreOp],
-    check: &mut dyn FnMut(&History) -> bool,
-    max_schedules: usize,
-    prefix: &mut Vec<usize>,
-    summary: &mut ExploreSummary,
-) {
-    if summary.violation.is_some() {
-        return;
-    }
-    if summary.schedules >= max_schedules {
-        summary.truncated = true;
-        return;
-    }
-    let (_, machines, timing) = replay(setup, ops, prefix);
-    let runnable: Vec<usize> = machines
-        .iter()
-        .enumerate()
-        .filter(|(_, m)| !m.is_done())
-        .map(|(i, _)| i)
-        .collect();
-    if runnable.is_empty() {
-        // Complete schedule: build the history and check it.
-        summary.schedules += 1;
-        let mut history = History::new();
-        let mut recs: Vec<OpRecord> = Vec::new();
-        for (i, op) in ops.iter().enumerate() {
-            let machine = &machines[i];
-            let output = if op.returns_value {
-                OpOutput::Value(machine.result().expect("complete"))
-            } else {
-                OpOutput::Unit
-            };
-            recs.push(OpRecord {
-                pid: op.pid,
-                desc: op.desc.clone(),
-                invoke: timing.first_step[i].unwrap_or(0),
-                response: Some(timing.completed_at[i].expect("complete")),
-                output: Some(output),
-                steps: machine.steps(),
-            });
-        }
-        recs.sort_by_key(|r| r.invoke);
-        for r in recs {
-            history.push(r);
-        }
-        if !check(&history) {
-            summary.violation = Some(prefix.iter().map(|&i| ops[i].pid).collect());
-        }
-        return;
-    }
-    for idx in runnable {
-        prefix.push(idx);
-        dfs(setup, ops, check, max_schedules, prefix, summary);
-        prefix.pop();
-        if summary.violation.is_some() || summary.truncated {
-            return;
-        }
-    }
+    explore(
+        setup,
+        ops,
+        check,
+        ExploreConfig {
+            max_schedules,
+            prune: false,
+        },
+    )
 }
 
 /// Sequentially-seeded helper: explores every interleaving of operations
@@ -206,20 +500,22 @@ pub fn assert_all_schedules_pass(
     summary.schedules
 }
 
-/// A quick history-validity predicate for exploration artifacts:
-/// response ticks must be positive and outputs present.
+/// A quick history-validity predicate for exploration artifacts: every
+/// operation completed strictly after it was invoked
+/// (`invoke < response` — completion consumes a tick even for zero-step
+/// operations) with an output present.
 pub fn history_is_wellformed(history: &History) -> bool {
     history
         .ops()
         .iter()
-        .all(|o| o.response.map(|r| r >= o.invoke).unwrap_or(false) && o.output.is_some())
+        .all(|o| o.response.map(|r| r > o.invoke).unwrap_or(false) && o.output.is_some())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lin::check_counter;
-    use crate::{cas, done, read, ObjId, Step};
+    use crate::{cas, done, read, write, ObjId, Step};
 
     fn incr(o: ObjId) -> Step {
         read(o, move |v| {
@@ -268,6 +564,11 @@ mod tests {
         // Two CAS-loop increments: the contention-free interleavings of
         // 2-step ops plus retry paths; at least C(4,2)=6 schedules.
         assert!(summary.schedules >= 6, "{}", summary.schedules);
+        // Unpruned enumeration never prunes.
+        assert_eq!(summary.stats.pruned_branches, 0);
+        assert_eq!(summary.stats.schedules, summary.schedules);
+        assert!(summary.stats.peak_depth >= 4);
+        assert!(summary.stats.executed_steps >= 4 * 6);
     }
 
     #[test]
@@ -319,5 +620,350 @@ mod tests {
         let schedule = summary.violation.expect("violation reported");
         assert!(!schedule.is_empty());
         assert_eq!(summary.schedules, 1);
+    }
+
+    #[test]
+    fn pruning_skips_commuting_interleavings() {
+        // Two 2-step ops on *disjoint* cells: all interleavings are
+        // trace-equivalent up to boundary effects; pruning must explore
+        // strictly fewer than the C(4,2) = 6 full interleavings.
+        let setup = || {
+            let mut mem = Memory::new();
+            let a = mem.alloc(0);
+            let b = mem.alloc(0);
+            let machines = vec![Machine::new(incr(a)), Machine::new(incr(b))];
+            (mem, machines)
+        };
+        let ops: Vec<ExploreOp> = (0..2)
+            .map(|i| ExploreOp {
+                pid: ProcessId(i),
+                desc: OpDesc::CounterIncrement,
+                returns_value: false,
+            })
+            .collect();
+        let full = enumerate(&setup, &ops, &mut |_| true, 10_000);
+        assert_eq!(full.schedules, 6);
+        let pruned = explore(
+            &setup,
+            &ops,
+            &mut |_| true,
+            ExploreConfig {
+                max_schedules: 10_000,
+                prune: true,
+            },
+        );
+        assert!(pruned.violation.is_none());
+        assert!(!pruned.truncated);
+        assert!(
+            pruned.schedules < full.schedules,
+            "pruned {} vs full {}",
+            pruned.schedules,
+            full.schedules
+        );
+        assert!(pruned.stats.pruned_branches > 0);
+    }
+
+    /// A history signature that is invariant across trace-equivalent
+    /// schedules: per operation (in `ops` order) its output, step count,
+    /// and precedence row against every other operation.
+    type Signature = Vec<(Option<OpOutput>, usize, Vec<bool>)>;
+
+    fn signature(ops: &[ExploreOp], h: &History) -> Signature {
+        // Map history records (sorted by invoke) back to ops order by pid
+        // (one op per process in these scopes).
+        let by_pid = |pid: ProcessId| {
+            h.ops()
+                .iter()
+                .find(|o| o.pid == pid)
+                .expect("one record per process")
+        };
+        ops.iter()
+            .map(|op| {
+                let rec = by_pid(op.pid);
+                let row = ops
+                    .iter()
+                    .map(|other| rec.precedes(by_pid(other.pid)))
+                    .collect();
+                (rec.output.clone(), rec.steps, row)
+            })
+            .collect()
+    }
+
+    /// The load-bearing soundness property: with pruning on, the *set* of
+    /// distinct histories (outputs + step counts + precedence relation)
+    /// is exactly the unpruned set — no history class is lost.
+    #[test]
+    fn pruning_preserves_the_set_of_histories() {
+        use std::collections::BTreeSet;
+
+        type Setup = Box<dyn Fn() -> (Memory, Vec<Machine>)>;
+
+        // Scenarios mixing same-cell contention, disjoint cells, reads,
+        // and a zero-step operation.
+        let scenarios: Vec<(Setup, Vec<ExploreOp>)> = vec![
+            // (a) two increments on one cell + read of another cell
+            (
+                Box::new(|| {
+                    let mut mem = Memory::new();
+                    let a = mem.alloc(0);
+                    let b = mem.alloc(7);
+                    let machines = vec![
+                        Machine::new(incr(a)),
+                        Machine::new(incr(a)),
+                        Machine::new(read(b, done)),
+                    ];
+                    (mem, machines)
+                }),
+                vec![
+                    ExploreOp {
+                        pid: ProcessId(0),
+                        desc: OpDesc::CounterIncrement,
+                        returns_value: false,
+                    },
+                    ExploreOp {
+                        pid: ProcessId(1),
+                        desc: OpDesc::CounterIncrement,
+                        returns_value: false,
+                    },
+                    ExploreOp {
+                        pid: ProcessId(2),
+                        desc: OpDesc::CounterRead,
+                        returns_value: true,
+                    },
+                ],
+            ),
+            // (b) write/read race on one cell + independent writer
+            (
+                Box::new(|| {
+                    let mut mem = Memory::new();
+                    let a = mem.alloc(0);
+                    let b = mem.alloc(0);
+                    let machines = vec![
+                        Machine::new(write(a, 5, || done(0))),
+                        Machine::new(read(a, done)),
+                        Machine::new(write(b, 9, || done(0))),
+                    ];
+                    (mem, machines)
+                }),
+                vec![
+                    ExploreOp {
+                        pid: ProcessId(0),
+                        desc: OpDesc::WriteMax(5),
+                        returns_value: false,
+                    },
+                    ExploreOp {
+                        pid: ProcessId(1),
+                        desc: OpDesc::ReadMax,
+                        returns_value: true,
+                    },
+                    ExploreOp {
+                        pid: ProcessId(2),
+                        desc: OpDesc::WriteMax(9),
+                        returns_value: false,
+                    },
+                ],
+            ),
+            // (c) a zero-step op racing a 2-step op and a 1-step reader
+            (
+                Box::new(|| {
+                    let mut mem = Memory::new();
+                    let a = mem.alloc(0);
+                    let machines = vec![
+                        Machine::completed(0),
+                        Machine::new(incr(a)),
+                        Machine::new(read(a, done)),
+                    ];
+                    (mem, machines)
+                }),
+                vec![
+                    ExploreOp {
+                        pid: ProcessId(0),
+                        desc: OpDesc::WriteMax(0),
+                        returns_value: false,
+                    },
+                    ExploreOp {
+                        pid: ProcessId(1),
+                        desc: OpDesc::CounterIncrement,
+                        returns_value: false,
+                    },
+                    ExploreOp {
+                        pid: ProcessId(2),
+                        desc: OpDesc::CounterRead,
+                        returns_value: true,
+                    },
+                ],
+            ),
+        ];
+
+        for (i, (setup, ops)) in scenarios.iter().enumerate() {
+            let mut full: BTreeSet<String> = BTreeSet::new();
+            let s1 = enumerate(
+                &**setup,
+                ops,
+                &mut |h| {
+                    full.insert(format!("{:?}", signature(ops, h)));
+                    true
+                },
+                1_000_000,
+            );
+            let mut pruned: BTreeSet<String> = BTreeSet::new();
+            let s2 = explore(
+                &**setup,
+                ops,
+                &mut |h| {
+                    pruned.insert(format!("{:?}", signature(ops, h)));
+                    true
+                },
+                ExploreConfig {
+                    max_schedules: 1_000_000,
+                    prune: true,
+                },
+            );
+            assert!(!s1.truncated && !s2.truncated);
+            assert!(
+                s2.schedules <= s1.schedules,
+                "scenario {i}: pruned explored more schedules"
+            );
+            assert_eq!(
+                full, pruned,
+                "scenario {i}: pruning changed the set of histories"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_step_ops_get_strictly_positive_width() {
+        // A zero-step machine racing a stepped one: every history must
+        // satisfy the strict invoke < response invariant.
+        let setup = || {
+            let mut mem = Memory::new();
+            let a = mem.alloc(0);
+            let machines = vec![Machine::completed(3), Machine::new(incr(a))];
+            (mem, machines)
+        };
+        let ops = vec![
+            ExploreOp {
+                pid: ProcessId(0),
+                desc: OpDesc::ReadMax,
+                returns_value: true,
+            },
+            ExploreOp {
+                pid: ProcessId(1),
+                desc: OpDesc::CounterIncrement,
+                returns_value: false,
+            },
+        ];
+        let summary = enumerate(
+            &setup,
+            &ops,
+            &mut |h| {
+                history_is_wellformed(h) && h.ops().iter().all(|o| o.response.unwrap() > o.invoke)
+            },
+            10_000,
+        );
+        assert!(summary.violation.is_none());
+        assert!(summary.schedules >= 1);
+    }
+
+    #[test]
+    fn seeded_setup_records_absolute_ticks() {
+        // The setup pre-runs a seed op solo; explored records must use
+        // ticks past the seed's events.
+        let setup = || {
+            let mut mem = Memory::new();
+            let a = mem.alloc(0);
+            // Seed: two increments run to completion inside setup.
+            for _ in 0..2 {
+                let mut m = Machine::new(incr(a));
+                while let Some(p) = m.enabled() {
+                    let r = mem.apply(ProcessId(9), p);
+                    m.feed(r);
+                }
+            }
+            let machines = vec![Machine::new(incr(a))];
+            (mem, machines)
+        };
+        let ops = vec![ExploreOp {
+            pid: ProcessId(0),
+            desc: OpDesc::CounterIncrement,
+            returns_value: false,
+        }];
+        let summary = enumerate(
+            &setup,
+            &ops,
+            &mut |h| {
+                h.ops()
+                    .iter()
+                    .all(|o| o.invoke >= 4 && history_is_wellformed(h))
+            },
+            100,
+        );
+        assert!(summary.violation.is_none());
+        assert_eq!(summary.schedules, 1);
+    }
+
+    #[test]
+    fn pruned_search_still_finds_violations() {
+        // A dirty-read bug: the "increment" writes the new value before
+        // validating, so a concurrent reader can observe an overcount.
+        // Pruning must still reach a violating schedule.
+        fn sloppy_double_incr(o: ObjId) -> Step {
+            read(o, move |v| {
+                write(o, v + 2, move || write(o, v + 1, move || done(0)))
+            })
+        }
+        let setup = || {
+            let mut mem = Memory::new();
+            let o = mem.alloc(0);
+            let machines = vec![
+                Machine::new(sloppy_double_incr(o)),
+                Machine::new(read(o, done)),
+            ];
+            (mem, machines)
+        };
+        let ops = vec![
+            ExploreOp {
+                pid: ProcessId(0),
+                desc: OpDesc::CounterIncrement,
+                returns_value: false,
+            },
+            ExploreOp {
+                pid: ProcessId(1),
+                desc: OpDesc::CounterRead,
+                returns_value: true,
+            },
+        ];
+        // The read may see 0 or 1 (the final value); seeing the
+        // transient 2 is the injected violation.
+        let mut check = |h: &History| h.ops().iter().all(|o| o.output != Some(OpOutput::Value(2)));
+        for prune in [false, true] {
+            let summary = explore(
+                &setup,
+                &ops,
+                &mut check,
+                ExploreConfig {
+                    max_schedules: 10_000,
+                    prune,
+                },
+            );
+            assert!(
+                summary.violation.is_some(),
+                "prune={prune}: dirty read not found"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_replay_savings_accumulate() {
+        let (setup, ops) = counter_setup(3);
+        let summary = enumerate(&setup, &ops, &mut |_| true, 200_000);
+        // Every DFS node below depth 1 saves replay work; with thousands
+        // of schedules of depth >= 6, savings must be substantial.
+        assert!(
+            summary.stats.replay_steps_saved > summary.stats.executed_steps,
+            "saved {} vs executed {}",
+            summary.stats.replay_steps_saved,
+            summary.stats.executed_steps
+        );
     }
 }

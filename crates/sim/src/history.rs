@@ -1,9 +1,11 @@
 //! Invocation/response histories for linearizability checking.
 //!
 //! The executor records, for every operation instance, the interval
-//! `[invoke, response]` measured in *global event ticks* (positions in the
-//! execution's event log). Operation `a` *precedes* operation `b` exactly
-//! when `a.response < b.invoke`, matching the paper's definition
+//! `[invoke, response)` measured in *global event ticks* (positions in the
+//! execution's event log: `invoke` is the log length just before the
+//! operation's first event, `response` the position just after its last).
+//! Operation `a` *precedes* operation `b` exactly when
+//! `a.response <= b.invoke`, matching the paper's definition
 //! ("Φ1 precedes Φ2 in E if Φ1 completes in E before the first event of
 //! Φ2 has been issued").
 
@@ -74,6 +76,18 @@ impl OpOutput {
 }
 
 /// One completed (or still-pending) operation instance in a history.
+///
+/// # Invariant
+///
+/// Every executor and explorer maintains `invoke < response` for
+/// completed operations: completion consumes a tick, so even a zero-step
+/// operation occupies the non-empty interval `[invoke, invoke + 1)`.
+/// A zero-width interval (`response == invoke`) would make two same-tick
+/// operations *mutually* precede each other under
+/// [`precedes`](OpRecord::precedes), creating a precedence cycle no
+/// linearization can satisfy — a spurious violation, the worst failure
+/// mode a checker can have. [`crate::explore::history_is_wellformed`]
+/// checks this invariant strictly.
 #[derive(Clone, Debug)]
 pub struct OpRecord {
     /// The process that performed the operation.
@@ -83,7 +97,8 @@ pub struct OpRecord {
     /// Global event tick at which the operation was invoked (the length
     /// of the event log just before its first event).
     pub invoke: usize,
-    /// Global event tick at which the operation responded, if it did.
+    /// Global event tick at which the operation responded, if it did
+    /// (position just after its last event; always `> invoke`).
     pub response: Option<usize>,
     /// The operation's output, if it completed.
     pub output: Option<OpOutput>,

@@ -18,7 +18,7 @@
 //! global event ticks, where operation `a` precedes `b` iff
 //! `a.response <= b.invoke`.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -111,7 +111,11 @@ pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
         }
     }
 
-    let mut failed: HashSet<(u64, SpecState)> = HashSet::new();
+    // Failed-state memo, keyed by linearized-set mask. Nesting the
+    // states per mask lets the hot probe borrow `state` instead of
+    // cloning it on every DFS node (for snapshot specs a clone is a Vec
+    // allocation).
+    let mut failed: HashMap<u64, HashSet<SpecState>> = HashMap::new();
 
     fn dfs(
         mask: u64,
@@ -120,12 +124,15 @@ pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
         spec: &SeqSpec,
         all_complete: u64,
         must_before: &[u64],
-        failed: &mut HashSet<(u64, SpecState)>,
+        failed: &mut HashMap<u64, HashSet<SpecState>>,
     ) -> bool {
         if mask & all_complete == all_complete {
             return true;
         }
-        if failed.contains(&(mask, state.clone())) {
+        if failed
+            .get(&mask)
+            .is_some_and(|states| states.contains(state))
+        {
             return false;
         }
         for (i, op) in ops.iter().enumerate() {
@@ -158,7 +165,7 @@ pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
                 return true;
             }
         }
-        failed.insert((mask, state.clone()));
+        failed.entry(mask).or_default().insert(state.clone());
         false
     }
 
@@ -192,6 +199,45 @@ fn fmt_op(i: usize, op: &OpRecord) -> String {
     )
 }
 
+/// Running maxima over events sorted by completion tick: answers "among
+/// entries with `response <= t`, what is the largest value (and which
+/// op held it)?" in `O(log n)` after an `O(n log n)` build. The fast
+/// checkers use it to replace their quadratic all-pairs scans, since
+/// DPOR-scaled explorations hand them far more histories.
+struct PrefixMax {
+    /// `(response, best_value_so_far, op index holding it)`, sorted by
+    /// response.
+    entries: Vec<(usize, Word, usize)>,
+}
+
+impl PrefixMax {
+    /// Builds from `(op index, response tick, value)` triples.
+    fn new(mut items: Vec<(usize, usize, Word)>) -> Self {
+        items.sort_by_key(|&(_, resp, _)| resp);
+        let mut entries = Vec::with_capacity(items.len());
+        let mut best: Option<(Word, usize)> = None;
+        for (i, resp, v) in items {
+            let (bv, bi) = match best {
+                Some((bv, bi)) if bv >= v => (bv, bi),
+                _ => (v, i),
+            };
+            best = Some((bv, bi));
+            entries.push((resp, bv, bi));
+        }
+        PrefixMax { entries }
+    }
+
+    /// Largest value among entries with `response <= t`, with the
+    /// holder's op index.
+    fn up_to(&self, t: usize) -> Option<(Word, usize)> {
+        let k = self.entries.partition_point(|&(resp, _, _)| resp <= t);
+        (k > 0).then(|| {
+            let (_, v, i) = self.entries[k - 1];
+            (v, i)
+        })
+    }
+}
+
 /// Fast sound checker for max-register histories.
 ///
 /// Verifies, for every completed `ReadMax` returning `v`:
@@ -222,12 +268,30 @@ pub fn check_max_register(history: &History, initial: Word) -> Result<(), Violat
         })
         .collect();
 
+    // Single-pass indexes over the writes (the old all-pairs scans were
+    // O(ops²) per history):
+    // * earliest invocation tick per written value, for condition 1;
+    // * prefix maxima of completed writes by response tick, for
+    //   condition 2.
+    let mut first_invoke: HashMap<Word, usize> = HashMap::new();
+    let mut completed_writes: Vec<(usize, usize, Word)> = Vec::new();
+    for (j, o) in ops.iter().enumerate() {
+        if let OpDesc::WriteMax(wv) = o.desc {
+            let slot = first_invoke.entry(wv).or_insert(o.invoke);
+            *slot = (*slot).min(o.invoke);
+            if let Some(r) = o.response {
+                completed_writes.push((j, r, wv));
+            }
+        }
+    }
+    let write_max_before = PrefixMax::new(completed_writes);
+
     for &(i, read, v) in &reads {
         // Condition 1: the value was actually written (or is the floor).
         if v != initial {
-            let written = ops.iter().any(|o| {
-                matches!(o.desc, OpDesc::WriteMax(w) if w == v) && o.invoke < read.response.unwrap()
-            });
+            let written = first_invoke
+                .get(&v)
+                .is_some_and(|&inv| inv < read.response.unwrap());
             if !written {
                 return Err(Violation::new(
                     ViolationKind::UnwrittenValue,
@@ -239,30 +303,36 @@ pub fn check_max_register(history: &History, initial: Word) -> Result<(), Violat
             }
         }
         // Condition 2: no completed preceding write is missed.
-        for (j, w) in ops.iter().enumerate() {
-            if let OpDesc::WriteMax(wv) = w.desc {
-                if w.precedes(read) && wv > v {
-                    return Err(Violation::new(
-                        ViolationKind::StaleRead,
-                        format!(
-                            "{} returned {v} but {} completed before it",
-                            fmt_op(i, read),
-                            fmt_op(j, w)
-                        ),
-                    ));
-                }
+        if let Some((wv, j)) = write_max_before.up_to(read.invoke) {
+            if wv > v {
+                return Err(Violation::new(
+                    ViolationKind::StaleRead,
+                    format!(
+                        "{} returned {v} but {} completed before it",
+                        fmt_op(i, read),
+                        fmt_op(j, &ops[j])
+                    ),
+                ));
             }
         }
     }
-    // Condition 3: monotone across non-overlapping reads.
-    for &(i1, r1, v1) in &reads {
-        for &(i2, r2, v2) in &reads {
-            if r1.precedes(r2) && v1 > v2 {
+    // Condition 3: monotone across non-overlapping reads (prefix maxima
+    // again: a read conflicts iff some read completing no later than its
+    // invocation returned a larger value).
+    let read_max_before = PrefixMax::new(
+        reads
+            .iter()
+            .map(|&(i, r, v)| (i, r.response.unwrap(), v))
+            .collect(),
+    );
+    for &(i2, r2, v2) in &reads {
+        if let Some((v1, i1)) = read_max_before.up_to(r2.invoke) {
+            if v1 > v2 {
                 return Err(Violation::new(
                     ViolationKind::NonMonotone,
                     format!(
                         "{} returned {v1} but later {} returned {v2}",
-                        fmt_op(i1, r1),
+                        fmt_op(i1, &ops[i1]),
                         fmt_op(i2, r2)
                     ),
                 ));
@@ -301,15 +371,26 @@ pub fn check_counter(history: &History) -> Result<(), Violation> {
         })
         .collect();
 
+    // Single-pass: sorted completion/invocation ticks of the increments
+    // turn each read's feasible interval into two binary searches
+    // (instead of an O(ops) scan per read).
+    let mut inc_responses: Vec<usize> = Vec::new();
+    let mut inc_invokes: Vec<usize> = Vec::new();
+    for o in ops {
+        if o.desc == OpDesc::CounterIncrement {
+            inc_invokes.push(o.invoke);
+            if let Some(r) = o.response {
+                inc_responses.push(r);
+            }
+        }
+    }
+    inc_responses.sort_unstable();
+    inc_invokes.sort_unstable();
+
     for &(i, read, c) in &reads {
-        let completed_before = ops
-            .iter()
-            .filter(|o| o.desc == OpDesc::CounterIncrement && o.precedes(read))
-            .count() as Word;
-        let invoked_before = ops
-            .iter()
-            .filter(|o| o.desc == OpDesc::CounterIncrement && o.invoke < read.response.unwrap())
-            .count() as Word;
+        let completed_before = inc_responses.partition_point(|&r| r <= read.invoke) as Word;
+        let invoked_before =
+            inc_invokes.partition_point(|&inv| inv < read.response.unwrap()) as Word;
         if c < completed_before || c > invoked_before {
             return Err(Violation::new(
                 ViolationKind::CountOutOfRange,
@@ -320,14 +401,20 @@ pub fn check_counter(history: &History) -> Result<(), Violation> {
             ));
         }
     }
-    for &(i1, r1, c1) in &reads {
-        for &(i2, r2, c2) in &reads {
-            if r1.precedes(r2) && c1 > c2 {
+    let read_max_before = PrefixMax::new(
+        reads
+            .iter()
+            .map(|&(i, r, c)| (i, r.response.unwrap(), c))
+            .collect(),
+    );
+    for &(i2, r2, c2) in &reads {
+        if let Some((c1, i1)) = read_max_before.up_to(r2.invoke) {
+            if c1 > c2 {
                 return Err(Violation::new(
                     ViolationKind::NonMonotone,
                     format!(
                         "{} returned {c1} but later {} returned {c2}",
-                        fmt_op(i1, r1),
+                        fmt_op(i1, &ops[i1]),
                         fmt_op(i2, r2)
                     ),
                 ));
@@ -808,6 +895,41 @@ mod tests {
             })
             .collect();
         let _ = check_exact(&hist(ops), &SeqSpec::Counter);
+    }
+
+    #[test]
+    fn zero_step_same_tick_ops_do_not_poison_the_exact_checker() {
+        // Regression: two zero-step operations invoked at the same tick
+        // used to be recorded with response == invoke, so each preceded
+        // the other — a cycle in `check_exact`'s must-before relation
+        // and a spurious NoLinearization. Completion now consumes a
+        // tick, so the executor's history linearizes trivially.
+        use crate::exec::{Executor, OpSpec, WorkloadBuilder};
+        use crate::{Machine, Memory, RoundRobin};
+
+        let mut mem = Memory::new();
+        let _ = mem.alloc(0);
+        let mut w = WorkloadBuilder::new(2);
+        for i in 0..2 {
+            w.op(
+                ProcessId(i),
+                OpSpec::update(OpDesc::WriteMax(0), || Machine::completed(0)),
+            );
+        }
+        let outcome = Executor::new().run(&mut mem, w, &mut RoundRobin::new());
+        assert!(outcome.all_done);
+        let h = &outcome.history;
+        for o in h.ops() {
+            assert!(
+                o.response.unwrap() > o.invoke,
+                "zero-width interval recorded: {o:?}"
+            );
+        }
+        assert!(
+            check_exact(h, &SeqSpec::MaxRegister { initial: 0 }).is_ok(),
+            "spurious violation on same-tick zero-step ops"
+        );
+        assert!(check_max_register(h, 0).is_ok());
     }
 
     #[test]

@@ -82,6 +82,20 @@ impl Memory {
         resp
     }
 
+    /// Undoes the most recent event in `O(1)`: the target cell is
+    /// restored to the value it held before the event and the event is
+    /// removed from the log. The explorer uses this to backtrack one
+    /// step without replaying the whole prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log is empty.
+    pub fn undo_last(&mut self) -> Event {
+        let ev = self.log.pop().expect("undo_last requires a logged event");
+        self.cells[ev.obj().0] = ev.prev;
+        ev
+    }
+
     /// Reads an object's current value without taking a step (no event is
     /// logged). For adversaries, invariant checks and tests only.
     pub fn peek(&self, obj: ObjId) -> Word {
@@ -201,6 +215,58 @@ mod tests {
         mem.reset_to(&init);
         assert_eq!(mem.peek(a), 3);
         assert_eq!(mem.steps(), 0);
+    }
+
+    #[test]
+    fn undo_last_reverses_each_primitive_kind() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(3);
+        mem.apply(ProcessId(0), Prim::Read(a));
+        mem.apply(ProcessId(0), Prim::Write(a, 9));
+        mem.apply(
+            ProcessId(1),
+            Prim::Cas {
+                obj: a,
+                expected: 9,
+                new: 12,
+            },
+        );
+        assert_eq!(mem.peek(a), 12);
+        assert_eq!(mem.steps(), 3);
+        let ev = mem.undo_last(); // successful CAS
+        assert!(ev.prim.is_cas());
+        assert_eq!(mem.peek(a), 9);
+        mem.undo_last(); // write
+        assert_eq!(mem.peek(a), 3);
+        mem.undo_last(); // read (no value change)
+        assert_eq!(mem.peek(a), 3);
+        assert_eq!(mem.steps(), 0);
+    }
+
+    #[test]
+    fn undo_restores_failed_cas_without_changing_value() {
+        let mut mem = Memory::new();
+        let a = mem.alloc(5);
+        mem.apply(
+            ProcessId(0),
+            Prim::Cas {
+                obj: a,
+                expected: 3,
+                new: 9,
+            },
+        );
+        assert_eq!(mem.peek(a), 5);
+        mem.undo_last();
+        assert_eq!(mem.peek(a), 5);
+        assert!(mem.log().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "undo_last requires")]
+    fn undo_on_empty_log_panics() {
+        let mut mem = Memory::new();
+        let _ = mem.alloc(0);
+        mem.undo_last();
     }
 
     #[test]

@@ -15,8 +15,10 @@ use std::sync::Arc;
 
 use ruo::core::maxreg::sim::{SimMaxRegister, SimTreeMaxRegister};
 use ruo::core::shape::AlgorithmATree;
-use ruo::sim::explore::{assert_all_schedules_pass, enumerate, ExploreOp};
-use ruo::sim::lin::check_max_register;
+use ruo::metrics::ExploreGauges;
+use ruo::sim::explore::{assert_all_schedules_pass, enumerate, explore, ExploreConfig, ExploreOp};
+use ruo::sim::lin::{check_exact, check_max_register};
+use ruo::sim::spec::SeqSpec;
 use ruo::sim::{
     cas, done, read, write, Machine, Memory, ObjId, OpDesc, ProcessId, Step, Word, NEG_INF,
 };
@@ -232,6 +234,148 @@ fn exploration_rediscovers_the_single_cas_bug() {
     // reader finishes.
     assert!(schedule.contains(&ProcessId(0)));
     assert!(schedule.contains(&ProcessId(1)));
+
+    // Soundness of sleep-set pruning: the *pruned* search must rediscover
+    // the same bug — pruning may only drop schedules whose histories are
+    // equivalent to one it keeps, never an entire violation class.
+    let pruned = explore(
+        &setup,
+        &ops,
+        &mut |h| check_max_register(h, 0).is_ok(),
+        ExploreConfig {
+            max_schedules: 2_000_000,
+            prune: true,
+        },
+    );
+    let pruned_schedule = pruned
+        .violation
+        .expect("pruned exploration must also find the single-CAS violation");
+    assert!(pruned_schedule.contains(&ProcessId(0)));
+    assert!(pruned_schedule.contains(&ProcessId(1)));
+    assert!(
+        pruned.schedules <= summary.schedules,
+        "pruning must not explore more schedules ({} vs {})",
+        pruned.schedules,
+        summary.schedules
+    );
+    println!(
+        "single-CAS bug with pruning: found after {} schedules ({} branches pruned)",
+        pruned.schedules, pruned.stats.pruned_branches
+    );
+}
+
+/// The scaled scope the incremental explorer exists for: three writers
+/// plus a reader against the real Algorithm A on `N = 4`, with the
+/// § 4.5 dominated-write fast path enabled. Two of the writes are
+/// dominated by a seeded `WriteMax(3)`, so they resolve in one root
+/// read; the search stays fully exhaustive (un-truncated) both with and
+/// without pruning, and the histories pass both the exact checker and
+/// the fast max-register checker.
+#[test]
+fn scaled_scope_three_writers_one_reader_fast_path() {
+    let setup = || {
+        let mut mem = Memory::new();
+        let reg = SimTreeMaxRegister::with_root_fast_path(&mut mem, 4);
+        // Seed: WriteMax(3) runs solo to completion before the scope —
+        // afterwards the root holds 3 and dominates two of the writers.
+        let mut seed = reg.write_max(ProcessId(0), 3);
+        while let Some(prim) = seed.enabled() {
+            let resp = mem.apply(ProcessId(0), prim);
+            seed.feed(resp);
+        }
+        let machines = vec![
+            reg.write_max(ProcessId(0), 4), // not dominated: probe + full write
+            reg.write_max(ProcessId(1), 2), // strictly dominated: 1 root read
+            reg.write_max(ProcessId(2), 3), // equal value, dominated: 1 root read
+            reg.read_max(ProcessId(3)),
+        ];
+        (mem, machines)
+    };
+    let ops = vec![
+        ExploreOp {
+            pid: ProcessId(0),
+            desc: OpDesc::WriteMax(4),
+            returns_value: false,
+        },
+        ExploreOp {
+            pid: ProcessId(1),
+            desc: OpDesc::WriteMax(2),
+            returns_value: false,
+        },
+        ExploreOp {
+            pid: ProcessId(2),
+            desc: OpDesc::WriteMax(3),
+            returns_value: false,
+        },
+        ExploreOp {
+            pid: ProcessId(3),
+            desc: OpDesc::ReadMax,
+            returns_value: true,
+        },
+    ];
+    let spec = SeqSpec::MaxRegister { initial: 3 };
+    let mut check = |h: &ruo::sim::History| {
+        // The § 4.5 fast path must hold in *every* interleaving: a
+        // dominated write is exactly one shared-memory event.
+        for op in h.ops() {
+            match op.desc {
+                OpDesc::WriteMax(2) | OpDesc::WriteMax(3) => assert_eq!(
+                    op.steps, 1,
+                    "dominated write took {} steps, want the O(1) fast path",
+                    op.steps
+                ),
+                _ => {}
+            }
+        }
+        check_exact(h, &spec).is_ok() && check_max_register(h, 3).is_ok()
+    };
+
+    let full = enumerate(&setup, &ops, &mut check, 100_000);
+    assert!(full.violation.is_none(), "violation: {:?}", full.violation);
+    assert!(!full.truncated, "scope must complete un-truncated");
+    // 27-step write + three 1-step ops: 30!/27! = 30·29·28 interleavings.
+    assert_eq!(full.schedules, 24_360);
+
+    let pruned = explore(
+        &setup,
+        &ops,
+        &mut check,
+        ExploreConfig {
+            max_schedules: 100_000,
+            prune: true,
+        },
+    );
+    assert!(
+        pruned.violation.is_none(),
+        "violation: {:?}",
+        pruned.violation
+    );
+    assert!(!pruned.truncated, "pruned scope must complete un-truncated");
+    assert!(
+        pruned.schedules < full.schedules,
+        "pruning must shrink the search ({} vs {})",
+        pruned.schedules,
+        full.schedules
+    );
+    assert!(pruned.stats.pruned_branches > 0);
+    assert!(
+        pruned.stats.replay_steps_saved > pruned.stats.executed_steps,
+        "incremental replay must save more than it executes at this depth"
+    );
+
+    // Report both runs through the ruo-metrics exploration gauges.
+    let gauges = ExploreGauges::new(2);
+    gauges.record(ProcessId(0), &full.stats);
+    gauges.record(ProcessId(1), &pruned.stats);
+    assert_eq!(
+        gauges.schedules(),
+        (full.schedules + pruned.schedules) as u64
+    );
+    assert!(gauges.peak_depth() > 0);
+    println!(
+        "scaled scope: {} full schedules, {} pruned schedules, gauges: {:?}",
+        full.schedules, pruned.schedules, gauges
+    );
 }
 
 /// Double-collect snapshot updates are exhaustively exact: every
