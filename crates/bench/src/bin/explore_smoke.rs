@@ -80,6 +80,7 @@ fn run(prune: bool) -> (ExploreSummary, f64) {
         ExploreConfig {
             max_schedules: 100_000,
             prune,
+            max_crashes: 0,
         },
     );
     let secs = start.elapsed().as_secs_f64();

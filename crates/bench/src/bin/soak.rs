@@ -1,10 +1,16 @@
 //! Soak test: deep randomized linearizability verification across every
 //! simulated implementation family. The test suite runs dozens of seeds
 //! per implementation; this binary runs *thousands* (tunable), printing
-//! a verdict table — the long-haul version of experiment T5.
+//! a verdict table — the long-haul version of experiment T5 — and, since
+//! W6, re-runs every family under randomized **crash injection** (one
+//! crashed process per schedule, pending operations checked under the
+//! completion rule) plus a progress-certification verdict for the
+//! wait-free families.
 //!
 //! Run with `cargo run --release -p ruo-bench --bin soak [seeds]`
-//! (default 2000 seeds per implementation).
+//! (default 2000 seeds per implementation), or `soak --quick` for the
+//! CI-sized run. Exits non-zero if any `violations` cell is non-zero,
+//! so CI can gate on it directly.
 
 use std::sync::Arc;
 
@@ -17,26 +23,27 @@ use ruo_core::maxreg::sim::{
     SimTreeMaxRegister,
 };
 use ruo_core::snapshot::sim::{SimDoubleCollectSnapshot, SimSnapshot};
+use ruo_metrics::ProgressCertifier;
 use ruo_sim::lin::{check_counter, check_max_register, check_snapshot};
-use ruo_sim::{Executor, Memory, OpDesc, OpSpec, ProcessId, RandomScheduler, WorkloadBuilder};
+use ruo_sim::{
+    Executor, FaultPlan, Memory, OpDesc, OpSpec, ProcessId, RandomScheduler, RoundRobin,
+    WorkloadBuilder,
+};
 
-fn maxreg_seed(make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimMaxRegister>, seed: u64) -> bool {
-    let mut mem = Memory::new();
-    let n = 4;
-    let reg = make(&mut mem, n);
+fn maxreg_workload(reg: &Arc<dyn SimMaxRegister>, n: usize, seed: u64) -> WorkloadBuilder {
     let mut w = WorkloadBuilder::new(n);
     for p in 0..n {
         for i in 0..8usize {
             let pid = ProcessId(p);
             if i % 2 == 0 {
                 let v = ((seed as usize * 31 + i * n + p) % 1000 + 1) as u64;
-                let reg = Arc::clone(&reg);
+                let reg = Arc::clone(reg);
                 w.op(
                     pid,
                     OpSpec::update(OpDesc::WriteMax(v as i64), move || reg.write_max(pid, v)),
                 );
             } else {
-                let reg = Arc::clone(&reg);
+                let reg = Arc::clone(reg);
                 w.op(
                     pid,
                     OpSpec::value(OpDesc::ReadMax, move || reg.read_max(pid)),
@@ -44,11 +51,36 @@ fn maxreg_seed(make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimMaxRegister>, see
             }
         }
     }
-    let outcome = Executor::new().run(&mut mem, w, &mut RandomScheduler::new(seed));
-    outcome.all_done && check_max_register(&outcome.history, 0).is_ok()
+    w
 }
 
-fn counter_seed(make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimCounter>, seed: u64) -> bool {
+fn maxreg_seed(
+    make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimMaxRegister>,
+    seed: u64,
+    plan: &FaultPlan,
+    cert: Option<&ProgressCertifier>,
+) -> bool {
+    let mut mem = Memory::new();
+    let n = 4;
+    let reg = make(&mut mem, n);
+    let w = maxreg_workload(&reg, n, seed);
+    let outcome =
+        Executor::new().run_with_faults(&mut mem, w, &mut RandomScheduler::new(seed), plan);
+    if let Some(cert) = cert {
+        cert.record_outcome(&outcome);
+    }
+    // Crashes legitimately leave work unfinished; the checker-with-
+    // completion-rule is the pass criterion. Crash-free runs must also
+    // drain completely.
+    let drained = outcome.all_done || !outcome.crashed.is_empty();
+    drained && check_max_register(&outcome.history, 0).is_ok()
+}
+
+fn counter_seed(
+    make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimCounter>,
+    seed: u64,
+    plan: &FaultPlan,
+) -> bool {
     let mut mem = Memory::new();
     let n = 4;
     let c = make(&mut mem, n);
@@ -71,12 +103,17 @@ fn counter_seed(make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimCounter>, seed: 
         }
     }
     // SimSnapshotCounter reads are obstruction-free: budget generously.
-    let outcome =
-        Executor::with_step_budget(500_000).run(&mut mem, w, &mut RandomScheduler::new(seed));
-    outcome.all_done && check_counter(&outcome.history).is_ok()
+    let outcome = Executor::with_step_budget(500_000).run_with_faults(
+        &mut mem,
+        w,
+        &mut RandomScheduler::new(seed),
+        plan,
+    );
+    let drained = outcome.all_done || !outcome.crashed.is_empty();
+    drained && check_counter(&outcome.history).is_ok()
 }
 
-fn snapshot_seed(seed: u64) -> bool {
+fn snapshot_seed(seed: u64, plan: &FaultPlan) -> bool {
     let mut mem = Memory::new();
     let n = 3;
     let snap = Arc::new(SimDoubleCollectSnapshot::new(&mut mem, n));
@@ -110,19 +147,55 @@ fn snapshot_seed(seed: u64) -> bool {
             }
         }
     }
-    let outcome =
-        Executor::with_step_budget(500_000).run(&mut mem, w, &mut RandomScheduler::new(seed));
-    outcome.all_done && check_snapshot(&outcome.history, n, 0).is_ok()
+    let outcome = Executor::with_step_budget(500_000).run_with_faults(
+        &mut mem,
+        w,
+        &mut RandomScheduler::new(seed),
+        plan,
+    );
+    let drained = outcome.all_done || !outcome.crashed.is_empty();
+    drained && check_snapshot(&outcome.history, n, 0).is_ok()
+}
+
+/// The exact wait-free step bound of Algorithm A's operations in this
+/// workload shape (its machines have schedule-independent step counts),
+/// measured from one crash-free run.
+fn algorithm_a_bound() -> u64 {
+    let mut mem = Memory::new();
+    let reg: Arc<dyn SimMaxRegister> = Arc::new(SimTreeMaxRegister::new(&mut mem, 4));
+    let outcome = Executor::new().run(
+        &mut mem,
+        maxreg_workload(&reg, 4, 0),
+        &mut RoundRobin::new(),
+    );
+    outcome
+        .history
+        .completed()
+        .map(|op| op.steps as u64)
+        .max()
+        .unwrap_or(0)
 }
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
-    println!("# Soak — {seeds} random adversarial schedules per implementation\n");
+    let mut seeds: u64 = 2000;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            seeds = 100;
+        } else if let Ok(v) = arg.parse() {
+            seeds = v;
+        } else {
+            eprintln!("usage: soak [--quick] [seeds]");
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "# Soak — {seeds} random adversarial schedules per implementation, \
+         crash-free and 1-crash-injected\n"
+    );
 
-    let mut t = Table::new(&["implementation", "ok", "violations"]);
+    let mut t = Table::new(&["implementation", "faults", "ok", "violations"]);
+    let mut total_violations: u64 = 0;
+    let crash_plan = |seed: u64, n: usize| FaultPlan::random_crashes(seed, n, 1, 40);
 
     type MaxRegFactory = Box<dyn Fn(&mut Memory, usize) -> Arc<dyn SimMaxRegister>>;
     let maxregs: Vec<(&str, MaxRegFactory)> = vec![
@@ -147,15 +220,31 @@ fn main() {
             Box::new(|m, n| Arc::new(SimFArrayMaxRegister::new(m, n))),
         ),
     ];
+    // The watchdog certifies Algorithm A's step bound across the whole
+    // crash-injected sweep (its machines are wait-free; the other
+    // families include retry loops whose bounds are schedule-dependent).
+    let watchdog = ProgressCertifier::new(4, algorithm_a_bound());
     for (name, make) in &maxregs {
-        let ok = (0..seeds)
-            .filter(|&s| maxreg_seed(make.as_ref(), s))
-            .count() as u64;
-        t.row(vec![
-            name.to_string(),
-            format!("{ok}/{seeds}"),
-            (seeds - ok).to_string(),
-        ]);
+        for crashes in [false, true] {
+            let cert = (crashes && *name == "maxreg: Algorithm A").then_some(&watchdog);
+            let ok = (0..seeds)
+                .filter(|&s| {
+                    let plan = if crashes {
+                        crash_plan(s, 4)
+                    } else {
+                        FaultPlan::none()
+                    };
+                    maxreg_seed(make.as_ref(), s, &plan, cert)
+                })
+                .count() as u64;
+            total_violations += seeds - ok;
+            t.row(vec![
+                name.to_string(),
+                if crashes { "1 crash" } else { "none" }.to_string(),
+                format!("{ok}/{seeds}"),
+                (seeds - ok).to_string(),
+            ]);
+        }
     }
 
     type CounterFactory = Box<dyn Fn(&mut Memory, usize) -> Arc<dyn SimCounter>>;
@@ -178,23 +267,64 @@ fn main() {
         ),
     ];
     for (name, make) in &counters {
+        for crashes in [false, true] {
+            let ok = (0..seeds)
+                .filter(|&s| {
+                    let plan = if crashes {
+                        crash_plan(s, 4)
+                    } else {
+                        FaultPlan::none()
+                    };
+                    counter_seed(make.as_ref(), s, &plan)
+                })
+                .count() as u64;
+            total_violations += seeds - ok;
+            t.row(vec![
+                name.to_string(),
+                if crashes { "1 crash" } else { "none" }.to_string(),
+                format!("{ok}/{seeds}"),
+                (seeds - ok).to_string(),
+            ]);
+        }
+    }
+
+    for crashes in [false, true] {
         let ok = (0..seeds)
-            .filter(|&s| counter_seed(make.as_ref(), s))
+            .filter(|&s| {
+                let plan = if crashes {
+                    crash_plan(s, 3)
+                } else {
+                    FaultPlan::none()
+                };
+                snapshot_seed(s, &plan)
+            })
             .count() as u64;
+        total_violations += seeds - ok;
         t.row(vec![
-            name.to_string(),
+            "snapshot: double-collect".to_string(),
+            if crashes { "1 crash" } else { "none" }.to_string(),
             format!("{ok}/{seeds}"),
             (seeds - ok).to_string(),
         ]);
     }
 
-    let ok = (0..seeds).filter(|&s| snapshot_seed(s)).count() as u64;
-    t.row(vec![
-        "snapshot: double-collect".to_string(),
-        format!("{ok}/{seeds}"),
-        (seeds - ok).to_string(),
-    ]);
-
     t.print();
+
+    match watchdog.certify() {
+        Ok(report) => println!(
+            "\nProgress watchdog (Algorithm A, 1-crash sweep): certified — \
+             {} ops completed, worst {} steps (bound {}), {} crash-pending.",
+            report.completed, report.worst_steps, report.bound, report.crashed_pending
+        ),
+        Err(v) => {
+            println!("\nProgress watchdog (Algorithm A, 1-crash sweep): FAILED — {v}");
+            total_violations += 1;
+        }
+    }
+
     println!("\nEvery `violations` cell must be 0.");
+    if total_violations > 0 {
+        eprintln!("soak: {total_violations} violation(s) detected");
+        std::process::exit(1);
+    }
 }

@@ -32,16 +32,19 @@ use crate::Watermark;
 ///         executed_steps: 700,
 ///         replay_steps_saved: 1_900,
 ///         peak_depth: 8,
+///         crash_branches: 12,
 ///     },
 /// );
 /// assert_eq!(gauges.schedules(), 132);
 /// assert_eq!(gauges.peak_depth(), 8);
+/// assert_eq!(gauges.crash_branches(), 12);
 /// ```
 pub struct ExploreGauges {
     schedules: FArray<Sum>,
     pruned_branches: FArray<Sum>,
     executed_steps: FArray<Sum>,
     replay_steps_saved: FArray<Sum>,
+    crash_branches: FArray<Sum>,
     peak_depth: Watermark,
 }
 
@@ -52,6 +55,7 @@ impl fmt::Debug for ExploreGauges {
             .field("pruned_branches", &self.pruned_branches())
             .field("executed_steps", &self.executed_steps())
             .field("replay_steps_saved", &self.replay_steps_saved())
+            .field("crash_branches", &self.crash_branches())
             .field("peak_depth", &self.peak_depth())
             .finish()
     }
@@ -74,12 +78,13 @@ impl ExploreGauges {
             pruned_branches: FArray::new(n),
             executed_steps: FArray::new(n),
             replay_steps_saved: FArray::new(n),
+            crash_branches: FArray::new(n),
             peak_depth: Watermark::new(n),
         }
     }
 
     /// Folds one finished run's counters into the totals. Wait-free:
-    /// four single-writer slot updates plus one max-register write.
+    /// five single-writer slot updates plus one max-register write.
     pub fn record(&self, pid: ProcessId, stats: &ExploreStats) {
         self.schedules
             .update_with(pid, |cur| cur + to_delta(stats.schedules as u64));
@@ -89,6 +94,8 @@ impl ExploreGauges {
             .update_with(pid, |cur| cur + to_delta(stats.executed_steps));
         self.replay_steps_saved
             .update_with(pid, |cur| cur + to_delta(stats.replay_steps_saved));
+        self.crash_branches
+            .update_with(pid, |cur| cur + to_delta(stats.crash_branches as u64));
         self.peak_depth.record(pid, stats.peak_depth as u64);
     }
 
@@ -110,6 +117,11 @@ impl ExploreGauges {
     /// Total replay work avoided by snapshot/restore, in memory events.
     pub fn replay_steps_saved(&self) -> u64 {
         self.replay_steps_saved.read() as u64
+    }
+
+    /// Total crash branches taken across all recorded runs.
+    pub fn crash_branches(&self) -> u64 {
+        self.crash_branches.read() as u64
     }
 
     /// Deepest DFS prefix any recorded run reached.
@@ -147,7 +159,16 @@ mod tests {
             executed_steps: steps,
             replay_steps_saved: saved,
             peak_depth: depth,
+            crash_branches: schedules / 2,
         }
+    }
+
+    #[test]
+    fn crash_branches_accumulate() {
+        let g = ExploreGauges::new(2);
+        g.record(ProcessId(0), &stats(10, 0, 50, 0, 3));
+        g.record(ProcessId(1), &stats(6, 0, 20, 0, 2));
+        assert_eq!(g.crash_branches(), 5 + 3);
     }
 
     #[test]

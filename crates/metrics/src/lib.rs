@@ -15,6 +15,8 @@
 //! * [`LatencyTracker`] — histogram + peak + best in one `observe`.
 //! * [`ExploreGauges`] — totals for bounded model-checking runs
 //!   (schedules, pruned branches, replay savings, peak DFS depth).
+//! * [`ProgressCertifier`] — per-process progress counters + a livelock
+//!   watchdog certifying wait-free step bounds under crashes.
 //!
 //! Every type is shared by a fixed set of `N` recorder identities
 //! ([`ruo_sim::ProcessId`], one per thread), which is what makes the
@@ -42,10 +44,12 @@ mod explore;
 mod gauge;
 mod histogram;
 mod latency;
+mod progress;
 mod watermark;
 
 pub use explore::ExploreGauges;
 pub use gauge::ProgressGauge;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use latency::{LatencyReport, LatencyTracker};
+pub use progress::{ProgressCertifier, ProgressReport, ProgressViolation};
 pub use watermark::{LowWatermark, Watermark};

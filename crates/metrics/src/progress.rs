@@ -1,0 +1,323 @@
+//! Progress certification: per-process progress counters plus a
+//! livelock watchdog.
+//!
+//! The paper's wait-free algorithms promise more than linearizability:
+//! every operation completes within a *step bound* no matter what the
+//! other processes do — including crashing mid-operation. A
+//! [`ProgressCertifier`] turns that promise into a checkable verdict:
+//! record every operation's fate (completed in `k` steps, starved, or
+//! pending because its process crashed) and [`certify`] that the bound
+//! held and nobody starved. Obstruction-free implementations (CAS-retry
+//! loops, double-collect scans) are expected to *fail* certification
+//! under adversarial schedules — that failure is the detection the soak
+//! harness and thread tests rely on.
+//!
+//! [`certify`]: ProgressCertifier::certify
+
+use std::error::Error;
+use std::fmt;
+
+use ruo_core::farray::{FArray, Sum};
+use ruo_sim::{ExecOutcome, ProcessId, Word};
+
+use crate::Watermark;
+
+/// Per-process progress counters with a step-bound watchdog.
+///
+/// All recording paths are wait-free: each is a single-writer f-array
+/// slot update (`O(log N)`) or an Algorithm A max-register write, so the
+/// certifier never perturbs the progress properties it measures.
+///
+/// ```
+/// use ruo_metrics::ProgressCertifier;
+/// use ruo_sim::ProcessId;
+///
+/// // Wait-free object with a 10-step bound; one peer crashed mid-op.
+/// let cert = ProgressCertifier::new(2, 10);
+/// cert.record_completion(ProcessId(0), 7);
+/// cert.record_crashed_pending(ProcessId(1));
+/// let report = cert.certify().expect("within bound, nobody starved");
+/// assert_eq!(report.completed, 1);
+/// assert_eq!(report.crashed_pending, 1);
+/// assert_eq!(report.worst_steps, 7);
+/// ```
+pub struct ProgressCertifier {
+    /// Claimed per-operation step bound being certified.
+    bound: u64,
+    /// Completed operations per process.
+    completed: FArray<Sum>,
+    /// Operations that failed to complete although their process was
+    /// never crashed — starvation/livelock evidence.
+    starved: FArray<Sum>,
+    /// Operations left pending by a crash of their own process —
+    /// expected under the fault model, never a violation.
+    crashed_pending: FArray<Sum>,
+    /// Most steps any completed operation took.
+    worst_steps: Watermark,
+}
+
+impl fmt::Debug for ProgressCertifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgressCertifier")
+            .field("bound", &self.bound)
+            .field("completed", &self.completed())
+            .field("starved", &self.starved())
+            .field("crashed_pending", &self.crashed_pending())
+            .field("worst_steps", &self.worst_steps())
+            .finish()
+    }
+}
+
+/// A clean certification: what the watchdog observed while the bound
+/// held and nobody starved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgressReport {
+    /// Operations that completed.
+    pub completed: u64,
+    /// Most steps any completed operation took (`<=` the bound).
+    pub worst_steps: u64,
+    /// The certified per-operation step bound.
+    pub bound: u64,
+    /// Operations left pending by their own process's crash (expected).
+    pub crashed_pending: u64,
+}
+
+/// Why certification failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgressViolation {
+    /// A process that never crashed failed to complete an operation:
+    /// starvation (for a wait-free object, a bug; for an
+    /// obstruction-free one, the adversarial schedule working as the
+    /// paper says it can).
+    Starvation {
+        /// Number of starved operations.
+        count: u64,
+    },
+    /// A completed operation exceeded the claimed step bound.
+    StepBoundExceeded {
+        /// Most steps any completed operation took.
+        worst: u64,
+        /// The claimed bound.
+        bound: u64,
+    },
+}
+
+impl fmt::Display for ProgressViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgressViolation::Starvation { count } => {
+                write!(
+                    f,
+                    "{count} operation(s) starved without their process crashing"
+                )
+            }
+            ProgressViolation::StepBoundExceeded { worst, bound } => {
+                write!(
+                    f,
+                    "an operation took {worst} steps, exceeding the {bound}-step bound"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ProgressViolation {}
+
+impl ProgressCertifier {
+    /// Creates a certifier for `n` process identities claiming a
+    /// per-operation step bound of `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, bound: u64) -> Self {
+        ProgressCertifier {
+            bound,
+            completed: FArray::new(n),
+            starved: FArray::new(n),
+            crashed_pending: FArray::new(n),
+            worst_steps: Watermark::new(n),
+        }
+    }
+
+    /// Records an operation by `pid` that completed in `steps`
+    /// shared-memory steps.
+    pub fn record_completion(&self, pid: ProcessId, steps: u64) {
+        self.completed.update_with(pid, |c| c + 1);
+        self.worst_steps.record(pid, steps);
+    }
+
+    /// Records an operation by `pid` that failed to complete although
+    /// `pid` never crashed — starvation evidence.
+    pub fn record_starved(&self, pid: ProcessId) {
+        self.starved.update_with(pid, |c| c + 1);
+    }
+
+    /// Records an operation left pending because `pid` itself crashed —
+    /// expected under the fault model, never a violation.
+    pub fn record_crashed_pending(&self, pid: ProcessId) {
+        self.crashed_pending.update_with(pid, |c| c + 1);
+    }
+
+    /// Folds a simulator outcome into the counters: completed operations
+    /// record their step counts; pending operations count as
+    /// crash-pending when [`ExecOutcome::crashed`] names their process
+    /// and as starved otherwise (the process was schedulable to the end
+    /// and still did not finish).
+    pub fn record_outcome(&self, outcome: &ExecOutcome) {
+        for op in outcome.history.ops() {
+            if op.is_complete() {
+                self.record_completion(op.pid, op.steps as u64);
+            } else if outcome.crashed.contains(&op.pid) {
+                self.record_crashed_pending(op.pid);
+            } else {
+                self.record_starved(op.pid);
+            }
+        }
+    }
+
+    /// Total completed operations (one `O(1)` root read).
+    pub fn completed(&self) -> u64 {
+        clamp(self.completed.read())
+    }
+
+    /// Total starved operations.
+    pub fn starved(&self) -> u64 {
+        clamp(self.starved.read())
+    }
+
+    /// Total operations left pending by their own process's crash.
+    pub fn crashed_pending(&self) -> u64 {
+        clamp(self.crashed_pending.read())
+    }
+
+    /// Most steps any completed operation took (one atomic load).
+    pub fn worst_steps(&self) -> u64 {
+        self.worst_steps.get()
+    }
+
+    /// The claimed per-operation step bound.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// The livelock watchdog's verdict: every completed operation stayed
+    /// within the step bound and no non-crashed process starved.
+    /// Crash-pending operations never fail certification — surviving
+    /// them is exactly what wait-freedom promises.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgressViolation::Starvation`] if any operation starved,
+    /// otherwise [`ProgressViolation::StepBoundExceeded`] if a completed
+    /// operation overran the bound.
+    pub fn certify(&self) -> Result<ProgressReport, ProgressViolation> {
+        let starved = self.starved();
+        if starved > 0 {
+            return Err(ProgressViolation::Starvation { count: starved });
+        }
+        let worst = self.worst_steps();
+        if worst > self.bound {
+            return Err(ProgressViolation::StepBoundExceeded {
+                worst,
+                bound: self.bound,
+            });
+        }
+        Ok(ProgressReport {
+            completed: self.completed(),
+            worst_steps: worst,
+            bound: self.bound,
+            crashed_pending: self.crashed_pending(),
+        })
+    }
+}
+
+/// f-array slots are [`Word`]s; these counters only ever increment.
+fn clamp(v: Word) -> u64 {
+    u64::try_from(v).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn clean_run_certifies() {
+        let cert = ProgressCertifier::new(3, 20);
+        cert.record_completion(ProcessId(0), 12);
+        cert.record_completion(ProcessId(1), 20); // exactly at the bound
+        cert.record_crashed_pending(ProcessId(2));
+        let report = cert.certify().expect("bound held");
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.worst_steps, 20);
+        assert_eq!(report.crashed_pending, 1);
+    }
+
+    #[test]
+    fn starvation_fails_certification() {
+        let cert = ProgressCertifier::new(2, 100);
+        cert.record_completion(ProcessId(0), 5);
+        cert.record_starved(ProcessId(1));
+        let err = cert.certify().unwrap_err();
+        assert_eq!(err, ProgressViolation::Starvation { count: 1 });
+        assert!(err.to_string().contains("starved"));
+    }
+
+    #[test]
+    fn step_bound_overrun_fails_certification() {
+        let cert = ProgressCertifier::new(1, 10);
+        cert.record_completion(ProcessId(0), 11);
+        let err = cert.certify().unwrap_err();
+        assert_eq!(
+            err,
+            ProgressViolation::StepBoundExceeded {
+                worst: 11,
+                bound: 10
+            }
+        );
+        assert!(err.to_string().contains("11"));
+    }
+
+    #[test]
+    fn starvation_is_reported_before_bound_overrun() {
+        let cert = ProgressCertifier::new(2, 10);
+        cert.record_completion(ProcessId(0), 99);
+        cert.record_starved(ProcessId(1));
+        assert!(matches!(
+            cert.certify(),
+            Err(ProgressViolation::Starvation { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn crash_pending_alone_never_fails() {
+        let cert = ProgressCertifier::new(4, 1);
+        for p in 0..4 {
+            cert.record_crashed_pending(ProcessId(p));
+        }
+        let report = cert.certify().expect("crashes are not violations");
+        assert_eq!(report.crashed_pending, 4);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let n = 4;
+        let per = 250u64;
+        let cert = Arc::new(ProgressCertifier::new(n, 64));
+        std::thread::scope(|s| {
+            for t in 0..n {
+                let cert = Arc::clone(&cert);
+                s.spawn(move || {
+                    for i in 0..per {
+                        cert.record_completion(ProcessId(t), (i % 64) + 1);
+                    }
+                });
+            }
+        });
+        let report = cert.certify().expect("all within bound");
+        assert_eq!(report.completed, n as u64 * per);
+        assert_eq!(report.worst_steps, 64);
+    }
+}

@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use crate::fault::{FaultClock, FaultPlan};
 use crate::history::{History, OpDesc, OpOutput, OpRecord};
 use crate::{Machine, Memory, ProcessId, Scheduler, Word};
 
@@ -101,8 +102,14 @@ pub struct ExecOutcome {
     pub history: History,
     /// Whether every queued operation completed. `false` means the step
     /// budget ran out first — expected for obstruction-free algorithms
-    /// under adversarial schedules.
+    /// under adversarial schedules — or that a crashed process left work
+    /// behind (see [`ExecOutcome::crashed`]).
     pub all_done: bool,
+    /// Processes the [`FaultPlan`] crashed during the run, in id order.
+    /// Each crashed process's in-flight operation (if any) is *pending*
+    /// in [`ExecOutcome::history`]: invoked but never responded. Empty
+    /// for [`Executor::run`].
+    pub crashed: Vec<ProcessId>,
 }
 
 struct Running {
@@ -146,7 +153,30 @@ impl Executor {
         workload: WorkloadBuilder,
         sched: &mut dyn Scheduler,
     ) -> ExecOutcome {
+        self.run_with_faults(mem, workload, sched, &FaultPlan::none())
+    }
+
+    /// Runs the workload on `mem` under `sched` while `plan` injects
+    /// crashes and stalls at the executor's scheduling points.
+    ///
+    /// A crashed process is never scheduled again: its in-flight
+    /// operation stays *pending* in the history (the completion rule in
+    /// [`lin`](crate::lin) decides whether it took effect) and its
+    /// queued operations are never invoked — so `all_done` is `false`
+    /// whenever a crash left work behind. A stalled process is skipped
+    /// until its window of global steps elapses; if every live process
+    /// is stalled at once, the earliest window is released immediately
+    /// (time passes vacuously when nobody can move), so stalls never
+    /// deadlock the run.
+    pub fn run_with_faults(
+        &self,
+        mem: &mut Memory,
+        workload: WorkloadBuilder,
+        sched: &mut dyn Scheduler,
+        plan: &FaultPlan,
+    ) -> ExecOutcome {
         let mut history = History::new();
+        let mut clock = FaultClock::new(plan, workload.queues.len());
         let mut procs: Vec<ProcState> = workload
             .queues
             .into_iter()
@@ -157,16 +187,21 @@ impl Executor {
             .collect();
 
         loop {
-            let runnable: Vec<ProcessId> = procs
+            let alive: Vec<ProcessId> = procs
                 .iter()
                 .enumerate()
                 .filter(|(_, st)| st.current.is_some() || !st.queue.is_empty())
                 .map(|(i, _)| ProcessId(i))
+                .filter(|&pid| !clock.is_crashed(pid))
                 .collect();
-            if runnable.is_empty() {
+            if alive.is_empty() {
+                let all_done = procs
+                    .iter()
+                    .all(|st| st.current.is_none() && st.queue.is_empty());
                 return ExecOutcome {
                     history,
-                    all_done: true,
+                    all_done,
+                    crashed: clock.crashed_processes(),
                 };
             }
             if let Some(budget) = self.max_steps {
@@ -174,8 +209,21 @@ impl Executor {
                     return ExecOutcome {
                         history,
                         all_done: false,
+                        crashed: clock.crashed_processes(),
                     };
                 }
+            }
+            let now = mem.steps();
+            let mut runnable: Vec<ProcessId> = alive
+                .iter()
+                .copied()
+                .filter(|&pid| !clock.is_stalled(pid, now))
+                .collect();
+            if runnable.is_empty() {
+                let released = clock
+                    .release_earliest_stall(&alive)
+                    .expect("every live process is stalled");
+                runnable.push(released);
             }
             let choice = sched.pick(&runnable);
             let pid = runnable[choice];
@@ -216,6 +264,7 @@ impl Executor {
             let running = st.current.as_mut().expect("current op present");
             let prim = running.machine.enabled().expect("running op has event");
             let resp = mem.apply(pid, prim);
+            clock.on_event(pid, mem.steps());
             let finished = running.machine.feed(resp);
             history.ops_mut()[running.hist_idx].steps = running.machine.steps();
             if finished {
@@ -311,11 +360,17 @@ mod tests {
         let mut mem = Memory::new();
         let o = mem.alloc(0);
         let outcome = Executor::new().run(&mut mem, workload(3, o), &mut RandomScheduler::new(42));
-        for op in outcome.history.ops() {
-            let resp = op.response.unwrap();
+        // Iterate completed() rather than unwrapping responses: the same
+        // assertion must hold verbatim for crash-truncated runs, where
+        // some operations are pending.
+        let mut seen = 0;
+        for op in outcome.history.completed() {
+            let resp = op.response.expect("completed() yields responded ops");
             assert!(op.invoke < resp);
             assert!(resp <= mem.steps());
+            seen += 1;
         }
+        assert_eq!(seen, 3);
     }
 
     #[test]
@@ -344,6 +399,110 @@ mod tests {
         assert!(ops[0].overlaps(&ops[1]));
         assert!(!ops[0].precedes(&ops[1]));
         assert!(!ops[1].precedes(&ops[0]));
+    }
+
+    #[test]
+    fn crashed_process_leaves_a_pending_op() {
+        // p1 crashes after its first event: its read happened, the CAS
+        // never will. The op must stay pending and the run must report
+        // unfinished work.
+        let mut mem = Memory::new();
+        let o = mem.alloc(0);
+        let plan = FaultPlan::new().crash(ProcessId(1), 1);
+        let outcome = Executor::new().run_with_faults(
+            &mut mem,
+            workload(2, o),
+            &mut RoundRobin::new(),
+            &plan,
+        );
+        assert!(!outcome.all_done);
+        assert_eq!(outcome.crashed, vec![ProcessId(1)]);
+        assert_eq!(mem.peek(o), 1); // only p0's increment landed
+        let ops = outcome.history.ops();
+        assert_eq!(ops.len(), 2);
+        let pending: Vec<_> = ops.iter().filter(|op| !op.is_complete()).collect();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].pid, ProcessId(1));
+        assert!(pending[0].output.is_none());
+    }
+
+    #[test]
+    fn crash_before_first_event_never_invokes() {
+        let mut mem = Memory::new();
+        let o = mem.alloc(0);
+        let plan = FaultPlan::new().crash(ProcessId(0), 0);
+        let outcome = Executor::new().run_with_faults(
+            &mut mem,
+            workload(3, o),
+            &mut RoundRobin::new(),
+            &plan,
+        );
+        assert!(!outcome.all_done);
+        assert_eq!(outcome.crashed, vec![ProcessId(0)]);
+        // p0's operation was never invoked, so it is absent — not pending.
+        assert_eq!(outcome.history.len(), 2);
+        assert!(outcome.history.ops().iter().all(|op| op.is_complete()));
+        assert_eq!(mem.peek(o), 2);
+    }
+
+    #[test]
+    fn stalls_delay_but_never_lose_operations() {
+        let mut mem = Memory::new();
+        let o = mem.alloc(0);
+        let plan = FaultPlan::new()
+            .stall(ProcessId(0), 1, 8)
+            .stall(ProcessId(2), 0, 3);
+        let outcome = Executor::new().run_with_faults(
+            &mut mem,
+            workload(3, o),
+            &mut RoundRobin::new(),
+            &plan,
+        );
+        assert!(outcome.all_done);
+        assert!(outcome.crashed.is_empty());
+        assert_eq!(mem.peek(o), 3);
+        assert!(outcome.history.ops().iter().all(|op| op.is_complete()));
+    }
+
+    #[test]
+    fn mutual_stalls_release_instead_of_deadlocking() {
+        // Every process stalled at once: the earliest window must be
+        // released so the run terminates.
+        let mut mem = Memory::new();
+        let o = mem.alloc(0);
+        let plan =
+            FaultPlan::new()
+                .stall(ProcessId(0), 0, 1_000_000)
+                .stall(ProcessId(1), 0, 2_000_000);
+        let outcome = Executor::new().run_with_faults(
+            &mut mem,
+            workload(2, o),
+            &mut RoundRobin::new(),
+            &plan,
+        );
+        assert!(outcome.all_done);
+        assert_eq!(mem.peek(o), 2);
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_run_exactly() {
+        let run = |faulty: bool| {
+            let mut mem = Memory::new();
+            let o = mem.alloc(0);
+            let mut sched = RandomScheduler::new(9);
+            let outcome = if faulty {
+                Executor::new().run_with_faults(
+                    &mut mem,
+                    workload(4, o),
+                    &mut sched,
+                    &FaultPlan::none(),
+                )
+            } else {
+                Executor::new().run(&mut mem, workload(4, o), &mut sched)
+            };
+            format!("{:?}", outcome.history)
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

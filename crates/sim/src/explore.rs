@@ -56,6 +56,21 @@
 //! § W5). The test suite uses this to verify Algorithm A exhaustively at
 //! small sizes and to *rediscover* the counterexample schedule against
 //! the single-CAS variant automatically — with pruning on and off.
+//!
+//! # Crash exploration
+//!
+//! [`ExploreConfig::max_crashes`] additionally enumerates schedules in
+//! which up to `k` operations crash — halt permanently right after one
+//! of their own events, leaving a *pending* operation (no response, no
+//! output) in the history. Because a crash's only observable effect is
+//! which of the process's events happened, crashing immediately after
+//! each event is a canonical form covering every placement of the crash
+//! in the global schedule. This turns the hand-crafted failure-injection
+//! schedules of `tests/failure_injection.rs` into exhaustive
+//! crash-tolerance proofs within the scope: every 1-crash schedule of
+//! Algorithm A at N=4 is checked, and the single-CAS variant's
+//! lost-write bug is found automatically (see
+//! `tests/crash_exploration.rs` and EXPERIMENTS.md § W6).
 
 use crate::history::{History, OpOutput, OpRecord};
 use crate::{Machine, Memory, ObjId, OpDesc, ProcessId, Word};
@@ -89,6 +104,23 @@ pub struct ExploreConfig {
     /// precedence relation (all of [`crate::lin`]); disable to enumerate
     /// every interleaving.
     pub prune: bool,
+    /// Crash budget: in addition to plain interleavings, explore every
+    /// schedule in which up to this many operations *crash* — halt
+    /// permanently — right after one of their own events, leaving the
+    /// operation pending in the history (no response, no output). `0`
+    /// (the default) explores crash-free schedules only.
+    ///
+    /// Crash points are canonical: a process's crash is observable only
+    /// through which of its own events happened, so crashing it
+    /// immediately after its k-th event (for every `k ≥ 1`) covers every
+    /// placement of the crash in the global schedule. Crashing *before*
+    /// the first event is the same as exploring the scope without that
+    /// operation, so it is not enumerated — cover it with a smaller
+    /// scope if needed.
+    ///
+    /// Checkers must handle pending operations per the completion rule
+    /// (all of [`crate::lin`] do).
+    pub max_crashes: usize,
 }
 
 impl Default for ExploreConfig {
@@ -96,6 +128,7 @@ impl Default for ExploreConfig {
         ExploreConfig {
             max_schedules: 1_000_000,
             prune: true,
+            max_crashes: 0,
         }
     }
 }
@@ -117,6 +150,9 @@ pub struct ExploreStats {
     pub replay_steps_saved: u64,
     /// Deepest DFS prefix reached (= longest schedule length).
     pub peak_depth: usize,
+    /// Crash branches taken: DFS nodes where an operation was crashed
+    /// right after one of its events ([`ExploreConfig::max_crashes`]).
+    pub crash_branches: usize,
 }
 
 /// Summary of an exploration run.
@@ -130,6 +166,10 @@ pub struct ExploreSummary {
     /// The first violating schedule found, if any: the order in which
     /// processes took steps.
     pub violation: Option<Vec<ProcessId>>,
+    /// Processes that were crashed in the violating schedule (each after
+    /// its last step in [`ExploreSummary::violation`]). Empty when the
+    /// violation needed no crash, or when there is no violation.
+    pub violation_crashed: Vec<ProcessId>,
     /// Work counters for the run.
     pub stats: ExploreStats,
 }
@@ -188,9 +228,14 @@ struct Explorer<'a> {
     completed_at: Vec<Option<usize>>,
     /// The current schedule prefix (operation indices).
     prefix: Vec<usize>,
+    /// Bitmask of operations crashed on the current DFS path.
+    crashed: u64,
+    /// Remaining crash budget on the current DFS path.
+    crashes_left: usize,
     schedules: usize,
     truncated: bool,
     violation: Option<Vec<ProcessId>>,
+    violation_crashed: Vec<ProcessId>,
     stats: ExploreStats,
 }
 
@@ -298,7 +343,11 @@ impl Explorer<'_> {
         out
     }
 
-    /// Builds the history of the (complete) current schedule.
+    /// Builds the history of the (complete) current schedule. Crashed
+    /// operations become *pending* records: invoked at their first
+    /// event's tick, no response, no output (crash branches only fire
+    /// after an operation's own event, so a crashed operation was always
+    /// invoked).
     fn build_history(&self) -> History {
         let mut recs: Vec<OpRecord> = self
             .ops
@@ -306,6 +355,18 @@ impl Explorer<'_> {
             .enumerate()
             .map(|(i, op)| {
                 let machine = &self.machines[i];
+                if self.crashed & (1 << i) != 0 {
+                    let invoke = self.first_step[i].expect("crashed op took an event");
+                    debug_assert!(self.completed_at[i].is_none());
+                    return OpRecord {
+                        pid: op.pid,
+                        desc: op.desc.clone(),
+                        invoke,
+                        response: None,
+                        output: None,
+                        steps: machine.steps(),
+                    };
+                }
                 let output = if op.returns_value {
                     OpOutput::Value(machine.result().expect("complete schedule has results"))
                 } else {
@@ -348,14 +409,19 @@ impl Explorer<'_> {
             self.stats.replay_steps_saved += (depth - 1) as u64;
         }
         let runnable: Vec<usize> = (0..self.machines.len())
-            .filter(|&i| !self.machines[i].is_done())
+            .filter(|&i| !self.machines[i].is_done() && self.crashed & (1 << i) == 0)
             .collect();
         if runnable.is_empty() {
-            // Complete schedule: build the history and check it.
+            // Complete schedule (every op done or crashed): build the
+            // history and check it.
             self.schedules += 1;
             let history = self.build_history();
             if !(self.check)(&history) {
                 self.violation = Some(self.prefix.iter().map(|&i| self.ops[i].pid).collect());
+                self.violation_crashed = (0..self.ops.len())
+                    .filter(|&i| self.crashed & (1 << i) != 0)
+                    .map(|i| self.ops[i].pid)
+                    .collect();
             }
             return;
         }
@@ -373,6 +439,25 @@ impl Explorer<'_> {
                 0
             };
             self.dfs(child_sleep);
+            // Crash branch: the same prefix, but idx halts permanently
+            // right after the event it just took (canonical crash point;
+            // see `ExploreConfig::max_crashes`). Crashing a *finished*
+            // operation is a no-op, so only unfinished ops branch. The
+            // child's sleep set is reset: earlier siblings were deferred
+            // on the assumption that idx keeps stepping, which the crash
+            // invalidates (conservative — only explores more).
+            if self.crashes_left > 0
+                && !info.was_last
+                && self.violation.is_none()
+                && !self.truncated
+            {
+                self.crashes_left -= 1;
+                self.crashed |= 1 << idx;
+                self.stats.crash_branches += 1;
+                self.dfs(0);
+                self.crashed &= !(1 << idx);
+                self.crashes_left += 1;
+            }
             self.step_back(&info);
             if self.violation.is_some() || self.truncated {
                 return;
@@ -433,9 +518,12 @@ pub fn explore(
         first_step: vec![None; n],
         completed_at: vec![None; n],
         prefix: Vec::new(),
+        crashed: 0,
+        crashes_left: cfg.max_crashes,
         schedules: 0,
         truncated: false,
         violation: None,
+        violation_crashed: Vec::new(),
         stats: ExploreStats::default(),
     };
     explorer.dfs(0);
@@ -445,6 +533,7 @@ pub fn explore(
         schedules: explorer.schedules,
         truncated: explorer.truncated,
         violation: explorer.violation,
+        violation_crashed: explorer.violation_crashed,
         stats,
     }
 }
@@ -467,6 +556,7 @@ pub fn enumerate(
         ExploreConfig {
             max_schedules,
             prune: false,
+            max_crashes: 0,
         },
     )
 }
@@ -650,6 +740,7 @@ mod tests {
             ExploreConfig {
                 max_schedules: 10_000,
                 prune: true,
+                max_crashes: 0,
             },
         );
         assert!(pruned.violation.is_none());
@@ -817,6 +908,7 @@ mod tests {
                 ExploreConfig {
                     max_schedules: 1_000_000,
                     prune: true,
+                    max_crashes: 0,
                 },
             );
             assert!(!s1.truncated && !s2.truncated);
@@ -944,6 +1036,7 @@ mod tests {
                 ExploreConfig {
                     max_schedules: 10_000,
                     prune,
+                    max_crashes: 0,
                 },
             );
             assert!(
@@ -951,6 +1044,223 @@ mod tests {
                 "prune={prune}: dirty read not found"
             );
         }
+    }
+
+    #[test]
+    fn crash_exploration_yields_pending_histories() {
+        // Two CAS-loop increments with a 1-crash budget: some schedules
+        // must contain exactly one pending increment, every history must
+        // still satisfy the counter checker (completion rule), and the
+        // crash-free schedules must still all be enumerated.
+        let (setup, ops) = counter_setup(2);
+        let mut pending_histories = 0usize;
+        let mut complete_histories = 0usize;
+        let summary = explore(
+            &setup,
+            &ops,
+            &mut |h| {
+                let pending = h.pending().count();
+                assert!(pending <= 1, "crash budget is 1");
+                if pending == 1 {
+                    pending_histories += 1;
+                    // The crashed increment has no response and no output.
+                    let p = h.pending().next().unwrap();
+                    assert!(p.output.is_none());
+                    assert!(p.steps >= 1);
+                } else {
+                    complete_histories += 1;
+                }
+                check_counter(h).is_ok()
+            },
+            ExploreConfig {
+                max_schedules: 100_000,
+                prune: false,
+                max_crashes: 1,
+            },
+        );
+        assert!(!summary.truncated);
+        assert!(summary.violation.is_none());
+        assert!(summary.violation_crashed.is_empty());
+        assert!(summary.stats.crash_branches > 0);
+        assert_eq!(
+            summary.stats.crash_branches, pending_histories,
+            "each crash branch completes into exactly one schedule here"
+        );
+        // Crash-free schedules are unchanged by the crash budget: the
+        // same scope without crashes enumerates exactly this many.
+        let baseline = enumerate(&setup, &ops, &mut |_| true, 100_000);
+        assert_eq!(complete_histories, baseline.schedules);
+    }
+
+    #[test]
+    fn crash_budget_zero_changes_nothing() {
+        let (setup, ops) = counter_setup(2);
+        let a = enumerate(&setup, &ops, &mut |_| true, 100_000);
+        let b = explore(
+            &setup,
+            &ops,
+            &mut |_| true,
+            ExploreConfig {
+                max_schedules: 100_000,
+                prune: false,
+                max_crashes: 0,
+            },
+        );
+        assert_eq!(a.schedules, b.schedules);
+        assert_eq!(b.stats.crash_branches, 0);
+    }
+
+    #[test]
+    fn crash_exploration_finds_crash_only_bugs() {
+        // A two-phase "write-ahead increment": process 0 bumps a dirty
+        // flag cell, then the real cell. If it crashes between the two
+        // writes, a reader of the dirty cell sees a count the real cell
+        // never reaches — a violation that NO crash-free schedule
+        // exhibits (the checker below only fails when the crashed state
+        // is observed). Crash exploration must find it automatically.
+        fn two_phase(a: ObjId, b: ObjId) -> Step {
+            write(a, 1, move || write(b, 1, move || done(0)))
+        }
+        let setup = move || {
+            let mut mem = Memory::new();
+            let a = mem.alloc(0);
+            let b = mem.alloc(0);
+            let machines = vec![
+                Machine::new(two_phase(a, b)),
+                Machine::new(read(a, move |va| read(b, move |vb| done(va - vb)))),
+            ];
+            (mem, machines)
+        };
+        let ops = vec![
+            ExploreOp {
+                pid: ProcessId(0),
+                desc: OpDesc::CounterIncrement,
+                returns_value: false,
+            },
+            ExploreOp {
+                pid: ProcessId(1),
+                desc: OpDesc::CounterRead,
+                returns_value: true,
+            },
+        ];
+        // "Violation": the reader observed a - b == 1 AND the writer is
+        // pending — i.e. the torn intermediate state outlived the crash.
+        let mut check = |h: &History| {
+            let torn = h.ops().iter().any(|o| o.output == Some(OpOutput::Value(1)));
+            let writer_crashed = h.pending().any(|o| o.desc == OpDesc::CounterIncrement);
+            !(torn && writer_crashed)
+        };
+        // Without crashes the torn state is transient (the writer always
+        // finishes): the schedule where the reader interleaves sees a=1,
+        // b=0 too — but the writer completes, so `writer_crashed` is
+        // false and no violation fires.
+        let clean = explore(
+            &setup,
+            &ops,
+            &mut check,
+            ExploreConfig {
+                max_schedules: 100_000,
+                prune: false,
+                max_crashes: 0,
+            },
+        );
+        assert!(clean.violation.is_none());
+        // With a 1-crash budget the explorer finds the bad crash point.
+        for prune in [false, true] {
+            let summary = explore(
+                &setup,
+                &ops,
+                &mut check,
+                ExploreConfig {
+                    max_schedules: 100_000,
+                    prune,
+                    max_crashes: 1,
+                },
+            );
+            assert!(
+                summary.violation.is_some(),
+                "prune={prune}: crash-only bug not found"
+            );
+            assert_eq!(
+                summary.violation_crashed,
+                vec![ProcessId(0)],
+                "prune={prune}: the writer is the crashed process"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_exploration_respects_pruning_soundness() {
+        // The pruned and unpruned crash explorations must agree on the
+        // set of history classes (outputs + step counts + precedence),
+        // mirroring `pruning_preserves_the_set_of_histories`.
+        use std::collections::BTreeSet;
+        let setup = || {
+            let mut mem = Memory::new();
+            let a = mem.alloc(0);
+            let machines = vec![
+                Machine::new(incr(a)),
+                Machine::new(incr(a)),
+                Machine::new(read(a, done)),
+            ];
+            (mem, machines)
+        };
+        let ops = vec![
+            ExploreOp {
+                pid: ProcessId(0),
+                desc: OpDesc::CounterIncrement,
+                returns_value: false,
+            },
+            ExploreOp {
+                pid: ProcessId(1),
+                desc: OpDesc::CounterIncrement,
+                returns_value: false,
+            },
+            ExploreOp {
+                pid: ProcessId(2),
+                desc: OpDesc::CounterRead,
+                returns_value: true,
+            },
+        ];
+        // Signature tolerant of pending ops: output (None when pending),
+        // completion flag, and the precedence row.
+        let sig = |h: &History| {
+            let by_pid = |pid: ProcessId| h.ops().iter().find(|o| o.pid == pid).unwrap();
+            let rows: Vec<String> = ops
+                .iter()
+                .map(|op| {
+                    let rec = by_pid(op.pid);
+                    let row: Vec<bool> = ops
+                        .iter()
+                        .map(|other| rec.precedes(by_pid(other.pid)))
+                        .collect();
+                    format!("{:?}|{}|{:?}", rec.output, rec.is_complete(), row)
+                })
+                .collect();
+            rows.join(";")
+        };
+        let collect = |prune: bool| {
+            let mut set: BTreeSet<String> = BTreeSet::new();
+            let summary = explore(
+                &setup,
+                &ops,
+                &mut |h| {
+                    set.insert(sig(h));
+                    true
+                },
+                ExploreConfig {
+                    max_schedules: 1_000_000,
+                    prune,
+                    max_crashes: 1,
+                },
+            );
+            assert!(!summary.truncated);
+            (set, summary.schedules)
+        };
+        let (full, full_n) = collect(false);
+        let (pruned, pruned_n) = collect(true);
+        assert!(pruned_n <= full_n);
+        assert_eq!(full, pruned, "crash pruning changed the history set");
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! First-class fault injection: crash and stall scheduling.
+//!
+//! The paper's objects are wait-free or obstruction-free — their whole
+//! point is surviving processes that stop mid-operation. A [`FaultPlan`]
+//! makes that adversary first-class: it is a deterministic, seedable
+//! description of *which* processes fail and *when*, measured in the
+//! process's own shared-memory events (so a plan is meaningful under any
+//! scheduler).
+//!
+//! Two fault kinds, matching the standard model:
+//!
+//! * [`Fault::Crash`] — the process halts **permanently** after taking
+//!   its `after`-th event. Its in-flight operation stays *pending* in the
+//!   [`History`](crate::History) (invoked, never responded); the
+//!   completion rule for checkers says such an operation may linearize
+//!   anywhere after its invocation or be dropped entirely.
+//! * [`Fault::Stall`] — the process is descheduled for a **bounded
+//!   window** (`hold` global steps) after taking its `after`-th event,
+//!   then resumes. Stalls change interleavings but never leave pending
+//!   operations behind.
+//!
+//! Plans are injected at the executor's scheduling points
+//! ([`Executor::run_with_faults`](crate::Executor::run_with_faults))
+//! rather than wrapped around a [`Scheduler`](crate::Scheduler): a plain
+//! scheduler only picks among runnable processes and cannot express
+//! "this process never runs again", which is exactly what a crash is.
+//! The bounded-exploration analogue lives in
+//! [`ExploreConfig::max_crashes`](crate::explore::ExploreConfig):
+//! exhaustive enumeration over *every* crash point within a budget.
+
+use crate::rng::SplitMix64;
+use crate::ProcessId;
+
+/// One scheduled fault for one process, triggered by the process's own
+/// event count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The process halts permanently after taking `after` shared-memory
+    /// events (`after == 0` crashes it before its first event).
+    Crash {
+        /// Events the process takes before halting.
+        after: usize,
+    },
+    /// After taking `after` events, the process is not scheduled until
+    /// `hold` further *global* steps have elapsed (or, if no other
+    /// process can move, the stall is released early — a stall is a
+    /// bounded window, never a deadlock).
+    Stall {
+        /// Events the process takes before stalling.
+        after: usize,
+        /// Global steps the stall holds the process for.
+        hold: usize,
+    },
+}
+
+impl Fault {
+    /// The triggering event count.
+    fn after(&self) -> usize {
+        match *self {
+            Fault::Crash { after } => after,
+            Fault::Stall { after, .. } => after,
+        }
+    }
+}
+
+/// A deterministic fault schedule: per process, a list of [`Fault`]s
+/// triggered by that process's own event count.
+///
+/// Plans compose with any scheduler — the trigger is "after my k-th
+/// event", not "at global tick t" — so the same plan reproduces the same
+/// fault behavior under round-robin, seeded-random or scripted
+/// schedules.
+///
+/// ```
+/// use ruo_sim::fault::FaultPlan;
+/// use ruo_sim::ProcessId;
+///
+/// // p1 crashes after 3 events; p2 stalls for 10 global steps after 1.
+/// let plan = FaultPlan::new()
+///     .crash(ProcessId(1), 3)
+///     .stall(ProcessId(2), 1, 10);
+/// assert!(plan.crashes(ProcessId(1)));
+/// assert!(!plan.crashes(ProcessId(0)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// `faults[p]` = process `p`'s faults, sorted by trigger event count.
+    faults: Vec<Vec<Fault>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults). [`Executor::run`](crate::Executor::run)
+    /// is exactly `run_with_faults` under this plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Alias for [`FaultPlan::new`], reading better at call sites that
+    /// opt out of fault injection explicitly.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, pid: ProcessId) -> &mut Vec<Fault> {
+        if self.faults.len() <= pid.index() {
+            self.faults.resize(pid.index() + 1, Vec::new());
+        }
+        &mut self.faults[pid.index()]
+    }
+
+    fn push(mut self, pid: ProcessId, fault: Fault) -> Self {
+        let slot = self.slot(pid);
+        slot.push(fault);
+        slot.sort_by_key(Fault::after);
+        self
+    }
+
+    /// Adds a permanent crash of `pid` after its `after`-th event.
+    pub fn crash(self, pid: ProcessId, after: usize) -> Self {
+        self.push(pid, Fault::Crash { after })
+    }
+
+    /// Adds a bounded stall of `pid`: after its `after`-th event it is
+    /// descheduled for `hold` global steps.
+    pub fn stall(self, pid: ProcessId, after: usize, hold: usize) -> Self {
+        self.push(pid, Fault::Stall { after, hold })
+    }
+
+    /// A seeded random plan over `n` processes: up to `crashes` distinct
+    /// processes each crash at an event count in `[0, max_after]`.
+    /// Deterministic per seed, like every scheduler in this crate.
+    pub fn random_crashes(seed: u64, n: usize, crashes: usize, max_after: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut pids: Vec<usize> = (0..n).collect();
+        let mut plan = FaultPlan::new();
+        for _ in 0..crashes.min(n) {
+            let i = rng.gen_index(pids.len());
+            let pid = pids.swap_remove(i);
+            let after = rng.gen_index(max_after + 1);
+            plan = plan.crash(ProcessId(pid), after);
+        }
+        plan
+    }
+
+    /// The faults scheduled for `pid`, sorted by trigger event count.
+    pub fn faults_for(&self, pid: ProcessId) -> &[Fault] {
+        self.faults
+            .get(pid.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether the plan ever crashes `pid`.
+    pub fn crashes(&self, pid: ProcessId) -> bool {
+        self.faults_for(pid)
+            .iter()
+            .any(|f| matches!(f, Fault::Crash { .. }))
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.iter().all(Vec::is_empty)
+    }
+}
+
+/// Runtime fault state: tracks each process's event count against a
+/// [`FaultPlan`] and answers "may this process be scheduled now?".
+///
+/// The executor owns one per run; exposed so hand-driven harnesses
+/// (tests that advance machines manually) can reuse the same trigger
+/// logic instead of re-deriving crash points.
+#[derive(Clone, Debug)]
+pub struct FaultClock<'a> {
+    plan: &'a FaultPlan,
+    /// Per process: events taken so far.
+    events: Vec<usize>,
+    /// Per process: index of the next untriggered fault in the plan.
+    cursor: Vec<usize>,
+    /// Per process: whether a crash has triggered.
+    crashed: Vec<bool>,
+    /// Per process: global step before which the process may not run.
+    stalled_until: Vec<Option<usize>>,
+}
+
+impl<'a> FaultClock<'a> {
+    /// A clock for `n` processes following `plan`.
+    pub fn new(plan: &'a FaultPlan, n: usize) -> Self {
+        let mut clock = FaultClock {
+            plan,
+            events: vec![0; n],
+            cursor: vec![0; n],
+            crashed: vec![false; n],
+            stalled_until: vec![None; n],
+        };
+        // Trigger `after == 0` faults before any event.
+        for p in 0..n {
+            clock.trigger(ProcessId(p), 0);
+        }
+        clock
+    }
+
+    /// Fires every fault of `pid` whose trigger count has been reached.
+    fn trigger(&mut self, pid: ProcessId, now: usize) {
+        let p = pid.index();
+        let faults = self.plan.faults_for(pid);
+        while let Some(fault) = faults.get(self.cursor[p]) {
+            if fault.after() > self.events[p] {
+                break;
+            }
+            self.cursor[p] += 1;
+            match *fault {
+                Fault::Crash { .. } => self.crashed[p] = true,
+                Fault::Stall { hold, .. } => {
+                    let until = now + hold;
+                    self.stalled_until[p] = Some(match self.stalled_until[p] {
+                        Some(cur) => cur.max(until),
+                        None => until,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Records one shared-memory event by `pid` at global step `now`
+    /// (the step count *after* the event), firing any fault it reaches.
+    pub fn on_event(&mut self, pid: ProcessId, now: usize) {
+        self.events[pid.index()] += 1;
+        self.trigger(pid, now);
+    }
+
+    /// Whether `pid` has crashed.
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.crashed[pid.index()]
+    }
+
+    /// Whether `pid` is inside a stall window at global step `now`
+    /// (expired windows are cleared as a side effect of the answer being
+    /// `false` at a later query — the stored bound is immutable).
+    pub fn is_stalled(&self, pid: ProcessId, now: usize) -> bool {
+        matches!(self.stalled_until[pid.index()], Some(until) if now < until)
+    }
+
+    /// Events `pid` has taken.
+    pub fn events(&self, pid: ProcessId) -> usize {
+        self.events[pid.index()]
+    }
+
+    /// Releases the stall with the earliest deadline among `candidates`
+    /// (stalls are bounded windows: if nobody else can move, time
+    /// passes vacuously and the earliest window elapses). Returns the
+    /// released process, or `None` if no candidate is stalled.
+    pub fn release_earliest_stall(&mut self, candidates: &[ProcessId]) -> Option<ProcessId> {
+        let released = candidates
+            .iter()
+            .filter_map(|&pid| self.stalled_until[pid.index()].map(|until| (until, pid)))
+            .min_by_key(|&(until, _)| until)
+            .map(|(_, pid)| pid)?;
+        self.stalled_until[released.index()] = None;
+        Some(released)
+    }
+
+    /// Every process the clock has marked crashed, in id order.
+    pub fn crashed_processes(&self) -> Vec<ProcessId> {
+        self.crashed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(p, _)| ProcessId(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_sorts_faults_by_trigger() {
+        let plan = FaultPlan::new()
+            .stall(ProcessId(0), 5, 2)
+            .crash(ProcessId(0), 3);
+        let faults = plan.faults_for(ProcessId(0));
+        assert_eq!(faults[0], Fault::Crash { after: 3 });
+        assert_eq!(faults[1], Fault::Stall { after: 5, hold: 2 });
+        assert!(plan.crashes(ProcessId(0)));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn clock_crashes_exactly_at_the_trigger_count() {
+        let plan = FaultPlan::new().crash(ProcessId(1), 2);
+        let mut clock = FaultClock::new(&plan, 2);
+        assert!(!clock.is_crashed(ProcessId(1)));
+        clock.on_event(ProcessId(1), 1);
+        assert!(!clock.is_crashed(ProcessId(1)));
+        clock.on_event(ProcessId(1), 2);
+        assert!(clock.is_crashed(ProcessId(1)));
+        assert!(!clock.is_crashed(ProcessId(0)));
+        assert_eq!(clock.crashed_processes(), vec![ProcessId(1)]);
+    }
+
+    #[test]
+    fn crash_after_zero_triggers_before_any_event() {
+        let plan = FaultPlan::new().crash(ProcessId(0), 0);
+        let clock = FaultClock::new(&plan, 1);
+        assert!(clock.is_crashed(ProcessId(0)));
+    }
+
+    #[test]
+    fn stall_holds_for_the_window_then_expires() {
+        let plan = FaultPlan::new().stall(ProcessId(0), 1, 5);
+        let mut clock = FaultClock::new(&plan, 1);
+        assert!(!clock.is_stalled(ProcessId(0), 0));
+        clock.on_event(ProcessId(0), 1); // trigger: stalled until step 6
+        assert!(clock.is_stalled(ProcessId(0), 1));
+        assert!(clock.is_stalled(ProcessId(0), 5));
+        assert!(!clock.is_stalled(ProcessId(0), 6));
+    }
+
+    #[test]
+    fn release_earliest_stall_picks_the_smallest_deadline() {
+        let plan = FaultPlan::new()
+            .stall(ProcessId(0), 0, 50)
+            .stall(ProcessId(1), 0, 10);
+        let mut clock = FaultClock::new(&plan, 2);
+        let released = clock.release_earliest_stall(&[ProcessId(0), ProcessId(1)]);
+        assert_eq!(released, Some(ProcessId(1)));
+        assert!(!clock.is_stalled(ProcessId(1), 0));
+        assert!(clock.is_stalled(ProcessId(0), 0));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_bounded() {
+        let a = FaultPlan::random_crashes(7, 4, 2, 10);
+        let b = FaultPlan::random_crashes(7, 4, 2, 10);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let crashed: Vec<bool> = (0..4).map(|p| a.crashes(ProcessId(p))).collect();
+        assert_eq!(crashed.iter().filter(|&&c| c).count(), 2);
+        for p in 0..4 {
+            for f in a.faults_for(ProcessId(p)) {
+                assert!(f.after() <= 10);
+            }
+        }
+        // Different seeds differ somewhere in a small sweep.
+        let plans: Vec<String> = (0..8)
+            .map(|s| format!("{:?}", FaultPlan::random_crashes(s, 4, 2, 10)))
+            .collect();
+        assert!(plans.iter().any(|p| *p != plans[0]));
+    }
+
+    #[test]
+    fn events_are_counted_per_process() {
+        let plan = FaultPlan::none();
+        let mut clock = FaultClock::new(&plan, 2);
+        clock.on_event(ProcessId(0), 1);
+        clock.on_event(ProcessId(0), 2);
+        clock.on_event(ProcessId(1), 3);
+        assert_eq!(clock.events(ProcessId(0)), 2);
+        assert_eq!(clock.events(ProcessId(1)), 1);
+    }
+}

@@ -33,6 +33,26 @@ pub enum OpDesc {
     Scan,
 }
 
+impl OpDesc {
+    /// Whether this is an update-type operation (one that mutates the
+    /// object). A *pending* update may already have taken effect, so
+    /// stripping it from a history is unsound; see
+    /// [`History::strip_pending`].
+    pub fn is_update(&self) -> bool {
+        matches!(
+            self,
+            OpDesc::WriteMax(_) | OpDesc::CounterIncrement | OpDesc::Update(_)
+        )
+    }
+
+    /// Whether this is a read-type operation (one that only observes the
+    /// object). A pending read returned nothing to anyone; dropping it
+    /// from a history is always sound.
+    pub fn is_read(&self) -> bool {
+        !self.is_update()
+    }
+}
+
 impl fmt::Display for OpDesc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -176,11 +196,30 @@ impl History {
         self.ops.iter().filter(|o| o.is_complete())
     }
 
+    /// Only the pending (invoked, never responded) operations — what a
+    /// crash leaves behind.
+    pub fn pending(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter().filter(|o| !o.is_complete())
+    }
+
     /// Drops pending (incomplete) operations, returning a complete
-    /// history. Pending update-type operations may or may not have taken
-    /// effect; the exact checker treats the resulting history as-is, so
-    /// callers should only strip pending *read-type* operations this way.
+    /// history.
+    ///
+    /// This is only sound when every pending operation is *read-type*: a
+    /// pending read returned nothing to anyone, but a pending update may
+    /// already have taken effect and be observed by completed reads —
+    /// stripping it can turn a linearizable history into one the
+    /// checkers reject (or worse, hide a real violation). Debug builds
+    /// assert that contract; use [`History::strip_pending`] for the
+    /// checked version, or keep the pending ops and rely on the
+    /// checkers' completion rule (every checker in [`crate::lin`]
+    /// handles pending updates directly).
     pub fn without_pending(&self) -> History {
+        debug_assert!(
+            self.pending().all(|o| o.desc.is_read()),
+            "stripping a pending update-type operation is unsound; \
+             use strip_pending() or pass the history to the checkers as-is"
+        );
         History {
             ops: self
                 .ops
@@ -190,7 +229,57 @@ impl History {
                 .collect(),
         }
     }
+
+    /// Checked version of [`History::without_pending`]: drops pending
+    /// read-type operations, but refuses (with the offending operation's
+    /// index) if any pending operation is update-type, since such an
+    /// operation may already have taken effect.
+    pub fn strip_pending(&self) -> Result<History, StripPendingError> {
+        if let Some(index) = self
+            .ops
+            .iter()
+            .position(|o| !o.is_complete() && o.desc.is_update())
+        {
+            return Err(StripPendingError {
+                index,
+                desc: self.ops[index].desc.clone(),
+                pid: self.ops[index].pid,
+            });
+        }
+        Ok(History {
+            ops: self
+                .ops
+                .iter()
+                .filter(|o| o.is_complete())
+                .cloned()
+                .collect(),
+        })
+    }
 }
+
+/// Why [`History::strip_pending`] refused: a pending update-type
+/// operation may already have taken effect, so dropping it is unsound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StripPendingError {
+    /// Index (in invocation order) of the offending operation.
+    pub index: usize,
+    /// The pending update's description.
+    pub desc: OpDesc,
+    /// The process that invoked it.
+    pub pid: ProcessId,
+}
+
+impl fmt::Display for StripPendingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot strip pending update-type op #{} ({} by p{}): it may already have taken effect",
+            self.index, self.desc, self.pid.0
+        )
+    }
+}
+
+impl std::error::Error for StripPendingError {}
 
 impl<'a> IntoIterator for &'a History {
     type Item = &'a OpRecord;
@@ -272,6 +361,85 @@ mod tests {
         });
         assert_eq!(h.len(), 2);
         assert_eq!(h.without_pending().len(), 1);
+    }
+
+    #[test]
+    fn strip_pending_refuses_pending_updates() {
+        let mut h = History::new();
+        h.push(rec(0, OpDesc::ReadMax, 0, 1));
+        h.push(OpRecord {
+            pid: ProcessId(1),
+            desc: OpDesc::WriteMax(7),
+            invoke: 2,
+            response: None,
+            output: None,
+            steps: 1,
+        });
+        let err = h.strip_pending().expect_err("pending update must refuse");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.desc, OpDesc::WriteMax(7));
+        assert_eq!(err.pid, ProcessId(1));
+        assert!(err.to_string().contains("WriteMax(7)"));
+    }
+
+    #[test]
+    fn strip_pending_drops_pending_reads() {
+        let mut h = History::new();
+        h.push(rec(0, OpDesc::WriteMax(3), 0, 1));
+        h.push(OpRecord {
+            pid: ProcessId(1),
+            desc: OpDesc::Scan,
+            invoke: 2,
+            response: None,
+            output: None,
+            steps: 0,
+        });
+        let stripped = h.strip_pending().expect("pending read strips fine");
+        assert_eq!(stripped.len(), 1);
+        assert_eq!(stripped.ops()[0].desc, OpDesc::WriteMax(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsound")]
+    #[cfg(debug_assertions)]
+    fn without_pending_asserts_on_pending_updates() {
+        let mut h = History::new();
+        h.push(OpRecord {
+            pid: ProcessId(0),
+            desc: OpDesc::CounterIncrement,
+            invoke: 0,
+            response: None,
+            output: None,
+            steps: 1,
+        });
+        let _ = h.without_pending();
+    }
+
+    #[test]
+    fn update_read_classification_covers_every_desc() {
+        assert!(OpDesc::WriteMax(1).is_update());
+        assert!(OpDesc::CounterIncrement.is_update());
+        assert!(OpDesc::Update(2).is_update());
+        assert!(OpDesc::ReadMax.is_read());
+        assert!(OpDesc::CounterRead.is_read());
+        assert!(OpDesc::Scan.is_read());
+    }
+
+    #[test]
+    fn pending_iterator_yields_only_incomplete_ops() {
+        let mut h = History::new();
+        h.push(rec(0, OpDesc::ReadMax, 0, 1));
+        h.push(OpRecord {
+            pid: ProcessId(1),
+            desc: OpDesc::WriteMax(5),
+            invoke: 2,
+            response: None,
+            output: None,
+            steps: 1,
+        });
+        let pending: Vec<_> = h.pending().collect();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].desc, OpDesc::WriteMax(5));
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod rng;
 mod sched;
 
 pub mod explore;
+pub mod fault;
 pub mod history;
 pub mod lin;
 pub mod recorder;
@@ -63,7 +64,8 @@ pub mod spec;
 
 pub use event::{Event, EventLog, Prim};
 pub use exec::{ExecOutcome, Executor, OpSpec, WorkloadBuilder};
-pub use history::{History, OpDesc, OpOutput, OpRecord};
+pub use fault::{Fault, FaultClock, FaultPlan};
+pub use history::{History, OpDesc, OpOutput, OpRecord, StripPendingError};
 pub use ids::{ObjId, ProcessId};
 pub use machine::{cas, done, read, write, BoxedStep, Machine, Step};
 pub use mem::Memory;

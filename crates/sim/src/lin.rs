@@ -44,6 +44,10 @@ pub enum ViolationKind {
     /// The history violates a checker precondition (e.g. duplicate
     /// per-process update values for the snapshot checker).
     BadWorkload,
+    /// The history exceeds the checker's capacity (the exact checker's
+    /// 63-operation bitmask limit). Not a linearizability verdict —
+    /// re-check with the fast checkers or a smaller scope.
+    Uncheckable,
 }
 
 /// A linearizability violation, with human-readable detail.
@@ -81,19 +85,23 @@ impl Error for Violation {}
 ///
 /// # Errors
 ///
-/// Returns [`ViolationKind::NoLinearization`] if no legal order exists.
-///
-/// # Panics
-///
-/// Panics if the history has more than 63 operations (use the fast
-/// checkers for large histories).
+/// Returns [`ViolationKind::NoLinearization`] if no legal order exists,
+/// or [`ViolationKind::Uncheckable`] if the history has more than 63
+/// operations (the bitmask search's capacity — use the fast checkers
+/// for large histories). `Uncheckable` is a capacity report, not a
+/// linearizability verdict; crash-truncated soak runs check it
+/// explicitly instead of aborting.
 pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
     let ops = history.ops();
-    assert!(
-        ops.len() <= 63,
-        "exact checker supports at most 63 operations, got {}",
-        ops.len()
-    );
+    if ops.len() > 63 {
+        return Err(Violation::new(
+            ViolationKind::Uncheckable,
+            format!(
+                "exact checker supports at most 63 operations, got {}",
+                ops.len()
+            ),
+        ));
+    }
     let n = ops.len();
     let all_complete: u64 = ops
         .iter()
@@ -249,6 +257,12 @@ impl PrefixMax {
 /// 3. non-overlapping reads return non-decreasing values (the register
 ///    is monotone).
 ///
+/// Pending operations follow the standard completion rule: a pending
+/// `WriteMax` (e.g. left behind by a crash) counts as *invoked* for
+/// condition 1 — it may have taken effect, so reads may see its value —
+/// but never as *completed* for condition 2, so no read is required to
+/// see it. Pending reads returned nothing and are ignored.
+///
 /// # Errors
 ///
 /// Returns the first violated condition.
@@ -352,6 +366,12 @@ pub fn check_max_register(history: &History, initial: Word) -> Result<(), Violat
 ///    read responded;
 /// 3. non-overlapping reads return non-decreasing counts.
 ///
+/// Pending operations follow the completion rule: a pending
+/// `CounterIncrement` widens the feasible interval's upper bound
+/// (condition 2: it *may* have taken effect) but never the lower bound
+/// (condition 1: no read is required to see it). Pending reads are
+/// ignored.
+///
 /// # Errors
 ///
 /// Returns the first violated condition.
@@ -439,6 +459,12 @@ pub fn check_counter(history: &History) -> Result<(), Violation> {
 ///    update by `i` that completed before the scan was invoked;
 /// 3. all scan vectors are coordinatewise comparable (scans are totally
 ///    ordered), and non-overlapping scans respect that order.
+///
+/// Pending operations follow the completion rule: a pending `Update`
+/// participates in its process's update sequence (condition 1: scans may
+/// see its value) but, never having responded, precedes no scan
+/// (condition 2: no scan is required to see it). Pending scans are
+/// ignored.
 ///
 /// # Errors
 ///
@@ -807,6 +833,85 @@ mod tests {
         }
     }
 
+    fn pending(pid: usize, desc: OpDesc, invoke: usize) -> OpRecord {
+        OpRecord {
+            pid: ProcessId(pid),
+            desc,
+            invoke,
+            response: None,
+            output: None,
+            steps: 1,
+        }
+    }
+
+    #[test]
+    fn pending_increment_may_linearize_or_not() {
+        // A crash left an increment pending: reads seeing 0 or 1 are both
+        // fine (completion rule), 2 is not.
+        for (seen, ok) in [(0, true), (1, true), (2, false)] {
+            let mut h = History::new();
+            h.push(pending(0, OpDesc::CounterIncrement, 0));
+            h.push(op(1, OpDesc::CounterRead, 1, 2, OpOutput::Value(seen)));
+            assert_eq!(
+                check_exact(&h, &SeqSpec::Counter).is_ok(),
+                ok,
+                "seen={seen}"
+            );
+            assert_eq!(check_counter(&h).is_ok(), ok, "seen={seen}");
+        }
+    }
+
+    #[test]
+    fn pending_increment_does_not_lower_the_floor() {
+        // A *completed* increment must be seen even when another is
+        // pending: the pending one widens only the upper bound.
+        let mut h = History::new();
+        h.push(op(0, OpDesc::CounterIncrement, 0, 1, OpOutput::Unit));
+        h.push(pending(1, OpDesc::CounterIncrement, 2));
+        h.push(op(2, OpDesc::CounterRead, 3, 4, OpOutput::Value(0)));
+        assert!(check_exact(&h, &SeqSpec::Counter).is_err());
+        assert_eq!(
+            check_counter(&h).unwrap_err().kind,
+            ViolationKind::CountOutOfRange
+        );
+    }
+
+    #[test]
+    fn pending_snapshot_update_may_linearize_or_not() {
+        // p0's Update(1) is pending when p2 scans: segment 0 may read 0
+        // or 1, but a value never written anywhere stays illegal.
+        for (seen, ok) in [(0, true), (1, true), (9, false)] {
+            let mut h = History::new();
+            h.push(pending(0, OpDesc::Update(1), 0));
+            h.push(op(2, OpDesc::Scan, 1, 2, OpOutput::Vector(vec![seen, 0])));
+            let spec = SeqSpec::Snapshot { n: 2, initial: 0 };
+            assert_eq!(check_exact(&h, &spec).is_ok(), ok, "seen={seen}");
+            assert_eq!(check_snapshot(&h, 2, 0).is_ok(), ok, "seen={seen}");
+        }
+    }
+
+    #[test]
+    fn pending_reads_are_ignored_by_every_checker() {
+        // Crashed readers returned nothing; they impose no constraint.
+        let mut h = History::new();
+        h.push(op(0, OpDesc::WriteMax(5), 0, 1, OpOutput::Unit));
+        h.push(pending(1, OpDesc::ReadMax, 2));
+        assert!(check_exact(&h, &MAX_SPEC).is_ok());
+        assert!(check_max_register(&h, -1).is_ok());
+
+        let mut h = History::new();
+        h.push(op(0, OpDesc::CounterIncrement, 0, 1, OpOutput::Unit));
+        h.push(pending(1, OpDesc::CounterRead, 2));
+        assert!(check_exact(&h, &SeqSpec::Counter).is_ok());
+        assert!(check_counter(&h).is_ok());
+
+        let mut h = History::new();
+        h.push(op(0, OpDesc::Update(1), 0, 1, OpOutput::Unit));
+        h.push(pending(1, OpDesc::Scan, 2));
+        assert!(check_exact(&h, &SeqSpec::Snapshot { n: 2, initial: 0 }).is_ok());
+        assert!(check_snapshot(&h, 2, 0).is_ok());
+    }
+
     #[test]
     fn exact_checker_handles_interleaved_counter() {
         // Two concurrent increments and a concurrent read seeing 0, 1 or 2.
@@ -881,8 +986,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 63 operations")]
-    fn exact_checker_rejects_oversized_histories() {
+    fn exact_checker_reports_oversized_histories_as_uncheckable() {
         let ops: Vec<OpRecord> = (0..64)
             .map(|i| {
                 op(
@@ -894,7 +998,22 @@ mod tests {
                 )
             })
             .collect();
-        let _ = check_exact(&hist(ops), &SeqSpec::Counter);
+        let v = check_exact(&hist(ops), &SeqSpec::Counter).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::Uncheckable);
+        assert!(v.detail.contains("64"), "{}", v.detail);
+        // Exactly 63 is still decided, not refused.
+        let ops: Vec<OpRecord> = (0..63)
+            .map(|i| {
+                op(
+                    0,
+                    OpDesc::CounterIncrement,
+                    2 * i,
+                    2 * i + 1,
+                    OpOutput::Unit,
+                )
+            })
+            .collect();
+        assert!(check_exact(&hist(ops), &SeqSpec::Counter).is_ok());
     }
 
     #[test]

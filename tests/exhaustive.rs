@@ -245,6 +245,7 @@ fn exploration_rediscovers_the_single_cas_bug() {
         ExploreConfig {
             max_schedules: 2_000_000,
             prune: true,
+            max_crashes: 0,
         },
     );
     let pruned_schedule = pruned
@@ -343,6 +344,7 @@ fn scaled_scope_three_writers_one_reader_fast_path() {
         ExploreConfig {
             max_schedules: 100_000,
             prune: true,
+            max_crashes: 0,
         },
     );
     assert!(
