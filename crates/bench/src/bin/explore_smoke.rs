@@ -10,87 +10,59 @@
 //! machine-readable JSON (`BENCH_explore.json` when run from the
 //! repository root) so before/after comparisons are a `diff`.
 //!
+//! Since the scenario-engine refactor the scope lives in the checked-in
+//! `scenarios/w5_explore_{full,pruned}.json` specs (embedded at compile
+//! time), and [`ruo_scenario::run_explore`] drives the search — this
+//! harness asserts the specs still describe the canonical scope and
+//! formats the results.
+//!
 //! CLI: `--quick` (1 timing sample instead of 3 — the CI smoke target),
 //! `--out <path>` (default `BENCH_explore.json`).
 
-use std::time::Instant;
-
-use ruo_core::maxreg::sim::{SimMaxRegister, SimTreeMaxRegister};
 use ruo_metrics::ExploreGauges;
-use ruo_sim::explore::{explore, ExploreConfig, ExploreOp, ExploreSummary};
-use ruo_sim::lin::check_max_register;
-use ruo_sim::{Machine, Memory, OpDesc, ProcessId};
+use ruo_scenario::{run_explore, ScenarioReport, ScenarioSpec};
+use ruo_sim::explore::ExploreStats;
+use ruo_sim::ProcessId;
 
-/// The seeded scope's initial max-register value.
-const SEEDED_MAX: i64 = 3;
+const FULL_SPEC: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../scenarios/w5_explore_full.json"
+));
+const PRUNED_SPEC: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../scenarios/w5_explore_pruned.json"
+));
 
-fn setup() -> (Memory, Vec<Machine>) {
-    let mut mem = Memory::new();
-    let reg = SimTreeMaxRegister::with_root_fast_path(&mut mem, 4);
-    // Seed: WriteMax(3) runs solo to completion, so two of the scope's
-    // writers hit the dominated-write fast path.
-    let mut seed = reg.write_max(ProcessId(0), SEEDED_MAX as u64);
-    while let Some(prim) = seed.enabled() {
-        let resp = mem.apply(ProcessId(0), prim);
-        seed.feed(resp);
-    }
-    let machines = vec![
-        reg.write_max(ProcessId(0), 4),
-        reg.write_max(ProcessId(1), 2),
-        reg.write_max(ProcessId(2), 3),
-        reg.read_max(ProcessId(3)),
-    ];
-    (mem, machines)
+fn load(text: &str) -> ScenarioSpec {
+    let spec = ScenarioSpec::parse(text).expect("checked-in W5 spec parses");
+    assert_eq!(
+        ScenarioSpec::parse(&spec.to_json()).as_ref(),
+        Ok(&spec),
+        "W5 spec round trip must be identity"
+    );
+    spec
 }
 
-fn ops() -> Vec<ExploreOp> {
-    vec![
-        ExploreOp {
-            pid: ProcessId(0),
-            desc: OpDesc::WriteMax(4),
-            returns_value: false,
-        },
-        ExploreOp {
-            pid: ProcessId(1),
-            desc: OpDesc::WriteMax(2),
-            returns_value: false,
-        },
-        ExploreOp {
-            pid: ProcessId(2),
-            desc: OpDesc::WriteMax(3),
-            returns_value: false,
-        },
-        ExploreOp {
-            pid: ProcessId(3),
-            desc: OpDesc::ReadMax,
-            returns_value: true,
-        },
-    ]
+/// The explorer counters a report carries, in `ExploreStats` shape (for
+/// the metrics gauges).
+fn stats_of(report: &ScenarioReport) -> ExploreStats {
+    ExploreStats {
+        schedules: report.counter("schedules").unwrap_or(0) as usize,
+        pruned_branches: report.counter("pruned_branches").unwrap_or(0) as usize,
+        executed_steps: report.counter("executed_steps").unwrap_or(0),
+        replay_steps_saved: report.counter("replay_steps_saved").unwrap_or(0),
+        peak_depth: report.counter("peak_depth").unwrap_or(0) as usize,
+        crash_branches: report.counter("crash_branches").unwrap_or(0) as usize,
+    }
 }
 
 /// One timed run; panics on any violation or truncation — this harness
 /// is also the CI gate that the scope stays exhaustively checkable.
-fn run(prune: bool) -> (ExploreSummary, f64) {
-    let ops = ops();
-    let start = Instant::now();
-    let summary = explore(
-        &setup,
-        &ops,
-        &mut |h| check_max_register(h, SEEDED_MAX).is_ok(),
-        ExploreConfig {
-            max_schedules: 100_000,
-            prune,
-            max_crashes: 0,
-        },
-    );
-    let secs = start.elapsed().as_secs_f64();
-    assert!(
-        summary.violation.is_none(),
-        "W5 scope violated linearizability: {:?}",
-        summary.violation
-    );
-    assert!(!summary.truncated, "W5 scope must complete un-truncated");
-    (summary, secs)
+fn run(spec: &ScenarioSpec) -> (ScenarioReport, f64) {
+    let report = run_explore(spec, false).expect("W5 scope builds");
+    assert!(report.ok, "W5 scope failed: {:?}", report.notes);
+    let secs = report.metric("seconds").expect("explore reports seconds");
+    (report, secs)
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -110,6 +82,8 @@ fn main() {
         }
     }
     let samples = if quick { 1 } else { 3 };
+    let full_spec = load(FULL_SPEC);
+    let pruned_spec = load(PRUNED_SPEC);
 
     let gauges = ExploreGauges::new(2);
     let mut full_secs = Vec::new();
@@ -117,21 +91,21 @@ fn main() {
     let mut full = None;
     let mut pruned = None;
     for _ in 0..samples {
-        let (s, t) = run(false);
-        gauges.record(ProcessId(0), &s.stats);
+        let (r, t) = run(&full_spec);
+        gauges.record(ProcessId(0), &stats_of(&r));
         full_secs.push(t);
-        full = Some(s);
-        let (s, t) = run(true);
-        gauges.record(ProcessId(1), &s.stats);
+        full = Some(r);
+        let (r, t) = run(&pruned_spec);
+        gauges.record(ProcessId(1), &stats_of(&r));
         pruned_secs.push(t);
-        pruned = Some(s);
+        pruned = Some(r);
     }
-    let full = full.expect("at least one sample");
-    let pruned = pruned.expect("at least one sample");
+    let full = stats_of(&full.expect("at least one sample"));
+    let pruned = stats_of(&pruned.expect("at least one sample"));
     let full_t = median(&mut full_secs);
     let pruned_t = median(&mut pruned_secs);
     let factor = full.schedules as f64 / pruned.schedules as f64;
-    let replay_factor = pruned.stats.replay_steps_saved as f64 / pruned.stats.executed_steps as f64;
+    let replay_factor = pruned.replay_steps_saved as f64 / pruned.executed_steps as f64;
 
     println!("W5: exhaustive explorer, scaled scope (3 writers + 1 reader, N=4, § 4.5 fast path)");
     println!(
@@ -143,12 +117,12 @@ fn main() {
         "  pruned: {:>6} schedules  {:>8.1} ms  ({} branches cut, {:.1}x fewer schedules)",
         pruned.schedules,
         pruned_t * 1e3,
-        pruned.stats.pruned_branches,
+        pruned.pruned_branches,
         factor
     );
     println!(
         "  incremental replay: {} steps executed, {} replay steps saved ({:.1}x)",
-        pruned.stats.executed_steps, pruned.stats.replay_steps_saved, replay_factor
+        pruned.executed_steps, pruned.replay_steps_saved, replay_factor
     );
     println!("  gauges: {gauges:?}");
 
@@ -160,9 +134,9 @@ fn main() {
          \"pruning_factor\": {factor:.3},\n  \"replay_savings_factor\": {replay_factor:.3}\n}}\n",
         full.schedules,
         pruned.schedules,
-        pruned.stats.pruned_branches,
-        pruned.stats.executed_steps,
-        pruned.stats.replay_steps_saved,
+        pruned.pruned_branches,
+        pruned.executed_steps,
+        pruned.replay_steps_saved,
     );
     std::fs::write(&out, json).expect("write results JSON");
     println!("  wrote {out}");

@@ -7,173 +7,72 @@
 //! completion rule) plus a progress-certification verdict for the
 //! wait-free families.
 //!
+//! Since the scenario-engine refactor the binary is a thin layer: it
+//! iterates the registry's simulator faces, builds one [`ScenarioSpec`]
+//! per (implementation, fault plan) row, and lets
+//! [`ruo_scenario::run_sim`] drive the executor, checkers and progress
+//! certifier. The workload shapes (the `Alternate` mix) and verdicts
+//! are unchanged from the hand-rolled harness.
+//!
 //! Run with `cargo run --release -p ruo-bench --bin soak [seeds]`
 //! (default 2000 seeds per implementation), or `soak --quick` for the
 //! CI-sized run. Exits non-zero if any `violations` cell is non-zero,
 //! so CI can gate on it directly.
 
-use std::sync::Arc;
-
 use ruo_bench::Table;
-use ruo_core::counter::sim::{
-    SimAacCounter, SimCasLoopCounter, SimCounter, SimFArrayCounter, SimSnapshotCounter,
-};
-use ruo_core::maxreg::sim::{
-    SimAacMaxRegister, SimCasRetryMaxRegister, SimFArrayMaxRegister, SimMaxRegister,
-    SimTreeMaxRegister,
-};
-use ruo_core::snapshot::sim::{SimDoubleCollectSnapshot, SimSnapshot};
-use ruo_metrics::ProgressCertifier;
-use ruo_sim::lin::{check_counter, check_max_register, check_snapshot};
-use ruo_sim::{
-    Executor, FaultPlan, Memory, OpDesc, OpSpec, ProcessId, RandomScheduler, RoundRobin,
-    WorkloadBuilder,
+use ruo_scenario::{
+    registry, run_sim, EngineKind, Family, FaultSpec, ImplEntry, OpMix, ScenarioSpec,
 };
 
-fn maxreg_workload(reg: &Arc<dyn SimMaxRegister>, n: usize, seed: u64) -> WorkloadBuilder {
-    let mut w = WorkloadBuilder::new(n);
-    for p in 0..n {
-        for i in 0..8usize {
-            let pid = ProcessId(p);
-            if i % 2 == 0 {
-                let v = ((seed as usize * 31 + i * n + p) % 1000 + 1) as u64;
-                let reg = Arc::clone(reg);
-                w.op(
-                    pid,
-                    OpSpec::update(OpDesc::WriteMax(v as i64), move || reg.write_max(pid, v)),
-                );
-            } else {
-                let reg = Arc::clone(reg);
-                w.op(
-                    pid,
-                    OpSpec::value(OpDesc::ReadMax, move || reg.read_max(pid)),
-                );
-            }
+/// The spec for one soak row: the legacy workload shape for `entry`'s
+/// family, with or without the 1-crash plan.
+fn row_spec(entry: &ImplEntry, crashes: bool, seeds: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        format!("soak-{}-{}", entry.family.name(), entry.id),
+        entry.family,
+        entry.id,
+        EngineKind::Sim,
+        if entry.family == Family::Snapshot {
+            3
+        } else {
+            4
+        },
+    );
+    spec.seed = 0;
+    spec.seeds = seeds;
+    spec.mix = OpMix::Alternate;
+    match entry.family {
+        Family::MaxReg => {
+            spec.ops_per_process = 8;
+            spec.value_bound = 1000;
+            // The historical AAC soak capacity.
+            spec.capacity = entry.caps.bounded_capacity.then_some(1 << 10);
+        }
+        Family::Counter => {
+            spec.ops_per_process = 8;
+            // SimSnapshotCounter reads are obstruction-free: budget
+            // generously.
+            spec.step_budget = Some(500_000);
+            // The historical AAC counter increment budget.
+            spec.capacity = entry.caps.bounded_capacity.then_some(64);
+        }
+        Family::Snapshot => {
+            spec.ops_per_process = 4;
+            spec.step_budget = Some(500_000);
         }
     }
-    w
-}
-
-fn maxreg_seed(
-    make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimMaxRegister>,
-    seed: u64,
-    plan: &FaultPlan,
-    cert: Option<&ProgressCertifier>,
-) -> bool {
-    let mut mem = Memory::new();
-    let n = 4;
-    let reg = make(&mut mem, n);
-    let w = maxreg_workload(&reg, n, seed);
-    let outcome =
-        Executor::new().run_with_faults(&mut mem, w, &mut RandomScheduler::new(seed), plan);
-    if let Some(cert) = cert {
-        cert.record_outcome(&outcome);
+    if crashes {
+        spec.faults = Some(FaultSpec::Random {
+            crashes: 1,
+            max_after: 40,
+        });
+        // The watchdog certifies Algorithm A's step bound across the
+        // whole crash-injected sweep (its machines are wait-free; the
+        // other families include retry loops whose bounds are
+        // schedule-dependent).
+        spec.certify = entry.family == Family::MaxReg && entry.id == "tree";
     }
-    // Crashes legitimately leave work unfinished; the checker-with-
-    // completion-rule is the pass criterion. Crash-free runs must also
-    // drain completely.
-    let drained = outcome.all_done || !outcome.crashed.is_empty();
-    drained && check_max_register(&outcome.history, 0).is_ok()
-}
-
-fn counter_seed(
-    make: &dyn Fn(&mut Memory, usize) -> Arc<dyn SimCounter>,
-    seed: u64,
-    plan: &FaultPlan,
-) -> bool {
-    let mut mem = Memory::new();
-    let n = 4;
-    let c = make(&mut mem, n);
-    let mut w = WorkloadBuilder::new(n);
-    for p in 0..n {
-        for i in 0..8usize {
-            let pid = ProcessId(p);
-            let c2 = Arc::clone(&c);
-            if i % 2 == 0 {
-                w.op(
-                    pid,
-                    OpSpec::update(OpDesc::CounterIncrement, move || c2.increment(pid)),
-                );
-            } else {
-                w.op(
-                    pid,
-                    OpSpec::value(OpDesc::CounterRead, move || c2.read(pid)),
-                );
-            }
-        }
-    }
-    // SimSnapshotCounter reads are obstruction-free: budget generously.
-    let outcome = Executor::with_step_budget(500_000).run_with_faults(
-        &mut mem,
-        w,
-        &mut RandomScheduler::new(seed),
-        plan,
-    );
-    let drained = outcome.all_done || !outcome.crashed.is_empty();
-    drained && check_counter(&outcome.history).is_ok()
-}
-
-fn snapshot_seed(seed: u64, plan: &FaultPlan) -> bool {
-    let mut mem = Memory::new();
-    let n = 3;
-    let snap = Arc::new(SimDoubleCollectSnapshot::new(&mut mem, n));
-    let mut w = WorkloadBuilder::new(n);
-    for p in 0..n {
-        let pid = ProcessId(p);
-        for i in 0..4u64 {
-            if i % 2 == 0 {
-                let s = Arc::clone(&snap);
-                let v = p as u64 * 1000 + seed % 500 + i + 1;
-                w.op(
-                    pid,
-                    OpSpec::update(OpDesc::Update(v as i64), move || s.update(pid, v)),
-                );
-            } else {
-                let s = Arc::clone(&snap);
-                let s2 = Arc::clone(&snap);
-                w.op(
-                    pid,
-                    OpSpec::vector(
-                        OpDesc::Scan,
-                        move || s.scan(pid),
-                        move |token| {
-                            s2.take_scan_result(token)
-                                .into_iter()
-                                .map(|v| v as i64)
-                                .collect()
-                        },
-                    ),
-                );
-            }
-        }
-    }
-    let outcome = Executor::with_step_budget(500_000).run_with_faults(
-        &mut mem,
-        w,
-        &mut RandomScheduler::new(seed),
-        plan,
-    );
-    let drained = outcome.all_done || !outcome.crashed.is_empty();
-    drained && check_snapshot(&outcome.history, n, 0).is_ok()
-}
-
-/// The exact wait-free step bound of Algorithm A's operations in this
-/// workload shape (its machines have schedule-independent step counts),
-/// measured from one crash-free run.
-fn algorithm_a_bound() -> u64 {
-    let mut mem = Memory::new();
-    let reg: Arc<dyn SimMaxRegister> = Arc::new(SimTreeMaxRegister::new(&mut mem, 4));
-    let outcome = Executor::new().run(
-        &mut mem,
-        maxreg_workload(&reg, 4, 0),
-        &mut RoundRobin::new(),
-    );
-    outcome
-        .history
-        .completed()
-        .map(|op| op.steps as u64)
-        .max()
-        .unwrap_or(0)
+    spec
 }
 
 fn main() {
@@ -195,131 +94,55 @@ fn main() {
 
     let mut t = Table::new(&["implementation", "faults", "ok", "violations"]);
     let mut total_violations: u64 = 0;
-    let crash_plan = |seed: u64, n: usize| FaultPlan::random_crashes(seed, n, 1, 40);
+    let mut watchdog_line: Option<String> = None;
 
-    type MaxRegFactory = Box<dyn Fn(&mut Memory, usize) -> Arc<dyn SimMaxRegister>>;
-    let maxregs: Vec<(&str, MaxRegFactory)> = vec![
-        (
-            "maxreg: Algorithm A",
-            Box::new(|m, n| Arc::new(SimTreeMaxRegister::new(m, n))),
-        ),
-        (
-            "maxreg: AAC",
-            Box::new(|m, n| Arc::new(SimAacMaxRegister::new(m, n, 1 << 10))),
-        ),
-        (
-            "maxreg: AAC unbalanced",
-            Box::new(|m, n| Arc::new(SimAacMaxRegister::new_unbalanced(m, n, 1 << 10))),
-        ),
-        (
-            "maxreg: CAS cell",
-            Box::new(|m, n| Arc::new(SimCasRetryMaxRegister::new(m, n))),
-        ),
-        (
-            "maxreg: f-array",
-            Box::new(|m, n| Arc::new(SimFArrayMaxRegister::new(m, n))),
-        ),
-    ];
-    // The watchdog certifies Algorithm A's step bound across the whole
-    // crash-injected sweep (its machines are wait-free; the other
-    // families include retry loops whose bounds are schedule-dependent).
-    let watchdog = ProgressCertifier::new(4, algorithm_a_bound());
-    for (name, make) in &maxregs {
-        for crashes in [false, true] {
-            let cert = (crashes && *name == "maxreg: Algorithm A").then_some(&watchdog);
-            let ok = (0..seeds)
-                .filter(|&s| {
-                    let plan = if crashes {
-                        crash_plan(s, 4)
+    for family in Family::all() {
+        for entry in registry()
+            .iter()
+            .filter(|e| e.family == family && e.has_sim())
+        {
+            for crashes in [false, true] {
+                let spec = row_spec(entry, crashes, seeds);
+                let report = run_sim(&spec, false)
+                    .unwrap_or_else(|e| panic!("soak {}/{}: {e}", family.name(), entry.id));
+                let ok = report.counter("ok_runs").unwrap_or(0);
+                total_violations += seeds - ok;
+                t.row(vec![
+                    format!("{}: {}", family.name(), entry.display),
+                    if crashes { "1 crash" } else { "none" }.to_string(),
+                    format!("{ok}/{seeds}"),
+                    (seeds - ok).to_string(),
+                ]);
+                if spec.certify {
+                    watchdog_line = Some(if report.counter("cert_ok") == Some(1) {
+                        format!(
+                            "\nProgress watchdog (Algorithm A, 1-crash sweep): certified — \
+                             {} ops completed, worst {} steps (bound {}), {} crash-pending.",
+                            report.counter("cert_completed").unwrap_or(0),
+                            report.counter("cert_worst_steps").unwrap_or(0),
+                            report.counter("cert_bound").unwrap_or(0),
+                            report.counter("cert_crashed_pending").unwrap_or(0),
+                        )
                     } else {
-                        FaultPlan::none()
-                    };
-                    maxreg_seed(make.as_ref(), s, &plan, cert)
-                })
-                .count() as u64;
-            total_violations += seeds - ok;
-            t.row(vec![
-                name.to_string(),
-                if crashes { "1 crash" } else { "none" }.to_string(),
-                format!("{ok}/{seeds}"),
-                (seeds - ok).to_string(),
-            ]);
+                        total_violations += 1;
+                        let detail = report
+                            .notes
+                            .iter()
+                            .find(|n| n.contains("certification"))
+                            .cloned()
+                            .unwrap_or_default();
+                        format!(
+                            "\nProgress watchdog (Algorithm A, 1-crash sweep): FAILED — {detail}"
+                        )
+                    });
+                }
+            }
         }
-    }
-
-    type CounterFactory = Box<dyn Fn(&mut Memory, usize) -> Arc<dyn SimCounter>>;
-    let counters: Vec<(&str, CounterFactory)> = vec![
-        (
-            "counter: f-array",
-            Box::new(|m, n| Arc::new(SimFArrayCounter::new(m, n))),
-        ),
-        (
-            "counter: AAC",
-            Box::new(|m, n| Arc::new(SimAacCounter::new(m, n, 64))),
-        ),
-        (
-            "counter: CAS loop",
-            Box::new(|m, n| Arc::new(SimCasLoopCounter::new(m, n))),
-        ),
-        (
-            "counter: snapshot",
-            Box::new(|m, n| Arc::new(SimSnapshotCounter::new(m, n))),
-        ),
-    ];
-    for (name, make) in &counters {
-        for crashes in [false, true] {
-            let ok = (0..seeds)
-                .filter(|&s| {
-                    let plan = if crashes {
-                        crash_plan(s, 4)
-                    } else {
-                        FaultPlan::none()
-                    };
-                    counter_seed(make.as_ref(), s, &plan)
-                })
-                .count() as u64;
-            total_violations += seeds - ok;
-            t.row(vec![
-                name.to_string(),
-                if crashes { "1 crash" } else { "none" }.to_string(),
-                format!("{ok}/{seeds}"),
-                (seeds - ok).to_string(),
-            ]);
-        }
-    }
-
-    for crashes in [false, true] {
-        let ok = (0..seeds)
-            .filter(|&s| {
-                let plan = if crashes {
-                    crash_plan(s, 3)
-                } else {
-                    FaultPlan::none()
-                };
-                snapshot_seed(s, &plan)
-            })
-            .count() as u64;
-        total_violations += seeds - ok;
-        t.row(vec![
-            "snapshot: double-collect".to_string(),
-            if crashes { "1 crash" } else { "none" }.to_string(),
-            format!("{ok}/{seeds}"),
-            (seeds - ok).to_string(),
-        ]);
     }
 
     t.print();
-
-    match watchdog.certify() {
-        Ok(report) => println!(
-            "\nProgress watchdog (Algorithm A, 1-crash sweep): certified — \
-             {} ops completed, worst {} steps (bound {}), {} crash-pending.",
-            report.completed, report.worst_steps, report.bound, report.crashed_pending
-        ),
-        Err(v) => {
-            println!("\nProgress watchdog (Algorithm A, 1-crash sweep): FAILED — {v}");
-            total_violations += 1;
-        }
+    if let Some(line) = watchdog_line {
+        println!("{line}");
     }
 
     println!("\nEvery `violations` cell must be 0.");

@@ -1,10 +1,16 @@
 //! Experiment W4 — reproducible contended-throughput harness.
 //!
-//! Runs every real-atomics implementation of all three object families
-//! under multi-threaded contended workloads and writes the results as
-//! machine-readable JSON (`BENCH_throughput.json` when run from the
-//! repository root), so before/after comparisons across commits are a
-//! `diff` rather than a scrollback hunt.
+//! Runs every benched real-atomics implementation of all three object
+//! families under multi-threaded contended workloads and writes the
+//! results as machine-readable JSON (`BENCH_throughput.json` when run
+//! from the repository root), so before/after comparisons across
+//! commits are a `diff` rather than a scrollback hunt.
+//!
+//! Since the scenario-engine refactor the binary is a thin layer: it
+//! iterates the registry's benched real faces, builds one
+//! [`ScenarioSpec`] per (implementation, workload, thread count) cell,
+//! and lets [`ruo_scenario::run_real`] run the scoped-thread batches,
+//! median timing, latency histogram and progress certificate.
 //!
 //! Workloads per family:
 //!
@@ -25,16 +31,7 @@
 //! `--out <path>` (default `BENCH_throughput.json`),
 //! any positional argument = substring filter on the benchmark id.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
-
-use ruo_core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
-use ruo_core::maxreg::{
-    AacMaxRegister, CasRetryMaxRegister, FArrayMaxRegister, LockMaxRegister, TreeMaxRegister,
-};
-use ruo_core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
-use ruo_core::{Counter, MaxRegister, Snapshot};
-use ruo_sim::{ProcessId, SplitMix64};
+use ruo_scenario::{registry, run_real, EngineKind, Family, RealSpec, ScenarioSpec};
 
 /// Operand bound for max-register writes; also the AAC capacity, kept
 /// small enough that building the AAC switch arena stays negligible.
@@ -71,51 +68,21 @@ impl Config {
     fn matches(&self, id: &str) -> bool {
         self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
     }
-
-    fn ops_per_thread(&self, family: Family) -> u64 {
-        let base = match family {
-            Family::MaxReg | Family::Counter => 20_000,
-            // Scans are O(N)–O(N²); keep batches comparable in duration.
-            Family::Snapshot => 2_000,
-        };
-        if self.quick {
-            base / 20
-        } else {
-            base
-        }
-    }
-
-    fn samples(&self) -> usize {
-        if self.quick {
-            3
-        } else {
-            7
-        }
-    }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Family {
-    MaxReg,
-    Counter,
-    Snapshot,
-}
-
-impl Family {
-    fn name(self) -> &'static str {
-        match self {
-            Family::MaxReg => "maxreg",
-            Family::Counter => "counter",
-            Family::Snapshot => "snapshot",
-        }
+fn ops_per_thread(family: Family) -> u64 {
+    match family {
+        Family::MaxReg | Family::Counter => 20_000,
+        // Scans are O(N)–O(N²); keep batches comparable in duration.
+        Family::Snapshot => 2_000,
     }
 }
 
 /// `(workload name, read/scan percentage)`.
-const WORKLOADS: [(&str, u64); 3] = [("read_heavy", 90), ("mixed", 50), ("write_heavy", 10)];
+const WORKLOADS: [(&str, u8); 3] = [("read_heavy", 90), ("mixed", 50), ("write_heavy", 10)];
 
-/// One measured configuration.
-struct Result {
+/// One measured configuration, as echoed into the JSON file.
+struct Row {
     family: Family,
     impl_name: String,
     workload: &'static str,
@@ -124,7 +91,7 @@ struct Result {
     median_ns: f64,
 }
 
-impl Result {
+impl Row {
     fn id(&self) -> String {
         format!(
             "{}/{}/{}/t{}",
@@ -154,98 +121,6 @@ fn thread_counts() -> Vec<usize> {
     counts
 }
 
-/// Runs `batch` (a fresh object + full contended workload each call)
-/// `samples` times after one warm-up and returns the median elapsed ns.
-fn measure<F: FnMut()>(samples: usize, mut batch: F) -> f64 {
-    batch(); // warm-up
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            batch();
-            start.elapsed().as_nanos() as f64
-        })
-        .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    times[times.len() / 2]
-}
-
-/// Contended max-register batch: each thread mixes reads with writes of
-/// uniform values (seeded per thread and per sample via `round`).
-fn maxreg_batch<R: MaxRegister + ?Sized>(
-    reg: &R,
-    threads: usize,
-    ops: u64,
-    read_pct: u64,
-    sink: &AtomicU64,
-) {
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            s.spawn(move || {
-                let mut rng = SplitMix64::new(0x9e37 + t as u64);
-                let mut acc = 0u64;
-                for _ in 0..ops {
-                    if rng.gen_below(100) < read_pct {
-                        acc ^= reg.read_max();
-                    } else {
-                        reg.write_max(ProcessId(t), rng.gen_below(VALUE_BOUND));
-                    }
-                }
-                sink.fetch_xor(acc, Ordering::Relaxed);
-            });
-        }
-    });
-}
-
-fn counter_batch<C: Counter + ?Sized>(
-    ctr: &C,
-    threads: usize,
-    ops: u64,
-    read_pct: u64,
-    sink: &AtomicU64,
-) {
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            s.spawn(move || {
-                let mut rng = SplitMix64::new(0x9e37 + t as u64);
-                let mut acc = 0u64;
-                for _ in 0..ops {
-                    if rng.gen_below(100) < read_pct {
-                        acc ^= ctr.read();
-                    } else {
-                        ctr.increment(ProcessId(t));
-                    }
-                }
-                sink.fetch_xor(acc, Ordering::Relaxed);
-            });
-        }
-    });
-}
-
-fn snapshot_batch<S: Snapshot + ?Sized>(
-    snap: &S,
-    threads: usize,
-    ops: u64,
-    scan_pct: u64,
-    sink: &AtomicU64,
-) {
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            s.spawn(move || {
-                let mut rng = SplitMix64::new(0x9e37 + t as u64);
-                let mut acc = 0u64;
-                for i in 0..ops {
-                    if rng.gen_below(100) < scan_pct {
-                        acc ^= snap.scan().iter().sum::<u64>();
-                    } else {
-                        snap.update(ProcessId(t), i + 1);
-                    }
-                }
-                sink.fetch_xor(acc, Ordering::Relaxed);
-            });
-        }
-    });
-}
-
 /// JSON string escaping for the hand-rolled writer (ids are ASCII, but
 /// stay correct anyway).
 fn json_escape(s: &str) -> String {
@@ -259,7 +134,7 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-fn write_json(cfg: &Config, results: &[Result]) -> std::io::Result<()> {
+fn write_json(cfg: &Config, results: &[Row]) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"ruo-throughput-v1\",\n");
@@ -291,129 +166,60 @@ fn write_json(cfg: &Config, results: &[Result]) -> std::io::Result<()> {
 
 fn main() {
     let cfg = Config::from_args();
-    let sink = AtomicU64::new(0);
-    let mut results: Vec<Result> = Vec::new();
+    let mut results: Vec<Row> = Vec::new();
+    let mut sink = 0u64;
 
-    // Macro-free generic dispatch: one closure per (impl, constructor).
-    // Each batch constructs a fresh object so runs are independent.
+    // One scenario per (thread count, workload, benched registry entry);
+    // the engine constructs a fresh object per batch so runs are
+    // independent.
     for threads in thread_counts() {
         for &(workload, read_pct) in &WORKLOADS {
-            let ops = cfg.ops_per_thread(Family::MaxReg);
-            let total = ops * threads as u64;
-            let mut run_maxreg = |name: &str, mk: &dyn Fn() -> Box<dyn MaxRegister>| {
-                let r = Result {
-                    family: Family::MaxReg,
-                    impl_name: name.to_string(),
-                    workload,
-                    threads,
-                    total_ops: total,
-                    median_ns: 0.0,
-                };
-                if !cfg.matches(&r.id()) {
-                    return;
+            for family in Family::all() {
+                for entry in registry()
+                    .iter()
+                    .filter(|e| e.family == family && e.has_real() && e.caps.benched)
+                {
+                    let row = Row {
+                        family,
+                        impl_name: entry.id.to_string(),
+                        workload,
+                        threads,
+                        total_ops: 0,
+                        median_ns: 0.0,
+                    };
+                    if !cfg.matches(&row.id()) {
+                        continue;
+                    }
+                    let mut spec =
+                        ScenarioSpec::new(row.id(), family, entry.id, EngineKind::Real, threads);
+                    spec.read_pct = read_pct;
+                    spec.value_bound = VALUE_BOUND;
+                    spec.real = Some(RealSpec {
+                        threads,
+                        ops_per_thread: ops_per_thread(family),
+                        samples: 7,
+                    });
+                    let report = run_real(&spec, cfg.quick)
+                        .unwrap_or_else(|e| panic!("throughput {}: {e}", row.id()));
+                    sink ^= report.counter("sink").unwrap_or(0);
+                    let row = Row {
+                        total_ops: report.counter("total_ops").unwrap_or(0),
+                        median_ns: report.metric("median_ns").unwrap_or(0.0),
+                        ..row
+                    };
+                    println!(
+                        "{:<44} {:>10.1} ns/op {:>9.2} Mops/s",
+                        row.id(),
+                        row.ns_per_op(),
+                        row.mops()
+                    );
+                    results.push(row);
                 }
-                let median = measure(cfg.samples(), || {
-                    let reg = mk();
-                    maxreg_batch(reg.as_ref(), threads, ops, read_pct, &sink);
-                });
-                let r = Result {
-                    median_ns: median,
-                    ..r
-                };
-                println!(
-                    "{:<44} {:>10.1} ns/op {:>9.2} Mops/s",
-                    r.id(),
-                    r.ns_per_op(),
-                    r.mops()
-                );
-                results.push(r);
-            };
-            run_maxreg("tree", &|| Box::new(TreeMaxRegister::new(threads)));
-            run_maxreg("aac", &|| Box::new(AacMaxRegister::new(VALUE_BOUND)));
-            run_maxreg("aac_unbalanced", &|| {
-                Box::new(AacMaxRegister::new_unbalanced(VALUE_BOUND))
-            });
-            run_maxreg("farray", &|| Box::new(FArrayMaxRegister::new(threads)));
-            run_maxreg("cas_cell", &|| Box::new(CasRetryMaxRegister::new()));
-            run_maxreg("mutex", &|| Box::new(LockMaxRegister::new()));
-
-            let ops = cfg.ops_per_thread(Family::Counter);
-            let total = ops * threads as u64;
-            let max_incs = ops * threads as u64 + 1;
-            let mut run_counter = |name: &str, mk: &dyn Fn() -> Box<dyn Counter>| {
-                let r = Result {
-                    family: Family::Counter,
-                    impl_name: name.to_string(),
-                    workload,
-                    threads,
-                    total_ops: total,
-                    median_ns: 0.0,
-                };
-                if !cfg.matches(&r.id()) {
-                    return;
-                }
-                let median = measure(cfg.samples(), || {
-                    let ctr = mk();
-                    counter_batch(ctr.as_ref(), threads, ops, read_pct, &sink);
-                });
-                let r = Result {
-                    median_ns: median,
-                    ..r
-                };
-                println!(
-                    "{:<44} {:>10.1} ns/op {:>9.2} Mops/s",
-                    r.id(),
-                    r.ns_per_op(),
-                    r.mops()
-                );
-                results.push(r);
-            };
-            run_counter("farray", &|| Box::new(FArrayCounter::new(threads)));
-            run_counter("aac", &|| Box::new(AacCounter::new(threads, max_incs)));
-            run_counter("fetch_add", &|| Box::new(FetchAddCounter::new()));
-
-            let ops = cfg.ops_per_thread(Family::Snapshot);
-            let total = ops * threads as u64;
-            let max_updates = ops * threads as u64 + 1;
-            let mut run_snapshot = |name: &str, mk: &dyn Fn() -> Box<dyn Snapshot>| {
-                let r = Result {
-                    family: Family::Snapshot,
-                    impl_name: name.to_string(),
-                    workload,
-                    threads,
-                    total_ops: total,
-                    median_ns: 0.0,
-                };
-                if !cfg.matches(&r.id()) {
-                    return;
-                }
-                let median = measure(cfg.samples(), || {
-                    let snap = mk();
-                    snapshot_batch(snap.as_ref(), threads, ops, read_pct, &sink);
-                });
-                let r = Result {
-                    median_ns: median,
-                    ..r
-                };
-                println!(
-                    "{:<44} {:>10.1} ns/op {:>9.2} Mops/s",
-                    r.id(),
-                    r.ns_per_op(),
-                    r.mops()
-                );
-                results.push(r);
-            };
-            run_snapshot("double_collect", &|| {
-                Box::new(DoubleCollectSnapshot::new(threads))
-            });
-            run_snapshot("path_copy", &|| {
-                Box::new(PathCopySnapshot::new(threads, max_updates))
-            });
-            run_snapshot("afek", &|| Box::new(AfekSnapshot::new(threads)));
+            }
         }
     }
 
     write_json(&cfg, &results).expect("write throughput JSON");
-    eprintln!("# sink {}", sink.load(Ordering::Relaxed));
+    eprintln!("# sink {sink}");
     println!("\nwrote {} results to {}", results.len(), cfg.out);
 }

@@ -7,21 +7,10 @@
 
 pub mod timing;
 
-use ruo_sim::{Machine, Memory, ProcessId, Word};
-
-/// Drives a step machine to completion with no interference, returning
-/// `(result, steps)` — the *solo step complexity* of the operation,
-/// which is the measure used in all step-count tables.
-pub fn run_solo(mem: &mut Memory, pid: ProcessId, mut machine: Machine) -> (Word, usize) {
-    while let Some(prim) = machine.enabled() {
-        let resp = mem.apply(pid, prim);
-        machine.feed(resp);
-    }
-    (
-        machine.result().expect("machine completed"),
-        machine.steps(),
-    )
-}
+/// The shared solo driver, re-exported from [`ruo_sim`] (its canonical
+/// home since the scenario-engine refactor) so existing
+/// `ruo_bench::run_solo` callers keep working.
+pub use ruo_sim::run_solo;
 
 /// A minimal markdown table builder for the experiment binaries.
 #[derive(Clone, Debug)]
@@ -123,7 +112,7 @@ mod tests {
 
     #[test]
     fn run_solo_counts_steps() {
-        use ruo_sim::{done, read};
+        use ruo_sim::{done, read, Machine, Memory, ProcessId};
         let mut mem = Memory::new();
         let o = mem.alloc(7);
         let (v, steps) = run_solo(&mut mem, ProcessId(0), Machine::new(read(o, done)));

@@ -165,14 +165,7 @@ impl<A: Aggregation> SimFArray<A> {
 mod tests {
     use super::*;
     use crate::farray::{Max, Min, Sum};
-
-    fn run_solo(mem: &mut Memory, pid: ProcessId, mut m: Machine) -> (Word, usize) {
-        while let Some(prim) = m.enabled() {
-            let resp = mem.apply(pid, prim);
-            m.feed(resp);
-        }
-        (m.result().unwrap(), m.steps())
-    }
+    use ruo_sim::run_solo;
 
     #[test]
     fn read_is_one_step_for_every_aggregation() {

@@ -23,4 +23,4 @@ pub use aac::{AacMaxRegister, AacShape, CapacityError};
 pub use cas_retry::CasRetryMaxRegister;
 pub use farray::FArrayMaxRegister;
 pub use lock::LockMaxRegister;
-pub use tree::TreeMaxRegister;
+pub use tree::{check_tree_size, TreeMaxRegister, TreeSizeError, MAX_PROCESSES};

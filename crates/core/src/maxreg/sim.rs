@@ -66,6 +66,15 @@ impl SimTreeMaxRegister {
         }
     }
 
+    /// Fallible [`new`](SimTreeMaxRegister::new): returns a structured
+    /// [`TreeSizeError`](crate::maxreg::TreeSizeError) instead of
+    /// panicking when `n` is degenerate — parity with the real
+    /// register's [`try_new`](crate::maxreg::TreeMaxRegister::try_new).
+    pub fn try_new(mem: &mut Memory, n: usize) -> Result<Self, crate::maxreg::TreeSizeError> {
+        crate::maxreg::check_tree_size(n)?;
+        Ok(Self::new(mem, n))
+    }
+
     /// Like [`new`](SimTreeMaxRegister::new), but `WriteMax(v)` first
     /// reads the root and returns immediately when the root already
     /// carries `v` or more — the `O(1)` dominated-write fast path of the
@@ -394,15 +403,7 @@ impl SimMaxRegister for SimFArrayMaxRegister {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ruo_sim::{Memory, ProcessId};
-
-    fn run_solo(mem: &mut Memory, pid: ProcessId, mut m: Machine) -> (Word, usize) {
-        while let Some(prim) = m.enabled() {
-            let resp = mem.apply(pid, prim);
-            m.feed(resp);
-        }
-        (m.result().unwrap(), m.steps())
-    }
+    use ruo_sim::{run_solo, Memory, ProcessId};
 
     #[test]
     fn tree_read_is_exactly_one_step() {

@@ -21,6 +21,7 @@
 //! padded cache-line pair, keeping the contended propagation loop free
 //! of allocation and false sharing.
 
+use std::fmt;
 use std::sync::atomic::{AtomicI64, Ordering};
 
 use ruo_sim::ProcessId;
@@ -29,6 +30,62 @@ use crate::pad::CachePadded;
 use crate::shape::{AlgorithmATree, NO_CHILD};
 use crate::traits::MaxRegister;
 use crate::value::{from_word, to_word};
+
+/// Hard cap on the process count accepted by
+/// [`TreeMaxRegister::try_new`]: the tree arena materializes eagerly
+/// (roughly four nodes per process across the B1 and TR subtrees), so
+/// the cap keeps construction bounded well below the arena's `u32`
+/// index space — the same guard style as
+/// [`MAX_CAPACITY`](crate::maxreg::aac::MAX_CAPACITY) for the AAC
+/// register.
+pub const MAX_PROCESSES: usize = 1 << 24;
+
+/// Error returned by [`TreeMaxRegister::try_new`] and
+/// [`SimTreeMaxRegister::try_new`](crate::maxreg::sim::SimTreeMaxRegister::try_new)
+/// for a degenerate process count (`n == 0`, which has no leaves to
+/// write, or `n > MAX_PROCESSES`, which would materialize an excessive
+/// arena).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeSizeError {
+    /// The rejected process count.
+    pub n: usize,
+    /// The hard cap ([`MAX_PROCESSES`]).
+    pub max_processes: usize,
+    /// Approximate node-cell count the tree for `n` would allocate.
+    pub estimated_cells: u64,
+}
+
+impl fmt::Display for TreeSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.n == 0 {
+            write!(f, "Algorithm A needs at least one process")
+        } else {
+            write!(
+                f,
+                "process count {} exceeds MAX_PROCESSES ({}): the tree arena materializes \
+                 eagerly and would allocate ~{} node cells up front",
+                self.n, self.max_processes, self.estimated_cells
+            )
+        }
+    }
+}
+
+impl std::error::Error for TreeSizeError {}
+
+/// Validates a process count for Algorithm A's tree; shared by the
+/// real-atomics and simulator `try_new` constructors and by the
+/// scenario registry's capability check.
+pub fn check_tree_size(n: usize) -> Result<(), TreeSizeError> {
+    if n == 0 || n > MAX_PROCESSES {
+        Err(TreeSizeError {
+            n,
+            max_processes: MAX_PROCESSES,
+            estimated_cells: 4 * n as u64,
+        })
+    } else {
+        Ok(())
+    }
+}
 
 /// The paper's Algorithm A: `O(1)` `ReadMax`, `O(min(log N, log v))`
 /// `WriteMax(v)`, wait-free, linearizable, from `read`/`write`/`CAS`.
@@ -65,6 +122,15 @@ impl TreeMaxRegister {
             .map(|_| CachePadded::new(AtomicI64::new(ruo_sim::NEG_INF)))
             .collect();
         TreeMaxRegister { tree, cells }
+    }
+
+    /// Fallible [`new`](TreeMaxRegister::new): returns a structured
+    /// [`TreeSizeError`] instead of panicking when `n` is degenerate
+    /// (`0` or beyond [`MAX_PROCESSES`]) — parity with
+    /// [`AacMaxRegister::try_new`](crate::maxreg::AacMaxRegister::try_new).
+    pub fn try_new(n: usize) -> Result<Self, TreeSizeError> {
+        check_tree_size(n)?;
+        Ok(Self::new(n))
     }
 
     /// Number of processes sharing the register.
@@ -190,6 +256,21 @@ mod tests {
     fn fresh_register_reads_zero() {
         let reg = TreeMaxRegister::new(4);
         assert_eq!(reg.read_max(), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_sizes_with_structured_errors() {
+        let err = TreeMaxRegister::try_new(0).unwrap_err();
+        assert_eq!(err.n, 0);
+        assert_eq!(err.max_processes, MAX_PROCESSES);
+        assert!(err.to_string().contains("at least one process"));
+
+        let err = TreeMaxRegister::try_new(MAX_PROCESSES + 1).unwrap_err();
+        assert_eq!(err.n, MAX_PROCESSES + 1);
+        assert!(err.to_string().contains("MAX_PROCESSES"));
+
+        let reg = TreeMaxRegister::try_new(3).expect("3 processes is fine");
+        assert_eq!(reg.n(), 3);
     }
 
     #[test]

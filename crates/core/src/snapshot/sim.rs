@@ -140,14 +140,7 @@ impl SimSnapshot for SimDoubleCollectSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn run_solo(mem: &mut Memory, pid: ProcessId, mut m: Machine) -> (Word, usize) {
-        while let Some(prim) = m.enabled() {
-            let resp = mem.apply(pid, prim);
-            m.feed(resp);
-        }
-        (m.result().unwrap(), m.steps())
-    }
+    use ruo_sim::run_solo;
 
     #[test]
     fn update_is_exactly_two_steps() {

@@ -19,12 +19,9 @@ use ruo_core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
 use ruo_core::{Counter, MaxRegister, Snapshot};
 use ruo_sim::{Machine, Memory, ProcessId, SplitMix64};
 
-fn run_solo(mem: &mut Memory, pid: ProcessId, mut m: Machine) -> i64 {
-    while let Some(prim) = m.enabled() {
-        let resp = mem.apply(pid, prim);
-        m.feed(resp);
-    }
-    m.result().unwrap()
+/// Result-only wrapper over the shared [`ruo_sim::run_solo`] driver.
+fn run_solo(mem: &mut Memory, pid: ProcessId, m: Machine) -> i64 {
+    ruo_sim::run_solo(mem, pid, m).0
 }
 
 /// Every leaf of Algorithm A's tree respects the Bentley–Yao depth

@@ -1,0 +1,129 @@
+//! Declarative scenario runner.
+//!
+//! ```text
+//! scenario list                               # registry contents
+//! scenario run [--quick] [--json] <files...>  # run specs, exit 1 on failure
+//! ```
+//!
+//! `run` parses each spec, verifies the JSON codec round-trips to an
+//! identical spec (exit 2 on codec or parse errors), dispatches to the
+//! engine the spec names, and prints one verdict line per scenario
+//! (plus the full report with `--json`).
+
+use std::process::exit;
+
+use ruo_scenario::{registry, run, Family, ScenarioSpec};
+
+fn usage() -> ! {
+    eprintln!("usage: scenario list");
+    eprintln!("       scenario run [--quick] [--json] <spec.json>...");
+    exit(2);
+}
+
+fn list() {
+    println!(
+        "{:<10} {:<16} {:<28} {:<6} {:<6} progress",
+        "family", "impl", "display", "real", "sim"
+    );
+    for family in Family::all() {
+        for entry in registry().iter().filter(|e| e.family == family) {
+            println!(
+                "{:<10} {:<16} {:<28} {:<6} {:<6} {:?}",
+                family.name(),
+                entry.id,
+                entry.display,
+                if entry.has_real() { "yes" } else { "-" },
+                if entry.has_sim() { "yes" } else { "-" },
+                entry.caps.progress,
+            );
+        }
+    }
+}
+
+fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    // The codec round trip must be identity: serialize the parsed spec
+    // and parse it back.
+    let reparsed = ScenarioSpec::parse(&spec.to_json())
+        .map_err(|e| format!("{path}: round-trip re-parse failed: {e}"))?;
+    if reparsed != spec {
+        return Err(format!(
+            "{path}: spec -> JSON -> spec round trip is not identity"
+        ));
+    }
+    Ok(spec)
+}
+
+fn run_files(args: &[String]) -> i32 {
+    let mut quick = false;
+    let mut json = false;
+    let mut files = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            _ if a.starts_with("--") => usage(),
+            _ => files.push(a.clone()),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+    let mut failures = 0;
+    for path in &files {
+        let spec = match load_spec(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(2);
+            }
+        };
+        match run(&spec, quick) {
+            Ok(report) => {
+                let verdict = if report.ok { "ok" } else { "FAIL" };
+                let counters: Vec<String> = report
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                println!(
+                    "{verdict:<5} {:<32} [{}/{} {}] {}",
+                    spec.name,
+                    spec.family,
+                    spec.impl_id,
+                    spec.engine.name(),
+                    counters.join(" ")
+                );
+                for note in &report.notes {
+                    println!("      note: {note}");
+                }
+                if json {
+                    print!("{}", report.to_json());
+                }
+                if !report.ok {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                exit(2);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} scenario(s) failed");
+        1
+    } else {
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("run") => exit(run_files(&args[1..])),
+        _ => usage(),
+    }
+}

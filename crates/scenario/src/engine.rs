@@ -1,0 +1,838 @@
+//! The three engines that consume a [`ScenarioSpec`] and emit a
+//! [`ScenarioReport`]:
+//!
+//! * [`run_real`] — OS threads hammering the real-atomics face
+//!   (W4-style contended throughput), plus one instrumented batch that
+//!   feeds a latency histogram and a [`ProgressCertifier`];
+//! * [`run_sim`] — the step-machine executor over seeded adversarial
+//!   schedules and fault plans, checked per family (W6-style soak);
+//! * [`run_explore`] — the incremental bounded model checker over every
+//!   interleaving (and crash placement) of a small scope (W5-style).
+//!
+//! [`run`] dispatches on the spec's engine. The per-seed and
+//! scope-construction helpers ([`run_sim_seed`], [`explore_parts`]) are
+//! public so integration tests can reuse the registry plumbing under
+//! bespoke checkers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ruo_metrics::{LatencyTracker, ProgressCertifier};
+use ruo_sim::explore::{explore, ExploreConfig, ExploreOp};
+use ruo_sim::lin::{check_counter, check_exact, check_max_register, check_snapshot, Violation};
+use ruo_sim::spec::SeqSpec;
+use ruo_sim::{
+    run_solo, ExecOutcome, Executor, FaultPlan, History, Machine, Memory, OpDesc, OpSpec,
+    ProcessId, RandomScheduler, RoundRobin, Scheduler, SplitMix64, WorkloadBuilder,
+};
+
+use crate::registry::{find, BuildError, BuildParams, Family, ImplEntry, RealObject, SimObject};
+use crate::report::ScenarioReport;
+use crate::spec::{
+    CheckerKind, EngineKind, FaultSpec, OpKind, OpMix, ScenarioSpec, SchedulePolicy,
+};
+
+/// Why an engine refused to run a scenario.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The registry could not construct the implementation.
+    Build(BuildError),
+    /// The spec combines knobs the engines cannot honor (e.g. exploring
+    /// snapshot scans, seeding a counter scope).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Build(e) => write!(f, "{e}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<BuildError> for EngineError {
+    fn from(e: BuildError) -> Self {
+        EngineError::Build(e)
+    }
+}
+
+/// Runs a scenario on the engine its spec names.
+pub fn run(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
+    match spec.engine {
+        EngineKind::Real => run_real(spec, quick),
+        EngineKind::Sim => run_sim(spec, quick),
+        EngineKind::Explore => run_explore(spec, quick),
+    }
+}
+
+/// Checks a history against the spec's checker choice.
+pub fn check_history(spec: &ScenarioSpec, history: &History) -> Result<(), Violation> {
+    check_history_from(spec, history, 0)
+}
+
+fn check_history_from(
+    spec: &ScenarioSpec,
+    history: &History,
+    initial: i64,
+) -> Result<(), Violation> {
+    match (spec.checker, spec.family) {
+        (CheckerKind::Auto, Family::MaxReg) => check_max_register(history, initial),
+        (CheckerKind::Auto, Family::Counter) => check_counter(history),
+        (CheckerKind::Auto, Family::Snapshot) => check_snapshot(history, spec.n, 0),
+        (CheckerKind::Exact, Family::MaxReg) => {
+            check_exact(history, &SeqSpec::MaxRegister { initial })
+        }
+        (CheckerKind::Exact, Family::Counter) => check_exact(history, &SeqSpec::Counter),
+        (CheckerKind::Exact, Family::Snapshot) => check_exact(
+            history,
+            &SeqSpec::Snapshot {
+                n: spec.n,
+                initial: 0,
+            },
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sim engine
+// ---------------------------------------------------------------------
+
+/// The capacity handed to bounded sim implementations when the spec
+/// leaves it implicit: large enough for every value (`value_bound + 1`
+/// for max registers) or every update (`n * ops_per_process + 1` for
+/// counters and snapshots).
+fn sim_capacity(spec: &ScenarioSpec) -> u64 {
+    spec.capacity.unwrap_or(match spec.family {
+        Family::MaxReg => spec.value_bound + 1,
+        Family::Counter | Family::Snapshot => (spec.n as u64) * (spec.ops_per_process as u64) + 1,
+    })
+}
+
+/// Largest value updates may write: the spec's `value_bound`, clamped
+/// below a bounded implementation's capacity.
+fn sim_value_bound(spec: &ScenarioSpec, entry: &ImplEntry) -> u64 {
+    if entry.caps.bounded_capacity && spec.family == Family::MaxReg {
+        spec.value_bound
+            .min(sim_capacity(spec).saturating_sub(1))
+            .max(1)
+    } else {
+        spec.value_bound
+    }
+}
+
+/// Builds the spec's implementation on the simulator face, allocating
+/// in a fresh [`Memory`].
+pub fn build_sim_object(spec: &ScenarioSpec) -> Result<(Memory, SimObject), EngineError> {
+    let entry = find(spec.family, &spec.impl_id)?;
+    let mut mem = Memory::new();
+    let obj = entry.build_sim(
+        &mut mem,
+        &BuildParams {
+            n: spec.n,
+            capacity: sim_capacity(spec),
+            root_fast_path: spec.root_fast_path,
+        },
+    )?;
+    Ok((mem, obj))
+}
+
+/// The fault plan the sim engine uses for one seeded run.
+pub fn fault_plan_for_seed(spec: &ScenarioSpec, run_seed: u64) -> FaultPlan {
+    match &spec.faults {
+        None => FaultPlan::none(),
+        Some(FaultSpec::Random { crashes, max_after }) => {
+            FaultPlan::random_crashes(run_seed, spec.n, *crashes, *max_after)
+        }
+        Some(FaultSpec::Explicit { crashes }) => {
+            let mut plan = FaultPlan::new();
+            for c in crashes {
+                plan = plan.crash(ProcessId(c.pid), c.after);
+            }
+            plan
+        }
+    }
+}
+
+/// The seeded per-process operation sequences for one run, per the
+/// spec's mix.
+pub fn sim_workload(
+    obj: &SimObject,
+    spec: &ScenarioSpec,
+    run_seed: u64,
+) -> Result<WorkloadBuilder, EngineError> {
+    let entry = find(spec.family, &spec.impl_id)?;
+    let bound = sim_value_bound(spec, entry);
+    let n = spec.n;
+    let mut rng = SplitMix64::new(spec.seed ^ run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut w = WorkloadBuilder::new(n);
+    for p in 0..n {
+        for i in 0..spec.ops_per_process {
+            let pid = ProcessId(p);
+            let is_read = match spec.mix {
+                OpMix::Alternate => i % 2 != 0,
+                OpMix::Random => rng.gen_below(100) < spec.read_pct as u64,
+            };
+            let value = match spec.mix {
+                // The legacy deterministic soak value streams; see
+                // `OpMix::Alternate`.
+                OpMix::Alternate => match spec.family {
+                    Family::MaxReg => {
+                        run_seed.wrapping_mul(31).wrapping_add((i * n + p) as u64) % bound + 1
+                    }
+                    Family::Counter => 0,
+                    Family::Snapshot => p as u64 * 1000 + run_seed % 500 + i as u64 + 1,
+                },
+                OpMix::Random => 1 + rng.gen_below(bound),
+            };
+            w.op(pid, sim_op(obj, pid, is_read, value));
+        }
+    }
+    Ok(w)
+}
+
+/// One operation of the workload, as the executor's `OpSpec`.
+fn sim_op(obj: &SimObject, pid: ProcessId, is_read: bool, value: u64) -> OpSpec {
+    match obj {
+        SimObject::MaxReg(reg) => {
+            let reg = Arc::clone(reg);
+            if is_read {
+                OpSpec::value(OpDesc::ReadMax, move || reg.read_max(pid))
+            } else {
+                OpSpec::update(OpDesc::WriteMax(value as i64), move || {
+                    reg.write_max(pid, value)
+                })
+            }
+        }
+        SimObject::Counter(c) => {
+            let c = Arc::clone(c);
+            if is_read {
+                OpSpec::value(OpDesc::CounterRead, move || c.read(pid))
+            } else {
+                OpSpec::update(OpDesc::CounterIncrement, move || c.increment(pid))
+            }
+        }
+        SimObject::Snapshot(s) => {
+            if is_read {
+                let s1 = Arc::clone(s);
+                let s2 = Arc::clone(s);
+                OpSpec::vector(
+                    OpDesc::Scan,
+                    move || s1.scan(pid),
+                    move |token| {
+                        s2.take_scan_result(token)
+                            .into_iter()
+                            .map(|v| v as i64)
+                            .collect()
+                    },
+                )
+            } else {
+                let s = Arc::clone(s);
+                OpSpec::update(OpDesc::Update(value as i64), move || s.update(pid, value))
+            }
+        }
+    }
+}
+
+fn make_executor(spec: &ScenarioSpec) -> Executor {
+    match spec.step_budget {
+        Some(budget) => Executor::with_step_budget(budget),
+        None => Executor::new(),
+    }
+}
+
+fn make_scheduler(spec: &ScenarioSpec, run_seed: u64) -> Box<dyn Scheduler> {
+    match spec.schedule {
+        SchedulePolicy::Random => Box::new(RandomScheduler::new(run_seed)),
+        SchedulePolicy::RoundRobin => Box::new(RoundRobin::new()),
+    }
+}
+
+/// One seeded sim run: outcome, checker verdict and the soak pass
+/// criterion (drained — all done, or legitimately crash-pending — and
+/// linearizable under the completion rule).
+#[derive(Debug)]
+pub struct SimSeedRun {
+    /// The executor's outcome (history, completion, crashes).
+    pub outcome: ExecOutcome,
+    /// The checker's verdict on the history.
+    pub violation: Option<Violation>,
+    /// Whether the run drained: every op completed, or a crash
+    /// legitimately left work pending.
+    pub drained: bool,
+}
+
+impl SimSeedRun {
+    /// The soak pass criterion.
+    pub fn passed(&self) -> bool {
+        self.drained && self.violation.is_none()
+    }
+}
+
+/// Runs one seeded schedule of the spec's workload under `plan`.
+///
+/// This is the single per-seed driver behind [`run_sim`]; integration
+/// tests use it directly to sweep bespoke fault plans.
+pub fn run_sim_seed(
+    spec: &ScenarioSpec,
+    run_seed: u64,
+    plan: &FaultPlan,
+) -> Result<SimSeedRun, EngineError> {
+    let (mut mem, obj) = build_sim_object(spec)?;
+    let w = sim_workload(&obj, spec, run_seed)?;
+    let mut sched = make_scheduler(spec, run_seed);
+    let outcome = make_executor(spec).run_with_faults(&mut mem, w, sched.as_mut(), plan);
+    let drained = outcome.all_done || !outcome.crashed.is_empty();
+    let violation = check_history(spec, &outcome.history).err();
+    Ok(SimSeedRun {
+        outcome,
+        violation,
+        drained,
+    })
+}
+
+/// Measures the implementation's wait-free step bound for this workload
+/// shape from one crash-free round-robin run (schedule-independent for
+/// the wait-free families; the soak watchdog's bound).
+pub fn measure_step_bound(spec: &ScenarioSpec) -> Result<u64, EngineError> {
+    let (mut mem, obj) = build_sim_object(spec)?;
+    let w = sim_workload(&obj, spec, spec.seed)?;
+    let outcome = make_executor(spec).run_with_faults(
+        &mut mem,
+        w,
+        &mut RoundRobin::new(),
+        &FaultPlan::none(),
+    );
+    Ok(outcome
+        .history
+        .completed()
+        .map(|op| op.steps as u64)
+        .max()
+        .unwrap_or(0))
+}
+
+/// Sweeps `seeds` adversarial schedules (spec'd fault plan applied per
+/// seed), checking every history; `--quick` divides the sweep by 20.
+pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
+    let seeds = if quick {
+        (spec.seeds / 20).max(1)
+    } else {
+        spec.seeds
+    };
+    let certifier = if spec.certify {
+        Some(ProgressCertifier::new(spec.n, measure_step_bound(spec)?))
+    } else {
+        None
+    };
+    let mut report = ScenarioReport::new(spec, quick);
+    let mut ok_runs = 0u64;
+    let mut crashed_runs = 0u64;
+    let mut pending_ops = 0u64;
+    let mut first_violation: Option<String> = None;
+    for k in 0..seeds {
+        let run_seed = spec.seed.wrapping_add(k);
+        let plan = fault_plan_for_seed(spec, run_seed);
+        let run = run_sim_seed(spec, run_seed, &plan)?;
+        if let Some(cert) = &certifier {
+            cert.record_outcome(&run.outcome);
+        }
+        if !run.outcome.crashed.is_empty() {
+            crashed_runs += 1;
+        }
+        pending_ops += run.outcome.history.pending().count() as u64;
+        if run.passed() {
+            ok_runs += 1;
+        } else if first_violation.is_none() {
+            first_violation = Some(match &run.violation {
+                Some(v) => format!("seed {run_seed}: {v}"),
+                None => format!("seed {run_seed}: workload did not drain"),
+            });
+        }
+    }
+    report.set("seeds", seeds);
+    report.set("ok_runs", ok_runs);
+    report.set("violations", seeds - ok_runs);
+    report.set("crashed_runs", crashed_runs);
+    report.set("pending_ops", pending_ops);
+    report.ok = ok_runs == seeds;
+    if let Some(detail) = first_violation {
+        report.note(detail);
+    }
+    if let Some(cert) = &certifier {
+        match cert.certify() {
+            Ok(p) => {
+                report.set("cert_ok", 1);
+                report.set("cert_completed", p.completed);
+                report.set("cert_worst_steps", p.worst_steps);
+                report.set("cert_bound", p.bound);
+                report.set("cert_crashed_pending", p.crashed_pending);
+            }
+            Err(v) => {
+                report.set("cert_ok", 0);
+                report.ok = false;
+                report.note(format!("progress certification failed: {v}"));
+            }
+        }
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Real engine
+// ---------------------------------------------------------------------
+
+/// Latency histogram boundaries for the instrumented batch, in
+/// nanoseconds (log-spaced, 100 ns – 100 ms).
+const LATENCY_BOUNDARIES_NS: &[u64] = &[
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+];
+
+struct RealParams {
+    threads: usize,
+    ops: u64,
+    samples: usize,
+    read_pct: u64,
+    value_bound: u64,
+}
+
+fn real_params(spec: &ScenarioSpec, quick: bool) -> RealParams {
+    let (threads, ops, samples) = match &spec.real {
+        Some(r) => (r.threads, r.ops_per_thread, r.samples),
+        None => (spec.n, 20_000, 7),
+    };
+    RealParams {
+        threads,
+        ops: if quick { (ops / 20).max(1) } else { ops },
+        samples: if quick { samples.min(3) } else { samples },
+        read_pct: spec.read_pct as u64,
+        value_bound: spec.value_bound.max(1),
+    }
+}
+
+fn real_capacity(spec: &ScenarioSpec, p: &RealParams) -> u64 {
+    spec.capacity.unwrap_or(match spec.family {
+        // Writers draw values below `value_bound`, so it doubles as the
+        // AAC capacity (the historical W4 convention).
+        Family::MaxReg => p.value_bound,
+        Family::Counter | Family::Snapshot => p.ops * p.threads as u64 + 1,
+    })
+}
+
+/// One contended batch over a fresh object; mirrors the historical W4
+/// harness loops exactly (per-thread `SplitMix64::new(0x9e37 + t)`
+/// streams, XOR sink against dead-code elimination). When `instruments`
+/// is set, every operation is additionally timed into the latency
+/// tracker and counted by the certifier — instrumented batches are
+/// never the timed ones.
+fn real_batch(
+    obj: &RealObject,
+    p: &RealParams,
+    sink: &AtomicU64,
+    instruments: Option<(&LatencyTracker, &ProgressCertifier)>,
+) {
+    std::thread::scope(|s| {
+        for t in 0..p.threads {
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(0x9e37 + t as u64);
+                let mut acc = 0u64;
+                let pid = ProcessId(t);
+                for i in 0..p.ops {
+                    let started = instruments.map(|_| Instant::now());
+                    if rng.gen_below(100) < p.read_pct {
+                        acc ^= match obj {
+                            RealObject::MaxReg(r) => r.read_max(),
+                            RealObject::Counter(c) => c.read(),
+                            RealObject::Snapshot(sn) => sn.scan().iter().sum::<u64>(),
+                        };
+                    } else {
+                        match obj {
+                            RealObject::MaxReg(r) => r.write_max(pid, rng.gen_below(p.value_bound)),
+                            RealObject::Counter(c) => c.increment(pid),
+                            RealObject::Snapshot(sn) => sn.update(pid, i + 1),
+                        }
+                    }
+                    if let (Some(start), Some((lat, cert))) = (started, instruments) {
+                        lat.observe(pid, start.elapsed().as_nanos() as u64);
+                        cert.record_completion(pid, 1);
+                    }
+                }
+                sink.fetch_xor(acc, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+/// Runs the contended-throughput batch (fresh object per batch, one
+/// warm-up, median of `samples` timed runs), then one instrumented
+/// batch for the latency histogram and progress certificate.
+pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
+    let entry = find(spec.family, &spec.impl_id)?;
+    let p = real_params(spec, quick);
+    let params = BuildParams {
+        n: p.threads,
+        capacity: real_capacity(spec, &p),
+        root_fast_path: spec.root_fast_path,
+    };
+    let sink = AtomicU64::new(0);
+    let mut times: Vec<f64> = Vec::with_capacity(p.samples);
+    for sample in 0..=p.samples {
+        let obj = entry.build_real(&params)?;
+        let start = Instant::now();
+        real_batch(&obj, &p, &sink, None);
+        if sample > 0 {
+            // Sample 0 is the warm-up.
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = times[times.len() / 2];
+
+    let tracker = LatencyTracker::new(p.threads, LATENCY_BOUNDARIES_NS);
+    let certifier = ProgressCertifier::new(p.threads, 1);
+    let obj = entry.build_real(&params)?;
+    real_batch(&obj, &p, &sink, Some((&tracker, &certifier)));
+    let latency = tracker.report();
+
+    let total_ops = p.ops * p.threads as u64;
+    let mut report = ScenarioReport::new(spec, quick);
+    report.set("threads", p.threads as u64);
+    report.set("ops_per_thread", p.ops);
+    report.set("total_ops", total_ops);
+    report.set("samples", p.samples as u64);
+    report.set("latency_peak_ns", latency.peak);
+    if let Some(p50) = latency.p50 {
+        report.set("latency_p50_ns", p50);
+    }
+    if let Some(p99) = latency.p99 {
+        report.set("latency_p99_ns", p99);
+    }
+    report.set_metric("median_ns", median_ns);
+    report.set_metric("ns_per_op", median_ns / total_ops as f64);
+    report.set_metric("mops_per_s", total_ops as f64 / median_ns * 1e3);
+    match certifier.certify() {
+        Ok(cert) => {
+            report.set("cert_ok", 1);
+            report.set("cert_completed", cert.completed);
+        }
+        Err(v) => {
+            report.set("cert_ok", 0);
+            report.ok = false;
+            report.note(format!("progress certification failed: {v}"));
+        }
+    }
+    // Fold the sink into a counter so the XOR accumulators stay
+    // observable (and the optimizer keeps the reads).
+    report.set("sink", sink.load(Ordering::Relaxed));
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Explore engine
+// ---------------------------------------------------------------------
+
+/// A scenario's exploration scope, ready for [`ruo_sim::explore`]: the
+/// setup closure (fresh memory + machines per schedule), the op
+/// descriptors, and the checker's initial value.
+pub struct ExploreParts {
+    /// Builds a fresh memory and machine vector for one schedule.
+    pub setup: Box<dyn Fn() -> (Memory, Vec<Machine>)>,
+    /// One descriptor per machine.
+    pub ops: Vec<ExploreOp>,
+    /// The checker's initial object value (the seed update, if any).
+    pub initial: i64,
+}
+
+impl std::fmt::Debug for ExploreParts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExploreParts")
+            .field("ops", &self.ops)
+            .field("initial", &self.initial)
+            .finish()
+    }
+}
+
+/// Builds the exploration scope a spec describes.
+///
+/// Snapshot scopes are unsupported (scan results are vectors, which the
+/// explorer's single-word op results cannot carry), as are seed updates
+/// on counters (the counter checker has no initial-value parameter).
+pub fn explore_parts(spec: &ScenarioSpec) -> Result<ExploreParts, EngineError> {
+    let entry = find(spec.family, &spec.impl_id)?;
+    if !entry.has_sim() {
+        // Surface the standard error shape.
+        return Err(entry
+            .build_sim(
+                &mut Memory::new(),
+                &BuildParams {
+                    n: spec.n,
+                    capacity: sim_capacity(spec),
+                    root_fast_path: spec.root_fast_path,
+                },
+            )
+            .err()
+            .map(EngineError::Build)
+            .unwrap_or_else(|| EngineError::Unsupported("impl has no sim face".into())));
+    }
+    let espec = spec.explore.as_ref().ok_or_else(|| {
+        EngineError::Unsupported("engine \"explore\" requires an explore section".into())
+    })?;
+    if spec.family == Family::Snapshot {
+        return Err(EngineError::Unsupported(
+            "snapshot scopes cannot be explored: scans return vectors, \
+             and the explorer carries single-word results only"
+                .into(),
+        ));
+    }
+    if espec.seed_update.is_some() && spec.family != Family::MaxReg {
+        return Err(EngineError::Unsupported(
+            "seed_update is only meaningful for max registers \
+             (the counter checker has no initial-value parameter)"
+                .into(),
+        ));
+    }
+    // Validate construction once, eagerly, so bad capacities error here
+    // rather than panicking inside the search.
+    build_sim_object(spec)?;
+    let scope_spec = spec.clone();
+    let scope = espec.clone();
+    let setup: Box<dyn Fn() -> (Memory, Vec<Machine>)> = Box::new(move || {
+        let (mut mem, obj) = build_sim_object(&scope_spec).expect("validated above");
+        if let Some(seed_v) = scope.seed_update {
+            if let SimObject::MaxReg(reg) = &obj {
+                run_solo(&mut mem, ProcessId(0), reg.write_max(ProcessId(0), seed_v));
+            }
+        }
+        let machines = scope
+            .ops
+            .iter()
+            .map(|op| {
+                let pid = ProcessId(op.pid);
+                match (&obj, op.kind) {
+                    (SimObject::MaxReg(r), OpKind::Update) => r.write_max(pid, op.value),
+                    (SimObject::MaxReg(r), OpKind::Read) => r.read_max(pid),
+                    (SimObject::Counter(c), OpKind::Update) => c.increment(pid),
+                    (SimObject::Counter(c), OpKind::Read) => c.read(pid),
+                    (SimObject::Snapshot(_), _) => unreachable!("rejected above"),
+                }
+            })
+            .collect();
+        (mem, machines)
+    });
+    let ops = espec
+        .ops
+        .iter()
+        .map(|op| ExploreOp {
+            pid: ProcessId(op.pid),
+            desc: match (spec.family, op.kind) {
+                (Family::MaxReg, OpKind::Update) => OpDesc::WriteMax(op.value as i64),
+                (Family::MaxReg, OpKind::Read) => OpDesc::ReadMax,
+                (Family::Counter, OpKind::Update) => OpDesc::CounterIncrement,
+                (Family::Counter, OpKind::Read) => OpDesc::CounterRead,
+                (Family::Snapshot, _) => unreachable!("rejected above"),
+            },
+            returns_value: op.kind == OpKind::Read,
+        })
+        .collect();
+    Ok(ExploreParts {
+        setup,
+        ops,
+        initial: espec.seed_update.map_or(0, |v| v as i64),
+    })
+}
+
+/// Explores every schedule (and crash placement, per the budget) of the
+/// scope, checking each history. `quick` is accepted for interface
+/// symmetry but ignored: schedule counts are the verdict, so scaling
+/// them down would change what the scenario asserts.
+pub fn run_explore(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
+    let parts = explore_parts(spec)?;
+    let espec = spec.explore.as_ref().expect("explore_parts checked");
+    let cfg = ExploreConfig {
+        max_schedules: espec.max_schedules,
+        prune: espec.prune,
+        max_crashes: espec.max_crashes,
+    };
+    let initial = parts.initial;
+    let exact = spec.checker == CheckerKind::Exact;
+    let family = spec.family;
+    let n = spec.n;
+    let mut check = |h: &History| -> bool {
+        match (exact, family) {
+            (false, Family::MaxReg) => check_max_register(h, initial).is_ok(),
+            (false, Family::Counter) => check_counter(h).is_ok(),
+            (true, Family::MaxReg) => check_exact(h, &SeqSpec::MaxRegister { initial }).is_ok(),
+            (true, Family::Counter) => check_exact(h, &SeqSpec::Counter).is_ok(),
+            (_, Family::Snapshot) => {
+                let _ = n;
+                unreachable!("rejected by explore_parts")
+            }
+        }
+    };
+    let start = Instant::now();
+    let summary = explore(&*parts.setup, &parts.ops, &mut check, cfg);
+    let seconds = start.elapsed().as_secs_f64();
+
+    let mut report = ScenarioReport::new(spec, quick);
+    report.set("schedules", summary.schedules as u64);
+    report.set("truncated", summary.truncated as u64);
+    report.set("violation", summary.violation.is_some() as u64);
+    report.set("pruned_branches", summary.stats.pruned_branches as u64);
+    report.set("executed_steps", summary.stats.executed_steps);
+    report.set("replay_steps_saved", summary.stats.replay_steps_saved);
+    report.set("peak_depth", summary.stats.peak_depth as u64);
+    report.set("crash_branches", summary.stats.crash_branches as u64);
+    report.set_metric("seconds", seconds);
+    report.ok = summary.violation.is_none() && !summary.truncated;
+    if let Some(pids) = &summary.violation {
+        report.note(format!(
+            "violating schedule found (pids {:?}, crashed {:?})",
+            pids, summary.violation_crashed
+        ));
+    }
+    if summary.truncated {
+        report.note(format!(
+            "search truncated at {} schedules",
+            summary.schedules
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CrashAt, ExploreSpec, ScenarioOp};
+
+    #[test]
+    fn sim_engine_sweeps_cleanly_and_certifies() {
+        let mut spec = ScenarioSpec::new("t", Family::MaxReg, "tree", EngineKind::Sim, 4);
+        spec.seeds = 20;
+        spec.mix = OpMix::Alternate;
+        spec.certify = true;
+        spec.faults = Some(FaultSpec::Random {
+            crashes: 1,
+            max_after: 40,
+        });
+        let r = run_sim(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        assert_eq!(r.counter("seeds"), Some(20));
+        assert_eq!(r.counter("violations"), Some(0));
+        assert_eq!(r.counter("cert_ok"), Some(1));
+        assert!(r.counter("crashed_runs").unwrap() > 0);
+    }
+
+    #[test]
+    fn sim_engine_handles_every_sim_face() {
+        for entry in crate::registry::registry() {
+            if !entry.has_sim() {
+                continue;
+            }
+            let mut spec = ScenarioSpec::new("t", entry.family, entry.id, EngineKind::Sim, 3);
+            spec.seeds = 5;
+            spec.ops_per_process = 4;
+            spec.step_budget = Some(500_000);
+            spec.capacity = entry.caps.bounded_capacity.then_some(64);
+            spec.value_bound = 50;
+            let r = run_sim(&spec, false)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", entry.family, entry.id));
+            assert!(r.ok, "{}/{}: {:?}", entry.family, entry.id, r.notes);
+        }
+    }
+
+    #[test]
+    fn explicit_crash_plans_leave_pending_work() {
+        let mut spec = ScenarioSpec::new("t", Family::Counter, "farray", EngineKind::Sim, 3);
+        spec.seeds = 10;
+        spec.mix = OpMix::Alternate;
+        spec.faults = Some(FaultSpec::Explicit {
+            crashes: vec![CrashAt { pid: 1, after: 3 }],
+        });
+        let r = run_sim(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        assert_eq!(r.counter("crashed_runs"), Some(10));
+    }
+
+    #[test]
+    fn explore_engine_checks_a_small_scope() {
+        let mut spec = ScenarioSpec::new("t", Family::MaxReg, "tree", EngineKind::Explore, 2);
+        spec.explore = Some(ExploreSpec {
+            seed_update: Some(1),
+            ops: vec![
+                ScenarioOp {
+                    pid: 0,
+                    kind: OpKind::Update,
+                    value: 2,
+                },
+                ScenarioOp {
+                    pid: 1,
+                    kind: OpKind::Read,
+                    value: 0,
+                },
+            ],
+            max_schedules: 100_000,
+            prune: true,
+            max_crashes: 1,
+        });
+        let r = run_explore(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        assert!(r.counter("schedules").unwrap() > 1);
+        assert!(r.counter("crash_branches").unwrap() > 0);
+    }
+
+    #[test]
+    fn explore_engine_rejects_snapshot_scopes() {
+        let mut spec = ScenarioSpec::new(
+            "t",
+            Family::Snapshot,
+            "double_collect",
+            EngineKind::Explore,
+            2,
+        );
+        spec.explore = Some(ExploreSpec {
+            seed_update: None,
+            ops: vec![ScenarioOp {
+                pid: 0,
+                kind: OpKind::Update,
+                value: 1,
+            }],
+            max_schedules: 10,
+            prune: true,
+            max_crashes: 0,
+        });
+        assert!(matches!(
+            run_explore(&spec, false),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn real_engine_reports_throughput_latency_and_certificate() {
+        let mut spec = ScenarioSpec::new("t", Family::Counter, "farray", EngineKind::Real, 2);
+        spec.real = Some(crate::spec::RealSpec {
+            threads: 2,
+            ops_per_thread: 200,
+            samples: 1,
+        });
+        let r = run_real(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        assert_eq!(r.counter("total_ops"), Some(400));
+        assert_eq!(r.counter("cert_completed"), Some(400));
+        assert!(r.metric("mops_per_s").unwrap() > 0.0);
+        assert!(r.counter("latency_peak_ns").unwrap() > 0);
+    }
+}

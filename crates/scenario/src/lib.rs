@@ -1,0 +1,51 @@
+//! Scenario engine: one declarative harness for every face of the
+//! repository's read/update objects.
+//!
+//! The crate unifies what used to be four hand-rolled harnesses (soak,
+//! throughput, exploration smoke, equivalence tests) behind three
+//! pieces:
+//!
+//! * a **registry** ([`registry()`](registry())) of every max-register / counter /
+//!   snapshot implementation, each entry carrying constructors for both
+//!   faces — the real-atomics trait objects and the simulator
+//!   step-machine factories — plus capability metadata (progress class,
+//!   capacity bounds, process-count limits);
+//! * a **declarative spec** ([`ScenarioSpec`]) naming a family,
+//!   implementation, engine, process count, seeded operation mix,
+//!   schedule policy, fault plan, checker and budgets, with a
+//!   dependency-free JSON codec ([`json`]) whose round trip is
+//!   identity;
+//! * three **engines** ([`engine`]) consuming the same spec — scoped
+//!   threads with latency histograms and progress certification
+//!   ([`run_real`]), the adversarial step-machine executor with
+//!   linearizability checking ([`run_sim`]), and the bounded model
+//!   checker with sleep-set pruning and crash budgets ([`run_explore`])
+//!   — all emitting one [`ScenarioReport`] shape.
+//!
+//! The `scenario` binary runs checked-in specs from `scenarios/*.json`;
+//! the W4–W6 experiment harnesses and the integration tests are thin
+//! layers over this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod engine;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod spec;
+
+pub use engine::{
+    build_sim_object, check_history, explore_parts, fault_plan_for_seed, measure_step_bound, run,
+    run_explore, run_real, run_sim, run_sim_seed, EngineError, ExploreParts, SimSeedRun,
+};
+pub use json::{Json, JsonError};
+pub use registry::{
+    family_impls, find, registry, BuildError, BuildParams, Capabilities, Family, ImplEntry,
+    ProgressClass, RealObject, SimObject,
+};
+pub use report::{ScenarioReport, REPORT_SCHEMA};
+pub use spec::{
+    CheckerKind, CrashAt, EngineKind, ExploreSpec, FaultSpec, OpKind, OpMix, RealSpec, ScenarioOp,
+    ScenarioSpec, SchedulePolicy, SpecError, SPEC_SCHEMA,
+};

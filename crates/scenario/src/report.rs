@@ -1,0 +1,162 @@
+//! The unified scenario report.
+//!
+//! All three engines emit the same `"ruo-scenario-report-v1"` shape: an
+//! identity block echoing the spec, a verdict, ordered integer
+//! `counters` (seeds run, schedules explored, violations, …), ordered
+//! float `metrics` (median batch nanoseconds, ops/s, …) and free-form
+//! `notes` (first violation detail, certification summary). Harnesses
+//! layer their own presentation (tables, experiment JSON) on top of the
+//! counters instead of re-deriving them.
+
+use crate::json::Json;
+use crate::registry::Family;
+use crate::spec::{EngineKind, ScenarioSpec};
+
+/// Schema identifier emitted in every report.
+pub const REPORT_SCHEMA: &str = "ruo-scenario-report-v1";
+
+/// What happened when an engine ran a scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Object family (from the spec).
+    pub family: Family,
+    /// Implementation id (from the spec).
+    pub impl_id: String,
+    /// Engine that produced this report.
+    pub engine: EngineKind,
+    /// Whether the run was scaled down by `--quick`.
+    pub quick: bool,
+    /// The verdict: no checker violations, no certification failures,
+    /// no truncated searches.
+    pub ok: bool,
+    /// Ordered integer counters.
+    pub counters: Vec<(String, u64)>,
+    /// Ordered float metrics.
+    pub metrics: Vec<(String, f64)>,
+    /// Free-form notes (violation details, certification summaries).
+    pub notes: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// An empty `ok` report carrying the spec's identity.
+    pub fn new(spec: &ScenarioSpec, quick: bool) -> Self {
+        ScenarioReport {
+            scenario: spec.name.clone(),
+            family: spec.family,
+            impl_id: spec.impl_id.clone(),
+            engine: spec.engine,
+            quick,
+            ok: true,
+            counters: Vec::new(),
+            metrics: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends (or overwrites) an integer counter.
+    pub fn set(&mut self, name: &str, value: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
+    /// Appends (or overwrites) a float metric.
+    pub fn set_metric(&mut self, name: &str, value: f64) {
+        if let Some(slot) = self.metrics.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((name.to_string(), value));
+        }
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Reads a counter back.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Reads a metric back.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serializes to the `"ruo-scenario-report-v1"` JSON document.
+    pub fn to_json(&self) -> String {
+        let o: Vec<(String, Json)> = vec![
+            ("schema".into(), Json::Str(REPORT_SCHEMA.into())),
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("family".into(), Json::Str(self.family.name().into())),
+            ("impl".into(), Json::Str(self.impl_id.clone())),
+            ("engine".into(), Json::Str(self.engine.name().into())),
+            ("quick".into(), Json::Bool(self.quick)),
+            ("ok".into(), Json::Bool(self.ok)),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics".into(),
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "notes".into(),
+                Json::Arr(self.notes.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+        ];
+        Json::Obj(o).pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_serialize_and_read_back() {
+        let spec = ScenarioSpec::new("w6", Family::Counter, "farray", EngineKind::Sim, 4);
+        let mut r = ScenarioReport::new(&spec, true);
+        r.set("seeds", 100);
+        r.set("violations", 0);
+        r.set("seeds", 101); // overwrite
+        r.set_metric("median_ns", 123.5);
+        r.note("all clear");
+        assert_eq!(r.counter("seeds"), Some(101));
+        assert_eq!(r.metric("median_ns"), Some(123.5));
+        let doc = Json::parse(&r.to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("seeds"))
+                .and_then(Json::as_u64),
+            Some(101)
+        );
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}

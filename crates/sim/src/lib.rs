@@ -67,7 +67,7 @@ pub use exec::{ExecOutcome, Executor, OpSpec, WorkloadBuilder};
 pub use fault::{Fault, FaultClock, FaultPlan};
 pub use history::{History, OpDesc, OpOutput, OpRecord, StripPendingError};
 pub use ids::{ObjId, ProcessId};
-pub use machine::{cas, done, read, write, BoxedStep, Machine, Step};
+pub use machine::{cas, done, read, run_solo, write, BoxedStep, Machine, Step};
 pub use mem::Memory;
 pub use rng::SplitMix64;
 pub use sched::{RandomScheduler, RoundRobin, Scheduler, ScriptedScheduler, Solo};

@@ -176,18 +176,33 @@ impl Machine {
     }
 }
 
+/// Drives a step machine to completion with no interference, returning
+/// `(result, steps)` — the *solo step complexity* of the operation,
+/// which is the measure used in all step-count tables.
+///
+/// This is the single shared driver for every sequential-sanity test and
+/// solo-complexity measurement in the workspace; it lives here (rather
+/// than in the bench crate) so that every crate can reach it without a
+/// bench dependency.
+pub fn run_solo(
+    mem: &mut crate::Memory,
+    pid: crate::ProcessId,
+    mut machine: Machine,
+) -> (Word, usize) {
+    while let Some(prim) = machine.enabled() {
+        let resp = mem.apply(pid, prim);
+        machine.feed(resp);
+    }
+    (
+        machine.result().expect("machine completed"),
+        machine.steps(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Memory, ProcessId};
-
-    fn run_solo(mem: &mut Memory, pid: ProcessId, mut m: Machine) -> (Word, usize) {
-        while let Some(prim) = m.enabled() {
-            let resp = mem.apply(pid, prim);
-            m.feed(resp);
-        }
-        (m.result().unwrap(), m.steps())
-    }
 
     #[test]
     fn straight_line_machine_counts_steps() {

@@ -14,8 +14,12 @@
 //!   (information flow, the Lemma 1 adversary, essential sets).
 //! * [`metrics`] — a practical metrics toolkit (watermarks, progress
 //!   gauges, histograms) built on the objects above.
+//! * [`scenario`] — the declarative scenario engine: an object registry
+//!   covering both faces of every implementation, JSON scenario specs,
+//!   and one driver each for threads, the simulator and the explorer.
 
 pub use ruo_core as core;
 pub use ruo_lowerbound as lowerbound;
 pub use ruo_metrics as metrics;
+pub use ruo_scenario as scenario;
 pub use ruo_sim as sim;

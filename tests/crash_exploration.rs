@@ -21,6 +21,9 @@ use std::sync::Arc;
 use ruo::core::maxreg::sim::{SimMaxRegister, SimTreeMaxRegister};
 use ruo::core::shape::AlgorithmATree;
 use ruo::metrics::ExploreGauges;
+use ruo::scenario::{
+    explore_parts, EngineKind, ExploreSpec, Family, OpKind, ScenarioOp, ScenarioSpec,
+};
 use ruo::sim::explore::{explore, ExploreConfig, ExploreOp};
 use ruo::sim::lin::{check_exact, check_max_register};
 use ruo::sim::spec::SeqSpec;
@@ -38,49 +41,51 @@ use ruo::sim::{
 /// reads never go backwards.
 #[test]
 fn double_cas_survives_every_one_crash_schedule_at_n4() {
-    let setup = || {
-        let mut mem = Memory::new();
-        let reg = SimTreeMaxRegister::with_root_fast_path(&mut mem, 4);
-        // Seed: WriteMax(3) runs solo to completion before the scope.
-        let mut seed = reg.write_max(ProcessId(0), 3);
-        while let Some(prim) = seed.enabled() {
-            let resp = mem.apply(ProcessId(0), prim);
-            seed.feed(resp);
-        }
-        let machines = vec![
-            reg.write_max(ProcessId(0), 4), // 27 steps: the crash target
-            reg.write_max(ProcessId(1), 2), // dominated: 1 root read
-            reg.write_max(ProcessId(2), 3), // dominated: 1 root read
-            reg.read_max(ProcessId(3)),
-        ];
-        (mem, machines)
-    };
-    let ops = vec![
-        ExploreOp {
-            pid: ProcessId(0),
-            desc: OpDesc::WriteMax(4),
-            returns_value: false,
-        },
-        ExploreOp {
-            pid: ProcessId(1),
-            desc: OpDesc::WriteMax(2),
-            returns_value: false,
-        },
-        ExploreOp {
-            pid: ProcessId(2),
-            desc: OpDesc::WriteMax(3),
-            returns_value: false,
-        },
-        ExploreOp {
-            pid: ProcessId(3),
-            desc: OpDesc::ReadMax,
-            returns_value: true,
-        },
-    ];
+    // The scope is the declarative W5 spec with a 1-crash budget; the
+    // scenario engine supplies the setup closure and op descriptors,
+    // and the test layers its crash-accounting checker on top.
+    let mut spec = ScenarioSpec::new(
+        "n4-one-crash",
+        Family::MaxReg,
+        "tree",
+        EngineKind::Explore,
+        4,
+    );
+    spec.root_fast_path = true;
+    spec.explore = Some(ExploreSpec {
+        seed_update: Some(3),
+        ops: vec![
+            ScenarioOp {
+                pid: 0,
+                kind: OpKind::Update,
+                value: 4,
+            }, // 27 steps: the crash target
+            ScenarioOp {
+                pid: 1,
+                kind: OpKind::Update,
+                value: 2,
+            }, // dominated: 1 root read
+            ScenarioOp {
+                pid: 2,
+                kind: OpKind::Update,
+                value: 3,
+            }, // dominated: 1 root read
+            ScenarioOp {
+                pid: 3,
+                kind: OpKind::Read,
+                value: 0,
+            },
+        ],
+        max_schedules: 2_000_000,
+        prune: true,
+        max_crashes: 1,
+    });
+    let parts = explore_parts(&spec).unwrap();
+    assert_eq!(parts.initial, 3, "the seed update is the checker's initial");
     let mut crashed_histories = 0usize;
     let summary = explore(
-        &setup,
-        &ops,
+        &*parts.setup,
+        &parts.ops,
         &mut |h: &History| {
             let pending: Vec<_> = h.pending().collect();
             assert!(pending.len() <= 1, "crash budget is 1");
@@ -91,7 +96,7 @@ fn double_cas_survives_every_one_crash_schedule_at_n4() {
                 assert!(p.output.is_none());
                 crashed_histories += 1;
             }
-            check_max_register(h, 3).is_ok()
+            check_max_register(h, parts.initial).is_ok()
         },
         ExploreConfig {
             max_schedules: 2_000_000,

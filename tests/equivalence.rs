@@ -2,30 +2,56 @@
 //! family must agree with the sequential specification — and therefore
 //! with each other — on arbitrary sequential operation streams, both in
 //! the real-atomics world and in the simulator.
+//!
+//! Since the scenario-engine refactor the implementations under test
+//! come from the scenario registry: any newly registered implementation
+//! is swept automatically, and `registry_completeness.rs` (in the
+//! scenario crate) fails if a core implementation is missing from the
+//! registry — so nothing can silently escape this test.
 
 use std::sync::Arc;
 
-use ruo::sim::SplitMix64;
+use ruo::scenario::{registry, BuildParams, Family, ImplEntry, RealObject, SimObject};
+use ruo::sim::{run_solo, Memory, ProcessId, SplitMix64};
 
-use ruo::core::counter::sim::{SimAacCounter, SimCasLoopCounter, SimCounter, SimFArrayCounter};
-use ruo::core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
-use ruo::core::maxreg::sim::{
-    SimAacMaxRegister, SimCasRetryMaxRegister, SimMaxRegister, SimTreeMaxRegister,
-};
-use ruo::core::maxreg::{
-    AacMaxRegister, CasRetryMaxRegister, FArrayMaxRegister, LockMaxRegister, TreeMaxRegister,
-};
-use ruo::core::reduction::CounterFromSnapshot;
-use ruo::core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
-use ruo::core::{Counter, MaxRegister, Snapshot};
-use ruo::sim::{Memory, ProcessId};
+use ruo::core::maxreg::sim::{SimMaxRegister, SimTreeMaxRegister};
+use ruo::core::maxreg::TreeMaxRegister;
+use ruo::core::snapshot::PathCopySnapshot;
+use ruo::core::{MaxRegister, Snapshot};
 
-fn run_sim_solo(mem: &mut Memory, pid: ProcessId, mut m: ruo::sim::Machine) -> i64 {
-    while let Some(prim) = m.enabled() {
-        let resp = mem.apply(pid, prim);
-        m.feed(resp);
+/// Every registry face of `family`, built fresh: `(label, real)` and
+/// `(label, sim)` lists plus the shared memory the sim faces live in.
+struct Faces {
+    real: Vec<(String, RealObject)>,
+    sim: Vec<(String, SimObject)>,
+    mem: Memory,
+}
+
+fn build_faces(family: Family, p: &BuildParams) -> Faces {
+    let mut faces = Faces {
+        real: Vec::new(),
+        sim: Vec::new(),
+        mem: Memory::new(),
+    };
+    let label = |e: &ImplEntry, face: &str| format!("{}/{} ({face})", e.family, e.id);
+    for entry in registry().iter().filter(|e| e.family == family) {
+        if entry.has_real() {
+            faces
+                .real
+                .push((label(entry, "real"), entry.build_real(p).unwrap()));
+        }
+        if entry.has_sim() {
+            faces.sim.push((
+                label(entry, "sim"),
+                entry.build_sim(&mut faces.mem, p).unwrap(),
+            ));
+        }
     }
-    m.result().unwrap()
+    faces
+}
+
+fn solo(mem: &mut Memory, pid: ProcessId, m: ruo::sim::Machine) -> i64 {
+    run_solo(mem, pid, m).0
 }
 
 #[test]
@@ -34,50 +60,45 @@ fn all_max_registers_agree_on_random_sequential_streams() {
     for _case in 0..50 {
         let n = 1 + rng.gen_index(6);
         let cap = 1u64 << (3 + rng.gen_below(8));
-        let tree = TreeMaxRegister::new(n);
-        let aac = AacMaxRegister::new(cap);
-        let cas = CasRetryMaxRegister::new();
-        let lock = LockMaxRegister::new();
-        let farray = FArrayMaxRegister::new(n);
-        let mut mem = Memory::new();
-        let sim_tree = SimTreeMaxRegister::new(&mut mem, n);
-        let sim_aac = SimAacMaxRegister::new(&mut mem, n, cap);
-        let sim_cas = SimCasRetryMaxRegister::new(&mut mem, n);
+        let mut faces = build_faces(
+            Family::MaxReg,
+            &BuildParams {
+                n,
+                capacity: cap,
+                root_fast_path: false,
+            },
+        );
         let mut expected = 0u64;
         for _op in 0..40 {
             let pid = ProcessId(rng.gen_index(n));
             if rng.gen_bool(0.6) {
                 let v = rng.gen_below(cap);
                 expected = expected.max(v);
-                tree.write_max(pid, v);
-                aac.write_max(pid, v);
-                cas.write_max(pid, v);
-                lock.write_max(pid, v);
-                farray.write_max(pid, v);
-                run_sim_solo(&mut mem, pid, sim_tree.write_max(pid, v));
-                run_sim_solo(&mut mem, pid, sim_aac.write_max(pid, v));
-                run_sim_solo(&mut mem, pid, sim_cas.write_max(pid, v));
+                for (_, obj) in &faces.real {
+                    if let RealObject::MaxReg(r) = obj {
+                        r.write_max(pid, v);
+                    }
+                }
+                for (_, obj) in &faces.sim {
+                    if let SimObject::MaxReg(r) = obj {
+                        solo(&mut faces.mem, pid, r.write_max(pid, v));
+                    }
+                }
             } else {
-                assert_eq!(tree.read_max(), expected, "TreeMaxRegister");
-                assert_eq!(aac.read_max(), expected, "AacMaxRegister");
-                assert_eq!(cas.read_max(), expected, "CasRetryMaxRegister");
-                assert_eq!(lock.read_max(), expected, "LockMaxRegister");
-                assert_eq!(farray.read_max(), expected, "FArrayMaxRegister");
-                assert_eq!(
-                    run_sim_solo(&mut mem, pid, sim_tree.read_max(pid)) as u64,
-                    expected,
-                    "SimTreeMaxRegister"
-                );
-                assert_eq!(
-                    run_sim_solo(&mut mem, pid, sim_aac.read_max(pid)) as u64,
-                    expected,
-                    "SimAacMaxRegister"
-                );
-                assert_eq!(
-                    run_sim_solo(&mut mem, pid, sim_cas.read_max(pid)) as u64,
-                    expected,
-                    "SimCasRetryMaxRegister"
-                );
+                for (name, obj) in &faces.real {
+                    if let RealObject::MaxReg(r) = obj {
+                        assert_eq!(r.read_max(), expected, "{name}");
+                    }
+                }
+                for (name, obj) in &faces.sim {
+                    if let SimObject::MaxReg(r) = obj {
+                        assert_eq!(
+                            solo(&mut faces.mem, pid, r.read_max(pid)) as u64,
+                            expected,
+                            "{name}"
+                        );
+                    }
+                }
             }
         }
     }
@@ -88,46 +109,44 @@ fn all_counters_agree_on_random_sequential_streams() {
     let mut rng = SplitMix64::new(7);
     for _case in 0..40 {
         let n = 1 + rng.gen_index(6);
-        let farray = FArrayCounter::new(n);
-        let aac = AacCounter::new(n, 100);
-        let fa = FetchAddCounter::new();
-        let red = CounterFromSnapshot::new(DoubleCollectSnapshot::new(n));
-        let mut mem = Memory::new();
-        let sim_farray = SimFArrayCounter::new(&mut mem, n);
-        let sim_aac = SimAacCounter::new(&mut mem, n, 100);
-        let sim_cas = SimCasLoopCounter::new(&mut mem, n);
+        let mut faces = build_faces(
+            Family::Counter,
+            &BuildParams {
+                n,
+                capacity: 100,
+                root_fast_path: false,
+            },
+        );
         let mut expected = 0u64;
         for _op in 0..50 {
             let pid = ProcessId(rng.gen_index(n));
             if rng.gen_bool(0.6) {
                 expected += 1;
-                farray.increment(pid);
-                aac.increment(pid);
-                fa.increment(pid);
-                red.increment(pid);
-                run_sim_solo(&mut mem, pid, sim_farray.increment(pid));
-                run_sim_solo(&mut mem, pid, sim_aac.increment(pid));
-                run_sim_solo(&mut mem, pid, sim_cas.increment(pid));
+                for (_, obj) in &faces.real {
+                    if let RealObject::Counter(c) = obj {
+                        c.increment(pid);
+                    }
+                }
+                for (_, obj) in &faces.sim {
+                    if let SimObject::Counter(c) = obj {
+                        solo(&mut faces.mem, pid, c.increment(pid));
+                    }
+                }
             } else {
-                assert_eq!(farray.read(), expected, "FArrayCounter");
-                assert_eq!(aac.read(), expected, "AacCounter");
-                assert_eq!(fa.read(), expected, "FetchAddCounter");
-                assert_eq!(red.read(), expected, "CounterFromSnapshot");
-                assert_eq!(
-                    run_sim_solo(&mut mem, pid, sim_farray.read(pid)) as u64,
-                    expected,
-                    "SimFArrayCounter"
-                );
-                assert_eq!(
-                    run_sim_solo(&mut mem, pid, sim_aac.read(pid)) as u64,
-                    expected,
-                    "SimAacCounter"
-                );
-                assert_eq!(
-                    run_sim_solo(&mut mem, pid, sim_cas.read(pid)) as u64,
-                    expected,
-                    "SimCasLoopCounter"
-                );
+                for (name, obj) in &faces.real {
+                    if let RealObject::Counter(c) = obj {
+                        assert_eq!(c.read(), expected, "{name}");
+                    }
+                }
+                for (name, obj) in &faces.sim {
+                    if let SimObject::Counter(c) = obj {
+                        assert_eq!(
+                            solo(&mut faces.mem, pid, c.read(pid)) as u64,
+                            expected,
+                            "{name}"
+                        );
+                    }
+                }
             }
         }
     }
@@ -138,8 +157,16 @@ fn all_snapshots_agree_on_random_sequential_streams() {
     let mut rng = SplitMix64::new(42);
     for _case in 0..40 {
         let n = 1 + rng.gen_index(5);
-        let dc = DoubleCollectSnapshot::new(n);
-        let afek = AfekSnapshot::new(n);
+        let mut faces = build_faces(
+            Family::Snapshot,
+            &BuildParams {
+                n,
+                capacity: 200,
+                root_fast_path: false,
+            },
+        );
+        // The path-copy view accessor is outside the `Snapshot` trait;
+        // keep one direct instance so views stay covered.
         let pc = PathCopySnapshot::new(n, 200);
         let mut expected = vec![0u64; n];
         for _op in 0..60 {
@@ -147,14 +174,29 @@ fn all_snapshots_agree_on_random_sequential_streams() {
             if rng.gen_bool(0.6) {
                 let v = rng.gen_below(1_000_000);
                 expected[pid.index()] = v;
-                dc.update(pid, v);
-                afek.update(pid, v);
                 pc.update(pid, v);
+                for (_, obj) in &faces.real {
+                    if let RealObject::Snapshot(s) = obj {
+                        s.update(pid, v);
+                    }
+                }
+                for (_, obj) in &faces.sim {
+                    if let SimObject::Snapshot(s) = obj {
+                        solo(&mut faces.mem, pid, s.update(pid, v));
+                    }
+                }
             } else {
-                assert_eq!(dc.scan(), expected, "DoubleCollectSnapshot");
-                assert_eq!(afek.scan(), expected, "AfekSnapshot");
-                assert_eq!(pc.scan(), expected, "PathCopySnapshot");
-                // Views agree with scans.
+                for (name, obj) in &faces.real {
+                    if let RealObject::Snapshot(s) = obj {
+                        assert_eq!(s.scan(), expected, "{name}");
+                    }
+                }
+                for (name, obj) in &faces.sim {
+                    if let SimObject::Snapshot(s) = obj {
+                        let token = solo(&mut faces.mem, pid, s.scan(pid));
+                        assert_eq!(s.take_scan_result(token), expected, "{name}");
+                    }
+                }
                 let view = pc.view();
                 for (i, &e) in expected.iter().enumerate() {
                     assert_eq!(view.get(i), e, "SnapshotView");
@@ -195,7 +237,7 @@ fn sim_and_real_tree_registers_converge_identically() {
         for (i, &v) in values.iter().enumerate() {
             real.write_max(ProcessId(i), v);
         }
-        let sim_result = run_sim_solo(&mut mem, ProcessId(0), sim.read_max(ProcessId(0))) as u64;
+        let sim_result = solo(&mut mem, ProcessId(0), sim.read_max(ProcessId(0))) as u64;
         assert_eq!(sim_result, real.read_max());
         assert_eq!(sim_result, *values.iter().max().unwrap());
     }

@@ -22,12 +22,14 @@
 
 use std::sync::Arc;
 
-use ruo::core::counter::sim::{SimCounter, SimFArrayCounter};
 use ruo::core::maxreg::sim::{SimMaxRegister, SimTreeMaxRegister};
 use ruo::core::shape::AlgorithmATree;
-use ruo::core::snapshot::sim::{SimDoubleCollectSnapshot, SimSnapshot};
+use ruo::scenario::{
+    build_sim_object, run_sim_seed, CrashAt, EngineKind, Family, FaultSpec, OpMix, ScenarioSpec,
+    SimObject,
+};
 use ruo::sim::history::{History, OpDesc, OpOutput, OpRecord};
-use ruo::sim::lin::{check_counter, check_max_register, check_snapshot, ViolationKind};
+use ruo::sim::lin::{check_max_register, check_snapshot, ViolationKind};
 use ruo::sim::{
     cas, done, read, write, Executor, FaultPlan, Machine, Memory, ObjId, OpSpec, ProcessId,
     RandomScheduler, Step, Word, WorkloadBuilder, NEG_INF,
@@ -340,40 +342,38 @@ fn stalled_small_value_writer_is_covered_by_same_value_writer() {
 /// CAS leaves the tree torn mid-propagation; the completion rule must
 /// cover every resulting history (the pending increment may be counted
 /// or dropped, completed increments never lost).
+///
+/// The sweep rides the scenario engine: one declarative spec (the
+/// `Alternate` mix at two ops per process is exactly increment-then-read)
+/// plus an explicit crash plan per (pid, k), driven by `run_sim_seed`.
 #[test]
 fn farray_counter_survives_a_crash_after_every_propagation_step() {
     let n = 3;
     let mut pending_seen = 0usize;
+    let mut spec = ScenarioSpec::new(
+        "farray-crash-sweep",
+        Family::Counter,
+        "farray",
+        EngineKind::Sim,
+        n,
+    );
+    spec.ops_per_process = 2;
+    spec.mix = OpMix::Alternate;
     for crash_pid in 0..n {
         for k in 1..=10usize {
+            spec.faults = Some(FaultSpec::Explicit {
+                crashes: vec![CrashAt {
+                    pid: crash_pid,
+                    after: k,
+                }],
+            });
             for seed in 0..4u64 {
-                let mut mem = Memory::new();
-                let c = Arc::new(SimFArrayCounter::new(&mut mem, n));
-                let mut w = WorkloadBuilder::new(n);
-                for p in 0..n {
-                    let pid = ProcessId(p);
-                    let c1 = Arc::clone(&c);
-                    let c2 = Arc::clone(&c);
-                    w.op(
-                        pid,
-                        OpSpec::update(OpDesc::CounterIncrement, move || c1.increment(pid)),
-                    );
-                    w.op(
-                        pid,
-                        OpSpec::value(OpDesc::CounterRead, move || c2.read(pid)),
-                    );
-                }
                 let plan = FaultPlan::new().crash(ProcessId(crash_pid), k);
-                let outcome = Executor::new().run_with_faults(
-                    &mut mem,
-                    w,
-                    &mut RandomScheduler::new(seed),
-                    &plan,
-                );
-                check_counter(&outcome.history).unwrap_or_else(|v| {
-                    panic!("crash p{crash_pid} after {k} events, seed {seed}: {v}")
-                });
-                let pending: Vec<_> = outcome.history.pending().collect();
+                let run = run_sim_seed(&spec, seed, &plan).unwrap();
+                if let Some(v) = &run.violation {
+                    panic!("crash p{crash_pid} after {k} events, seed {seed}: {v}");
+                }
+                let pending: Vec<_> = run.outcome.history.pending().collect();
                 if let Some(p) = pending.first() {
                     assert_eq!(p.pid, ProcessId(crash_pid));
                     pending_seen += 1;
@@ -399,8 +399,17 @@ fn double_collect_snapshot_survives_a_crash_at_every_update_point() {
     for crash_pid in 0..n {
         for k in 1..=8usize {
             for seed in 0..4u64 {
-                let mut mem = Memory::new();
-                let snap = Arc::new(SimDoubleCollectSnapshot::new(&mut mem, n));
+                let spec = ScenarioSpec::new(
+                    "dc-crash-sweep",
+                    Family::Snapshot,
+                    "double_collect",
+                    EngineKind::Sim,
+                    n,
+                );
+                let (mut mem, obj) = build_sim_object(&spec).unwrap();
+                let SimObject::Snapshot(snap) = obj else {
+                    panic!("registry built the wrong face");
+                };
                 let mut w = WorkloadBuilder::new(n);
                 for p in 0..n {
                     let pid = ProcessId(p);

@@ -13,113 +13,88 @@
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use ruo::core::counter::sim::{SimCounter, SimFArrayCounter};
-use ruo::core::maxreg::sim::{SimMaxRegister, SimTreeMaxRegister};
 use ruo::core::snapshot::sim::{SimDoubleCollectSnapshot, SimSnapshot};
 use ruo::metrics::{ProgressCertifier, ProgressViolation};
-use ruo::sim::history::OpDesc;
-use ruo::sim::lin::{check_counter, check_max_register};
-use ruo::sim::{
-    Executor, FaultPlan, Memory, OpSpec, ProcessId, RandomScheduler, RoundRobin, WorkloadBuilder,
+use ruo::scenario::{
+    measure_step_bound, run_sim, run_sim_seed, CrashAt, EngineKind, Family, FaultSpec, OpMix,
+    ScenarioSpec, SchedulePolicy,
 };
-
-/// Each process writes a distinct value, then reads.
-fn maxreg_workload(reg: &Arc<SimTreeMaxRegister>, n: usize) -> WorkloadBuilder {
-    let mut w = WorkloadBuilder::new(n);
-    for p in 0..n {
-        let pid = ProcessId(p);
-        let v = (p + 1) as u64;
-        let r1 = Arc::clone(reg);
-        let r2 = Arc::clone(reg);
-        w.op(
-            pid,
-            OpSpec::update(OpDesc::WriteMax(v as i64), move || r1.write_max(pid, v)),
-        );
-        w.op(
-            pid,
-            OpSpec::value(OpDesc::ReadMax, move || r2.read_max(pid)),
-        );
-    }
-    w
-}
+use ruo::sim::history::OpDesc;
+use ruo::sim::{Executor, FaultPlan, Memory, OpSpec, ProcessId, RoundRobin, WorkloadBuilder};
 
 /// Algorithm A's operations have schedule-independent step counts, so
 /// one crash-free run yields the exact wait-free bound — which must then
 /// hold across a sweep of random schedules with random crash plans, with
-/// crashed peers' pending writes never counted as starvation.
+/// crashed peers' pending writes never counted as starvation. The whole
+/// pipeline (bound measurement, sweep, certification) is the scenario
+/// engine's `certify` knob.
 #[test]
 fn algorithm_a_certifies_its_step_bound_under_crashed_peers() {
-    let n = 4;
-    // Measure the bound on a crash-free run.
-    let bound = {
-        let mut mem = Memory::new();
-        let reg = Arc::new(SimTreeMaxRegister::new(&mut mem, n));
-        let outcome =
-            Executor::new().run(&mut mem, maxreg_workload(&reg, n), &mut RoundRobin::new());
-        assert!(outcome.all_done);
-        outcome
-            .history
-            .completed()
-            .map(|op| op.steps as u64)
-            .max()
-            .unwrap()
-    };
-
-    let cert = ProgressCertifier::new(n, bound);
-    for seed in 0..40 {
-        let mut mem = Memory::new();
-        let reg = Arc::new(SimTreeMaxRegister::new(&mut mem, n));
-        let plan = FaultPlan::random_crashes(seed, n, 1, 12);
-        let outcome = Executor::new().run_with_faults(
-            &mut mem,
-            maxreg_workload(&reg, n),
-            &mut RandomScheduler::new(seed),
-            &plan,
-        );
-        check_max_register(&outcome.history, 0).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
-        cert.record_outcome(&outcome);
-    }
-    let report = cert
-        .certify()
-        .unwrap_or_else(|v| panic!("wait-free bound failed: {v} ({cert:?})"));
-    assert_eq!(report.bound, bound);
-    assert_eq!(report.worst_steps, bound, "the bound is tight");
+    let mut spec = ScenarioSpec::new(
+        "cert-tree-crash-sweep",
+        Family::MaxReg,
+        "tree",
+        EngineKind::Sim,
+        4,
+    );
+    spec.seed = 0;
+    spec.seeds = 40;
+    spec.ops_per_process = 2; // one write, one read per process
+    spec.mix = OpMix::Alternate;
+    spec.certify = true;
+    spec.faults = Some(FaultSpec::Random {
+        crashes: 1,
+        max_after: 12,
+    });
+    let report = run_sim(&spec, false).unwrap();
+    assert!(report.ok, "sweep failed: {:?}", report.notes);
+    assert_eq!(report.counter("violations"), Some(0));
+    assert_eq!(report.counter("cert_ok"), Some(1));
+    let bound = measure_step_bound(&spec).unwrap();
+    assert_eq!(report.counter("cert_bound"), Some(bound));
+    assert_eq!(
+        report.counter("cert_worst_steps"),
+        Some(bound),
+        "the bound is tight"
+    );
     assert!(
-        report.crashed_pending > 0,
+        report.counter("cert_crashed_pending").unwrap() > 0,
         "the crash sweep must actually leave pending operations"
     );
-    assert!(report.completed > 0);
+    assert!(report.counter("cert_completed").unwrap() > 0);
 }
 
 /// Same certification for the f-array counter, with a hand-picked crash
-/// mid-propagation instead of a random sweep.
+/// mid-propagation instead of a random sweep — `run_sim_seed` runs the
+/// single schedule, the test drives the certifier itself.
 #[test]
 fn farray_counter_certifies_with_a_peer_crashed_mid_propagation() {
     let n = 3;
-    let mut mem = Memory::new();
-    let c = Arc::new(SimFArrayCounter::new(&mut mem, n));
-    let mut w = WorkloadBuilder::new(n);
-    for p in 0..n {
-        let pid = ProcessId(p);
-        let c1 = Arc::clone(&c);
-        let c2 = Arc::clone(&c);
-        w.op(
-            pid,
-            OpSpec::update(OpDesc::CounterIncrement, move || c1.increment(pid)),
-        );
-        w.op(
-            pid,
-            OpSpec::value(OpDesc::CounterRead, move || c2.read(pid)),
-        );
-    }
+    let mut spec = ScenarioSpec::new(
+        "cert-farray-torn",
+        Family::Counter,
+        "farray",
+        EngineKind::Sim,
+        n,
+    );
+    spec.ops_per_process = 2;
+    spec.mix = OpMix::Alternate;
+    spec.schedule = SchedulePolicy::RoundRobin;
     // p1 crashes after 3 events: its leaf increment landed but the sum
     // propagation is torn mid-tree.
+    spec.faults = Some(FaultSpec::Explicit {
+        crashes: vec![CrashAt { pid: 1, after: 3 }],
+    });
     let plan = FaultPlan::new().crash(ProcessId(1), 3);
-    let outcome = Executor::new().run_with_faults(&mut mem, w, &mut RoundRobin::new(), &plan);
-    check_counter(&outcome.history).expect("completion rule covers the torn increment");
+    let run = run_sim_seed(&spec, 0, &plan).unwrap();
+    assert!(
+        run.violation.is_none(),
+        "completion rule covers the torn increment: {:?}",
+        run.violation
+    );
 
     let cert = ProgressCertifier::new(n, 64);
-    cert.record_outcome(&outcome);
+    cert.record_outcome(&run.outcome);
     let report = cert.certify().expect("no starvation, bound generous");
     assert_eq!(report.crashed_pending, 1);
     assert_eq!(cert.starved(), 0, "a crashed process is not starvation");
