@@ -1,0 +1,112 @@
+//! Experiment W7 — empirical validation of the paper's step bounds.
+//!
+//! Sweeps solo step counts of Algorithm A (`ReadMax` / `WriteMax`) and
+//! the f-array counter across `N ∈ {2..64}` and written values
+//! `v ∈ {1..2^20}`, fits each curve against `a + b·log₂(x)`, and
+//! asserts the bound shapes the paper proves: constant reads,
+//! `O(min(log N, log v))` writes (flattening at the tree-depth bound),
+//! `Θ(log N)` counter updates. Shape violations exit nonzero — this is
+//! the CI gate that the repo's implementations keep the complexity
+//! classes the paper trades off.
+//!
+//! CLI: `--quick` (smaller sweeps — the CI target),
+//! `--out <path>` (default `BENCH_complexity.json`).
+
+use ruo_bench::complexity::{check_shapes, profile, ComplexityProfile};
+use ruo_bench::{log2_ceil, Table};
+
+#[derive(Clone, Debug)]
+struct Config {
+    quick: bool,
+    out: String,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Config {
+            quick: false,
+            out: "BENCH_complexity.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cfg.quick = true,
+                "--out" => {
+                    cfg.out = args.next().expect("--out requires a path");
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+}
+
+fn write_json(cfg: &Config, p: &ComplexityProfile, failures: &[String]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ruo-complexity-v1\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", p.quick));
+    out.push_str(&format!("  \"shapes_ok\": {},\n", failures.is_empty()));
+    out.push_str("  \"curves\": [\n");
+    for (i, c) in p.curves.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"x\": \"{}\", \"bound\": \"{}\",\n",
+            c.name, c.x_label, c.bound
+        ));
+        out.push_str(&format!(
+            "     \"fit\": {{\"a\": {:.4}, \"b_log2\": {:.4}, \"max_resid\": {:.4}}},\n",
+            c.fit.a, c.fit.b_log2, c.fit.max_resid
+        ));
+        let pts: Vec<String> = c
+            .points
+            .iter()
+            .map(|pt| format!("{{\"x\": {}, \"steps\": {}}}", pt.x, pt.steps))
+            .collect();
+        out.push_str(&format!("     \"points\": [{}]}}{}\n", pts.join(", "), {
+            if i + 1 == p.curves.len() {
+                ""
+            } else {
+                ","
+            }
+        }));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&cfg.out, out)
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    println!("# W7 — step-complexity profile (measured solo steps)\n");
+    let p = profile(cfg.quick);
+
+    for c in &p.curves {
+        println!("## {} vs {}  (bound: {})\n", c.name, c.x_label, c.bound);
+        let mut t = Table::new(&[c.x_label, "log2", "steps"]);
+        for pt in &c.points {
+            t.row(vec![
+                pt.x.to_string(),
+                log2_ceil(pt.x).to_string(),
+                pt.steps.to_string(),
+            ]);
+        }
+        t.print();
+        println!(
+            "\nfit: steps ≈ {:.2} + {:.2}·log2({})  (max residual {:.2})\n",
+            c.fit.a, c.fit.b_log2, c.x_label, c.fit.max_resid
+        );
+    }
+
+    let failures = check_shapes(&p);
+    write_json(&cfg, &p, &failures).expect("write JSON results");
+    println!("wrote {}", cfg.out);
+
+    if failures.is_empty() {
+        println!("\nall bound shapes hold: O(1) reads, O(min(log N, log v)) writes, Θ(log N) counter updates");
+    } else {
+        eprintln!("\nBOUND SHAPE VIOLATIONS:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -53,6 +53,10 @@ fn stats_of(report: &ScenarioReport) -> ExploreStats {
         replay_steps_saved: report.counter("replay_steps_saved").unwrap_or(0),
         peak_depth: report.counter("peak_depth").unwrap_or(0) as usize,
         crash_branches: report.counter("crash_branches").unwrap_or(0) as usize,
+        reads: 0,
+        writes: 0,
+        cas_ok: 0,
+        cas_fail: 0,
     }
 }
 

@@ -5,6 +5,7 @@
 //! plain-timing benches in `benches/` (`harness = false`) measure
 //! wall-clock throughput of the real-atomics implementations.
 
+pub mod complexity;
 pub mod timing;
 
 /// The shared solo driver, re-exported from [`ruo_sim`] (its canonical

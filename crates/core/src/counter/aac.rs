@@ -17,8 +17,9 @@
 //! price of renouncing CAS.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
+use ruo_sim::stepcount::CountingU64;
 use ruo_sim::ProcessId;
 
 use crate::maxreg::AacMaxRegister;
@@ -44,7 +45,7 @@ pub struct AacCounter {
     root: usize,
     leaves: Vec<usize>,
     /// Single-writer per-process counts, indexed by leaf node id.
-    leaf_cells: Vec<AtomicU64>,
+    leaf_cells: Vec<CountingU64>,
     /// Internal-node max registers, indexed by node id (leaf slots are
     /// `None`).
     registers: Vec<Option<AacMaxRegister>>,
@@ -74,7 +75,7 @@ impl AacCounter {
         let mut shape = TreeShape::new();
         let (root, leaves) = shape.build_complete(n);
         shape.fix_depths(root);
-        let leaf_cells = (0..shape.len()).map(|_| AtomicU64::new(0)).collect();
+        let leaf_cells = (0..shape.len()).map(|_| CountingU64::new(0)).collect();
         let registers = (0..shape.len())
             .map(|idx| {
                 if shape.node(idx).is_leaf() {

@@ -17,8 +17,9 @@
 //! and it achieves `O(log N)`.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
+use ruo_sim::stepcount::CountingU64;
 use ruo_sim::ProcessId;
 
 use crate::pad::CachePadded;
@@ -42,7 +43,7 @@ pub struct FArrayCounter {
     root: usize,
     leaves: Vec<usize>,
     /// Padded cells: one cache-line pair per node (see [`crate::pad`]).
-    cells: Box<[CachePadded<AtomicU64>]>,
+    cells: Box<[CachePadded<CountingU64>]>,
     /// Precomputed leaf-to-root propagation paths, indexed by process.
     paths: Vec<Box<[PathNode]>>,
 }
@@ -68,7 +69,7 @@ impl FArrayCounter {
         let (root, leaves) = shape.build_complete(n);
         shape.fix_depths(root);
         let cells = (0..shape.len())
-            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .map(|_| CachePadded::new(CountingU64::new(0)))
             .collect();
         let paths = leaves
             .iter()

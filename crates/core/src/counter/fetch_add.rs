@@ -7,8 +7,9 @@
 //! cost of staying within the model.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
+use ruo_sim::stepcount::CountingU64;
 use ruo_sim::ProcessId;
 
 use crate::pad::CachePadded;
@@ -29,7 +30,7 @@ use crate::traits::Counter;
 pub struct FetchAddCounter {
     /// Padded so the counter never false-shares with neighbouring
     /// allocations in the embedding structure.
-    cell: CachePadded<AtomicU64>,
+    cell: CachePadded<CountingU64>,
 }
 
 impl fmt::Debug for FetchAddCounter {

@@ -17,8 +17,9 @@
 //! [`FArray<Min>`] tracks a minimum over decreasing slots.
 
 use std::fmt;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::Ordering;
 
+use ruo_sim::stepcount::CountingI64;
 use ruo_sim::{ProcessId, Word};
 
 use crate::pad::CachePadded;
@@ -114,7 +115,7 @@ pub struct FArray<A: Aggregation> {
     root: usize,
     leaves: Vec<usize>,
     /// Padded cells: one cache-line pair per node (see [`crate::pad`]).
-    cells: Box<[CachePadded<AtomicI64>]>,
+    cells: Box<[CachePadded<CountingI64>]>,
     /// Precomputed leaf-to-root propagation paths, indexed by slot.
     paths: Vec<Box<[PathNode]>>,
     _agg: std::marker::PhantomData<A>,
@@ -141,7 +142,7 @@ impl<A: Aggregation> FArray<A> {
         let (root, leaves) = shape.build_complete(n);
         shape.fix_depths(root);
         let cells = (0..shape.len())
-            .map(|_| CachePadded::new(AtomicI64::new(A::identity())))
+            .map(|_| CachePadded::new(CountingI64::new(A::identity())))
             .collect();
         let paths = leaves
             .iter()

@@ -19,6 +19,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use ruo_sim::stepcount;
 use ruo_sim::ProcessId;
 
 use crate::traits::MaxRegister;
@@ -415,6 +416,9 @@ impl AacMaxRegister {
     }
 
     fn switch_is_set(&self, idx: usize) -> bool {
+        // Switches are `AtomicU8`, outside `CountingU64`; count the
+        // primitive by hand so step tallies match the paper's measure.
+        stepcount::count_read();
         // Acquire pairs with the Release store in `descend_write`: a set
         // switch publishes every deeper switch the writer set before it
         // (classic message passing — DESIGN.md § Memory orderings).
@@ -451,6 +455,7 @@ impl AacMaxRegister {
                 // Release publishes the deeper switches to the Acquire
                 // load in `switch_is_set`.
                 self.descend_write(right, v - node.half);
+                stepcount::count_write();
                 self.switches[switch].store(1, Ordering::Release);
                 return;
             }

@@ -10,8 +10,9 @@
 //! buys you".
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
+use ruo_sim::stepcount::CountingU64;
 use ruo_sim::ProcessId;
 
 use crate::pad::CachePadded;
@@ -34,7 +35,7 @@ use crate::value::MAX_VALUE;
 pub struct CasRetryMaxRegister {
     /// Padded so the register never false-shares with whatever the
     /// embedding structure allocates next to it.
-    cell: CachePadded<AtomicU64>,
+    cell: CachePadded<CountingU64>,
 }
 
 impl fmt::Debug for CasRetryMaxRegister {

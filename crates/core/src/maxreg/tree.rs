@@ -22,8 +22,9 @@
 //! of allocation and false sharing.
 
 use std::fmt;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::Ordering;
 
+use ruo_sim::stepcount::CountingI64;
 use ruo_sim::ProcessId;
 
 use crate::pad::CachePadded;
@@ -106,7 +107,7 @@ pub struct TreeMaxRegister {
     /// One padded cell per tree node: neighbouring nodes never share a
     /// cache-line pair, so a CAS on one node does not invalidate its
     /// arena neighbours under every other core (see [`crate::pad`]).
-    cells: Box<[CachePadded<AtomicI64>]>,
+    cells: Box<[CachePadded<CountingI64>]>,
 }
 
 impl TreeMaxRegister {
@@ -119,7 +120,7 @@ impl TreeMaxRegister {
     pub fn new(n: usize) -> Self {
         let tree = AlgorithmATree::new(n);
         let cells = (0..tree.shape().len())
-            .map(|_| CachePadded::new(AtomicI64::new(ruo_sim::NEG_INF)))
+            .map(|_| CachePadded::new(CountingI64::new(ruo_sim::NEG_INF)))
             .collect();
         TreeMaxRegister { tree, cells }
     }

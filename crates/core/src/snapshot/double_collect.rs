@@ -12,8 +12,9 @@
 //! tradeoff, paid for on the scan side.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
+use ruo_sim::stepcount::CountingU64;
 use ruo_sim::ProcessId;
 
 use crate::traits::Snapshot;
@@ -44,7 +45,7 @@ fn unpack(word: u64) -> (u32, u32) {
 /// assert_eq!(snap.scan(), vec![0, 42, 0]);
 /// ```
 pub struct DoubleCollectSnapshot {
-    segments: Box<[AtomicU64]>,
+    segments: Box<[CountingU64]>,
 }
 
 impl fmt::Debug for DoubleCollectSnapshot {
@@ -64,7 +65,7 @@ impl DoubleCollectSnapshot {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "at least one segment required");
         DoubleCollectSnapshot {
-            segments: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            segments: (0..n).map(|_| CountingU64::new(0)).collect(),
         }
     }
 

@@ -20,6 +20,7 @@ use std::fmt;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
+use ruo_sim::stepcount;
 use ruo_sim::ProcessId;
 
 use crate::traits::Snapshot;
@@ -166,6 +167,9 @@ impl PathCopySnapshot {
     /// Pins the current version: a consistent, immutable view of all
     /// segments, obtained with a single atomic load.
     pub fn view(&self) -> SnapshotView<'_> {
+        // Pointer cells fall outside `CountingU64`; count the primitive
+        // by hand so scans still cost their one shared-memory step.
+        stepcount::count_read();
         SnapshotView {
             root: self.root.load(Ordering::SeqCst),
             n: self.n,
@@ -194,6 +198,9 @@ impl Snapshot for PathCopySnapshot {
     /// Panics if the restricted-use update bound is exceeded.
     fn update(&self, pid: ProcessId, v: u64) {
         assert!(pid.index() < self.n, "process out of range");
+        // Shared RMW on the update ticket — one step (counted as a
+        // successful CAS, the convention for fetch_add).
+        stepcount::count_cas(true);
         let used = self.updates.fetch_add(1, Ordering::Relaxed);
         assert!(
             used < self.max_updates,
@@ -201,15 +208,17 @@ impl Snapshot for PathCopySnapshot {
             self.max_updates
         );
         loop {
+            stepcount::count_read();
             let cur = self.root.load(Ordering::SeqCst);
             // SAFETY: `cur` came from the root pointer and nodes live
             // until `Drop`.
             let new = unsafe { self.copy_path(cur, self.n, pid.index(), v) };
-            if self
+            let swapped = self
                 .root
                 .compare_exchange(cur, new as *mut Node, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
+                .is_ok();
+            stepcount::count_cas(swapped);
+            if swapped {
                 return;
             }
             // Lost the race; the abandoned path stays in the registry and

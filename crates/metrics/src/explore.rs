@@ -33,6 +33,10 @@ use crate::Watermark;
 ///         replay_steps_saved: 1_900,
 ///         peak_depth: 8,
 ///         crash_branches: 12,
+///         reads: 0,
+///         writes: 0,
+///         cas_ok: 0,
+///         cas_fail: 0,
 ///     },
 /// );
 /// assert_eq!(gauges.schedules(), 132);
@@ -160,6 +164,10 @@ mod tests {
             replay_steps_saved: saved,
             peak_depth: depth,
             crash_branches: schedules / 2,
+            reads: 0,
+            writes: 0,
+            cas_ok: 0,
+            cas_fail: 0,
         }
     }
 

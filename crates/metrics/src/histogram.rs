@@ -119,6 +119,25 @@ impl HistogramSnapshot {
         self.counts.iter().sum()
     }
 
+    /// Merges another snapshot into this one, bucket by bucket
+    /// (saturating — a merged count never wraps). Merging is how
+    /// per-shard or per-batch histograms roll up into one distribution;
+    /// both snapshots must bucket identically for the counts to be
+    /// addable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two snapshots have different boundaries.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.boundaries, other.boundaries,
+            "snapshots with different boundaries cannot be merged"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c = c.saturating_add(*o);
+        }
+    }
+
     /// An upper bound for the `q`-quantile (`0 < q ≤ 1`): the boundary
     /// of the first bucket whose cumulative count reaches `q · total`.
     /// Returns `None` for an empty histogram or when the quantile lands
@@ -207,6 +226,66 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn zero_quantile_is_rejected() {
         let _ = hist().snapshot().quantile_upper_bound(0.0);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let h = hist();
+        h.record(ProcessId(0), 42); // bucket ≤100
+        let s = h.snapshot();
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile_upper_bound(q), Some(100), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_covers_both() {
+        let low = hist();
+        for _ in 0..3 {
+            low.record(ProcessId(0), 5); // bucket ≤10 only
+        }
+        let high = hist();
+        for _ in 0..5 {
+            high.record(ProcessId(1), 500); // bucket ≤1000 only
+        }
+        let mut merged = low.snapshot();
+        merged.merge(&high.snapshot());
+        assert_eq!(merged.bucket_counts(), &[3, 0, 5, 0]);
+        assert_eq!(merged.total(), 8);
+        // Quantiles see the union distribution.
+        assert_eq!(merged.quantile_upper_bound(0.25), Some(10));
+        assert_eq!(merged.quantile_upper_bound(1.0), Some(1000));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = hist();
+        h.record(ProcessId(0), 7);
+        let mut s = h.snapshot();
+        let before = s.clone();
+        s.merge(&hist().snapshot());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = HistogramSnapshot {
+            boundaries: vec![10],
+            counts: vec![u64::MAX - 1, 3],
+        };
+        let b = HistogramSnapshot {
+            boundaries: vec![10],
+            counts: vec![5, 4],
+        };
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[u64::MAX, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different boundaries")]
+    fn merge_rejects_mismatched_boundaries() {
+        let mut a = Histogram::new(1, &[10]).snapshot();
+        a.merge(&Histogram::new(1, &[20]).snapshot());
     }
 
     #[test]

@@ -134,6 +134,35 @@ mod tests {
     }
 
     #[test]
+    fn single_observation_pins_every_field() {
+        let lat = LatencyTracker::new(2, &[10, 100]);
+        lat.observe(ProcessId(1), 42);
+        let r = lat.report();
+        assert_eq!(r.peak, 42);
+        assert_eq!(r.best, Some(42));
+        assert_eq!(r.histogram.total(), 1);
+        // With one sample, every quantile is that sample's bucket bound.
+        assert_eq!(r.p50, Some(100));
+        assert_eq!(r.p99, Some(100));
+    }
+
+    #[test]
+    fn shard_reports_merge_into_one_distribution() {
+        let fast = LatencyTracker::new(2, &[10, 100]);
+        let slow = LatencyTracker::new(2, &[10, 100]);
+        for _ in 0..9 {
+            fast.observe(ProcessId(0), 3);
+        }
+        slow.observe(ProcessId(1), 50);
+        let mut rollup = fast.report().histogram;
+        rollup.merge(&slow.report().histogram);
+        assert_eq!(rollup.total(), 10);
+        assert_eq!(rollup.bucket_counts(), &[9, 1, 0]);
+        assert_eq!(rollup.quantile_upper_bound(0.9), Some(10));
+        assert_eq!(rollup.quantile_upper_bound(1.0), Some(100));
+    }
+
+    #[test]
     fn concurrent_observation_is_exact() {
         let lat = Arc::new(LatencyTracker::new(4, &[100, 1000]));
         std::thread::scope(|s| {

@@ -17,6 +17,9 @@
 //!   (schedules, pruned branches, replay savings, peak DFS depth).
 //! * [`ProgressCertifier`] — per-process progress counters + a livelock
 //!   watchdog certifying wait-free step bounds under crashes.
+//! * [`trace`] (`ruo_trace`) — per-operation step tracing: exact
+//!   attribution of shared-memory events to operations, aggregate
+//!   [`StepStats`], and JSONL / Chrome `trace_event` export.
 //!
 //! Every type is shared by a fixed set of `N` recorder identities
 //! ([`ruo_sim::ProcessId`], one per thread), which is what makes the
@@ -45,6 +48,7 @@ mod gauge;
 mod histogram;
 mod latency;
 mod progress;
+pub mod trace;
 mod watermark;
 
 pub use explore::ExploreGauges;
@@ -52,4 +56,7 @@ pub use gauge::ProgressGauge;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use latency::{LatencyReport, LatencyTracker};
 pub use progress::{ProgressCertifier, ProgressReport, ProgressViolation};
+pub use trace::{
+    op_kind, trace_execution, KindStats, PrimCounts, StepStats, StepTrace, TraceEvent, TracedOp,
+};
 pub use watermark::{LowWatermark, Watermark};

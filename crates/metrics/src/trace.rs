@@ -1,0 +1,716 @@
+//! `ruo_trace` — per-operation step tracing and trace export.
+//!
+//! The paper's complexity measure is *steps*: shared-memory events
+//! charged to the operation that issued them. This module turns raw
+//! executions into that measure, in both execution worlds:
+//!
+//! * **Sim world** — [`trace_execution`] attributes every
+//!   [`Event`] of an [`EventLog`] to the operation that
+//!   was in flight when it was issued, reconstructing a full
+//!   [`StepTrace`] (per-op step counts, CAS success/failure split,
+//!   propagation depth) from the log and [`History`] alone.
+//! * **Threaded world** — the
+//!   [`stepcount`](ruo_sim::stepcount) counting layer tallies primitive
+//!   events per thread; [`PrimCounts`] adopts those tallies via
+//!   `From<OpCounts>` so both worlds aggregate into one
+//!   [`StepStats`] shape.
+//!
+//! On top sit two exporters: [`StepTrace::to_jsonl`] (a line-oriented
+//! `ruo-trace-v1` stream for machine consumption) and
+//! [`StepTrace::to_chrome_trace`] (Chrome `trace_event` JSON, so a
+//! schedule from the explorer or a crash replay opens directly in
+//! `chrome://tracing` / Perfetto with one track per process).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use ruo_sim::history::{History, OpDesc};
+use ruo_sim::stepcount::OpCounts;
+use ruo_sim::{Event, EventLog};
+
+/// Stable machine-readable name for an operation kind, used as the
+/// per-kind key in [`StepStats`] and in exported traces.
+pub fn op_kind(desc: &OpDesc) -> &'static str {
+    match desc {
+        OpDesc::WriteMax(_) => "write_max",
+        OpDesc::ReadMax => "read_max",
+        OpDesc::CounterIncrement => "counter_increment",
+        OpDesc::CounterRead => "counter_read",
+        OpDesc::Update(_) => "update",
+        OpDesc::Scan => "scan",
+    }
+}
+
+/// Primitive-event tallies: how many of an operation's (or execution's)
+/// steps were reads, writes, successful CASes and failed CASes.
+///
+/// The four tallies partition the steps, so
+/// [`total`](PrimCounts::total) *is* the step count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrimCounts {
+    /// `read` primitives.
+    pub reads: u64,
+    /// `write` primitives.
+    pub writes: u64,
+    /// CAS primitives that succeeded (installed their value).
+    pub cas_ok: u64,
+    /// CAS primitives that failed (value had moved).
+    pub cas_fail: u64,
+}
+
+impl PrimCounts {
+    /// An all-zero tally.
+    pub const fn new() -> Self {
+        PrimCounts {
+            reads: 0,
+            writes: 0,
+            cas_ok: 0,
+            cas_fail: 0,
+        }
+    }
+
+    /// Total primitive events — the step count.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.cas_ok + self.cas_fail
+    }
+
+    /// Adds another tally into this one.
+    pub fn add(&mut self, other: &PrimCounts) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.cas_ok += other.cas_ok;
+        self.cas_fail += other.cas_fail;
+    }
+
+    /// Classifies one sim event into the matching tally.
+    pub fn add_event(&mut self, ev: &Event) {
+        if ev.prim.is_read() {
+            self.reads += 1;
+        } else if ev.prim.is_write() {
+            self.writes += 1;
+        } else if ev.resp == 1 {
+            self.cas_ok += 1;
+        } else {
+            self.cas_fail += 1;
+        }
+    }
+}
+
+impl From<OpCounts> for PrimCounts {
+    /// Adopts a threaded-world tally from the
+    /// [`stepcount`](ruo_sim::stepcount) counting layer.
+    fn from(c: OpCounts) -> Self {
+        PrimCounts {
+            reads: c.reads,
+            writes: c.writes,
+            cas_ok: c.cas_ok,
+            cas_fail: c.cas_fail,
+        }
+    }
+}
+
+/// Aggregate step statistics for one operation kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Number of operations observed.
+    pub ops: u64,
+    /// Total steps across all of them.
+    pub total: u64,
+    /// Worst-case (maximum) steps of a single operation.
+    pub max: u64,
+    /// Best-case (minimum) steps of a single operation.
+    pub min: u64,
+}
+
+impl KindStats {
+    /// Mean steps per operation (`0.0` when no ops were recorded).
+    pub fn mean(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Per-operation-kind step statistics plus a primitive-event breakdown —
+/// the one `steps` shape all three scenario engines report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepStats {
+    kinds: Vec<(String, KindStats)>,
+    /// Primitive-event breakdown over everything recorded.
+    pub prims: PrimCounts,
+}
+
+impl StepStats {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty() && self.prims == PrimCounts::new()
+    }
+
+    /// Per-kind statistics, sorted by kind name.
+    pub fn per_op(&self) -> &[(String, KindStats)] {
+        &self.kinds
+    }
+
+    fn entry(&mut self, kind: &str) -> &mut KindStats {
+        match self.kinds.binary_search_by(|(k, _)| k.as_str().cmp(kind)) {
+            Ok(i) => &mut self.kinds[i].1,
+            Err(i) => {
+                self.kinds
+                    .insert(i, (kind.to_string(), KindStats::default()));
+                &mut self.kinds[i].1
+            }
+        }
+    }
+
+    /// Installs (replacing any existing entry) the aggregate for one
+    /// kind — used by report decoders reconstructing a `StepStats`.
+    pub fn insert_kind(&mut self, kind: &str, stats: KindStats) {
+        *self.entry(kind) = stats;
+    }
+
+    /// Records one operation of `kind` that took `steps` steps.
+    pub fn record_op(&mut self, kind: &str, steps: u64) {
+        let s = self.entry(kind);
+        if s.ops == 0 {
+            s.max = steps;
+            s.min = steps;
+        } else {
+            s.max = s.max.max(steps);
+            s.min = s.min.min(steps);
+        }
+        s.ops += 1;
+        s.total += steps;
+    }
+
+    /// Records a per-operation primitive tally (also folded into
+    /// [`prims`](StepStats::prims)).
+    pub fn record_prims(&mut self, counts: &PrimCounts) {
+        self.prims.add(counts);
+    }
+
+    /// Records every operation of a sim-world history (steps only — feed
+    /// the matching [`EventLog`] to [`record_events`](Self::record_events)
+    /// for the primitive breakdown).
+    pub fn record_history(&mut self, history: &History) {
+        for op in history {
+            self.record_op(op_kind(&op.desc), op.steps as u64);
+        }
+    }
+
+    /// Folds an event log into the primitive-event breakdown.
+    pub fn record_events(&mut self, log: &EventLog) {
+        for ev in log {
+            self.prims.add_event(ev);
+        }
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &StepStats) {
+        for (kind, s) in &other.kinds {
+            let e = self.entry(kind);
+            if e.ops == 0 {
+                *e = *s;
+            } else if s.ops > 0 {
+                e.ops += s.ops;
+                e.total += s.total;
+                e.max = e.max.max(s.max);
+                e.min = e.min.min(s.min);
+            }
+        }
+        self.prims.add(&other.prims);
+    }
+
+    /// Worst-case steps observed for `kind`, if any op of that kind ran.
+    pub fn max_steps(&self, kind: &str) -> Option<u64> {
+        self.kinds
+            .binary_search_by(|(k, _)| k.as_str().cmp(kind))
+            .ok()
+            .map(|i| self.kinds[i].1.max)
+    }
+}
+
+/// One shared-memory event attributed to an operation in a [`StepTrace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global position in the execution.
+    pub seq: usize,
+    /// `"read"`, `"write"`, `"cas_ok"` or `"cas_fail"`.
+    pub kind: &'static str,
+    /// The base object accessed.
+    pub obj: u64,
+    /// Object value immediately before the event.
+    pub prev: i64,
+    /// Response returned to the process.
+    pub resp: i64,
+}
+
+impl TraceEvent {
+    fn classify(ev: &Event) -> &'static str {
+        if ev.prim.is_read() {
+            "read"
+        } else if ev.prim.is_write() {
+            "write"
+        } else if ev.resp == 1 {
+            "cas_ok"
+        } else {
+            "cas_fail"
+        }
+    }
+
+    fn from_event(ev: &Event) -> Self {
+        TraceEvent {
+            seq: ev.seq,
+            kind: Self::classify(ev),
+            obj: ev.obj().index() as u64,
+            prev: ev.prev,
+            resp: ev.resp,
+        }
+    }
+}
+
+/// One operation of a traced execution, with its attributed events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedOp {
+    /// Issuing process.
+    pub pid: usize,
+    /// Machine-readable kind (see [`op_kind`]).
+    pub kind: &'static str,
+    /// Human-readable label, e.g. `WriteMax(5)`.
+    pub label: String,
+    /// Global event tick of invocation.
+    pub invoke: usize,
+    /// Global event tick of response (`None` while pending — a crash or
+    /// truncated schedule left the op in flight).
+    pub response: Option<usize>,
+    /// Steps (shared-memory events) the op issued.
+    pub steps: u64,
+    /// Primitive breakdown of those steps.
+    pub prims: PrimCounts,
+    /// Number of *distinct* base objects touched — for tree-structured
+    /// objects this is the propagation depth of the operation.
+    pub depth: usize,
+    /// The attributed events, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A fully attributed execution: every op with its events, exportable as
+/// JSONL or Chrome `trace_event` JSON.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepTrace {
+    /// Traced operations, in invocation order.
+    pub ops: Vec<TracedOp>,
+}
+
+/// Attributes every event of `log` to the operation that issued it.
+///
+/// Attribution is exact, not heuristic: a process executes its
+/// operations sequentially, so partitioning its events (in log order)
+/// into consecutive runs of [`OpRecord::steps`](ruo_sim::OpRecord)
+/// events — ops taken in invocation order — reproduces exactly which op
+/// issued which event, including zero-step ops (which get an empty run).
+pub fn trace_execution(log: &EventLog, history: &History) -> StepTrace {
+    // Per-pid cursor into that process's events.
+    let mut by_pid: std::collections::BTreeMap<usize, Vec<&Event>> = Default::default();
+    for ev in log {
+        by_pid.entry(ev.pid.index()).or_default().push(ev);
+    }
+    let mut cursor: std::collections::BTreeMap<usize, usize> = Default::default();
+    let mut ops = Vec::with_capacity(history.len());
+    for op in history {
+        let pid = op.pid.index();
+        let evs = by_pid.get(&pid).map(|v| v.as_slice()).unwrap_or(&[]);
+        let start = cursor.entry(pid).or_insert(0);
+        let end = (*start + op.steps).min(evs.len());
+        let slice = &evs[*start..end];
+        *start = end;
+        let mut prims = PrimCounts::new();
+        let mut objects = BTreeSet::new();
+        let events: Vec<TraceEvent> = slice
+            .iter()
+            .map(|ev| {
+                objects.insert(ev.obj());
+                let te = TraceEvent::from_event(ev);
+                match te.kind {
+                    "read" => prims.reads += 1,
+                    "write" => prims.writes += 1,
+                    "cas_ok" => prims.cas_ok += 1,
+                    _ => prims.cas_fail += 1,
+                }
+                te
+            })
+            .collect();
+        ops.push(TracedOp {
+            pid,
+            kind: op_kind(&op.desc),
+            label: op.desc.to_string(),
+            invoke: op.invoke,
+            response: op.response,
+            steps: op.steps as u64,
+            prims,
+            depth: objects.len(),
+            events,
+        });
+    }
+    StepTrace { ops }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl StepTrace {
+    /// Aggregates the trace into [`StepStats`].
+    pub fn stats(&self) -> StepStats {
+        let mut stats = StepStats::new();
+        for op in &self.ops {
+            stats.record_op(op.kind, op.steps);
+            stats.record_prims(&op.prims);
+        }
+        stats
+    }
+
+    /// Serializes the trace as a `ruo-trace-v1` JSONL stream: one header
+    /// line, then one line per op, then one line per attributed event.
+    pub fn to_jsonl(&self) -> String {
+        let events: usize = self.ops.iter().map(|o| o.events.len()).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"ruo-trace-v1\",\"ops\":{},\"events\":{}}}",
+            self.ops.len(),
+            events
+        );
+        for (id, op) in self.ops.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{{\"type\":\"op\",\"id\":{},\"pid\":{},\"op\":\"{}\",\"label\":\"{}\",\"invoke\":{}",
+                id,
+                op.pid,
+                op.kind,
+                esc(&op.label),
+                op.invoke
+            );
+            if let Some(r) = op.response {
+                let _ = write!(out, ",\"response\":{r}");
+            }
+            let _ = writeln!(
+                out,
+                ",\"steps\":{},\"reads\":{},\"writes\":{},\"cas_ok\":{},\"cas_fail\":{},\"objects\":{}}}",
+                op.steps, op.prims.reads, op.prims.writes, op.prims.cas_ok, op.prims.cas_fail, op.depth
+            );
+        }
+        for (id, op) in self.ops.iter().enumerate() {
+            for ev in &op.events {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"event\",\"op\":{},\"seq\":{},\"pid\":{},\"kind\":\"{}\",\"obj\":{},\"prev\":{},\"resp\":{}}}",
+                    id, ev.seq, op.pid, ev.kind, ev.obj, ev.prev, ev.resp
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes the trace as Chrome `trace_event` JSON (the
+    /// "JSON object format"): complete (`"ph":"X"`) events with one
+    /// track (`tid`) per process, timestamps in execution ticks. Opens
+    /// directly in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let push = |s: String, out: &mut String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&s);
+        };
+        for op in &self.ops {
+            // Pending ops stretch to their last attributed event (or one
+            // tick) and are flagged in args.
+            let (end, pending) = match op.response {
+                Some(r) => (r, false),
+                None => (
+                    op.events.last().map(|e| e.seq + 1).unwrap_or(op.invoke + 1),
+                    true,
+                ),
+            };
+            let dur = end.saturating_sub(op.invoke).max(1);
+            push(
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"steps\":{},\"reads\":{},\"writes\":{},\"cas_ok\":{},\"cas_fail\":{},\"objects\":{},\"pending\":{}}}}}",
+                    esc(&op.label),
+                    op.kind,
+                    op.invoke,
+                    dur,
+                    op.pid,
+                    op.steps,
+                    op.prims.reads,
+                    op.prims.writes,
+                    op.prims.cas_ok,
+                    op.prims.cas_fail,
+                    op.depth,
+                    pending
+                ),
+                &mut out,
+                &mut first,
+            );
+            for ev in &op.events {
+                push(
+                    format!(
+                        "{{\"name\":\"{} obj{}\",\"cat\":\"prim\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\"pid\":0,\"tid\":{},\"args\":{{\"obj\":{},\"prev\":{},\"resp\":{}}}}}",
+                        ev.kind, ev.obj, ev.seq, op.pid, ev.obj, ev.prev, ev.resp
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruo_sim::{cas, done, read, write, Machine, Memory, OpOutput, OpRecord, ProcessId, Word};
+
+    fn run_to_completion(
+        mem: &mut Memory,
+        pid: ProcessId,
+        mut m: Machine,
+        history: &mut History,
+        desc: OpDesc,
+    ) {
+        let invoke = mem.log().len();
+        while !m.is_done() {
+            let prim = m.enabled().expect("machine running");
+            let resp = mem.apply(pid, prim);
+            m.feed(resp);
+        }
+        let response = mem.log().len().max(invoke + 1);
+        history.push(OpRecord {
+            pid,
+            desc,
+            invoke,
+            response: Some(response),
+            output: m.result().map(OpOutput::Value),
+            steps: response - invoke,
+        });
+    }
+
+    fn sample() -> (Memory, History) {
+        let mut mem = Memory::new();
+        let cell = mem.alloc(0);
+        let mut history = History::new();
+        // p0: read cell, CAS 0 -> 7 (succeeds).
+        run_to_completion(
+            &mut mem,
+            ProcessId(0),
+            Machine::new(read(cell, move |v: Word| cas(cell, v, 7, done))),
+            &mut history,
+            OpDesc::WriteMax(7),
+        );
+        // p1: CAS 0 -> 9 (fails — cell is 7), then write 9.
+        run_to_completion(
+            &mut mem,
+            ProcessId(1),
+            Machine::new(cas(cell, 0, 9, move |_| write(cell, 9, move || done(9)))),
+            &mut history,
+            OpDesc::WriteMax(9),
+        );
+        // p0: one read.
+        run_to_completion(
+            &mut mem,
+            ProcessId(0),
+            Machine::new(read(cell, done)),
+            &mut history,
+            OpDesc::ReadMax,
+        );
+        (mem, history)
+    }
+
+    #[test]
+    fn attribution_partitions_each_process_exactly() {
+        let (mem, history) = sample();
+        let trace = trace_execution(mem.log(), &history);
+        assert_eq!(trace.ops.len(), 3);
+        let total: usize = trace.ops.iter().map(|o| o.events.len()).sum();
+        assert_eq!(total, mem.log().len());
+        // First op: read + successful CAS.
+        assert_eq!(trace.ops[0].prims.reads, 1);
+        assert_eq!(trace.ops[0].prims.cas_ok, 1);
+        // Second op: failed CAS + write.
+        assert_eq!(trace.ops[1].prims.cas_fail, 1);
+        assert_eq!(trace.ops[1].prims.writes, 1);
+        // Third op: one read, same pid as the first — the cursor must
+        // have advanced past op 0's events.
+        assert_eq!(trace.ops[2].prims.reads, 1);
+        assert_eq!(trace.ops[2].events[0].prev, 9);
+        // Events attributed to an op belong to its process.
+        for op in &trace.ops {
+            assert!(op
+                .events
+                .iter()
+                .all(|e| { mem.log().events()[e.seq].pid.index() == op.pid }));
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_matches_trace() {
+        let (mem, history) = sample();
+        let trace = trace_execution(mem.log(), &history);
+        let stats = trace.stats();
+        assert_eq!(stats.max_steps("write_max"), Some(2));
+        assert_eq!(stats.max_steps("read_max"), Some(1));
+        assert_eq!(stats.prims.total(), mem.log().len() as u64);
+        let wm = &stats.per_op()[stats
+            .per_op()
+            .iter()
+            .position(|(k, _)| k == "write_max")
+            .unwrap()]
+        .1;
+        assert_eq!(wm.ops, 2);
+        assert_eq!(wm.total, 4);
+        assert_eq!(wm.min, 2);
+    }
+
+    #[test]
+    fn merge_combines_min_max_and_prims() {
+        let mut a = StepStats::new();
+        a.record_op("read_max", 1);
+        a.record_op("write_max", 10);
+        a.record_prims(&PrimCounts {
+            reads: 5,
+            writes: 3,
+            cas_ok: 2,
+            cas_fail: 1,
+        });
+        let mut b = StepStats::new();
+        b.record_op("write_max", 4);
+        b.record_op("scan", 7);
+        b.record_prims(&PrimCounts {
+            reads: 1,
+            writes: 0,
+            cas_ok: 0,
+            cas_fail: 0,
+        });
+        a.merge(&b);
+        assert_eq!(a.max_steps("write_max"), Some(10));
+        let wm = a.per_op().iter().find(|(k, _)| k == "write_max").unwrap().1;
+        assert_eq!(wm.min, 4);
+        assert_eq!(wm.ops, 2);
+        assert_eq!(a.prims.reads, 6);
+        assert_eq!(a.max_steps("scan"), Some(7));
+        assert_eq!(a.max_steps("update"), None);
+    }
+
+    #[test]
+    fn kinds_stay_sorted_and_mean_is_exact() {
+        let mut s = StepStats::new();
+        s.record_op("scan", 3);
+        s.record_op("read_max", 1);
+        s.record_op("counter_read", 1);
+        s.record_op("scan", 5);
+        let keys: Vec<&str> = s.per_op().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["counter_read", "read_max", "scan"]);
+        let scan = s.per_op().iter().find(|(k, _)| k == "scan").unwrap().1;
+        assert_eq!(scan.mean(), 4.0);
+        assert_eq!(KindStats::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn op_counts_adopt_into_prim_counts() {
+        let c = OpCounts {
+            reads: 2,
+            writes: 3,
+            cas_ok: 4,
+            cas_fail: 5,
+        };
+        let p = PrimCounts::from(c);
+        assert_eq!(p.total(), 14);
+        assert_eq!(p.cas_fail, 5);
+    }
+
+    #[test]
+    fn jsonl_carries_header_ops_and_events() {
+        let (mem, history) = sample();
+        let trace = trace_execution(mem.log(), &history);
+        let jsonl = trace.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 + mem.log().len());
+        assert!(lines[0].contains("\"schema\":\"ruo-trace-v1\""));
+        assert!(lines[0].contains("\"ops\":3"));
+        assert!(lines[1].contains("\"type\":\"op\""));
+        assert!(lines[1].contains("\"label\":\"WriteMax(7)\""));
+        assert!(lines[4].contains("\"type\":\"event\""));
+        // Every line is a self-contained JSON object.
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_one_slice_per_op_and_event() {
+        let (mem, history) = sample();
+        let trace = trace_execution(mem.log(), &history);
+        let chrome = trace.to_chrome_trace();
+        assert!(chrome.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert_eq!(chrome.matches("\"ph\":\"X\"").count(), 3 + mem.log().len());
+        assert_eq!(chrome.matches("\"cat\":\"prim\"").count(), mem.log().len());
+        assert!(chrome.contains("\"pending\":false"));
+    }
+
+    #[test]
+    fn pending_op_stretches_to_its_last_event() {
+        let mut mem = Memory::new();
+        let cell = mem.alloc(0);
+        let pid = ProcessId(3);
+        // Two steps issued, never completed.
+        let mut m = Machine::new(read(cell, move |v: Word| {
+            write(cell, v + 1, move || done(0))
+        }));
+        for _ in 0..2 {
+            let prim = m.enabled().unwrap();
+            let resp = mem.apply(pid, prim);
+            m.feed(resp);
+        }
+        let mut history = History::new();
+        history.push(OpRecord {
+            pid,
+            desc: OpDesc::CounterIncrement,
+            invoke: 0,
+            response: None,
+            output: None,
+            steps: 2,
+        });
+        let trace = trace_execution(mem.log(), &history);
+        assert_eq!(trace.ops[0].events.len(), 2);
+        let chrome = trace.to_chrome_trace();
+        assert!(chrome.contains("\"pending\":true"));
+        let jsonl = trace.to_jsonl();
+        assert!(!jsonl.lines().next().unwrap().contains("\"response\""));
+    }
+}

@@ -7,12 +7,18 @@
 //!
 //! `run` parses each spec, verifies the JSON codec round-trips to an
 //! identical spec (exit 2 on codec or parse errors), dispatches to the
-//! engine the spec names, and prints one verdict line per scenario
-//! (plus the full report with `--json`).
+//! engine the spec names, and prints one verdict line per scenario.
+//! With `--json` the verdict lines move to stderr and stdout carries a
+//! single `ruo-scenario-run-v1` document embedding every full
+//! [`ScenarioReport`] (counters, metrics, notes, and the `steps` block),
+//! so downstream tooling parses one object instead of scraping lines.
 
 use std::process::exit;
 
-use ruo_scenario::{registry, run, Family, ScenarioSpec};
+use ruo_scenario::{registry, run, Family, Json, ScenarioReport, ScenarioSpec};
+
+/// Schema tag of the combined `--json` document.
+const RUN_SCHEMA: &str = "ruo-scenario-run-v1";
 
 fn usage() -> ! {
     eprintln!("usage: scenario list");
@@ -55,6 +61,30 @@ fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
     Ok(spec)
 }
 
+/// The combined `--json` document: every spec file paired with its full
+/// report, re-parsed through the crate codec so the output is guaranteed
+/// well-formed as one object.
+fn combined_json(quick: bool, results: &[(String, ScenarioReport)]) -> String {
+    let failures = results.iter().filter(|(_, r)| !r.ok).count();
+    let entries = results
+        .iter()
+        .map(|(path, report)| {
+            let doc = Json::parse(&report.to_json()).expect("report JSON parses");
+            Json::Obj(vec![
+                ("file".into(), Json::Str(path.clone())),
+                ("report".into(), doc),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(RUN_SCHEMA.into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("failures".into(), Json::Num(failures as u64)),
+        ("results".into(), Json::Arr(entries)),
+    ])
+    .pretty()
+}
+
 fn run_files(args: &[String]) -> i32 {
     let mut quick = false;
     let mut json = false;
@@ -71,6 +101,7 @@ fn run_files(args: &[String]) -> i32 {
         usage();
     }
     let mut failures = 0;
+    let mut results: Vec<(String, ScenarioReport)> = Vec::new();
     for path in &files {
         let spec = match load_spec(path) {
             Ok(s) => s,
@@ -87,29 +118,38 @@ fn run_files(args: &[String]) -> i32 {
                     .iter()
                     .map(|(k, v)| format!("{k}={v}"))
                     .collect();
-                println!(
+                let mut lines = vec![format!(
                     "{verdict:<5} {:<32} [{}/{} {}] {}",
                     spec.name,
                     spec.family,
                     spec.impl_id,
                     spec.engine.name(),
                     counters.join(" ")
-                );
+                )];
                 for note in &report.notes {
-                    println!("      note: {note}");
+                    lines.push(format!("      note: {note}"));
                 }
-                if json {
-                    print!("{}", report.to_json());
+                for line in lines {
+                    // In --json mode stdout is reserved for the document.
+                    if json {
+                        eprintln!("{line}");
+                    } else {
+                        println!("{line}");
+                    }
                 }
                 if !report.ok {
                     failures += 1;
                 }
+                results.push((path.clone(), report));
             }
             Err(e) => {
                 eprintln!("error: {path}: {e}");
                 exit(2);
             }
         }
+    }
+    if json {
+        print!("{}", combined_json(quick, &results));
     }
     if failures > 0 {
         eprintln!("\n{failures} scenario(s) failed");

@@ -15,22 +15,26 @@
 //! bespoke checkers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ruo_metrics::{LatencyTracker, ProgressCertifier};
+use ruo_metrics::{
+    trace_execution, LatencyTracker, PrimCounts, ProgressCertifier, StepStats, StepTrace,
+};
 use ruo_sim::explore::{explore, ExploreConfig, ExploreOp};
 use ruo_sim::lin::{check_counter, check_exact, check_max_register, check_snapshot, Violation};
 use ruo_sim::spec::SeqSpec;
+use ruo_sim::stepcount::CountingMem;
 use ruo_sim::{
-    run_solo, ExecOutcome, Executor, FaultPlan, History, Machine, Memory, OpDesc, OpSpec,
-    ProcessId, RandomScheduler, RoundRobin, Scheduler, SplitMix64, WorkloadBuilder,
+    run_solo, ExecOutcome, Executor, FaultPlan, History, Machine, Memory, OpDesc, OpOutput,
+    OpRecord, OpSpec, ProcessId, RandomScheduler, RoundRobin, Scheduler, SplitMix64,
+    WorkloadBuilder,
 };
 
 use crate::registry::{find, BuildError, BuildParams, Family, ImplEntry, RealObject, SimObject};
 use crate::report::ScenarioReport;
 use crate::spec::{
-    CheckerKind, EngineKind, FaultSpec, OpKind, OpMix, ScenarioSpec, SchedulePolicy,
+    CheckerKind, EngineKind, FaultSpec, OpKind, OpMix, ScenarioSpec, SchedulePolicy, TraceSpec,
 };
 
 /// Why an engine refused to run a scenario.
@@ -41,6 +45,8 @@ pub enum EngineError {
     /// The spec combines knobs the engines cannot honor (e.g. exploring
     /// snapshot scans, seeding a counter scope).
     Unsupported(String),
+    /// A requested trace export could not be written.
+    Trace(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -48,6 +54,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Build(e) => write!(f, "{e}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported scenario: {msg}"),
+            EngineError::Trace(msg) => write!(f, "trace export failed: {msg}"),
         }
     }
 }
@@ -95,6 +102,51 @@ fn check_history_from(
             },
         ),
     }
+}
+
+// ---------------------------------------------------------------------
+// Trace plumbing shared by the engines
+// ---------------------------------------------------------------------
+
+/// Whether the spec's trace section asks for the `steps` report block.
+fn wants_steps(spec: &ScenarioSpec) -> bool {
+    spec.trace.as_ref().is_some_and(|t| t.steps)
+}
+
+/// Whether the spec's trace section asks for any event-level export.
+fn wants_export(spec: &ScenarioSpec) -> bool {
+    spec.trace
+        .as_ref()
+        .is_some_and(|t| t.jsonl.is_some() || t.chrome.is_some())
+}
+
+/// Writes `contents` to `path`, creating parent directories.
+fn write_trace_file(path: &str, contents: &str) -> Result<(), EngineError> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| EngineError::Trace(format!("creating {}: {e}", parent.display())))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| EngineError::Trace(format!("writing {path}: {e}")))
+}
+
+/// Exports a [`StepTrace`] to the paths the trace section names, noting
+/// each written file in the report.
+fn export_trace(
+    tspec: &TraceSpec,
+    trace: &StepTrace,
+    report: &mut ScenarioReport,
+) -> Result<(), EngineError> {
+    if let Some(path) = &tspec.jsonl {
+        write_trace_file(path, &trace.to_jsonl())?;
+        report.note(format!("trace jsonl: {path}"));
+    }
+    if let Some(path) = &tspec.chrome {
+        write_trace_file(path, &trace.to_chrome_trace())?;
+        report.note(format!("trace chrome: {path}"));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -258,6 +310,9 @@ fn make_scheduler(spec: &ScenarioSpec, run_seed: u64) -> Box<dyn Scheduler> {
 pub struct SimSeedRun {
     /// The executor's outcome (history, completion, crashes).
     pub outcome: ExecOutcome,
+    /// The final shared memory, with its full event log — the raw
+    /// material for step attribution ([`ruo_metrics::trace_execution`]).
+    pub memory: Memory,
     /// The checker's verdict on the history.
     pub violation: Option<Violation>,
     /// Whether the run drained: every op completed, or a crash
@@ -289,6 +344,7 @@ pub fn run_sim_seed(
     let violation = check_history(spec, &outcome.history).err();
     Ok(SimSeedRun {
         outcome,
+        memory: mem,
         violation,
         drained,
     })
@@ -332,10 +388,19 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
     let mut crashed_runs = 0u64;
     let mut pending_ops = 0u64;
     let mut first_violation: Option<String> = None;
+    let mut steps = wants_steps(spec).then(StepStats::new);
+    let mut first_trace: Option<StepTrace> = None;
     for k in 0..seeds {
         let run_seed = spec.seed.wrapping_add(k);
         let plan = fault_plan_for_seed(spec, run_seed);
         let run = run_sim_seed(spec, run_seed, &plan)?;
+        if let Some(acc) = &mut steps {
+            acc.record_history(&run.outcome.history);
+            acc.record_events(run.memory.log());
+        }
+        if first_trace.is_none() && wants_export(spec) {
+            first_trace = Some(trace_execution(run.memory.log(), &run.outcome.history));
+        }
         if let Some(cert) = &certifier {
             cert.record_outcome(&run.outcome);
         }
@@ -357,6 +422,10 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
     report.set("violations", seeds - ok_runs);
     report.set("crashed_runs", crashed_runs);
     report.set("pending_ops", pending_ops);
+    report.steps = steps;
+    if let (Some(tspec), Some(trace)) = (&spec.trace, &first_trace) {
+        export_trace(tspec, trace, &mut report)?;
+    }
     report.ok = ok_runs == seeds;
     if let Some(detail) = first_violation {
         report.note(detail);
@@ -433,17 +502,35 @@ fn real_capacity(spec: &ScenarioSpec, p: &RealParams) -> u64 {
     })
 }
 
+/// The stable kind name for one real-world operation — the same names
+/// [`ruo_metrics::op_kind`] assigns sim-world descriptors, so both
+/// worlds' `steps` blocks key identically.
+fn real_op_kind(obj: &RealObject, is_read: bool) -> &'static str {
+    match (obj, is_read) {
+        (RealObject::MaxReg(_), true) => "read_max",
+        (RealObject::MaxReg(_), false) => "write_max",
+        (RealObject::Counter(_), true) => "counter_read",
+        (RealObject::Counter(_), false) => "counter_increment",
+        (RealObject::Snapshot(_), true) => "scan",
+        (RealObject::Snapshot(_), false) => "update",
+    }
+}
+
 /// One contended batch over a fresh object; mirrors the historical W4
 /// harness loops exactly (per-thread `SplitMix64::new(0x9e37 + t)`
 /// streams, XOR sink against dead-code elimination). When `instruments`
 /// is set, every operation is additionally timed into the latency
 /// tracker and counted by the certifier — instrumented batches are
-/// never the timed ones.
+/// never the timed ones. When `steps` is set (and the
+/// [`CountingMem`] layer is enabled), each thread tallies per-op
+/// primitive counts locally and merges them into the shared aggregate at
+/// batch end.
 fn real_batch(
     obj: &RealObject,
     p: &RealParams,
     sink: &AtomicU64,
     instruments: Option<(&LatencyTracker, &ProgressCertifier)>,
+    steps: Option<&Mutex<StepStats>>,
 ) {
     std::thread::scope(|s| {
         for t in 0..p.threads {
@@ -451,9 +538,14 @@ fn real_batch(
                 let mut rng = SplitMix64::new(0x9e37 + t as u64);
                 let mut acc = 0u64;
                 let pid = ProcessId(t);
+                let mut local = steps.map(|_| StepStats::new());
                 for i in 0..p.ops {
                     let started = instruments.map(|_| Instant::now());
-                    if rng.gen_below(100) < p.read_pct {
+                    if local.is_some() {
+                        CountingMem::begin_op();
+                    }
+                    let is_read = rng.gen_below(100) < p.read_pct;
+                    if is_read {
                         acc ^= match obj {
                             RealObject::MaxReg(r) => r.read_max(),
                             RealObject::Counter(c) => c.read(),
@@ -466,10 +558,18 @@ fn real_batch(
                             RealObject::Snapshot(sn) => sn.update(pid, i + 1),
                         }
                     }
+                    if let Some(st) = &mut local {
+                        let counts = PrimCounts::from(CountingMem::take_op_counts());
+                        st.record_op(real_op_kind(obj, is_read), counts.total());
+                        st.record_prims(&counts);
+                    }
                     if let (Some(start), Some((lat, cert))) = (started, instruments) {
                         lat.observe(pid, start.elapsed().as_nanos() as u64);
                         cert.record_completion(pid, 1);
                     }
+                }
+                if let (Some(st), Some(shared)) = (local, steps) {
+                    shared.lock().expect("steps poisoned").merge(&st);
                 }
                 sink.fetch_xor(acc, Ordering::Relaxed);
             });
@@ -480,8 +580,22 @@ fn real_batch(
 /// Runs the contended-throughput batch (fresh object per batch, one
 /// warm-up, median of `samples` timed runs), then one instrumented
 /// batch for the latency histogram and progress certificate.
+///
+/// When the spec has a `trace` section, the counting layer
+/// ([`CountingMem`], a process-wide switch) is enabled around the
+/// instrumented batch only — the timed batches always run with counting
+/// disabled, keeping throughput numbers comparable to untraced runs.
+/// Event-level export (`jsonl`/`chrome`) is a sim/explore capability;
+/// real threads record counts, not events.
 pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
     let entry = find(spec.family, &spec.impl_id)?;
+    if wants_export(spec) {
+        return Err(EngineError::Unsupported(
+            "real threads record step counts, not events; \
+             jsonl/chrome trace export requires the sim or explore engine"
+                .into(),
+        ));
+    }
     let p = real_params(spec, quick);
     let params = BuildParams {
         n: p.threads,
@@ -493,7 +607,7 @@ pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engi
     for sample in 0..=p.samples {
         let obj = entry.build_real(&params)?;
         let start = Instant::now();
-        real_batch(&obj, &p, &sink, None);
+        real_batch(&obj, &p, &sink, None, None);
         if sample > 0 {
             // Sample 0 is the warm-up.
             times.push(start.elapsed().as_nanos() as f64);
@@ -505,7 +619,20 @@ pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engi
     let tracker = LatencyTracker::new(p.threads, LATENCY_BOUNDARIES_NS);
     let certifier = ProgressCertifier::new(p.threads, 1);
     let obj = entry.build_real(&params)?;
-    real_batch(&obj, &p, &sink, Some((&tracker, &certifier)));
+    let steps = wants_steps(spec).then(|| Mutex::new(StepStats::new()));
+    if steps.is_some() {
+        CountingMem::enable();
+    }
+    real_batch(
+        &obj,
+        &p,
+        &sink,
+        Some((&tracker, &certifier)),
+        steps.as_ref(),
+    );
+    if steps.is_some() {
+        CountingMem::disable();
+    }
     let latency = tracker.report();
 
     let total_ops = p.ops * p.threads as u64;
@@ -534,6 +661,9 @@ pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engi
             report.ok = false;
             report.note(format!("progress certification failed: {v}"));
         }
+    }
+    if let Some(shared) = steps {
+        report.steps = Some(shared.into_inner().expect("steps poisoned"));
     }
     // Fold the sink into a counter so the XOR accumulators stay
     // observable (and the optimizer keeps the reads).
@@ -655,10 +785,59 @@ pub fn explore_parts(spec: &ScenarioSpec) -> Result<ExploreParts, EngineError> {
     })
 }
 
+/// Runs the scope's machines to completion sequentially (each op solo,
+/// in declaration order) against a fresh setup, attributing every event:
+/// the *canonical schedule* exported when an explore scenario asks for a
+/// trace. The setup's seed update (if any) appears as the first op.
+fn explore_canonical_trace(parts: &ExploreParts, spec: &ScenarioSpec) -> StepTrace {
+    let (mut mem, machines) = (parts.setup)();
+    let mut history = History::new();
+    let seed_steps = mem.log().len();
+    if seed_steps > 0 {
+        let v = spec
+            .explore
+            .as_ref()
+            .and_then(|e| e.seed_update)
+            .unwrap_or(0);
+        history.push(OpRecord {
+            pid: ProcessId(0),
+            desc: OpDesc::WriteMax(v as i64),
+            invoke: 0,
+            response: Some(seed_steps),
+            output: Some(OpOutput::Unit),
+            steps: seed_steps,
+        });
+    }
+    for (machine, op) in machines.into_iter().zip(&parts.ops) {
+        let invoke = mem.log().len();
+        let (result, steps) = run_solo(&mut mem, op.pid, machine);
+        let response = mem.log().len().max(invoke + 1);
+        history.push(OpRecord {
+            pid: op.pid,
+            desc: op.desc.clone(),
+            invoke,
+            response: Some(response),
+            output: Some(if op.returns_value {
+                OpOutput::Value(result)
+            } else {
+                OpOutput::Unit
+            }),
+            steps,
+        });
+    }
+    trace_execution(mem.log(), &history)
+}
+
 /// Explores every schedule (and crash placement, per the budget) of the
 /// scope, checking each history. `quick` is accepted for interface
 /// symmetry but ignored: schedule counts are the verdict, so scaling
 /// them down would change what the scenario asserts.
+///
+/// With a `trace` section, the `steps` block aggregates per-op step
+/// counts over *every* explored schedule (the primitive breakdown comes
+/// from the search's forward-execution tallies, so incremental replay
+/// means `prims.total()` can undercut the per-op sums); `jsonl`/`chrome`
+/// exports carry the canonical sequential schedule of the scope.
 pub fn run_explore(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
     let parts = explore_parts(spec)?;
     let espec = spec.explore.as_ref().expect("explore_parts checked");
@@ -671,7 +850,11 @@ pub fn run_explore(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, E
     let exact = spec.checker == CheckerKind::Exact;
     let family = spec.family;
     let n = spec.n;
+    let mut steps = wants_steps(spec).then(StepStats::new);
     let mut check = |h: &History| -> bool {
+        if let Some(acc) = &mut steps {
+            acc.record_history(h);
+        }
         match (exact, family) {
             (false, Family::MaxReg) => check_max_register(h, initial).is_ok(),
             (false, Family::Counter) => check_counter(h).is_ok(),
@@ -697,6 +880,21 @@ pub fn run_explore(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, E
     report.set("peak_depth", summary.stats.peak_depth as u64);
     report.set("crash_branches", summary.stats.crash_branches as u64);
     report.set_metric("seconds", seconds);
+    if let Some(mut acc) = steps {
+        acc.record_prims(&PrimCounts {
+            reads: summary.stats.reads,
+            writes: summary.stats.writes,
+            cas_ok: summary.stats.cas_ok,
+            cas_fail: summary.stats.cas_fail,
+        });
+        report.steps = Some(acc);
+    }
+    if let Some(tspec) = &spec.trace {
+        if wants_export(spec) {
+            let trace = explore_canonical_trace(&parts, spec);
+            export_trace(tspec, &trace, &mut report)?;
+        }
+    }
     report.ok = summary.violation.is_none() && !summary.truncated;
     if let Some(pids) = &summary.violation {
         report.note(format!(
@@ -818,6 +1016,188 @@ mod tests {
             run_explore(&spec, false),
             Err(EngineError::Unsupported(_))
         ));
+    }
+
+    /// Serializes tests that run the real engine with tracing: the
+    /// counting layer is a process-wide switch, so two such tests
+    /// interleaving would clip each other's tallies.
+    fn counting_gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join(format!("ruo-trace-test-{}", std::process::id()))
+            .join(name)
+    }
+
+    fn trace_to(jsonl: Option<&std::path::Path>, chrome: Option<&std::path::Path>) -> TraceSpec {
+        TraceSpec {
+            steps: true,
+            jsonl: jsonl.map(|p| p.to_string_lossy().into_owned()),
+            chrome: chrome.map(|p| p.to_string_lossy().into_owned()),
+        }
+    }
+
+    #[test]
+    fn sim_engine_reports_steps_and_exports_traces() {
+        use crate::json::Json;
+        let jsonl = tmp_path("sim.jsonl");
+        let chrome = tmp_path("sim.chrome.json");
+        let mut spec = ScenarioSpec::new("t", Family::MaxReg, "tree", EngineKind::Sim, 3);
+        spec.seeds = 3;
+        spec.ops_per_process = 4;
+        spec.trace = Some(trace_to(Some(&jsonl), Some(&chrome)));
+        let r = run_sim(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        let steps = r.steps.as_ref().expect("steps block");
+        assert!(steps.max_steps("read_max").unwrap() >= 1);
+        assert!(steps.max_steps("write_max").unwrap() > 1);
+        // Sim attribution is exact: the primitive breakdown partitions
+        // exactly the steps the per-kind aggregates account for.
+        let per_op_total: u64 = steps.per_op().iter().map(|(_, k)| k.total).sum();
+        assert_eq!(steps.prims.total(), per_op_total);
+        // The JSONL stream declares its schema; the Chrome trace is
+        // valid JSON in the trace_event object format.
+        let head = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(head
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"schema\":\"ruo-trace-v1\""));
+        let doc = Json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(!events.is_empty());
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(ev.get("ts").and_then(Json::as_u64).is_some());
+            assert!(ev.get("dur").and_then(Json::as_u64).unwrap() >= 1);
+            assert!(ev.get("tid").and_then(Json::as_u64).is_some());
+        }
+        std::fs::remove_dir_all(jsonl.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn real_engine_reports_steps_through_the_counting_layer() {
+        let _g = counting_gate();
+        let mut spec = ScenarioSpec::new("t", Family::Counter, "farray", EngineKind::Real, 2);
+        spec.real = Some(crate::spec::RealSpec {
+            threads: 2,
+            ops_per_thread: 100,
+            samples: 1,
+        });
+        spec.trace = Some(TraceSpec::default());
+        let r = run_real(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        let steps = r.steps.as_ref().expect("steps block");
+        let ops: u64 = steps.per_op().iter().map(|(_, k)| k.ops).sum();
+        assert_eq!(ops, 200, "every op of the instrumented batch counted");
+        assert!(steps.max_steps("counter_increment").unwrap() >= 1);
+        let per_op_total: u64 = steps.per_op().iter().map(|(_, k)| k.total).sum();
+        assert_eq!(steps.prims.total(), per_op_total);
+        // Event-level export is a sim/explore capability.
+        spec.trace = Some(TraceSpec {
+            steps: true,
+            jsonl: Some("unused.jsonl".into()),
+            chrome: None,
+        });
+        assert!(matches!(
+            run_real(&spec, false),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn explore_engine_aggregates_steps_and_exports_canonical_trace() {
+        use crate::json::Json;
+        let chrome = tmp_path("explore.chrome.json");
+        let mut spec = ScenarioSpec::new("t", Family::MaxReg, "tree", EngineKind::Explore, 2);
+        spec.explore = Some(ExploreSpec {
+            seed_update: Some(1),
+            ops: vec![
+                ScenarioOp {
+                    pid: 0,
+                    kind: OpKind::Update,
+                    value: 2,
+                },
+                ScenarioOp {
+                    pid: 1,
+                    kind: OpKind::Read,
+                    value: 0,
+                },
+            ],
+            max_schedules: 100_000,
+            prune: true,
+            max_crashes: 0,
+        });
+        spec.trace = Some(trace_to(None, Some(&chrome)));
+        let r = run_explore(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        let steps = r.steps.as_ref().expect("steps block");
+        // Aggregated over every explored schedule, not just one.
+        let ops: u64 = steps.per_op().iter().map(|(_, k)| k.ops).sum();
+        assert!(ops > 2, "aggregate spans schedules, got {ops} ops");
+        assert!(steps.max_steps("write_max").is_some());
+        assert!(steps.prims.total() > 0);
+        let doc = Json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Canonical schedule: seed write + the two scope ops, plus one
+        // slice per attributed primitive event.
+        assert!(events.len() > 3);
+        std::fs::remove_dir_all(chrome.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn every_engine_emits_the_same_steps_shape() {
+        let _g = counting_gate();
+        let mut sim = ScenarioSpec::new("t", Family::MaxReg, "tree", EngineKind::Sim, 2);
+        sim.seeds = 2;
+        sim.ops_per_process = 2;
+        sim.trace = Some(TraceSpec::default());
+        let mut real = ScenarioSpec::new("t", Family::MaxReg, "cas_cell", EngineKind::Real, 2);
+        real.real = Some(crate::spec::RealSpec {
+            threads: 2,
+            ops_per_thread: 50,
+            samples: 1,
+        });
+        real.trace = Some(TraceSpec::default());
+        let mut explore = ScenarioSpec::new("t", Family::MaxReg, "tree", EngineKind::Explore, 2);
+        explore.explore = Some(ExploreSpec {
+            seed_update: None,
+            ops: vec![
+                ScenarioOp {
+                    pid: 0,
+                    kind: OpKind::Update,
+                    value: 1,
+                },
+                ScenarioOp {
+                    pid: 1,
+                    kind: OpKind::Read,
+                    value: 0,
+                },
+            ],
+            max_schedules: 10_000,
+            prune: true,
+            max_crashes: 0,
+        });
+        explore.trace = Some(TraceSpec::default());
+        for (spec, label) in [(sim, "sim"), (real, "real"), (explore, "explore")] {
+            let r = run(&spec, false).unwrap_or_else(|e| panic!("{label}: {e}"));
+            let steps = r
+                .steps
+                .as_ref()
+                .unwrap_or_else(|| panic!("{label}: no steps"));
+            assert!(!steps.is_empty(), "{label}: empty steps");
+            assert!(
+                steps.max_steps("write_max").is_some(),
+                "{label}: write_max missing"
+            );
+            // One serialized shape for all three engines, parseable back.
+            let parsed = crate::report::ScenarioReport::parse(&r.to_json())
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(parsed, r, "{label}: steps block must round-trip");
+        }
     }
 
     #[test]

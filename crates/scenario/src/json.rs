@@ -24,8 +24,11 @@ pub enum Json {
     Bool(bool),
     /// An unsigned integer (the only numeric type the parser produces).
     Num(u64),
-    /// A float, for emitting report metrics; never produced by the
-    /// parser, which rejects fractions, exponents and negative numbers.
+    /// A float: emitted for report metrics and produced by the parser
+    /// for numbers with a fraction, exponent or sign (nothing in the
+    /// *spec* schemas is negative — integer fields read
+    /// [`Json::as_u64`], which rejects floats — but exported traces
+    /// carry signed values).
     Float(f64),
     /// A string.
     Str(String),
@@ -82,6 +85,16 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers widen (exact for the magnitudes
+    /// the schemas carry).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(x) => Some(*x),
+            Json::Num(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -262,14 +275,20 @@ impl Parser<'_> {
             Some(b't') => self.keyword("true", Json::Bool(true)),
             Some(b'f') => self.keyword("false", Json::Bool(false)),
             Some(b'n') => self.keyword("null", Json::Null),
-            Some(b'0'..=b'9') => self.number(),
-            Some(b'-') => Err(self.err("negative numbers are not part of the scenario schema")),
+            Some(b'0'..=b'9') => self.number(false),
+            Some(b'-') => {
+                self.pos += 1;
+                if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err("digit expected after `-`"));
+                }
+                self.number(true)
+            }
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
     }
 
-    fn number(&mut self) -> Result<Json, JsonError> {
+    fn number(&mut self, negative: bool) -> Result<Json, JsonError> {
         let start = self.pos;
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
@@ -299,13 +318,15 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
-        if float {
-            // Floats appear only in reports; spec fields read integers
-            // via `as_u64` and reject them there.
-            return text
+        if float || negative {
+            // Floats (and negative values, which occur in exported
+            // traces but nowhere in the spec schemas) appear only
+            // outside integer spec fields; those read via `as_u64` and
+            // reject them there.
+            let x = text
                 .parse::<f64>()
-                .map(Json::Float)
-                .map_err(|_| self.err("malformed number"));
+                .map_err(|_| self.err("malformed number"))?;
+            return Ok(Json::Float(if negative { -x } else { x }));
         }
         text.parse::<u64>()
             .map(Json::Num)
@@ -459,7 +480,13 @@ mod tests {
 
     #[test]
     fn rejects_schema_foreign_numbers() {
-        assert!(Json::parse("-3").is_err());
+        // Negative values parse as floats (exported traces carry signed
+        // words); integer spec fields reject them via `as_u64`.
+        assert_eq!(Json::parse("-3").unwrap(), Json::Float(-3.0));
+        assert_eq!(Json::parse("-3").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-1.5e1").unwrap(), Json::Float(-15.0));
+        assert!(Json::parse("-").is_err());
+        assert!(Json::parse("-x").is_err());
         assert!(Json::parse("99999999999999999999").is_err());
         assert!(Json::parse("1.").is_err());
         assert!(Json::parse("1e").is_err());

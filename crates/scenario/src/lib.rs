@@ -47,5 +47,5 @@ pub use registry::{
 pub use report::{ScenarioReport, REPORT_SCHEMA};
 pub use spec::{
     CheckerKind, CrashAt, EngineKind, ExploreSpec, FaultSpec, OpKind, OpMix, RealSpec, ScenarioOp,
-    ScenarioSpec, SchedulePolicy, SpecError, SPEC_SCHEMA,
+    ScenarioSpec, SchedulePolicy, SpecError, TraceSpec, SPEC_SCHEMA,
 };

@@ -8,15 +8,17 @@
 //! layer their own presentation (tables, experiment JSON) on top of the
 //! counters instead of re-deriving them.
 
+use ruo_metrics::{KindStats, PrimCounts, StepStats};
+
 use crate::json::Json;
 use crate::registry::Family;
-use crate::spec::{EngineKind, ScenarioSpec};
+use crate::spec::{EngineKind, ScenarioSpec, SpecError};
 
 /// Schema identifier emitted in every report.
 pub const REPORT_SCHEMA: &str = "ruo-scenario-report-v1";
 
 /// What happened when an engine ran a scenario.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioReport {
     /// Scenario name (from the spec).
     pub scenario: String,
@@ -35,6 +37,9 @@ pub struct ScenarioReport {
     pub counters: Vec<(String, u64)>,
     /// Ordered float metrics.
     pub metrics: Vec<(String, f64)>,
+    /// Step statistics — present when the spec's `trace` section asked
+    /// for them; the same shape from all three engines.
+    pub steps: Option<StepStats>,
     /// Free-form notes (violation details, certification summaries).
     pub notes: Vec<String>,
 }
@@ -51,6 +56,7 @@ impl ScenarioReport {
             ok: true,
             counters: Vec::new(),
             metrics: Vec::new(),
+            steps: None,
             notes: Vec::new(),
         }
     }
@@ -96,7 +102,7 @@ impl ScenarioReport {
 
     /// Serializes to the `"ruo-scenario-report-v1"` JSON document.
     pub fn to_json(&self) -> String {
-        let o: Vec<(String, Json)> = vec![
+        let mut o: Vec<(String, Json)> = vec![
             ("schema".into(), Json::Str(REPORT_SCHEMA.into())),
             ("scenario".into(), Json::Str(self.scenario.clone())),
             ("family".into(), Json::Str(self.family.name().into())),
@@ -122,13 +128,179 @@ impl ScenarioReport {
                         .collect(),
                 ),
             ),
-            (
-                "notes".into(),
-                Json::Arr(self.notes.iter().map(|s| Json::Str(s.clone())).collect()),
-            ),
         ];
+        if let Some(steps) = &self.steps {
+            o.push(("steps".into(), steps_to_json(steps)));
+        }
+        o.push((
+            "notes".into(),
+            Json::Arr(self.notes.iter().map(|s| Json::Str(s.clone())).collect()),
+        ));
         Json::Obj(o).pretty()
     }
+
+    /// Parses a `"ruo-scenario-report-v1"` document back into a report
+    /// (exact round trip with [`to_json`](Self::to_json) for the values
+    /// the engines emit: finite, non-negative metrics).
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let doc = Json::parse(text).map_err(|e| SpecError(e.to_string()))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(REPORT_SCHEMA) => {}
+            Some(other) => return rerr(format!("unsupported report schema \"{other}\"")),
+            None => return rerr("missing \"schema\""),
+        }
+        let family = match doc
+            .get("family")
+            .and_then(Json::as_str)
+            .and_then(Family::parse)
+        {
+            Some(f) => f,
+            None => return rerr("missing or invalid \"family\""),
+        };
+        let engine = match doc
+            .get("engine")
+            .and_then(Json::as_str)
+            .and_then(EngineKind::parse)
+        {
+            Some(e) => e,
+            None => return rerr("missing or invalid \"engine\""),
+        };
+        let req_str = |key: &str| -> Result<String, SpecError> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SpecError(format!("missing or non-string \"{key}\"")))
+        };
+        let req_bool = |key: &str| -> Result<bool, SpecError> {
+            doc.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| SpecError(format!("missing or non-bool \"{key}\"")))
+        };
+        let mut counters = Vec::new();
+        for (k, v) in doc
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| SpecError("missing \"counters\" object".into()))?
+        {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| SpecError(format!("counter \"{k}\" must be an integer")))?;
+            counters.push((k.clone(), n));
+        }
+        let mut metrics = Vec::new();
+        for (k, v) in doc
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| SpecError("missing \"metrics\" object".into()))?
+        {
+            let x = v
+                .as_f64()
+                .ok_or_else(|| SpecError(format!("metric \"{k}\" must be a number")))?;
+            metrics.push((k.clone(), x));
+        }
+        let steps = match doc.get("steps") {
+            None => None,
+            Some(v) => Some(steps_from_json(v)?),
+        };
+        let mut notes = Vec::new();
+        for v in doc
+            .get("notes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| SpecError("missing \"notes\" array".into()))?
+        {
+            notes.push(
+                v.as_str()
+                    .ok_or_else(|| SpecError("notes must be strings".into()))?
+                    .to_string(),
+            );
+        }
+        Ok(ScenarioReport {
+            scenario: req_str("scenario")?,
+            family,
+            impl_id: req_str("impl")?,
+            engine,
+            quick: req_bool("quick")?,
+            ok: req_bool("ok")?,
+            counters,
+            metrics,
+            steps,
+            notes,
+        })
+    }
+}
+
+fn rerr<T>(msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError(msg.into()))
+}
+
+/// Serializes a [`StepStats`] as the report's `steps` block:
+/// `{"per_op": {<kind>: {"ops","total","max","min"}…},
+///   "prims": {"reads","writes","cas_ok","cas_fail"}}`.
+fn steps_to_json(s: &StepStats) -> Json {
+    Json::Obj(vec![
+        (
+            "per_op".into(),
+            Json::Obj(
+                s.per_op()
+                    .iter()
+                    .map(|(kind, k)| {
+                        (
+                            kind.clone(),
+                            Json::Obj(vec![
+                                ("ops".into(), Json::Num(k.ops)),
+                                ("total".into(), Json::Num(k.total)),
+                                ("max".into(), Json::Num(k.max)),
+                                ("min".into(), Json::Num(k.min)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "prims".into(),
+            Json::Obj(vec![
+                ("reads".into(), Json::Num(s.prims.reads)),
+                ("writes".into(), Json::Num(s.prims.writes)),
+                ("cas_ok".into(), Json::Num(s.prims.cas_ok)),
+                ("cas_fail".into(), Json::Num(s.prims.cas_fail)),
+            ]),
+        ),
+    ])
+}
+
+fn steps_from_json(v: &Json) -> Result<StepStats, SpecError> {
+    let num = |obj: &Json, key: &str| -> Result<u64, SpecError> {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SpecError(format!("steps field \"{key}\" must be an integer")))
+    };
+    let mut stats = StepStats::new();
+    for (kind, k) in v
+        .get("per_op")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| SpecError("missing \"steps.per_op\" object".into()))?
+    {
+        stats.insert_kind(
+            kind,
+            KindStats {
+                ops: num(k, "ops")?,
+                total: num(k, "total")?,
+                max: num(k, "max")?,
+                min: num(k, "min")?,
+            },
+        );
+    }
+    let p = v
+        .get("prims")
+        .ok_or_else(|| SpecError("missing \"steps.prims\" object".into()))?;
+    stats.record_prims(&PrimCounts {
+        reads: num(p, "reads")?,
+        writes: num(p, "writes")?,
+        cas_ok: num(p, "cas_ok")?,
+        cas_fail: num(p, "cas_fail")?,
+    });
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -158,5 +330,35 @@ mod tests {
             Some(101)
         );
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn reports_round_trip_including_steps() {
+        let spec = ScenarioSpec::new("w7", Family::MaxReg, "tree", EngineKind::Sim, 4);
+        let mut r = ScenarioReport::new(&spec, false);
+        r.ok = false;
+        r.set("seeds", 100);
+        r.set("violations", 1);
+        r.set_metric("seconds", 0.25);
+        r.set_metric("ns_per_op", 117.0);
+        r.note("violation at seed 3");
+        let mut steps = StepStats::new();
+        steps.record_op("write_max", 26);
+        steps.record_op("write_max", 10);
+        steps.record_op("read_max", 1);
+        steps.record_prims(&PrimCounts {
+            reads: 20,
+            writes: 10,
+            cas_ok: 6,
+            cas_fail: 1,
+        });
+        r.steps = Some(steps);
+        let parsed = ScenarioReport::parse(&r.to_json()).expect("report parses");
+        assert_eq!(parsed, r);
+        // And a steps-free report round-trips to steps: None.
+        let bare = ScenarioReport::new(&spec, true);
+        let parsed = ScenarioReport::parse(&bare.to_json()).unwrap();
+        assert_eq!(parsed, bare);
+        assert!(parsed.steps.is_none());
     }
 }

@@ -42,7 +42,7 @@ impl EngineKind {
         }
     }
 
-    fn parse(s: &str) -> Option<Self> {
+    pub(crate) fn parse(s: &str) -> Option<Self> {
         match s {
             "real" => Some(EngineKind::Real),
             "sim" => Some(EngineKind::Sim),
@@ -240,6 +240,30 @@ pub struct RealSpec {
     pub samples: usize,
 }
 
+/// Step-tracing controls, shared by all three engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Collect per-op step statistics into the report's `steps` block.
+    /// Defaults to `true` when the `trace` section is present.
+    pub steps: bool,
+    /// Write a `ruo-trace-v1` JSONL event stream to this path (sim and
+    /// explore engines; one representative execution).
+    pub jsonl: Option<String>,
+    /// Write a Chrome `trace_event` JSON file to this path (sim and
+    /// explore engines; opens in `chrome://tracing` / Perfetto).
+    pub chrome: Option<String>,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            steps: true,
+            jsonl: None,
+            chrome: None,
+        }
+    }
+}
+
 /// A complete declarative scenario.
 ///
 /// Construct via [`ScenarioSpec::new`] (which fills the defaults) and
@@ -291,6 +315,8 @@ pub struct ScenarioSpec {
     pub explore: Option<ExploreSpec>,
     /// Real-engine parameters (defaults derived from `n` when absent).
     pub real: Option<RealSpec>,
+    /// Step-tracing controls; `None` disables tracing entirely.
+    pub trace: Option<TraceSpec>,
 }
 
 /// A spec validation / decoding error.
@@ -341,6 +367,7 @@ impl ScenarioSpec {
             root_fast_path: false,
             explore: None,
             real: None,
+            trace: None,
         }
     }
 
@@ -385,6 +412,9 @@ impl ScenarioSpec {
         if let Some(r) = &self.real {
             o.push(("real".into(), real_to_json(r)));
         }
+        if let Some(t) = &self.trace {
+            o.push(("trace".into(), trace_to_json(t)));
+        }
         Json::Obj(o).pretty()
     }
 
@@ -418,6 +448,7 @@ impl ScenarioSpec {
             "root_fast_path",
             "explore",
             "real",
+            "trace",
         ];
         for (k, _) in obj {
             if !KNOWN.contains(&k.as_str()) {
@@ -499,6 +530,9 @@ impl ScenarioSpec {
         }
         if let Some(r) = doc.get("real") {
             spec.real = Some(real_from_json(r)?);
+        }
+        if let Some(t) = doc.get("trace") {
+            spec.trace = Some(trace_from_json(t)?);
         }
         if spec.engine == EngineKind::Explore && spec.explore.is_none() {
             return err("engine \"explore\" requires an \"explore\" section");
@@ -669,6 +703,37 @@ fn real_to_json(r: &RealSpec) -> Json {
     ])
 }
 
+fn trace_to_json(t: &TraceSpec) -> Json {
+    let mut o: Vec<(String, Json)> = vec![("steps".into(), Json::Bool(t.steps))];
+    if let Some(p) = &t.jsonl {
+        o.push(("jsonl".into(), Json::Str(p.clone())));
+    }
+    if let Some(p) = &t.chrome {
+        o.push(("chrome".into(), Json::Str(p.clone())));
+    }
+    Json::Obj(o)
+}
+
+fn trace_from_json(v: &Json) -> Result<TraceSpec, SpecError> {
+    let obj = match v.as_obj() {
+        Some(o) => o,
+        None => return err("\"trace\" must be an object"),
+    };
+    // Strict like the top level: a typo'd trace knob silently disabling
+    // export is exactly the failure mode unknown-key rejection prevents.
+    const KNOWN: &[&str] = &["steps", "jsonl", "chrome"];
+    for (k, _) in obj {
+        if !KNOWN.contains(&k.as_str()) {
+            return err(format!("unknown key \"{k}\" in \"trace\""));
+        }
+    }
+    Ok(TraceSpec {
+        steps: opt_bool(v, "steps")?.unwrap_or(true),
+        jsonl: opt_str(v, "jsonl")?.map(str::to_string),
+        chrome: opt_str(v, "chrome")?.map(str::to_string),
+    })
+}
+
 fn real_from_json(v: &Json) -> Result<RealSpec, SpecError> {
     let threads = req_u64(v, "threads")? as usize;
     if threads == 0 {
@@ -736,8 +801,30 @@ mod tests {
             ops_per_thread: 20_000,
             samples: 7,
         });
+        spec.trace = Some(TraceSpec {
+            steps: false,
+            jsonl: Some("target/traces/full.jsonl".into()),
+            chrome: Some("target/traces/full.trace.json".into()),
+        });
         let parsed = ScenarioSpec::parse(&spec.to_json()).unwrap();
         assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn trace_section_is_strict_and_defaults_steps_on() {
+        let mut spec = ScenarioSpec::new("t", Family::MaxReg, "tree", EngineKind::Sim, 2);
+        spec.trace = Some(TraceSpec::default());
+        let json = spec.to_json();
+        assert_eq!(ScenarioSpec::parse(&json).unwrap(), spec);
+        // An omitted "steps" defaults to true.
+        let no_steps = json.replace("\"steps\": true", "\"jsonl\": \"t.jsonl\"");
+        let parsed = ScenarioSpec::parse(&no_steps).unwrap();
+        assert!(parsed.trace.as_ref().unwrap().steps);
+        assert_eq!(parsed.trace.unwrap().jsonl.as_deref(), Some("t.jsonl"));
+        // Unknown keys inside "trace" are rejected like top-level typos.
+        let typo = json.replace("\"steps\": true", "\"stepz\": true");
+        let e = ScenarioSpec::parse(&typo).unwrap_err();
+        assert!(e.0.contains("trace"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! End-to-end check of the scenario binary's `--json` mode: stdout must
+//! be a single `ruo-scenario-run-v1` document whose embedded reports
+//! round-trip through [`ScenarioReport::parse`] — including the `steps`
+//! block of a traced scenario — and any trace files the spec names must
+//! land on disk relative to the run directory.
+
+use std::process::Command;
+
+use ruo_scenario::{Json, ScenarioReport};
+
+fn spec_path(name: &str) -> String {
+    format!("{}/../../scenarios/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn run_json_emits_one_document_with_full_reports() {
+    let tmp = std::env::temp_dir().join(format!("ruo-cli-json-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create scratch dir");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_scenario"))
+        .current_dir(&tmp)
+        .args(["run", "--quick", "--json"])
+        .arg(spec_path("w5_explore_pruned.json"))
+        .arg(spec_path("w5_explore_traced.json"))
+        .output()
+        .expect("scenario binary runs");
+    assert!(
+        out.status.success(),
+        "scenario run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Verdict lines go to stderr in --json mode; stdout is one document.
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let doc = Json::parse(&stdout).expect("stdout parses as one JSON document");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("ruo-scenario-run-v1")
+    );
+    assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("failures").and_then(Json::as_u64), Some(0));
+
+    let results = doc.get("results").and_then(Json::as_arr).expect("results");
+    assert_eq!(results.len(), 2);
+    let mut reports = Vec::new();
+    for entry in results {
+        let file = entry.get("file").and_then(Json::as_str).expect("file");
+        let embedded = entry.get("report").expect("embedded report").pretty();
+        let report = ScenarioReport::parse(&embedded)
+            .unwrap_or_else(|e| panic!("{file}: embedded report must round-trip: {e}"));
+        assert!(report.ok, "{file} reported failure");
+        // The embedded object is the *full* report: re-serializing the
+        // parsed struct reproduces it byte for byte.
+        assert_eq!(report.to_json(), embedded, "{file}: partial embed");
+        reports.push((file.to_string(), report));
+    }
+
+    // The traced scenario's report carries the steps block end to end.
+    let (_, traced) = reports
+        .iter()
+        .find(|(f, _)| f.ends_with("w5_explore_traced.json"))
+        .expect("traced scenario present");
+    let steps = traced.steps.as_ref().expect("traced report has steps");
+    assert!(
+        steps.per_op().iter().any(|(k, _)| k == "write_max"),
+        "steps block lists write_max ops: {:?}",
+        steps.per_op()
+    );
+
+    // And its trace exports landed relative to the run directory.
+    for rel in [
+        "traces/w5_explore.trace.jsonl",
+        "traces/w5_explore.chrome.json",
+    ] {
+        assert!(tmp.join(rel).is_file(), "{rel} not written");
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}

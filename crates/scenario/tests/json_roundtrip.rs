@@ -9,7 +9,7 @@
 
 use ruo_scenario::{
     CheckerKind, CrashAt, EngineKind, ExploreSpec, Family, FaultSpec, OpKind, OpMix, RealSpec,
-    ScenarioOp, ScenarioSpec, SchedulePolicy,
+    ScenarioOp, ScenarioSpec, SchedulePolicy, TraceSpec,
 };
 use ruo_sim::SplitMix64;
 
@@ -110,6 +110,14 @@ fn random_spec(rng: &mut SplitMix64) -> ScenarioSpec {
             samples: 1 + rng.gen_index(9),
         });
     }
+    if rng.gen_bool(0.4) {
+        // Export paths reuse the escaper-stressing name alphabet.
+        spec.trace = Some(TraceSpec {
+            steps: rng.gen_bool(0.8),
+            jsonl: rng.gen_bool(0.5).then(|| random_name(rng)),
+            chrome: rng.gen_bool(0.5).then(|| random_name(rng)),
+        });
+    }
     spec
 }
 
@@ -127,6 +135,27 @@ fn random_specs_round_trip_through_json() {
             text,
             "case {case}: re-emission is not canonical"
         );
+    }
+}
+
+/// The strict codec stays strict inside the `trace` section: an unknown
+/// key there is a parse error, exactly like a top-level typo.
+#[test]
+fn unknown_trace_keys_are_rejected() {
+    let mut rng = SplitMix64::new(0xbeef);
+    let mut checked = 0;
+    while checked < 50 {
+        let spec = random_spec(&mut rng);
+        if spec.trace.is_none() {
+            continue;
+        }
+        checked += 1;
+        // `"steps"` only occurs as the trace key: the name alphabet
+        // cannot spell it and `"step_budget"` doesn't match with the
+        // closing quote included.
+        let typo = spec.to_json().replace("\"steps\"", "\"stepz\"");
+        let e = ScenarioSpec::parse(&typo).expect_err("trace typo must be rejected");
+        assert!(e.to_string().contains("trace"), "{e}");
     }
 }
 

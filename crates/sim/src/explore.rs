@@ -153,6 +153,18 @@ pub struct ExploreStats {
     /// Crash branches taken: DFS nodes where an operation was crashed
     /// right after one of its events ([`ExploreConfig::max_crashes`]).
     pub crash_branches: usize,
+    /// `read` primitives among [`executed_steps`](ExploreStats::executed_steps).
+    ///
+    /// Like `executed_steps`, the primitive-kind tallies count forward
+    /// executions only and never decrement on backtrack, so
+    /// `reads + writes + cas_ok + cas_fail == executed_steps`.
+    pub reads: u64,
+    /// `write` primitives among executed steps.
+    pub writes: u64,
+    /// Successful CAS primitives among executed steps.
+    pub cas_ok: u64,
+    /// Failed CAS primitives among executed steps.
+    pub cas_fail: u64,
 }
 
 /// Summary of an exploration run.
@@ -248,6 +260,15 @@ impl Explorer<'_> {
         let t = self.mem.steps();
         let resp = self.mem.apply(self.ops[idx].pid, prim);
         self.stats.executed_steps += 1;
+        if prim.is_read() {
+            self.stats.reads += 1;
+        } else if prim.is_write() {
+            self.stats.writes += 1;
+        } else if resp == 1 {
+            self.stats.cas_ok += 1;
+        } else {
+            self.stats.cas_fail += 1;
+        }
         let finished = self.machines[idx].feed(resp);
         self.resp_log[idx].push(resp);
         if was_first {
@@ -1275,5 +1296,21 @@ mod tests {
             summary.stats.replay_steps_saved,
             summary.stats.executed_steps
         );
+    }
+
+    #[test]
+    fn stats_prim_kinds_partition_executed_steps() {
+        let (setup, ops) = counter_setup(3);
+        let summary = enumerate(&setup, &ops, &mut |_| true, 200_000);
+        let s = &summary.stats;
+        assert_eq!(
+            s.reads + s.writes + s.cas_ok + s.cas_fail,
+            s.executed_steps,
+            "prim-kind tallies must partition executed_steps"
+        );
+        // The read-CAS increment loop issues reads and CASes, and with 3
+        // contending processes some interleavings must fail a CAS.
+        assert!(s.reads > 0 && s.cas_ok > 0 && s.cas_fail > 0);
+        assert_eq!(s.writes, 0, "incr uses no write primitive");
     }
 }

@@ -61,6 +61,7 @@ pub mod history;
 pub mod lin;
 pub mod recorder;
 pub mod spec;
+pub mod stepcount;
 
 pub use event::{Event, EventLog, Prim};
 pub use exec::{ExecOutcome, Executor, OpSpec, WorkloadBuilder};

@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::history::{History, OpDesc, OpOutput, OpRecord};
+use crate::stepcount::CountingMem;
 use crate::ProcessId;
 
 /// Tick-stamps operations executed by real threads into a [`History`].
@@ -50,17 +51,25 @@ impl ThreadRecorder {
     /// bumped with sequentially consistent ordering immediately before
     /// and after `op`, so recorded precedence implies real-time
     /// precedence.
+    ///
+    /// When the [`CountingMem`] layer is
+    /// enabled, the thread-local primitive tally is reset at invocation
+    /// and flushed into [`OpRecord::steps`] at response, so recorded
+    /// histories carry real step counts; when disabled, `steps` is `0`.
+    /// This is the single event-recording path for the threaded world.
     pub fn record(&self, pid: ProcessId, desc: OpDesc, op: impl FnOnce() -> OpOutput) {
+        CountingMem::begin_op();
         let invoke = self.tick.fetch_add(1, Ordering::SeqCst);
         let output = op();
         let response = self.tick.fetch_add(1, Ordering::SeqCst);
+        let steps = CountingMem::take_op_counts().steps() as usize;
         self.ops.lock().expect("recorder poisoned").push(OpRecord {
             pid,
             desc,
             invoke,
             response: Some(response),
             output: Some(output),
-            steps: 0,
+            steps,
         });
     }
 
@@ -124,6 +133,26 @@ mod tests {
         ticks.sort_unstable();
         ticks.dedup();
         assert_eq!(ticks.len(), 800, "ticks must be unique");
+    }
+
+    #[test]
+    fn counting_layer_flushes_steps_into_records() {
+        let _g = crate::stepcount::test_lock();
+        let rec = ThreadRecorder::new();
+        let cell = crate::stepcount::CountingU64::new(0);
+        CountingMem::enable();
+        rec.record(ProcessId(0), OpDesc::CounterIncrement, || {
+            let v = cell.load(Ordering::SeqCst);
+            cell.store(v + 1, Ordering::SeqCst);
+            OpOutput::Unit
+        });
+        CountingMem::disable();
+        rec.record(ProcessId(0), OpDesc::CounterRead, || {
+            OpOutput::Value(cell.load(Ordering::SeqCst) as i64)
+        });
+        let h = rec.history();
+        assert_eq!(h.ops()[0].steps, 2, "load + store while enabled");
+        assert_eq!(h.ops()[1].steps, 0, "counting disabled");
     }
 
     #[test]

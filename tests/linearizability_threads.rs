@@ -1,13 +1,10 @@
 //! Linearizability of the real-atomics implementations under genuine
 //! hardware concurrency (experiment T5, real-thread half).
 //!
-//! Threads time-stamp each operation's invocation and response with a
-//! shared atomic tick counter; the recorded histories are then checked
+//! Threads time-stamp each operation's invocation and response with
+//! [`ThreadRecorder`]'s shared tick counter; the recorded histories are checked
 //! with the same sound checkers the simulator histories go through. Any
 //! violation these checkers report is a real linearizability bug.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use ruo::core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
 use ruo::core::maxreg::{
@@ -15,48 +12,13 @@ use ruo::core::maxreg::{
 };
 use ruo::core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
 use ruo::core::{Counter, MaxRegister, Snapshot};
-use ruo::sim::history::{History, OpDesc, OpOutput, OpRecord};
+use ruo::sim::history::{OpDesc, OpOutput};
 use ruo::sim::lin::{check_counter, check_max_register, check_snapshot};
+use ruo::sim::recorder::ThreadRecorder;
 use ruo::sim::ProcessId;
 
-/// Shared recorder: a global tick plus per-thread op logs.
-struct Recorder {
-    tick: AtomicUsize,
-    ops: Mutex<Vec<OpRecord>>,
-}
-
-impl Recorder {
-    fn new() -> Self {
-        Recorder {
-            tick: AtomicUsize::new(0),
-            ops: Mutex::new(Vec::new()),
-        }
-    }
-
-    fn record<T>(&self, pid: ProcessId, desc: OpDesc, op: impl FnOnce() -> (T, OpOutput)) -> T {
-        let invoke = self.tick.fetch_add(1, Ordering::SeqCst);
-        let (value, output) = op();
-        let response = self.tick.fetch_add(1, Ordering::SeqCst);
-        self.ops.lock().unwrap().push(OpRecord {
-            pid,
-            desc,
-            invoke,
-            response: Some(response),
-            output: Some(output),
-            steps: 0,
-        });
-        value
-    }
-
-    fn history(&self) -> History {
-        let mut ops = self.ops.lock().unwrap().clone();
-        ops.sort_by_key(|o| o.invoke);
-        ops.into_iter().collect()
-    }
-}
-
 fn exercise_maxreg<R: MaxRegister>(reg: &R, name: &str) {
-    let rec = Recorder::new();
+    let rec = ThreadRecorder::new();
     let threads = 4;
     let ops = 300u64;
     std::thread::scope(|s| {
@@ -68,13 +30,13 @@ fn exercise_maxreg<R: MaxRegister>(reg: &R, name: &str) {
                     if i % 3 == 2 {
                         rec.record(pid, OpDesc::ReadMax, || {
                             let v = reg.read_max();
-                            ((), OpOutput::Value(v as i64))
+                            OpOutput::Value(v as i64)
                         });
                     } else {
                         let v = i * threads as u64 + t as u64 + 1;
                         rec.record(pid, OpDesc::WriteMax(v as i64), || {
                             reg.write_max(pid, v);
-                            ((), OpOutput::Unit)
+                            OpOutput::Unit
                         });
                     }
                 }
@@ -116,7 +78,7 @@ fn farray_max_register_threads_are_linearizable() {
 /// maxima. This is the workload where an unsound early return would
 /// lose a completed write.
 fn exercise_maxreg_contended<R: MaxRegister>(reg: &R, name: &str) {
-    let rec = Recorder::new();
+    let rec = ThreadRecorder::new();
     let threads = 8;
     let ops = 400u64;
     std::thread::scope(|s| {
@@ -131,7 +93,7 @@ fn exercise_maxreg_contended<R: MaxRegister>(reg: &R, name: &str) {
                             let v = i * threads as u64 + t as u64 + 1;
                             rec.record(pid, OpDesc::WriteMax(v as i64), || {
                                 reg.write_max(pid, v);
-                                ((), OpOutput::Unit)
+                                OpOutput::Unit
                             });
                         }
                         1 | 2 => {
@@ -142,13 +104,13 @@ fn exercise_maxreg_contended<R: MaxRegister>(reg: &R, name: &str) {
                             let v = (i / 4) * threads as u64 + 1;
                             rec.record(pid, OpDesc::WriteMax(v as i64), || {
                                 reg.write_max(pid, v);
-                                ((), OpOutput::Unit)
+                                OpOutput::Unit
                             });
                         }
                         _ => {
                             rec.record(pid, OpDesc::ReadMax, || {
                                 let v = reg.read_max();
-                                ((), OpOutput::Value(v as i64))
+                                OpOutput::Value(v as i64)
                             });
                         }
                     }
@@ -176,7 +138,7 @@ fn cas_retry_max_register_contended_mixed_writes_are_linearizable() {
 }
 
 fn exercise_counter<C: Counter>(counter: &C, name: &str) {
-    let rec = Recorder::new();
+    let rec = ThreadRecorder::new();
     let threads = 4;
     let ops = 300u64;
     std::thread::scope(|s| {
@@ -188,12 +150,12 @@ fn exercise_counter<C: Counter>(counter: &C, name: &str) {
                     if i % 3 == 2 {
                         rec.record(pid, OpDesc::CounterRead, || {
                             let v = counter.read();
-                            ((), OpOutput::Value(v as i64))
+                            OpOutput::Value(v as i64)
                         });
                     } else {
                         rec.record(pid, OpDesc::CounterIncrement, || {
                             counter.increment(pid);
-                            ((), OpOutput::Unit)
+                            OpOutput::Unit
                         });
                     }
                 }
@@ -220,7 +182,7 @@ fn fetch_add_counter_threads_are_linearizable() {
 }
 
 fn exercise_snapshot<S: Snapshot>(snap: &S, name: &str) {
-    let rec = Recorder::new();
+    let rec = ThreadRecorder::new();
     let threads = snap.n();
     let ops = 150u64;
     std::thread::scope(|s| {
@@ -234,12 +196,12 @@ fn exercise_snapshot<S: Snapshot>(snap: &S, name: &str) {
                         let v = t as u64 * 10_000 + i + 1;
                         rec.record(pid, OpDesc::Update(v as i64), || {
                             snap.update(pid, v);
-                            ((), OpOutput::Unit)
+                            OpOutput::Unit
                         });
                     } else {
                         rec.record(pid, OpDesc::Scan, || {
                             let v: Vec<i64> = snap.scan().iter().map(|&x| x as i64).collect();
-                            ((), OpOutput::Vector(v))
+                            OpOutput::Vector(v)
                         });
                     }
                 }
