@@ -25,13 +25,39 @@
 //!
 //! Thread counts: 1, 2, 4, and the machine's available parallelism if
 //! larger. On few-core machines contention comes from preemption rather
-//! than parallel cache-line traffic; both are real contention.
+//! than parallel cache-line traffic; both are real contention — but the
+//! harness refuses to *label* a run "contended" when
+//! `available_parallelism` is 1 (`"contended": false` in the JSON), so
+//! single-core results are never mistaken for cache-line-traffic
+//! numbers.
 //!
-//! CLI: `--quick` (smoke run: fewer ops and samples),
-//! `--out <path>` (default `BENCH_throughput.json`),
+//! # Experiment W8 — `--scaling`
+//!
+//! `--scaling` switches to the multicore scaling sweep: every benched
+//! counter and max-register face × the three workloads × thread counts
+//! 1..64 (powers of two), each point carrying p50/p99 latency and
+//! ops/sec, written to `BENCH_scaling.json`
+//! (schema `ruo-scaling-v1`). This is the harness behind the
+//! combining/sharded `CounterMode` comparison: the acceptance question
+//! is whether `counter/combining` or `counter/sharded` beats
+//! `counter/farray` on `write_heavy` at the highest thread count. The
+//! file also gets a `stripe_balance` section: a direct
+//! `ShardedCounter` + `ShardGauges` demo with deliberately skewed
+//! per-thread traffic, showing the per-stripe observability the boxed
+//! registry face cannot expose.
+//!
+//! CLI: `--quick` (smoke run: fewer ops, samples and thread counts),
+//! `--scaling` (experiment W8), `--out <path>` (default
+//! `BENCH_throughput.json`, or `BENCH_scaling.json` with `--scaling`),
 //! any positional argument = substring filter on the benchmark id.
 
+use std::sync::Arc;
+
+use ruo_core::counter::ShardedCounter;
+use ruo_core::Counter;
+use ruo_metrics::ShardGauges;
 use ruo_scenario::{registry, run_real, EngineKind, Family, RealSpec, ScenarioSpec};
+use ruo_sim::ProcessId;
 
 /// Operand bound for max-register writes; also the AAC capacity, kept
 /// small enough that building the AAC switch arena stays negligible.
@@ -40,6 +66,7 @@ const VALUE_BOUND: u64 = 1 << 12;
 #[derive(Clone, Debug)]
 struct Config {
     quick: bool,
+    scaling: bool,
     out: String,
     filters: Vec<String>,
 }
@@ -48,19 +75,28 @@ impl Config {
     fn from_args() -> Self {
         let mut cfg = Config {
             quick: false,
-            out: "BENCH_throughput.json".to_string(),
+            scaling: false,
+            out: String::new(),
             filters: Vec::new(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => cfg.quick = true,
+                "--scaling" => cfg.scaling = true,
                 "--out" => {
                     cfg.out = args.next().expect("--out requires a path");
                 }
                 a if a.starts_with("--") => {}
                 a => cfg.filters.push(a.to_string()),
             }
+        }
+        if cfg.out.is_empty() {
+            cfg.out = if cfg.scaling {
+                "BENCH_scaling.json".to_string()
+            } else {
+                "BENCH_throughput.json".to_string()
+            };
         }
         cfg
     }
@@ -81,7 +117,8 @@ fn ops_per_thread(family: Family) -> u64 {
 /// `(workload name, read/scan percentage)`.
 const WORKLOADS: [(&str, u8); 3] = [("read_heavy", 90), ("mixed", 50), ("write_heavy", 10)];
 
-/// One measured configuration, as echoed into the JSON file.
+/// One measured configuration, as echoed into the JSON file. The
+/// latency quantiles are filled only by the `--scaling` sweep.
 struct Row {
     family: Family,
     impl_name: String,
@@ -89,6 +126,8 @@ struct Row {
     threads: usize,
     total_ops: u64,
     median_ns: f64,
+    p50_ns: u64,
+    p99_ns: u64,
 }
 
 impl Row {
@@ -121,6 +160,31 @@ fn thread_counts() -> Vec<usize> {
     counts
 }
 
+/// The machine's available parallelism (0 when unknowable).
+fn parallelism() -> usize {
+    std::thread::available_parallelism().map_or(0, |p| p.get())
+}
+
+/// Whether the machine can produce genuine parallel cache-line
+/// contention at all. A run on one hardware thread interleaves by
+/// preemption only; the harness records its rows with
+/// `"contended": false` so they are never read as multicore numbers.
+fn machine_is_parallel() -> bool {
+    parallelism() > 1
+}
+
+/// W8 sweep thread counts: powers of two up to 64 regardless of core
+/// count — oversubscription is part of the curve (it is where blocking
+/// front-ends pay for descheduled combiners). `--quick` keeps the
+/// endpoints plus two interior points.
+fn scaling_thread_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 4, 16, 64]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    }
+}
+
 /// JSON string escaping for the hand-rolled writer (ids are ASCII, but
 /// stay correct anyway).
 fn json_escape(s: &str) -> String {
@@ -141,8 +205,9 @@ fn write_json(cfg: &Config, results: &[Row]) -> std::io::Result<()> {
     out.push_str(&format!("  \"quick\": {},\n", cfg.quick));
     out.push_str(&format!(
         "  \"available_parallelism\": {},\n",
-        std::thread::available_parallelism().map_or(0, |p| p.get())
+        parallelism()
     ));
+    out.push_str(&format!("  \"contended\": {},\n", machine_is_parallel()));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -164,8 +229,42 @@ fn write_json(cfg: &Config, results: &[Row]) -> std::io::Result<()> {
     std::fs::write(&cfg.out, out)
 }
 
-fn main() {
-    let cfg = Config::from_args();
+/// Runs one registry cell and fills a [`Row`], XOR-ing the engine's
+/// anti-elision sink into `sink`.
+fn run_cell(cfg: &Config, row: Row, read_pct: u8, ops: u64, samples: usize, sink: &mut u64) -> Row {
+    let mut spec = ScenarioSpec::new(
+        row.id(),
+        row.family,
+        // The registry id is interned; recover the &'static str.
+        registry()
+            .iter()
+            .find(|e| e.family == row.family && e.id == row.impl_name)
+            .expect("row built from a registry entry")
+            .id,
+        EngineKind::Real,
+        row.threads,
+    );
+    spec.read_pct = read_pct;
+    spec.value_bound = VALUE_BOUND;
+    spec.real = Some(RealSpec {
+        threads: row.threads,
+        ops_per_thread: ops,
+        samples,
+    });
+    let report =
+        run_real(&spec, cfg.quick).unwrap_or_else(|e| panic!("throughput {}: {e}", row.id()));
+    *sink ^= report.counter("sink").unwrap_or(0);
+    Row {
+        total_ops: report.counter("total_ops").unwrap_or(0),
+        median_ns: report.metric("median_ns").unwrap_or(0.0),
+        p50_ns: report.counter("latency_p50_ns").unwrap_or(0),
+        p99_ns: report.counter("latency_p99_ns").unwrap_or(0),
+        ..row
+    }
+}
+
+/// Experiment W4: the classic per-family table at 1/2/4/par threads.
+fn run_throughput(cfg: &Config) {
     let mut results: Vec<Row> = Vec::new();
     let mut sink = 0u64;
 
@@ -186,27 +285,13 @@ fn main() {
                         threads,
                         total_ops: 0,
                         median_ns: 0.0,
+                        p50_ns: 0,
+                        p99_ns: 0,
                     };
                     if !cfg.matches(&row.id()) {
                         continue;
                     }
-                    let mut spec =
-                        ScenarioSpec::new(row.id(), family, entry.id, EngineKind::Real, threads);
-                    spec.read_pct = read_pct;
-                    spec.value_bound = VALUE_BOUND;
-                    spec.real = Some(RealSpec {
-                        threads,
-                        ops_per_thread: ops_per_thread(family),
-                        samples: 7,
-                    });
-                    let report = run_real(&spec, cfg.quick)
-                        .unwrap_or_else(|e| panic!("throughput {}: {e}", row.id()));
-                    sink ^= report.counter("sink").unwrap_or(0);
-                    let row = Row {
-                        total_ops: report.counter("total_ops").unwrap_or(0),
-                        median_ns: report.metric("median_ns").unwrap_or(0.0),
-                        ..row
-                    };
+                    let row = run_cell(cfg, row, read_pct, ops_per_thread(family), 7, &mut sink);
                     println!(
                         "{:<44} {:>10.1} ns/op {:>9.2} Mops/s",
                         row.id(),
@@ -219,7 +304,203 @@ fn main() {
         }
     }
 
-    write_json(&cfg, &results).expect("write throughput JSON");
+    write_json(cfg, &results).expect("write throughput JSON");
     eprintln!("# sink {sink}");
     println!("\nwrote {} results to {}", results.len(), cfg.out);
+}
+
+/// Per-thread ops for one W8 cell — smaller than W4's batches because
+/// the sweep covers 7 thread counts up to 64-way oversubscription.
+const SCALING_OPS_PER_THREAD: u64 = 5_000;
+const SCALING_SAMPLES: usize = 5;
+
+/// The `stripe_balance` demo measurements.
+struct StripeBalance {
+    threads: usize,
+    increments: Vec<u64>,
+    per_stripe: Vec<u64>,
+    total: u64,
+    imbalance: f64,
+    hottest_stripe: usize,
+    hottest_count: u64,
+}
+
+/// Drives a [`ShardedCounter`] directly (not through the boxed registry
+/// face) with deliberately skewed per-thread traffic — thread `i` does
+/// `base >> i` increments — and reads the distribution back through
+/// [`ShardGauges`]. The registry engine cannot see stripes through
+/// `Box<dyn Counter>`; this section is what the per-stripe gauges are
+/// *for*.
+fn stripe_balance(quick: bool) -> StripeBalance {
+    let threads = 8usize;
+    let base: u64 = if quick { 4_000 } else { 100_000 };
+    let increments: Vec<u64> = (0..threads).map(|i| base >> i).collect();
+    let counter = Arc::new(ShardedCounter::new(threads));
+    let gauges = ShardGauges::new(Arc::clone(&counter));
+    std::thread::scope(|s| {
+        for (i, &per) in increments.iter().enumerate() {
+            let counter = Arc::clone(&counter);
+            s.spawn(move || {
+                for _ in 0..per {
+                    counter.increment(ProcessId(i));
+                }
+            });
+        }
+    });
+    let (hot, hot_count) = gauges.hottest();
+    StripeBalance {
+        threads,
+        increments,
+        per_stripe: gauges.per_stripe(),
+        total: gauges.total(),
+        imbalance: gauges.imbalance(),
+        hottest_stripe: hot.index(),
+        hottest_count: hot_count,
+    }
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    let inner: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn write_scaling_json(
+    cfg: &Config,
+    thread_counts: &[usize],
+    results: &[Row],
+    balance: &StripeBalance,
+) -> std::io::Result<()> {
+    let contended = machine_is_parallel();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ruo-scaling-v1\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", cfg.quick));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        parallelism()
+    ));
+    out.push_str(&format!("  \"contended\": {contended},\n"));
+    out.push_str(&format!(
+        "  \"thread_counts\": {},\n",
+        json_u64_array(&thread_counts.iter().map(|&t| t as u64).collect::<Vec<_>>())
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"impl\": \"{}\", \"workload\": \"{}\", \
+             \"threads\": {}, \"contended\": {}, \"total_ops\": {}, \
+             \"median_ns\": {:.0}, \"ns_per_op\": {:.2}, \"mops_per_s\": {:.4}, \
+             \"latency_p50_ns\": {}, \"latency_p99_ns\": {}}}{}\n",
+            json_escape(r.family.name()),
+            json_escape(&r.impl_name),
+            json_escape(r.workload),
+            r.threads,
+            contended && r.threads > 1,
+            r.total_ops,
+            r.median_ns,
+            r.ns_per_op(),
+            r.mops(),
+            r.p50_ns,
+            r.p99_ns,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stripe_balance\": {\n");
+    out.push_str(&format!("    \"threads\": {},\n", balance.threads));
+    out.push_str(&format!(
+        "    \"increments_per_thread\": {},\n",
+        json_u64_array(&balance.increments)
+    ));
+    out.push_str(&format!(
+        "    \"per_stripe\": {},\n",
+        json_u64_array(&balance.per_stripe)
+    ));
+    out.push_str(&format!("    \"total\": {},\n", balance.total));
+    out.push_str(&format!("    \"imbalance\": {:.4},\n", balance.imbalance));
+    out.push_str(&format!(
+        "    \"hottest_stripe\": {},\n",
+        balance.hottest_stripe
+    ));
+    out.push_str(&format!(
+        "    \"hottest_count\": {}\n",
+        balance.hottest_count
+    ));
+    out.push_str("  }\n}\n");
+    std::fs::write(&cfg.out, out)
+}
+
+/// Experiment W8: scaling curves 1..64 threads for every benched
+/// counter and max-register face.
+fn run_scaling(cfg: &Config) {
+    if !machine_is_parallel() {
+        eprintln!(
+            "# WARNING: available_parallelism is 1 — threads interleave by \
+             preemption, not parallel cache-line traffic; results are \
+             recorded with \"contended\": false"
+        );
+    }
+    let threads_axis = scaling_thread_counts(cfg.quick);
+    let mut results: Vec<Row> = Vec::new();
+    let mut sink = 0u64;
+
+    for family in [Family::Counter, Family::MaxReg] {
+        for entry in registry()
+            .iter()
+            .filter(|e| e.family == family && e.has_real() && e.caps.benched)
+        {
+            for &(workload, read_pct) in &WORKLOADS {
+                for &threads in &threads_axis {
+                    let row = Row {
+                        family,
+                        impl_name: entry.id.to_string(),
+                        workload,
+                        threads,
+                        total_ops: 0,
+                        median_ns: 0.0,
+                        p50_ns: 0,
+                        p99_ns: 0,
+                    };
+                    if !cfg.matches(&row.id()) {
+                        continue;
+                    }
+                    let row = run_cell(
+                        cfg,
+                        row,
+                        read_pct,
+                        SCALING_OPS_PER_THREAD,
+                        SCALING_SAMPLES,
+                        &mut sink,
+                    );
+                    println!(
+                        "{:<44} {:>10.1} ns/op {:>9.2} Mops/s  p50 {:>7} ns  p99 {:>9} ns",
+                        row.id(),
+                        row.ns_per_op(),
+                        row.mops(),
+                        row.p50_ns,
+                        row.p99_ns
+                    );
+                    results.push(row);
+                }
+            }
+        }
+    }
+
+    let balance = stripe_balance(cfg.quick);
+    println!(
+        "stripe_balance: total {} imbalance {:.2} hottest stripe {} ({})",
+        balance.total, balance.imbalance, balance.hottest_stripe, balance.hottest_count
+    );
+    write_scaling_json(cfg, &threads_axis, &results, &balance).expect("write scaling JSON");
+    eprintln!("# sink {sink}");
+    println!("\nwrote {} results to {}", results.len(), cfg.out);
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    if cfg.scaling {
+        run_scaling(&cfg);
+    } else {
+        run_throughput(&cfg);
+    }
 }

@@ -1,0 +1,286 @@
+//! Flat-combining front-end for the f-array counter.
+//!
+//! Under a write-heavy contended workload the exact
+//! [`FArrayCounter`](crate::counter::FArrayCounter) pays one full
+//! `O(log N)` double-CAS climb per increment, and every climb fights
+//! every other climb over the upper tree levels. Flat combining
+//! (Hendler, Incze, Shavit, Tzafrir, SPAA 2010) turns that into one
+//! climb per *batch*: each thread publishes its pending increment count
+//! in a single-writer publication slot, and whichever thread holds the
+//! combiner lock drains all slots and applies the aggregated delta
+//! through [`FArrayCounter::add`] — one leaf bump plus one propagation
+//! for the whole batch.
+//!
+//! The tradeoff, in the paper's terms: `CounterRead` stays `O(1)` (the
+//! f-array root), the *amortized* increment cost under contention drops
+//! toward `O(log N / batch)`, but the progress guarantee weakens from
+//! wait-free to **blocking** — a waiter spins until a combiner services
+//! its slot, and a crashed combiner strands everyone. This front-end
+//! deliberately trades the paper's worst-case step bound for contended
+//! throughput; the scenario registry records it as
+//! [`ProgressClass::Blocking`](../../ruo_scenario/enum.ProgressClass.html).
+//!
+//! # Linearizability
+//!
+//! * `requested[i]` is single-writer (process `i`) and monotone;
+//!   `serviced[i]` is written only by combiners, under the lock, and is
+//!   monotone.
+//! * A combiner first collects `requested`, then applies the aggregated
+//!   delta via `add` (which returns only after the batch is visible at
+//!   the root), and only *then* publishes `serviced[i] = collected[i]`
+//!   with `Release` stores.
+//! * An `increment` returns only once an `Acquire` load sees
+//!   `serviced[i] ≥` its request number, so its increment is already
+//!   reflected by every subsequent `CounterRead` of the root: linearize
+//!   the increment at the root CAS that first covered its batch.
+//! * `CounterRead` can only over-report *invoked* increments, never
+//!   phantom ones: a request is collected only after its publication
+//!   store, which happens inside the increment's interval.
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+use ruo_sim::stepcount::CountingU64;
+use ruo_sim::ProcessId;
+
+use crate::counter::FArrayCounter;
+use crate::pad::CachePadded;
+use crate::traits::Counter;
+
+/// One publication slot, padded so spinning on `serviced` never
+/// invalidates a neighbour's slot.
+#[derive(Debug, Default)]
+struct Slot {
+    /// Total increments requested by the owning process (single-writer).
+    requested: CountingU64,
+    /// Total increments applied on behalf of the owning process; written
+    /// only by combiners, under the lock.
+    serviced: CountingU64,
+    /// Combiner scratch: the `requested` value collected in the current
+    /// batch, staged between the aggregate `add` and the `serviced`
+    /// publication. Written only under the lock.
+    staged: CountingU64,
+}
+
+/// Batched-increment counter: `O(1)` reads, one aggregated f-array
+/// propagation per combined batch, blocking progress.
+///
+/// ```
+/// use ruo_core::counter::CombiningCounter;
+/// use ruo_core::Counter;
+/// use ruo_sim::ProcessId;
+///
+/// let counter = CombiningCounter::new(4);
+/// counter.increment(ProcessId(0));
+/// counter.increment(ProcessId(3));
+/// assert_eq!(counter.read(), 2);
+/// ```
+pub struct CombiningCounter {
+    inner: FArrayCounter,
+    /// Combiner lock: 0 free, 1 held.
+    lock: CachePadded<CountingU64>,
+    slots: Box<[CachePadded<Slot>]>,
+}
+
+impl fmt::Debug for CombiningCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CombiningCounter")
+            .field("n", &self.n())
+            .field("count", &self.read())
+            .finish()
+    }
+}
+
+impl CombiningCounter {
+    /// Creates a counter shared by `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "at least one process required");
+        CombiningCounter {
+            inner: FArrayCounter::new(n),
+            lock: CachePadded::new(CountingU64::new(0)),
+            slots: (0..n).map(|_| CachePadded::new(Slot::default())).collect(),
+        }
+    }
+
+    /// Number of processes sharing the counter.
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drains every publication slot and applies the aggregated delta in
+    /// one propagation. Caller must hold the lock.
+    fn combine(&self, pid: ProcessId) {
+        let mut delta = 0u64;
+        for slot in &self.slots {
+            // Acquire pairs with the publisher's store so the request
+            // count is a value the owner actually published.
+            let r = slot.requested.load(Ordering::Acquire);
+            // `serviced` is combiner-owned (lock-protected): Relaxed.
+            let s = slot.serviced.load(Ordering::Relaxed);
+            slot.staged.store(r, Ordering::Relaxed);
+            delta += r - s;
+        }
+        // One aggregated propagation for the whole batch. The combiner
+        // charges the batch to its *own* leaf — leaves stay
+        // single-writer, and the root still sums to the global count.
+        self.inner.add(pid, delta);
+        // Only after the batch is visible at the root may the waiters be
+        // released; Release pairs with the waiter's Acquire.
+        for slot in &self.slots {
+            let r = slot.staged.load(Ordering::Relaxed);
+            if r != slot.serviced.load(Ordering::Relaxed) {
+                slot.serviced.store(r, Ordering::Release);
+            }
+        }
+    }
+}
+
+impl Counter for CombiningCounter {
+    fn increment(&self, pid: ProcessId) {
+        let slot = &self.slots[pid.index()];
+        // Publish: single-writer slot, so read-own + store suffices.
+        // SeqCst store: the publication must be ordered before the lock
+        // CAS / serviced loads below (store-buffering with a concurrent
+        // combiner's collect).
+        let r = slot.requested.load(Ordering::Relaxed) + 1;
+        slot.requested.store(r, Ordering::SeqCst);
+        let mut spins = 0u32;
+        loop {
+            // Serviced by a concurrent combiner?
+            if slot.serviced.load(Ordering::Acquire) >= r {
+                return;
+            }
+            // Otherwise try to become the combiner ourselves.
+            if self
+                .lock
+                .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.combine(pid);
+                self.lock.store(0, Ordering::Release);
+                // Our own collect read our own `requested` store
+                // (same-thread program order), so we are serviced.
+                debug_assert!(slot.serviced.load(Ordering::Relaxed) >= r);
+                return;
+            }
+            // Spin briefly, then yield: when threads outnumber cores the
+            // combiner may be descheduled mid-batch, and burning whole
+            // timeslices spinning against it inverts the combining win.
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                spins = 0;
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn read(&self) -> u64 {
+        self.inner.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_counter_reads_zero() {
+        assert_eq!(CombiningCounter::new(4).read(), 0);
+    }
+
+    #[test]
+    fn sequential_increments_count() {
+        let c = CombiningCounter::new(3);
+        for i in 0..9usize {
+            c.increment(ProcessId(i % 3));
+            assert_eq!(c.read(), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn single_process_counter_works() {
+        let c = CombiningCounter::new(1);
+        c.increment(ProcessId(0));
+        c.increment(ProcessId(0));
+        assert_eq!(c.read(), 2);
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted() {
+        let n = 8;
+        let per = 2000u64;
+        let c = Arc::new(CombiningCounter::new(n));
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        c.increment(ProcessId(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.read(), n as u64 * per);
+    }
+
+    #[test]
+    fn reads_are_monotone_under_concurrency() {
+        let c = Arc::new(CombiningCounter::new(4));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let c = Arc::clone(&c);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = c.read();
+                        assert!(v >= last, "count regressed from {last} to {v}");
+                        last = v;
+                    }
+                });
+            }
+            let writers: Vec<_> = (0..4usize)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || {
+                        for _ in 0..2000 {
+                            c.increment(ProcessId(i));
+                        }
+                    })
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(c.read(), 8000);
+    }
+
+    #[test]
+    fn own_increment_is_visible_immediately_after_return() {
+        let c = Arc::new(CombiningCounter::new(4));
+        std::thread::scope(|s| {
+            for i in 0..4usize {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let mut mine = 0u64;
+                    for _ in 0..1000 {
+                        c.increment(ProcessId(i));
+                        mine += 1;
+                        assert!(c.read() >= mine, "own completed increments missing");
+                    }
+                });
+            }
+        });
+        assert_eq!(c.read(), 4000);
+    }
+}

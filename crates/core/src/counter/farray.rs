@@ -88,28 +88,27 @@ impl FArrayCounter {
         self.leaves.len()
     }
 
-    #[inline]
-    fn child_load(&self, idx: u32) -> u64 {
-        // SeqCst: sibling reads pair with leaf stores in the
-        // store-buffering pattern of the propagation (DESIGN.md
-        // § Memory orderings).
-        if idx == NO_CHILD {
-            0
-        } else {
-            self.cells[idx as usize].load(Ordering::SeqCst)
+    /// Adds `k` to the counter in **one** leaf-to-root propagation:
+    /// bumps the caller's leaf by `k` and runs the double-CAS climb
+    /// once, so a batch of `k` pending increments costs the same
+    /// `O(log N)` shared-memory steps as a single increment.
+    ///
+    /// This is the aggregation primitive behind
+    /// [`CombiningCounter`](crate::counter::CombiningCounter): the
+    /// combiner drains its publication array and applies the whole batch
+    /// through this method. `add(pid, 0)` is a no-op (no leaf store, no
+    /// propagation) so callers need not special-case empty batches.
+    pub fn add(&self, pid: ProcessId, k: u64) {
+        if k == 0 {
+            return;
         }
-    }
-}
-
-impl Counter for FArrayCounter {
-    fn increment(&self, pid: ProcessId) {
         let leaf = self.leaves[pid.index()];
         // Single-writer leaf: read + write suffices, and the read is
         // Relaxed because it returns our own last store.
         let c = self.cells[leaf].load(Ordering::Relaxed);
         // SeqCst: the store must be ordered before the sibling reads
         // below (store-buffering — DESIGN.md § Memory orderings).
-        self.cells[leaf].store(c + 1, Ordering::SeqCst);
+        self.cells[leaf].store(c + k, Ordering::SeqCst);
         for step in &self.paths[pid.index()] {
             let node = step.node as usize;
             for _ in 0..2 {
@@ -132,6 +131,24 @@ impl Counter for FArrayCounter {
                 }
             }
         }
+    }
+
+    #[inline]
+    fn child_load(&self, idx: u32) -> u64 {
+        // SeqCst: sibling reads pair with leaf stores in the
+        // store-buffering pattern of the propagation (DESIGN.md
+        // § Memory orderings).
+        if idx == NO_CHILD {
+            0
+        } else {
+            self.cells[idx as usize].load(Ordering::SeqCst)
+        }
+    }
+}
+
+impl Counter for FArrayCounter {
+    fn increment(&self, pid: ProcessId) {
+        self.add(pid, 1);
     }
 
     fn read(&self) -> u64 {
@@ -158,6 +175,35 @@ mod tests {
             c.increment(ProcessId(i % 3));
             assert_eq!(c.read(), i as u64 + 1);
         }
+    }
+
+    #[test]
+    fn add_applies_a_whole_batch_in_one_propagation() {
+        let c = FArrayCounter::new(4);
+        c.add(ProcessId(0), 0); // empty batch is a no-op
+        assert_eq!(c.read(), 0);
+        c.add(ProcessId(1), 57);
+        assert_eq!(c.read(), 57);
+        c.add(ProcessId(1), 3);
+        c.increment(ProcessId(2));
+        assert_eq!(c.read(), 61);
+    }
+
+    #[test]
+    fn concurrent_batched_adds_are_all_counted() {
+        let n = 4;
+        let c = Arc::new(FArrayCounter::new(n));
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for k in 1..=100u64 {
+                        c.add(ProcessId(i), k);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.read(), n as u64 * 5050);
     }
 
     #[test]

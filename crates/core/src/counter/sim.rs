@@ -122,6 +122,140 @@ impl SimCounter for SimFArrayCounter {
     }
 }
 
+/// Reads `cells[i..]` one step at a time, accumulating the sum into
+/// `acc`, then continues with the total.
+fn collect_sum(
+    cells: Arc<Vec<ObjId>>,
+    i: usize,
+    acc: Word,
+    k: Box<dyn FnOnce(Word) -> Step + Send>,
+) -> Step {
+    if i == cells.len() {
+        return k(acc);
+    }
+    let cell = cells[i];
+    read(cell, move |w| collect_sum(cells, i + 1, acc + w, k))
+}
+
+/// The combining counter's batch semantics as a *wait-free* step
+/// machine: the publication array is modeled by one announce cell per
+/// process (single-writer, monotone), and "combining" is an arity-`N`
+/// f-array level — read the root, collect every announce cell, CAS the
+/// whole batch sum in, twice. The root therefore jumps by whole batches
+/// (several processes' pending increments land in one CAS), which is
+/// exactly the batch-boundary behaviour the explorer must prove
+/// harmless against the counter spec.
+///
+/// Unlike the real [`CombiningCounter`](crate::counter::CombiningCounter)
+/// — whose waiters *block* on a combiner lock and therefore cannot be
+/// driven under the explorer's step cap when the adversary stalls the
+/// combiner forever — every operation here finishes in a bounded number
+/// of its own steps: `CounterIncrement` is `2 + 2(N + 2)` steps,
+/// `CounterRead` is 1. The double-collect-and-CAS discipline is sound by
+/// the same covering argument as the f-array's two propagation attempts
+/// (the argument is arity-independent).
+#[derive(Debug)]
+pub struct SimCombiningCounter {
+    /// `announce[i]`: total increments announced by process `i`.
+    announce: Arc<Vec<ObjId>>,
+    /// The combined total — the only cell reads touch.
+    root: ObjId,
+}
+
+impl SimCombiningCounter {
+    /// Allocates the announce cells and the root (all `0`) in `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(mem: &mut Memory, n: usize) -> Self {
+        assert!(n >= 1);
+        SimCombiningCounter {
+            announce: Arc::new(mem.alloc_n(n, 0)),
+            root: mem.alloc(0),
+        }
+    }
+}
+
+/// One combine attempt: read the root, collect the announce array, CAS
+/// the batch sum in; `attempt` selects first or second try.
+fn combine_install(announce: Arc<Vec<ObjId>>, root: ObjId, attempt: u8) -> Step {
+    let cells = Arc::clone(&announce);
+    read(root, move |old| {
+        collect_sum(
+            cells,
+            0,
+            0,
+            Box::new(move |sum| {
+                cas(root, old, sum, move |_| {
+                    if attempt == 0 {
+                        combine_install(announce, root, 1)
+                    } else {
+                        done(0)
+                    }
+                })
+            }),
+        )
+    })
+}
+
+impl SimCounter for SimCombiningCounter {
+    fn n(&self) -> usize {
+        self.announce.len()
+    }
+
+    fn increment(&self, pid: ProcessId) -> Machine {
+        let cell = self.announce[pid.index()];
+        let announce = Arc::clone(&self.announce);
+        let root = self.root;
+        Machine::new(read(cell, move |c| {
+            write(cell, c + 1, move || combine_install(announce, root, 0))
+        }))
+    }
+
+    fn read(&self, _pid: ProcessId) -> Machine {
+        Machine::new(read(self.root, done))
+    }
+}
+
+/// The sharded counter as step machines: `CounterIncrement` writes the
+/// caller's stripe (2 steps, wait-free), `CounterRead` collect-sums all
+/// `N` stripes (a single pass — monotone single-writer stripes need no
+/// double collect). The far write-optimal end of Theorem 1's curve.
+#[derive(Debug)]
+pub struct SimShardedCounter {
+    stripes: Arc<Vec<ObjId>>,
+}
+
+impl SimShardedCounter {
+    /// Allocates `n` zeroed stripes in `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(mem: &mut Memory, n: usize) -> Self {
+        assert!(n >= 1);
+        SimShardedCounter {
+            stripes: Arc::new(mem.alloc_n(n, 0)),
+        }
+    }
+}
+
+impl SimCounter for SimShardedCounter {
+    fn n(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn increment(&self, pid: ProcessId) -> Machine {
+        let cell = self.stripes[pid.index()];
+        Machine::new(read(cell, move |c| write(cell, c + 1, || done(0))))
+    }
+
+    fn read(&self, _pid: ProcessId) -> Machine {
+        Machine::new(collect_sum(Arc::clone(&self.stripes), 0, 0, Box::new(done)))
+    }
+}
+
 /// What an internal node of the AAC counter tree reads below itself.
 #[derive(Clone, Debug)]
 enum Child {
@@ -545,6 +679,101 @@ mod tests {
         let w2 = mem.peek(c.segments[0]);
         assert_ne!(w1, w2);
         assert_ne!((w1 as u64) >> 32, (w2 as u64) >> 32);
+    }
+
+    #[test]
+    fn combining_read_is_one_step_and_increment_is_bounded() {
+        let n = 5;
+        let mut mem = Memory::new();
+        let c = SimCombiningCounter::new(&mut mem, n);
+        let (_, steps) = run_solo(&mut mem, ProcessId(2), c.increment(ProcessId(2)));
+        assert_eq!(steps, 2 + 2 * (n + 2), "wait-free bound must be exact solo");
+        let (v, steps) = run_solo(&mut mem, ProcessId(0), c.read(ProcessId(0)));
+        assert_eq!(v, 1);
+        assert_eq!(steps, 1);
+    }
+
+    #[test]
+    fn combining_counts_sequential_increments() {
+        let mut mem = Memory::new();
+        let c = SimCombiningCounter::new(&mut mem, 4);
+        for i in 0..8usize {
+            run_solo(&mut mem, ProcessId(i % 4), c.increment(ProcessId(i % 4)));
+            let (v, _) = run_solo(&mut mem, ProcessId(0), c.read(ProcessId(0)));
+            assert_eq!(v, i as Word + 1);
+        }
+    }
+
+    #[test]
+    fn combining_batches_land_together() {
+        // Three processes announce, none has installed yet; the fourth's
+        // combine sweeps the whole pending batch into the root in one
+        // CAS — the root jumps straight from 0 to 4.
+        let n = 4;
+        let mut mem = Memory::new();
+        let c = SimCombiningCounter::new(&mut mem, n);
+        let mut stalled: Vec<Machine> = (0..3).map(|i| c.increment(ProcessId(i))).collect();
+        for (i, m) in stalled.iter_mut().enumerate() {
+            // Drive only the announce (read + write), stall before the
+            // combine phase.
+            for _ in 0..2 {
+                let p = m.enabled().unwrap();
+                let r = mem.apply(ProcessId(i), p);
+                m.feed(r);
+            }
+        }
+        assert_eq!(mem.peek(c.root), 0, "nothing installed yet");
+        run_solo(&mut mem, ProcessId(3), c.increment(ProcessId(3)));
+        let (v, _) = run_solo(&mut mem, ProcessId(0), c.read(ProcessId(0)));
+        assert_eq!(v, 4, "one combine must sweep the whole pending batch");
+    }
+
+    #[test]
+    fn interleaved_combining_increments_all_count() {
+        let mut mem = Memory::new();
+        let n = 4;
+        let c = SimCombiningCounter::new(&mut mem, n);
+        let mut machines: Vec<Machine> = (0..n).map(|i| c.increment(ProcessId(i))).collect();
+        loop {
+            let mut progressed = false;
+            for (i, m) in machines.iter_mut().enumerate() {
+                if let Some(p) = m.enabled() {
+                    let r = mem.apply(ProcessId(i), p);
+                    m.feed(r);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let (v, _) = run_solo(&mut mem, ProcessId(0), c.read(ProcessId(0)));
+        assert_eq!(v, n as Word);
+    }
+
+    #[test]
+    fn sharded_increment_is_constant_and_read_is_linear() {
+        let n = 8;
+        let mut mem = Memory::new();
+        let c = SimShardedCounter::new(&mut mem, n);
+        for i in 0..n {
+            let (_, steps) = run_solo(&mut mem, ProcessId(i), c.increment(ProcessId(i)));
+            assert_eq!(steps, 2, "stripe bump is read + write");
+        }
+        let (v, steps) = run_solo(&mut mem, ProcessId(0), c.read(ProcessId(0)));
+        assert_eq!(v, n as Word);
+        assert_eq!(steps, n, "read is a single collect");
+    }
+
+    #[test]
+    fn sharded_counts_sequential_increments() {
+        let mut mem = Memory::new();
+        let c = SimShardedCounter::new(&mut mem, 3);
+        for i in 0..9usize {
+            run_solo(&mut mem, ProcessId(i % 3), c.increment(ProcessId(i % 3)));
+            let (v, _) = run_solo(&mut mem, ProcessId(1), c.read(ProcessId(1)));
+            assert_eq!(v, i as Word + 1);
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub struct SimTreeMaxRegister {
     tree: Arc<AlgorithmATree>,
     cells: Arc<Vec<ObjId>>,
     root_fast_path: bool,
+    elimination: bool,
 }
 
 impl SimTreeMaxRegister {
@@ -63,6 +64,7 @@ impl SimTreeMaxRegister {
             tree: Arc::new(tree),
             cells: Arc::new(cells),
             root_fast_path: false,
+            elimination: false,
         }
     }
 
@@ -86,6 +88,22 @@ impl SimTreeMaxRegister {
     pub fn with_root_fast_path(mem: &mut Memory, n: usize) -> Self {
         let mut reg = Self::new(mem, n);
         reg.root_fast_path = true;
+        reg
+    }
+
+    /// Like [`with_root_fast_path`](SimTreeMaxRegister::with_root_fast_path),
+    /// extended to the **per-level elimination filter** of the real
+    /// [`TreeMaxRegister::with_elimination`](crate::maxreg::TreeMaxRegister::with_elimination):
+    /// when the root check misses, `WriteMax(v)` scans its own
+    /// leaf-to-root path top-down and, at the first node already
+    /// holding `≥ v`, skips the leaf entirely and runs `Propagate` over
+    /// only the levels above that node. Node values are monotone, so the
+    /// partial climb leaves the root `≥ v` before the machine completes
+    /// — the same suffix-of-Lemma-9 argument as the real register.
+    pub fn with_elimination(mem: &mut Memory, n: usize) -> Self {
+        let mut reg = Self::new(mem, n);
+        reg.root_fast_path = true;
+        reg.elimination = true;
         reg
     }
 
@@ -133,6 +151,30 @@ fn propagate(levels: Arc<Vec<Level>>, i: usize, attempt: u8) -> Step {
     })
 }
 
+/// Top-down per-level elimination scan: `j` indexes the next path level
+/// to probe (descending from just below the root). The first node found
+/// `≥ w` witnesses a covering write that propagated at least this far;
+/// the scan finishes its climb with `Propagate` over the levels above it
+/// (`j + 1..`). If the scan reaches the bottom without a hit, the
+/// ordinary leaf body runs.
+fn elim_scan(
+    levels: Arc<Vec<Level>>,
+    j: usize,
+    w: Word,
+    body: Box<dyn FnOnce() -> Step + Send>,
+) -> Step {
+    let node = levels[j].node;
+    read(node, move |x| {
+        if x >= w {
+            propagate(levels, j + 1, 0)
+        } else if j == 0 {
+            body()
+        } else {
+            elim_scan(levels, j - 1, w, body)
+        }
+    })
+}
+
 impl SimMaxRegister for SimTreeMaxRegister {
     fn n(&self) -> usize {
         self.tree.n()
@@ -152,28 +194,37 @@ impl SimMaxRegister for SimTreeMaxRegister {
         // return is unsound there). TR leaves are single-writer: our own
         // earlier completed write covers us, so returning is safe.
         let help = (v as u128) < self.tree.n() as u128;
-        let body = move || {
-            read(leaf_cell, move |old| {
-                if w <= old {
-                    if help {
-                        propagate(levels, 0, 0)
+        let body: Box<dyn FnOnce() -> Step + Send> = {
+            let levels = Arc::clone(&levels);
+            Box::new(move || {
+                read(leaf_cell, move |old| {
+                    if w <= old {
+                        if help {
+                            propagate(levels, 0, 0)
+                        } else {
+                            done(0)
+                        }
                     } else {
-                        done(0)
+                        write(leaf_cell, w, move || propagate(levels, 0, 0))
                     }
-                } else {
-                    write(leaf_cell, w, move || propagate(levels, 0, 0))
-                }
+                })
             })
         };
+        let elimination = self.elimination;
         if self.root_fast_path {
             // Dominated-write fast path (DESIGN.md § 4.5): the root is
             // monotone and only reaches `v` after a covering write fully
             // propagated, so root ≥ v makes an immediate return
-            // linearizable — one step total.
+            // linearizable — one step total. With elimination enabled the
+            // miss falls through to the per-level scan instead of
+            // straight to the leaf.
             let root_cell = self.cells[self.tree.root()];
             Machine::new(read(root_cell, move |r| {
                 if from_word(r) >= v {
                     done(0)
+                } else if elimination && levels.len() > 1 {
+                    let top = levels.len() - 2;
+                    elim_scan(levels, top, w, body)
                 } else {
                     body()
                 }
@@ -480,6 +531,61 @@ mod tests {
         let (vb, _) = run_solo(&mut mem_b, ProcessId(1), fast.read_max(ProcessId(1)));
         assert_eq!(va, vb);
         assert_eq!(va, 3);
+    }
+
+    #[test]
+    fn elimination_keeps_the_one_step_dominated_fast_path() {
+        let mut mem = Memory::new();
+        let reg = SimTreeMaxRegister::with_elimination(&mut mem, 4);
+        run_solo(&mut mem, ProcessId(0), reg.write_max(ProcessId(0), 3));
+        let (_, dom) = run_solo(&mut mem, ProcessId(1), reg.write_max(ProcessId(1), 2));
+        assert_eq!(dom, 1, "fully propagated cover: still one root read");
+        let (v, _) = run_solo(&mut mem, ProcessId(2), reg.read_max(ProcessId(2)));
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn elimination_completes_a_stalled_cover_without_touching_the_leaf() {
+        // Writer A stores 1 in its TL value-leaf and propagates exactly
+        // one level, then stalls: the leaf's parent carries the value,
+        // the root does not. Writer B's eliminated WriteMax(1) must find
+        // the parent during its top-down scan and finish the climb —
+        // without ever reading or writing the leaf.
+        let mut mem = Memory::new();
+        let reg = SimTreeMaxRegister::with_elimination(&mut mem, 4);
+        let leaf = reg.tree.leaf_for(0, 1);
+        let parent = reg.tree.shape().ancestors(leaf)[0];
+
+        // Plain machine for A (no fast path interference): drive it
+        // until the parent holds the value, then stop.
+        let plain = SimTreeMaxRegister {
+            tree: Arc::clone(&reg.tree),
+            cells: Arc::clone(&reg.cells),
+            root_fast_path: false,
+            elimination: false,
+        };
+        let mut a = plain.write_max(ProcessId(0), 1);
+        while mem.peek(reg.cells[parent]) != to_word(1) {
+            let p = a.enabled().expect("A must reach the first level");
+            let r = mem.apply(ProcessId(0), p);
+            a.feed(r);
+        }
+        let (root_now, _) = run_solo(&mut mem, ProcessId(2), reg.read_max(ProcessId(2)));
+        assert_eq!(root_now, 0, "root must still lag the stalled cover");
+
+        let leaf_cell = reg.cells[leaf];
+        let writes_to_leaf_before = mem.peek(leaf_cell);
+        let (_, steps) = run_solo(&mut mem, ProcessId(1), reg.write_max(ProcessId(1), 1));
+        assert_eq!(mem.peek(leaf_cell), writes_to_leaf_before);
+        let (v, _) = run_solo(&mut mem, ProcessId(2), reg.read_max(ProcessId(2)));
+        assert_eq!(v, 1, "B's partial climb must complete the propagation");
+        // B paid: 1 root read + top-down scan + the suffix climb — but
+        // never the full leaf write path.
+        let full_depth = reg.tree.shape().ancestors(leaf).len();
+        assert!(
+            steps <= 1 + full_depth + 8 * full_depth,
+            "scan+climb should stay within one path's budget: {steps}"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ use ruo_sim::stepcount::CountingI64;
 use ruo_sim::ProcessId;
 
 use crate::pad::CachePadded;
-use crate::shape::{AlgorithmATree, NO_CHILD};
+use crate::shape::{AlgorithmATree, PathNode, NO_CHILD};
 use crate::traits::MaxRegister;
 use crate::value::{from_word, to_word};
 
@@ -108,6 +108,13 @@ pub struct TreeMaxRegister {
     /// cache-line pair, so a CAS on one node does not invalidate its
     /// arena neighbours under every other core (see [`crate::pad`]).
     cells: Box<[CachePadded<CountingI64>]>,
+    /// Per-level elimination filter (opt-in via
+    /// [`with_elimination`](TreeMaxRegister::with_elimination)): when the
+    /// root check misses, scan the leaf-to-root path top-down and stop a
+    /// dominated write at the *first* path node already carrying `≥ v`,
+    /// finishing with a partial climb from that node instead of a leaf
+    /// store plus full propagation.
+    elimination: bool,
 }
 
 impl TreeMaxRegister {
@@ -122,7 +129,40 @@ impl TreeMaxRegister {
         let cells = (0..tree.shape().len())
             .map(|_| CachePadded::new(CountingI64::new(ruo_sim::NEG_INF)))
             .collect();
-        TreeMaxRegister { tree, cells }
+        TreeMaxRegister {
+            tree,
+            cells,
+            elimination: false,
+        }
+    }
+
+    /// Like [`new`](TreeMaxRegister::new), with the **per-level
+    /// elimination filter** enabled: a `WriteMax(v)` whose root check
+    /// misses scans its own leaf-to-root path top-down and, at the first
+    /// node already holding `≥ v`, skips the leaf store entirely and
+    /// climbs only the levels *above* that node.
+    ///
+    /// Soundness extends the § 4.5 root argument one level at a time:
+    /// node values are monotone, so a path node `u ≥ v` stays `≥ v`;
+    /// running `Propagate` over the ancestors of `u` then leaves the
+    /// root `≥ v` before the write returns (each double-CAS level covers
+    /// the child value it read — Lemma 9's argument applied to a path
+    /// suffix). Returning *without* that partial climb would be unsound:
+    /// the dominating value may be stalled below the root forever.
+    ///
+    /// Cost shape: dominated writes whose cover is stalled at depth `d`
+    /// finish in `O(d)` instead of `O(depth(leaf))` CAS rounds; fresh
+    /// maxima pay up to one extra read per level for the failed scan.
+    /// Under write-heavy contention most writes are dominated, which is
+    /// the regime this filter targets (experiment W8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_elimination(n: usize) -> Self {
+        let mut reg = Self::new(n);
+        reg.elimination = true;
+        reg
     }
 
     /// Fallible [`new`](TreeMaxRegister::new): returns a structured
@@ -162,7 +202,14 @@ impl TreeMaxRegister {
     /// twice. The path carries inlined child links, so the loop touches
     /// no shape metadata and performs no allocation.
     fn propagate(&self, leaf: usize) {
-        for step in self.tree.path_for(leaf) {
+        self.propagate_path(self.tree.path_for(leaf));
+    }
+
+    /// `Propagate` over an explicit (suffix of a) bottom-up path — the
+    /// whole path for a normal write, or only the levels above a
+    /// dominating node for the elimination filter.
+    fn propagate_path(&self, path: &[PathNode]) {
+        for step in path {
             let node = step.node as usize;
             for _ in 0..2 {
                 let old = self.cells[node].load(Ordering::SeqCst);
@@ -209,6 +256,24 @@ impl MaxRegister for TreeMaxRegister {
             return;
         }
         let leaf = self.tree.leaf_for(pid.index(), v);
+        // Per-level elimination filter (opt-in): scan our own path
+        // top-down, skipping the root (just checked). A path node
+        // holding ≥ v witnesses a covering write that propagated at
+        // least this far; it is monotone, so climbing the levels above
+        // it re-establishes root ≥ v and we can return without ever
+        // touching the leaf. The scan reads at most depth(leaf) extra
+        // cells when it misses.
+        if self.elimination {
+            let path = self.tree.path_for(leaf);
+            if path.len() > 1 {
+                for j in (0..path.len() - 1).rev() {
+                    if w <= self.cells[path[j].node as usize].load(Ordering::Acquire) {
+                        self.propagate_path(&path[j + 1..]);
+                        return;
+                    }
+                }
+            }
+        }
         // Relaxed is enough here: for a TR (single-writer) leaf this
         // reads our own last store, and for a TL leaf the branch below
         // never returns early, so nothing is concluded from the value.
@@ -335,6 +400,73 @@ mod tests {
         // A fresh maximum still goes through the slow path.
         reg.write_max(ProcessId(1), 101);
         assert_eq!(reg.read_max(), 101);
+    }
+
+    #[test]
+    fn elimination_register_behaves_like_the_plain_one() {
+        let reg = TreeMaxRegister::with_elimination(4);
+        assert_eq!(reg.read_max(), 0);
+        reg.write_max(ProcessId(0), 2); // TL
+        assert_eq!(reg.read_max(), 2);
+        reg.write_max(ProcessId(1), 100); // TR
+        assert_eq!(reg.read_max(), 100);
+        // Dominated writes of every flavour.
+        reg.write_max(ProcessId(2), 1); // TL value leaf
+        reg.write_max(ProcessId(3), 50); // TR process leaf
+        reg.write_max(ProcessId(0), 100); // equal value
+        assert_eq!(reg.read_max(), 100);
+        reg.write_max(ProcessId(2), 101);
+        assert_eq!(reg.read_max(), 101);
+    }
+
+    #[test]
+    fn elimination_partial_climb_completes_a_stalled_cover() {
+        // Force the scenario the per-level check exists for: a covering
+        // value sits on an intermediate path node (installed here by
+        // hand, as a stalled propagation would leave it) while the root
+        // is still behind. The eliminated write must NOT return without
+        // first pushing that value the rest of the way up.
+        let reg = TreeMaxRegister::with_elimination(4);
+        reg.write_max(ProcessId(0), 7); // TR leaf (7 >= 4), fully propagated
+        assert_eq!(reg.read_max(), 7);
+        // Plant a larger stalled value on the first ancestor of process
+        // 1's TR leaf path (as if its writer crashed mid-propagate).
+        let leaf = reg.tree.leaf_for(1, 9);
+        let first = reg.tree.path_for(leaf)[0].node as usize;
+        let planted = to_word(9).max(reg.cells[first].load(Ordering::SeqCst));
+        reg.cells[first].store(planted, Ordering::SeqCst);
+        assert_eq!(reg.read_max(), 7, "root must still lag");
+        // A dominated write (8 ≤ 9) by the same process scans its path,
+        // hits the planted node, and climbs only the levels above it.
+        reg.write_max(ProcessId(1), 8);
+        assert!(
+            reg.read_max() >= 9,
+            "partial climb must complete the stalled propagation"
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_maximum_with_elimination() {
+        let n = 8;
+        let reg = Arc::new(TreeMaxRegister::with_elimination(n));
+        let per_thread = 500u64;
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    for k in 0..per_thread {
+                        let v = k * (n as u64) + i as u64 + 1;
+                        reg.write_max(ProcessId(i), v);
+                        assert!(reg.read_max() >= v);
+                        // Interleave dominated writes to exercise the
+                        // scan under contention.
+                        reg.write_max(ProcessId(i), v / 2);
+                    }
+                });
+            }
+        });
+        let expected = (per_thread - 1) * (n as u64) + n as u64;
+        assert_eq!(reg.read_max(), expected);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   (schedules, pruned branches, replay savings, peak DFS depth).
 //! * [`ProgressCertifier`] — per-process progress counters + a livelock
 //!   watchdog certifying wait-free step bounds under crashes.
+//! * [`ShardGauges`] — per-stripe counts, imbalance, and hottest stripe
+//!   for the sharded counter mode.
 //! * [`trace`] (`ruo_trace`) — per-operation step tracing: exact
 //!   attribution of shared-memory events to operations, aggregate
 //!   [`StepStats`], and JSONL / Chrome `trace_event` export.
@@ -48,6 +50,7 @@ mod gauge;
 mod histogram;
 mod latency;
 mod progress;
+mod shard;
 pub mod trace;
 mod watermark;
 
@@ -56,6 +59,7 @@ pub use gauge::ProgressGauge;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use latency::{LatencyReport, LatencyTracker};
 pub use progress::{ProgressCertifier, ProgressReport, ProgressViolation};
+pub use shard::ShardGauges;
 pub use trace::{
     op_kind, trace_execution, KindStats, PrimCounts, StepStats, StepTrace, TraceEvent, TracedOp,
 };

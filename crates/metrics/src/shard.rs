@@ -1,0 +1,143 @@
+//! Per-stripe visibility for sharded counters.
+
+use std::fmt;
+use std::sync::Arc;
+
+use ruo_core::counter::ShardedCounter;
+use ruo_core::Counter;
+use ruo_sim::ProcessId;
+
+/// Per-stripe gauges over a shared [`ShardedCounter`]: total, per-stripe
+/// counts, imbalance, and the hottest stripe.
+///
+/// The sharded counter trades the f-array's `O(1)` read for an `O(1)`
+/// increment (Theorem 1 says one of the two must pay); these gauges make
+/// the resulting *distribution* observable, which the exact counters
+/// collapse by design. A skewed distribution is the signal that the
+/// sharded mode's `O(N)` reads are collecting mostly-idle stripes — i.e.
+/// that the workload did not need striping in the first place.
+///
+/// ```
+/// use std::sync::Arc;
+/// use ruo_core::counter::ShardedCounter;
+/// use ruo_core::Counter;
+/// use ruo_metrics::ShardGauges;
+/// use ruo_sim::ProcessId;
+///
+/// let counter = Arc::new(ShardedCounter::new(4));
+/// let gauges = ShardGauges::new(Arc::clone(&counter));
+/// counter.increment(ProcessId(1));
+/// counter.increment(ProcessId(1));
+/// counter.increment(ProcessId(3));
+/// assert_eq!(gauges.total(), 3);
+/// assert_eq!(gauges.per_stripe(), vec![0, 2, 0, 1]);
+/// assert_eq!(gauges.hottest(), (ProcessId(1), 2));
+/// ```
+pub struct ShardGauges {
+    counter: Arc<ShardedCounter>,
+}
+
+impl fmt::Debug for ShardGauges {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardGauges")
+            .field("per_stripe", &self.per_stripe())
+            .finish()
+    }
+}
+
+impl ShardGauges {
+    /// Wraps a shared sharded counter; the gauges observe the same
+    /// stripes the workload increments.
+    pub fn new(counter: Arc<ShardedCounter>) -> Self {
+        ShardGauges { counter }
+    }
+
+    /// One count per stripe, in process order (one collect pass).
+    pub fn per_stripe(&self) -> Vec<u64> {
+        self.counter.stripe_counts()
+    }
+
+    /// Sum over all stripes — the counter's own linearizable read.
+    pub fn total(&self) -> u64 {
+        self.counter.read()
+    }
+
+    /// The stripe with the most increments and its count (ties go to
+    /// the lowest process id).
+    pub fn hottest(&self) -> (ProcessId, u64) {
+        let counts = self.per_stripe();
+        let (i, &c) = counts
+            .iter()
+            .enumerate()
+            .max_by(|(ai, ac), (bi, bc)| ac.cmp(bc).then(bi.cmp(ai)))
+            .expect("sharded counters have at least one stripe");
+        (ProcessId(i), c)
+    }
+
+    /// Hottest-stripe count divided by the mean stripe count, in
+    /// `[1.0, N]`; `1.0` means perfectly balanced. Returns `1.0` while
+    /// the counter is still zero.
+    pub fn imbalance(&self) -> f64 {
+        let counts = self.per_stripe();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = *counts.iter().max().expect("at least one stripe");
+        max as f64 * counts.len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counter_reads_as_balanced() {
+        let g = ShardGauges::new(Arc::new(ShardedCounter::new(3)));
+        assert_eq!(g.total(), 0);
+        assert_eq!(g.per_stripe(), vec![0, 0, 0]);
+        assert_eq!(g.imbalance(), 1.0);
+        assert_eq!(g.hottest(), (ProcessId(0), 0));
+    }
+
+    #[test]
+    fn imbalance_reflects_skew() {
+        let c = Arc::new(ShardedCounter::new(4));
+        let g = ShardGauges::new(Arc::clone(&c));
+        for _ in 0..8 {
+            c.increment(ProcessId(2));
+        }
+        // All traffic on one of four stripes: imbalance = 4.0.
+        assert_eq!(g.imbalance(), 4.0);
+        assert_eq!(g.hottest(), (ProcessId(2), 8));
+        for p in [0, 1, 3] {
+            for _ in 0..8 {
+                c.increment(ProcessId(p));
+            }
+        }
+        assert_eq!(g.imbalance(), 1.0);
+        assert_eq!(g.total(), 32);
+    }
+
+    #[test]
+    fn gauges_track_concurrent_increments() {
+        let n = 4;
+        let per = 2_000u64;
+        let c = Arc::new(ShardedCounter::new(n));
+        let g = ShardGauges::new(Arc::clone(&c));
+        std::thread::scope(|s| {
+            for t in 0..n {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        c.increment(ProcessId(t));
+                    }
+                });
+            }
+        });
+        assert_eq!(g.total(), n as u64 * per);
+        assert_eq!(g.per_stripe(), vec![per; n]);
+        assert_eq!(g.imbalance(), 1.0);
+    }
+}

@@ -41,8 +41,8 @@ pub use engine::{
 };
 pub use json::{Json, JsonError};
 pub use registry::{
-    family_impls, find, registry, BuildError, BuildParams, Capabilities, Family, ImplEntry,
-    ProgressClass, RealObject, SimObject,
+    family_impls, find, registry, BuildError, BuildParams, Capabilities, CounterMode, Family,
+    ImplEntry, ProgressClass, RealObject, SimObject,
 };
 pub use report::{ScenarioReport, REPORT_SCHEMA};
 pub use spec::{

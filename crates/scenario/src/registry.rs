@@ -16,9 +16,12 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 
 use ruo_core::counter::sim::{
-    SimAacCounter, SimCasLoopCounter, SimCounter, SimFArrayCounter, SimSnapshotCounter,
+    SimAacCounter, SimCasLoopCounter, SimCombiningCounter, SimCounter, SimFArrayCounter,
+    SimShardedCounter, SimSnapshotCounter,
 };
-use ruo_core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
+use ruo_core::counter::{
+    AacCounter, CombiningCounter, FArrayCounter, FetchAddCounter, ShardedCounter,
+};
 use ruo_core::maxreg::aac::MAX_CAPACITY;
 use ruo_core::maxreg::sim::{
     SimAacMaxRegister, SimCasRetryMaxRegister, SimFArrayMaxRegister, SimMaxRegister,
@@ -33,6 +36,8 @@ use ruo_core::snapshot::sim::{SimDoubleCollectSnapshot, SimSnapshot};
 use ruo_core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
 use ruo_core::{Counter, MaxRegister, Snapshot};
 use ruo_sim::Memory;
+
+pub use ruo_core::counter::CounterMode;
 
 /// The three object families of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -122,6 +127,11 @@ pub struct Capabilities {
     pub root_fast_path: bool,
     /// Whether the W4 throughput bench includes this implementation.
     pub benched: bool,
+    /// For the f-array-derived counter family: which
+    /// [`CounterMode`] this entry realizes (`Exact` per-increment
+    /// propagation, `Combining` batches, `Sharded` stripes). `None` for
+    /// implementations outside that mode knob.
+    pub counter_mode: Option<CounterMode>,
 }
 
 /// Parameters every registry constructor receives.
@@ -348,6 +358,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: Some(MAX_PROCESSES),
                 root_fast_path: true,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("TreeMaxRegister"),
             sim_type: Some("SimTreeMaxRegister"),
@@ -364,6 +375,35 @@ fn build_registry() -> Vec<ImplEntry> {
         },
         ImplEntry {
             family: Family::MaxReg,
+            id: "tree_elim",
+            display: "Algorithm A + elimination",
+            caps: Capabilities {
+                progress: ProgressClass::WaitFree,
+                bounded_capacity: false,
+                max_n: Some(MAX_PROCESSES),
+                // Elimination subsumes the § 4.5 root check: both faces
+                // always probe the root first, then scan per level.
+                root_fast_path: true,
+                benched: true,
+                counter_mode: None,
+            },
+            real_type: Some("TreeMaxRegister"),
+            sim_type: Some("SimTreeMaxRegister"),
+            real: Some(|p| {
+                check_tree_size(p.n)?;
+                Ok(RealObject::MaxReg(Box::new(
+                    TreeMaxRegister::with_elimination(p.n),
+                )))
+            }),
+            sim: Some(|mem, p| {
+                check_tree_size(p.n)?;
+                Ok(SimObject::MaxReg(Arc::new(
+                    SimTreeMaxRegister::with_elimination(mem, p.n),
+                )))
+            }),
+        },
+        ImplEntry {
+            family: Family::MaxReg,
             id: "aac",
             display: "AAC",
             caps: Capabilities {
@@ -372,6 +412,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("AacMaxRegister"),
             sim_type: Some("SimAacMaxRegister"),
@@ -397,6 +438,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("AacMaxRegister"),
             sim_type: Some("SimAacMaxRegister"),
@@ -422,6 +464,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("FArrayMaxRegister"),
             sim_type: Some("SimFArrayMaxRegister"),
@@ -442,6 +485,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("CasRetryMaxRegister"),
             sim_type: Some("SimCasRetryMaxRegister"),
@@ -462,6 +506,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("LockMaxRegister"),
             sim_type: None,
@@ -479,12 +524,62 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: Some(CounterMode::Exact),
             },
             real_type: Some("FArrayCounter"),
             sim_type: Some("SimFArrayCounter"),
             real: Some(|p| Ok(RealObject::Counter(Box::new(FArrayCounter::new(p.n))))),
             sim: Some(|mem, p| {
                 Ok(SimObject::Counter(Arc::new(SimFArrayCounter::new(
+                    mem, p.n,
+                ))))
+            }),
+        },
+        ImplEntry {
+            family: Family::Counter,
+            id: "combining",
+            display: "flat combining",
+            caps: Capabilities {
+                // Waiters spin on their publication slot until a
+                // combiner services it; a crashed combiner strands them.
+                progress: ProgressClass::Blocking,
+                bounded_capacity: false,
+                max_n: None,
+                root_fast_path: false,
+                benched: true,
+                counter_mode: Some(CounterMode::Combining),
+            },
+            real_type: Some("CombiningCounter"),
+            // The sim face is the wait-free batch model (announce array
+            // + arity-N double-CAS install), NOT a lock simulation: the
+            // explorer's step cap cannot drive blocking waiters, but the
+            // batch boundaries — the combining-specific behaviour — are
+            // exactly what it verifies.
+            sim_type: Some("SimCombiningCounter"),
+            real: Some(|p| Ok(RealObject::Counter(Box::new(CombiningCounter::new(p.n))))),
+            sim: Some(|mem, p| {
+                Ok(SimObject::Counter(Arc::new(SimCombiningCounter::new(
+                    mem, p.n,
+                ))))
+            }),
+        },
+        ImplEntry {
+            family: Family::Counter,
+            id: "sharded",
+            display: "sharded stripes",
+            caps: Capabilities {
+                progress: ProgressClass::WaitFree,
+                bounded_capacity: false,
+                max_n: None,
+                root_fast_path: false,
+                benched: true,
+                counter_mode: Some(CounterMode::Sharded),
+            },
+            real_type: Some("ShardedCounter"),
+            sim_type: Some("SimShardedCounter"),
+            real: Some(|p| Ok(RealObject::Counter(Box::new(ShardedCounter::new(p.n))))),
+            sim: Some(|mem, p| {
+                Ok(SimObject::Counter(Arc::new(SimShardedCounter::new(
                     mem, p.n,
                 ))))
             }),
@@ -499,6 +594,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("AacCounter"),
             sim_type: Some("SimAacCounter"),
@@ -529,6 +625,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("FetchAddCounter"),
             sim_type: None,
@@ -545,6 +642,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: false,
+                counter_mode: None,
             },
             real_type: None,
             sim_type: Some("SimCasLoopCounter"),
@@ -565,6 +663,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: false,
+                counter_mode: None,
             },
             real_type: None,
             sim_type: Some("SimSnapshotCounter"),
@@ -585,6 +684,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: false,
+                counter_mode: None,
             },
             real_type: Some("CounterFromSnapshot"),
             sim_type: None,
@@ -606,6 +706,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("DoubleCollectSnapshot"),
             sim_type: Some("SimDoubleCollectSnapshot"),
@@ -630,6 +731,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("PathCopySnapshot"),
             sim_type: None,
@@ -650,6 +752,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 max_n: None,
                 root_fast_path: false,
                 benched: true,
+                counter_mode: None,
             },
             real_type: Some("AfekSnapshot"),
             sim_type: None,

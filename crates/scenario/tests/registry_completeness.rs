@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 use std::path::Path;
 
-use ruo_scenario::registry;
+use ruo_scenario::{registry, CounterMode, Family};
 
 /// `(trait, implementing type)` pairs declared in a source tree, for
 /// the six object-facing traits.
@@ -105,6 +105,46 @@ fn every_core_implementation_is_registered() {
         "core implementations missing from the scenario registry: {missing:?} — \
          add an ImplEntry (or extend an existing one) in crates/scenario/src/registry.rs"
     );
+}
+
+#[test]
+fn counter_mode_metadata_covers_every_mode_exactly_once() {
+    // The `CounterMode` knob (ISSUE 6) is capability metadata: each
+    // contended-write strategy must be registered on exactly one
+    // counter face, and non-counter faces must not claim a mode.
+    let mut seen: Vec<(CounterMode, &str)> = Vec::new();
+    for e in registry() {
+        match (e.family, e.caps.counter_mode) {
+            (Family::Counter, Some(mode)) => seen.push((mode, e.id)),
+            (Family::Counter, None) => {}
+            (family, Some(mode)) => panic!(
+                "{family}/{} claims counter_mode {mode} but is not a counter face",
+                e.id
+            ),
+            (_, None) => {}
+        }
+    }
+    for mode in CounterMode::all() {
+        let holders: Vec<&str> = seen
+            .iter()
+            .filter(|(m, _)| *m == mode)
+            .map(|(_, id)| *id)
+            .collect();
+        assert_eq!(
+            holders.len(),
+            1,
+            "counter_mode {mode} must be registered on exactly one counter face, found {holders:?}"
+        );
+    }
+    // And the registered face's id must round-trip through the schema
+    // name so scenario tables can address modes by string.
+    for (mode, id) in &seen {
+        assert_eq!(
+            CounterMode::parse(mode.name()),
+            Some(*mode),
+            "schema name for mode on face {id} does not round-trip"
+        );
+    }
 }
 
 #[test]

@@ -6,7 +6,9 @@
 //! with the same sound checkers the simulator histories go through. Any
 //! violation these checkers report is a real linearizability bug.
 
-use ruo::core::counter::{AacCounter, FArrayCounter, FetchAddCounter};
+use ruo::core::counter::{
+    AacCounter, CombiningCounter, CounterMode, FArrayCounter, FetchAddCounter, ShardedCounter,
+};
 use ruo::core::maxreg::{
     AacMaxRegister, CasRetryMaxRegister, FArrayMaxRegister, LockMaxRegister, TreeMaxRegister,
 };
@@ -128,6 +130,27 @@ fn tree_max_register_contended_mixed_writes_are_linearizable() {
 }
 
 #[test]
+fn elimination_tree_max_register_threads_are_linearizable() {
+    exercise_maxreg(
+        &TreeMaxRegister::with_elimination(4),
+        "TreeMaxRegister+elim",
+    );
+}
+
+#[test]
+fn elimination_tree_max_register_contended_mixed_writes_are_linearizable() {
+    // The dominated-write mix is exactly the regime the per-level
+    // elimination scan targets: most writes stop at an interior node
+    // and run only the partial upward climb. An unsound early return
+    // (skipping the climb past a stalled cover) would surface here as a
+    // lost maximum.
+    exercise_maxreg_contended(
+        &TreeMaxRegister::with_elimination(8),
+        "TreeMaxRegister+elim/contended",
+    );
+}
+
+#[test]
 fn farray_max_register_contended_mixed_writes_are_linearizable() {
     exercise_maxreg_contended(&FArrayMaxRegister::new(8), "FArrayMaxRegister/contended");
 }
@@ -166,9 +189,79 @@ fn exercise_counter<C: Counter>(counter: &C, name: &str) {
     check_counter(&history).unwrap_or_else(|v| panic!("{name}: {v}"));
 }
 
+/// Contended counter stress: 8 threads, write-heavy (3 increments per
+/// read), the regime where the combining front-end actually forms
+/// multi-request batches and the sharded reads must merge in-flight
+/// stripes. A combiner publishing `serviced` before the batch reaches
+/// the root, or a collect that double-counts a stripe, fails the
+/// checker here.
+fn exercise_counter_contended<C: Counter + ?Sized>(counter: &C, name: &str) {
+    let rec = ThreadRecorder::new();
+    let threads = 8;
+    let ops = 400u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let rec = &rec;
+            s.spawn(move || {
+                let pid = ProcessId(t);
+                for i in 0..ops {
+                    if i % 4 == 3 {
+                        rec.record(pid, OpDesc::CounterRead, || {
+                            let v = counter.read();
+                            OpOutput::Value(v as i64)
+                        });
+                    } else {
+                        rec.record(pid, OpDesc::CounterIncrement, || {
+                            counter.increment(pid);
+                            OpOutput::Unit
+                        });
+                    }
+                }
+            });
+        }
+    });
+    let history = rec.history();
+    check_counter(&history).unwrap_or_else(|v| panic!("{name}: {v}"));
+}
+
 #[test]
 fn farray_counter_threads_are_linearizable() {
     exercise_counter(&FArrayCounter::new(4), "FArrayCounter");
+}
+
+#[test]
+fn combining_counter_threads_are_linearizable() {
+    exercise_counter(&CombiningCounter::new(4), "CombiningCounter");
+}
+
+#[test]
+fn combining_counter_contended_threads_are_linearizable() {
+    exercise_counter_contended(&CombiningCounter::new(8), "CombiningCounter/contended");
+}
+
+#[test]
+fn sharded_counter_threads_are_linearizable() {
+    exercise_counter(&ShardedCounter::new(4), "ShardedCounter");
+}
+
+#[test]
+fn sharded_counter_contended_threads_are_linearizable() {
+    exercise_counter_contended(&ShardedCounter::new(8), "ShardedCounter/contended");
+}
+
+#[test]
+fn farray_counter_contended_threads_are_linearizable() {
+    // Baseline for the two front-ends: the exact counter under the same
+    // 8-thread write-heavy mix.
+    exercise_counter_contended(&FArrayCounter::new(8), "FArrayCounter/contended");
+}
+
+#[test]
+fn every_counter_mode_is_linearizable_through_the_boxed_knob() {
+    for mode in CounterMode::all() {
+        let counter = ruo::core::counter::with_mode(mode, 8);
+        exercise_counter_contended(&*counter, &format!("with_mode({mode})"));
+    }
 }
 
 #[test]
