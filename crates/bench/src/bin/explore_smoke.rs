@@ -32,6 +32,13 @@ const PRUNED_SPEC: &str = include_str!(concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/../../scenarios/w5_explore_pruned.json"
 ));
+const N5_SPEC: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../scenarios/w9_explore_n5_2crash.json"
+));
+
+/// Worker count for the partitioned re-run of the pruned scope.
+const PARALLEL_WORKERS: usize = 4;
 
 fn load(text: &str) -> ScenarioSpec {
     let spec = ScenarioSpec::parse(text).expect("checked-in W5 spec parses");
@@ -88,12 +95,23 @@ fn main() {
     let samples = if quick { 1 } else { 3 };
     let full_spec = load(FULL_SPEC);
     let pruned_spec = load(PRUNED_SPEC);
+    // The same pruned scope searched by a partitioned root frontier:
+    // the merged stats must reproduce the sequential run exactly.
+    let mut parallel_spec = pruned_spec.clone();
+    parallel_spec
+        .explore
+        .as_mut()
+        .expect("explore section")
+        .workers = PARALLEL_WORKERS;
+    let n5_spec = load(N5_SPEC);
 
-    let gauges = ExploreGauges::new(2);
+    let gauges = ExploreGauges::new(3);
     let mut full_secs = Vec::new();
     let mut pruned_secs = Vec::new();
+    let mut parallel_secs = Vec::new();
     let mut full = None;
     let mut pruned = None;
+    let mut parallel = None;
     for _ in 0..samples {
         let (r, t) = run(&full_spec);
         gauges.record(ProcessId(0), &stats_of(&r));
@@ -103,11 +121,26 @@ fn main() {
         gauges.record(ProcessId(1), &stats_of(&r));
         pruned_secs.push(t);
         pruned = Some(r);
+        let (r, t) = run(&parallel_spec);
+        gauges.record(ProcessId(2), &stats_of(&r));
+        parallel_secs.push(t);
+        parallel = Some(r);
     }
     let full = stats_of(&full.expect("at least one sample"));
     let pruned = stats_of(&pruned.expect("at least one sample"));
+    let parallel = stats_of(&parallel.expect("at least one sample"));
+    assert_eq!(
+        parallel, pruned,
+        "partitioned search must reproduce the sequential counts exactly"
+    );
+    // The N=5 / 2-crash scope: the headroom run, timed once — large
+    // enough to be meaningless to sample, small enough to stay
+    // un-truncated (run() panics otherwise).
+    let (n5_report, n5_t) = run(&n5_spec);
+    let n5 = stats_of(&n5_report);
     let full_t = median(&mut full_secs);
     let pruned_t = median(&mut pruned_secs);
+    let parallel_t = median(&mut parallel_secs);
     let factor = full.schedules as f64 / pruned.schedules as f64;
     let replay_factor = pruned.replay_steps_saved as f64 / pruned.executed_steps as f64;
 
@@ -128,6 +161,19 @@ fn main() {
         "  incremental replay: {} steps executed, {} replay steps saved ({:.1}x)",
         pruned.executed_steps, pruned.replay_steps_saved, replay_factor
     );
+    println!(
+        "  parallel ({} workers): {:>6} schedules  {:>8.1} ms  ({:.2}x vs sequential pruned)",
+        PARALLEL_WORKERS,
+        parallel.schedules,
+        parallel_t * 1e3,
+        pruned_t / parallel_t
+    );
+    println!(
+        "  N=5 / 2-crash headroom: {} schedules ({} crash branches) in {:.1} ms, un-truncated",
+        n5.schedules,
+        n5.crash_branches,
+        n5_t * 1e3
+    );
     println!("  gauges: {gauges:?}");
 
     let json = format!(
@@ -135,12 +181,25 @@ fn main() {
          \"full\": {{ \"schedules\": {}, \"seconds\": {full_t:.6} }},\n  \
          \"pruned\": {{ \"schedules\": {}, \"seconds\": {pruned_t:.6}, \
          \"pruned_branches\": {}, \"executed_steps\": {}, \"replay_steps_saved\": {} }},\n  \
+         \"parallel\": {{ \"workers\": {PARALLEL_WORKERS}, \"schedules\": {}, \
+         \"seconds\": {parallel_t:.6}, \"speedup\": {speedup:.3}, \
+         \"pruned_branches\": {}, \"executed_steps\": {}, \"replay_steps_saved\": {} }},\n  \
+         \"n5_two_crash\": {{ \"workers\": {}, \"schedules\": {}, \"crash_branches\": {}, \
+         \"seconds\": {n5_t:.6} }},\n  \
          \"pruning_factor\": {factor:.3},\n  \"replay_savings_factor\": {replay_factor:.3}\n}}\n",
         full.schedules,
         pruned.schedules,
         pruned.pruned_branches,
         pruned.executed_steps,
         pruned.replay_steps_saved,
+        parallel.schedules,
+        parallel.pruned_branches,
+        parallel.executed_steps,
+        parallel.replay_steps_saved,
+        n5_spec.explore.as_ref().expect("explore section").workers,
+        n5.schedules,
+        n5.crash_branches,
+        speedup = pruned_t / parallel_t,
     );
     std::fs::write(&out, json).expect("write results JSON");
     println!("  wrote {out}");

@@ -20,9 +20,11 @@
 //! so CI can gate on it directly.
 
 use ruo_bench::Table;
+use ruo_metrics::CheckerGauges;
 use ruo_scenario::{
     registry, run_sim, EngineKind, Family, FaultSpec, ImplEntry, OpMix, ScenarioSpec,
 };
+use ruo_sim::ProcessId;
 
 /// The spec for one soak row: the legacy workload shape for `entry`'s
 /// family, with or without the 1-crash plan.
@@ -92,9 +94,12 @@ fn main() {
          crash-free and 1-crash-injected\n"
     );
 
-    let mut t = Table::new(&["implementation", "faults", "ok", "violations"]);
+    let mut t = Table::new(&["implementation", "faults", "checker", "ok", "violations"]);
     let mut total_violations: u64 = 0;
     let mut watchdog_line: Option<String> = None;
+    // One recorder identity per soak process: the whole binary folds its
+    // verdicts into a single gauge set, read in O(1) for the footer.
+    let gauges = CheckerGauges::new(1);
 
     for family in Family::all() {
         for entry in registry()
@@ -107,9 +112,17 @@ fn main() {
                     .unwrap_or_else(|e| panic!("soak {}/{}: {e}", family.name(), entry.id));
                 let ok = report.counter("ok_runs").unwrap_or(0);
                 total_violations += seeds - ok;
+                gauges.record_sweep(
+                    ProcessId(0),
+                    report.counter("seeds").unwrap_or(0),
+                    report.counter("checked_ops").unwrap_or(0),
+                    seeds - ok,
+                    report.counter("largest_history").unwrap_or(0),
+                );
                 t.row(vec![
                     format!("{}: {}", family.name(), entry.display),
                     if crashes { "1 crash" } else { "none" }.to_string(),
+                    report.checker.clone().unwrap_or_else(|| "-".to_string()),
                     format!("{ok}/{seeds}"),
                     (seeds - ok).to_string(),
                 ]);
@@ -144,6 +157,14 @@ fn main() {
     if let Some(line) = watchdog_line {
         println!("{line}");
     }
+    println!(
+        "\nChecker coverage: {} histories / {} operations decided, \
+         {} violations, largest single history {} ops.",
+        gauges.histories(),
+        gauges.operations(),
+        gauges.violations(),
+        gauges.largest_history(),
+    );
 
     println!("\nEvery `violations` cell must be 0.");
     if total_violations > 0 {

@@ -39,6 +39,7 @@
 
 use std::fmt;
 use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 
 use ruo_sim::stepcount::CountingU64;
 use ruo_sim::ProcessId;
@@ -46,6 +47,23 @@ use ruo_sim::ProcessId;
 use crate::counter::FArrayCounter;
 use crate::pad::CachePadded;
 use crate::traits::Counter;
+
+/// How many `spin_loop` hints a waiter issues between checks before
+/// yielding its timeslice. On a single-core host spinning is pure
+/// waste — the combiner cannot make progress until the waiter is
+/// descheduled — so waiters yield immediately there (the measured W8
+/// single-core loss came from waiters burning the combiner's
+/// timeslice 64 hints at a time).
+fn spin_limit() -> u32 {
+    static LIMIT: OnceLock<u32> = OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        match std::thread::available_parallelism() {
+            Ok(cores) if cores.get() == 1 => 0,
+            // Unknown parallelism gets the multi-core behavior.
+            _ => 64,
+        }
+    })
+}
 
 /// One publication slot, padded so spinning on `serviced` never
 /// invalidates a neighbour's slot.
@@ -170,8 +188,9 @@ impl Counter for CombiningCounter {
             // Spin briefly, then yield: when threads outnumber cores the
             // combiner may be descheduled mid-batch, and burning whole
             // timeslices spinning against it inverts the combining win.
+            // On single-core hosts the limit is 0: yield straight away.
             spins += 1;
-            if spins < 64 {
+            if spins < spin_limit() {
                 std::hint::spin_loop();
             } else {
                 spins = 0;
@@ -193,6 +212,17 @@ mod tests {
     #[test]
     fn fresh_counter_reads_zero() {
         assert_eq!(CombiningCounter::new(4).read(), 0);
+    }
+
+    #[test]
+    fn spin_limit_matches_host_parallelism() {
+        let limit = spin_limit();
+        match std::thread::available_parallelism() {
+            Ok(cores) if cores.get() == 1 => {
+                assert_eq!(limit, 0, "single-core hosts must yield immediately");
+            }
+            _ => assert_eq!(limit, 64),
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`LatencyTracker`] — histogram + peak + best in one `observe`.
 //! * [`ExploreGauges`] — totals for bounded model-checking runs
 //!   (schedules, pruned branches, replay savings, peak DFS depth).
+//! * [`CheckerGauges`] — totals for linearizability-checker calls
+//!   (histories decided, operations, violations, largest history).
 //! * [`ProgressCertifier`] — per-process progress counters + a livelock
 //!   watchdog certifying wait-free step bounds under crashes.
 //! * [`ShardGauges`] — per-stripe counts, imbalance, and hottest stripe
@@ -45,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod checker;
 mod explore;
 mod gauge;
 mod histogram;
@@ -54,6 +57,7 @@ mod shard;
 pub mod trace;
 mod watermark;
 
+pub use checker::CheckerGauges;
 pub use explore::ExploreGauges;
 pub use gauge::ProgressGauge;
 pub use histogram::{Histogram, HistogramSnapshot};

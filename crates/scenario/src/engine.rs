@@ -21,8 +21,10 @@ use std::time::Instant;
 use ruo_metrics::{
     trace_execution, LatencyTracker, PrimCounts, ProgressCertifier, StepStats, StepTrace,
 };
-use ruo_sim::explore::{explore, ExploreConfig, ExploreOp};
-use ruo_sim::lin::{check_counter, check_exact, check_max_register, check_snapshot, Violation};
+use ruo_sim::explore::{explore, explore_parallel, ExploreConfig, ExploreOp};
+use ruo_sim::lin::{
+    check_counter, check_exact, check_interval, check_max_register, check_snapshot, Violation,
+};
 use ruo_sim::spec::SeqSpec;
 use ruo_sim::stepcount::CountingMem;
 use ruo_sim::{
@@ -76,6 +78,21 @@ pub fn run(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineErr
     }
 }
 
+/// The checker that actually decides this spec's histories: `auto`
+/// resolves to the WGL interval checker for sim and real histories
+/// (exact verdicts at any size) and to the family's fast checker for
+/// the explore engine (millions of tiny histories, where the fast
+/// checkers' linear scans win). Explicit choices pass through, so a
+/// spec can still pin `fast`, `interval` or `exact`. Reports record
+/// the resolved name in their `checker` field.
+pub fn resolve_checker(spec: &ScenarioSpec) -> CheckerKind {
+    match (spec.checker, spec.engine) {
+        (CheckerKind::Auto, EngineKind::Explore) => CheckerKind::Fast,
+        (CheckerKind::Auto, _) => CheckerKind::Interval,
+        (explicit, _) => explicit,
+    }
+}
+
 /// Checks a history against the spec's checker choice.
 pub fn check_history(spec: &ScenarioSpec, history: &History) -> Result<(), Violation> {
     check_history_from(spec, history, 0)
@@ -86,21 +103,21 @@ fn check_history_from(
     history: &History,
     initial: i64,
 ) -> Result<(), Violation> {
-    match (spec.checker, spec.family) {
-        (CheckerKind::Auto, Family::MaxReg) => check_max_register(history, initial),
-        (CheckerKind::Auto, Family::Counter) => check_counter(history),
-        (CheckerKind::Auto, Family::Snapshot) => check_snapshot(history, spec.n, 0),
-        (CheckerKind::Exact, Family::MaxReg) => {
-            check_exact(history, &SeqSpec::MaxRegister { initial })
-        }
-        (CheckerKind::Exact, Family::Counter) => check_exact(history, &SeqSpec::Counter),
-        (CheckerKind::Exact, Family::Snapshot) => check_exact(
-            history,
-            &SeqSpec::Snapshot {
-                n: spec.n,
-                initial: 0,
-            },
-        ),
+    let seq = || match spec.family {
+        Family::MaxReg => SeqSpec::MaxRegister { initial },
+        Family::Counter => SeqSpec::Counter,
+        Family::Snapshot => SeqSpec::Snapshot {
+            n: spec.n,
+            initial: 0,
+        },
+    };
+    match (resolve_checker(spec), spec.family) {
+        (CheckerKind::Auto, _) => unreachable!("resolve_checker never returns Auto"),
+        (CheckerKind::Fast, Family::MaxReg) => check_max_register(history, initial),
+        (CheckerKind::Fast, Family::Counter) => check_counter(history),
+        (CheckerKind::Fast, Family::Snapshot) => check_snapshot(history, spec.n, 0),
+        (CheckerKind::Interval, _) => check_interval(history, &seq()),
+        (CheckerKind::Exact, _) => check_exact(history, &seq()),
     }
 }
 
@@ -384,9 +401,12 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
         None
     };
     let mut report = ScenarioReport::new(spec, quick);
+    report.checker = Some(resolve_checker(spec).name().into());
     let mut ok_runs = 0u64;
     let mut crashed_runs = 0u64;
     let mut pending_ops = 0u64;
+    let mut checked_ops = 0u64;
+    let mut largest_history = 0u64;
     let mut first_violation: Option<String> = None;
     let mut steps = wants_steps(spec).then(StepStats::new);
     let mut first_trace: Option<StepTrace> = None;
@@ -408,6 +428,9 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
             crashed_runs += 1;
         }
         pending_ops += run.outcome.history.pending().count() as u64;
+        let hist_ops = run.outcome.history.ops().len() as u64;
+        checked_ops += hist_ops;
+        largest_history = largest_history.max(hist_ops);
         if run.passed() {
             ok_runs += 1;
         } else if first_violation.is_none() {
@@ -422,6 +445,8 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
     report.set("violations", seeds - ok_runs);
     report.set("crashed_runs", crashed_runs);
     report.set("pending_ops", pending_ops);
+    report.set("checked_ops", checked_ops);
+    report.set("largest_history", largest_history);
     report.steps = steps;
     if let (Some(tspec), Some(trace)) = (&spec.trace, &first_trace) {
         export_trace(tspec, trace, &mut report)?;
@@ -679,8 +704,9 @@ pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engi
 /// setup closure (fresh memory + machines per schedule), the op
 /// descriptors, and the checker's initial value.
 pub struct ExploreParts {
-    /// Builds a fresh memory and machine vector for one schedule.
-    pub setup: Box<dyn Fn() -> (Memory, Vec<Machine>)>,
+    /// Builds a fresh memory and machine vector for one schedule
+    /// (`Sync` so [`explore_parallel`] workers can each call it).
+    pub setup: Box<dyn Fn() -> (Memory, Vec<Machine>) + Sync>,
     /// One descriptor per machine.
     pub ops: Vec<ExploreOp>,
     /// The checker's initial object value (the seed update, if any).
@@ -740,7 +766,7 @@ pub fn explore_parts(spec: &ScenarioSpec) -> Result<ExploreParts, EngineError> {
     build_sim_object(spec)?;
     let scope_spec = spec.clone();
     let scope = espec.clone();
-    let setup: Box<dyn Fn() -> (Memory, Vec<Machine>)> = Box::new(move || {
+    let setup: Box<dyn Fn() -> (Memory, Vec<Machine>) + Sync> = Box::new(move || {
         let (mut mem, obj) = build_sim_object(&scope_spec).expect("validated above");
         if let Some(seed_v) = scope.seed_update {
             if let SimObject::MaxReg(reg) = &obj {
@@ -847,31 +873,57 @@ pub fn run_explore(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, E
         max_crashes: espec.max_crashes,
     };
     let initial = parts.initial;
-    let exact = spec.checker == CheckerKind::Exact;
+    let ckind = resolve_checker(spec);
     let family = spec.family;
-    let n = spec.n;
-    let mut steps = wants_steps(spec).then(StepStats::new);
-    let mut check = |h: &History| -> bool {
-        if let Some(acc) = &mut steps {
-            acc.record_history(h);
-        }
-        match (exact, family) {
-            (false, Family::MaxReg) => check_max_register(h, initial).is_ok(),
-            (false, Family::Counter) => check_counter(h).is_ok(),
-            (true, Family::MaxReg) => check_exact(h, &SeqSpec::MaxRegister { initial }).is_ok(),
-            (true, Family::Counter) => check_exact(h, &SeqSpec::Counter).is_ok(),
-            (_, Family::Snapshot) => {
-                let _ = n;
-                unreachable!("rejected by explore_parts")
+    let verdict = move |h: &History| -> bool {
+        match (ckind, family) {
+            (CheckerKind::Auto, _) => unreachable!("resolve_checker never returns Auto"),
+            (CheckerKind::Fast, Family::MaxReg) => check_max_register(h, initial).is_ok(),
+            (CheckerKind::Fast, Family::Counter) => check_counter(h).is_ok(),
+            (CheckerKind::Interval, Family::MaxReg) => {
+                check_interval(h, &SeqSpec::MaxRegister { initial }).is_ok()
             }
+            (CheckerKind::Interval, Family::Counter) => {
+                check_interval(h, &SeqSpec::Counter).is_ok()
+            }
+            (CheckerKind::Exact, Family::MaxReg) => {
+                check_exact(h, &SeqSpec::MaxRegister { initial }).is_ok()
+            }
+            (CheckerKind::Exact, Family::Counter) => check_exact(h, &SeqSpec::Counter).is_ok(),
+            (_, Family::Snapshot) => unreachable!("rejected by explore_parts"),
         }
     };
+    let mut steps = wants_steps(spec).then(StepStats::new);
     let start = Instant::now();
-    let summary = explore(&*parts.setup, &parts.ops, &mut check, cfg);
+    let summary = if espec.workers > 1 {
+        // The parallel search needs a `Fn + Sync` checker; step
+        // aggregation moves behind a mutex (uncontended relative to the
+        // per-schedule search work).
+        let shared_steps = steps.take().map(Mutex::new);
+        let check = |h: &History| -> bool {
+            if let Some(m) = &shared_steps {
+                m.lock().expect("steps poisoned").record_history(h);
+            }
+            verdict(h)
+        };
+        let summary = explore_parallel(&*parts.setup, &parts.ops, &check, cfg, espec.workers);
+        steps = shared_steps.map(|m| m.into_inner().expect("steps poisoned"));
+        summary
+    } else {
+        let mut check = |h: &History| -> bool {
+            if let Some(acc) = &mut steps {
+                acc.record_history(h);
+            }
+            verdict(h)
+        };
+        explore(&*parts.setup, &parts.ops, &mut check, cfg)
+    };
     let seconds = start.elapsed().as_secs_f64();
 
     let mut report = ScenarioReport::new(spec, quick);
+    report.checker = Some(ckind.name().into());
     report.set("schedules", summary.schedules as u64);
+    report.set("workers", espec.workers as u64);
     report.set("truncated", summary.truncated as u64);
     report.set("violation", summary.violation.is_some() as u64);
     report.set("pruned_branches", summary.stats.pruned_branches as u64);
@@ -928,6 +980,7 @@ mod tests {
         });
         let r = run_sim(&spec, false).unwrap();
         assert!(r.ok, "notes: {:?}", r.notes);
+        assert_eq!(r.checker.as_deref(), Some("interval"), "auto resolves");
         assert_eq!(r.counter("seeds"), Some(20));
         assert_eq!(r.counter("violations"), Some(0));
         assert_eq!(r.counter("cert_ok"), Some(1));
@@ -985,11 +1038,29 @@ mod tests {
             max_schedules: 100_000,
             prune: true,
             max_crashes: 1,
+            workers: 1,
         });
         let r = run_explore(&spec, false).unwrap();
         assert!(r.ok, "notes: {:?}", r.notes);
+        assert_eq!(r.checker.as_deref(), Some("fast"));
         assert!(r.counter("schedules").unwrap() > 1);
         assert!(r.counter("crash_branches").unwrap() > 0);
+        // The same scope searched by 4 workers visits the same node
+        // set: every counter the report carries must match.
+        spec.explore.as_mut().unwrap().workers = 4;
+        let p = run_explore(&spec, false).unwrap();
+        assert!(p.ok, "notes: {:?}", p.notes);
+        for key in [
+            "schedules",
+            "pruned_branches",
+            "executed_steps",
+            "replay_steps_saved",
+            "peak_depth",
+            "crash_branches",
+        ] {
+            assert_eq!(p.counter(key), r.counter(key), "{key}");
+        }
+        assert_eq!(p.counter("workers"), Some(4));
     }
 
     #[test]
@@ -1011,6 +1082,7 @@ mod tests {
             max_schedules: 10,
             prune: true,
             max_crashes: 0,
+            workers: 1,
         });
         assert!(matches!(
             run_explore(&spec, false),
@@ -1130,6 +1202,7 @@ mod tests {
             max_schedules: 100_000,
             prune: true,
             max_crashes: 0,
+            workers: 1,
         });
         spec.trace = Some(trace_to(None, Some(&chrome)));
         let r = run_explore(&spec, false).unwrap();
@@ -1180,6 +1253,7 @@ mod tests {
             max_schedules: 10_000,
             prune: true,
             max_crashes: 0,
+            workers: 2,
         });
         explore.trace = Some(TraceSpec::default());
         for (spec, label) in [(sim, "sim"), (real, "real"), (explore, "explore")] {

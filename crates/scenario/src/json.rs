@@ -4,10 +4,12 @@
 //! reports use this hand-rolled codec instead of `serde`. The dialect is
 //! exactly what the scenario schema needs:
 //!
-//! - numbers are **unsigned 64-bit integers** when parsed (every numeric
+//! - integers parse to [`Json::Num`] (non-negative — every numeric
 //!   field in a [`crate::ScenarioSpec`] is a count, seed, percentage or
-//!   bound); [`Json::Float`] exists for *emitting* report metrics and is
-//!   never produced by the parser,
+//!   bound) or [`Json::Int`] (negative — exported traces carry signed
+//!   words); [`Json::Float`] is reserved for numbers written with a
+//!   fraction or exponent, so integral values survive a round trip as
+//!   integers,
 //! - strings support the standard `\" \\ \/ \n \t \r \b \f \uXXXX`
 //!   escapes (no surrogate pairs — the schema is ASCII in practice),
 //! - objects preserve key order, which keeps spec round-trips and report
@@ -22,13 +24,17 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// An unsigned integer (the only numeric type the parser produces).
+    /// A non-negative integer (what the parser produces for unsigned
+    /// integer literals).
     Num(u64),
+    /// A negative integer: produced by the parser for `-`-signed
+    /// integral literals (exported traces carry signed words; nothing
+    /// in the *spec* schemas is negative — integer spec fields read
+    /// [`Json::as_u64`], which rejects it). Always strictly negative;
+    /// `-0` normalizes to `Num(0)`.
+    Int(i64),
     /// A float: emitted for report metrics and produced by the parser
-    /// for numbers with a fraction, exponent or sign (nothing in the
-    /// *spec* schemas is negative — integer fields read
-    /// [`Json::as_u64`], which rejects floats — but exported traces
-    /// carry signed values).
+    /// only for numbers with a fraction or exponent.
     Float(f64),
     /// A string.
     Str(String),
@@ -89,12 +95,22 @@ impl Json {
         }
     }
 
+    /// The value as a signed integer, if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => i64::try_from(*n).ok(),
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// The value as a float; integers widen (exact for the magnitudes
     /// the schemas carry).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Float(x) => Some(*x),
             Json::Num(n) => Some(*n as f64),
+            Json::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -144,6 +160,7 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
             Json::Float(x) => {
                 if x.is_finite() {
                     let text = format!("{x}");
@@ -318,15 +335,23 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
-        if float || negative {
-            // Floats (and negative values, which occur in exported
-            // traces but nowhere in the spec schemas) appear only
-            // outside integer spec fields; those read via `as_u64` and
-            // reject them there.
+        if float {
             let x = text
                 .parse::<f64>()
                 .map_err(|_| self.err("malformed number"))?;
             return Ok(Json::Float(if negative { -x } else { x }));
+        }
+        if negative {
+            // Integral negatives stay integers (exported traces carry
+            // signed words, and they must re-import as written, not as
+            // floats). `-0` normalizes to the unsigned zero.
+            return match text.parse::<i64>() {
+                Ok(0) => Ok(Json::Num(0)),
+                Ok(n) => Ok(Json::Int(-n)),
+                // `-9223372036854775808` has no positive i64 partner.
+                Err(_) if text == "9223372036854775808" => Ok(Json::Int(i64::MIN)),
+                Err(_) => Err(self.err("integer does not fit in i64")),
+            };
         }
         text.parse::<u64>()
             .map(Json::Num)
@@ -480,14 +505,17 @@ mod tests {
 
     #[test]
     fn rejects_schema_foreign_numbers() {
-        // Negative values parse as floats (exported traces carry signed
-        // words); integer spec fields reject them via `as_u64`.
-        assert_eq!(Json::parse("-3").unwrap(), Json::Float(-3.0));
+        // Integral negatives parse as signed integers (exported traces
+        // carry signed words); integer spec fields reject them via
+        // `as_u64`.
+        assert_eq!(Json::parse("-3").unwrap(), Json::Int(-3));
         assert_eq!(Json::parse("-3").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-3").unwrap().as_i64(), Some(-3));
         assert_eq!(Json::parse("-1.5e1").unwrap(), Json::Float(-15.0));
         assert!(Json::parse("-").is_err());
         assert!(Json::parse("-x").is_err());
         assert!(Json::parse("99999999999999999999").is_err());
+        assert!(Json::parse("-99999999999999999999").is_err());
         assert!(Json::parse("1.").is_err());
         assert!(Json::parse("1e").is_err());
         assert_eq!(Json::parse("1.5").unwrap(), Json::Float(1.5));
@@ -495,6 +523,27 @@ mod tests {
         // Floats never satisfy integer accessors, so spec fields still
         // reject them.
         assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1.5").unwrap().as_i64(), None);
+    }
+
+    #[test]
+    fn negative_integers_round_trip_as_integers() {
+        // The i64 edges and `-0` normalization.
+        assert_eq!(Json::parse("-0").unwrap(), Json::Num(0));
+        assert_eq!(
+            Json::parse("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        );
+        assert_eq!(
+            Json::parse("-9223372036854775807").unwrap(),
+            Json::Int(i64::MIN + 1)
+        );
+        // Emission is the exact literal, so a second parse agrees.
+        for n in [-1i64, -63, -1_000_000, i64::MIN] {
+            let v = Json::Int(n);
+            assert_eq!(v.pretty().trim(), n.to_string());
+            assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+        }
     }
 
     #[test]

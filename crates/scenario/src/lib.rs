@@ -36,8 +36,9 @@ pub mod report;
 pub mod spec;
 
 pub use engine::{
-    build_sim_object, check_history, explore_parts, fault_plan_for_seed, measure_step_bound, run,
-    run_explore, run_real, run_sim, run_sim_seed, EngineError, ExploreParts, SimSeedRun,
+    build_sim_object, check_history, explore_parts, fault_plan_for_seed, measure_step_bound,
+    resolve_checker, run, run_explore, run_real, run_sim, run_sim_seed, EngineError, ExploreParts,
+    SimSeedRun,
 };
 pub use json::{Json, JsonError};
 pub use registry::{

@@ -33,6 +33,11 @@ pub struct ScenarioReport {
     /// The verdict: no checker violations, no certification failures,
     /// no truncated searches.
     pub ok: bool,
+    /// The checker that actually decided this run's histories (the
+    /// spec's `auto` resolved to a concrete checker) — `"fast"`,
+    /// `"interval"` or `"exact"`. `None` for engines that verify
+    /// nothing (the real engine certifies progress, not histories).
+    pub checker: Option<String>,
     /// Ordered integer counters.
     pub counters: Vec<(String, u64)>,
     /// Ordered float metrics.
@@ -54,6 +59,7 @@ impl ScenarioReport {
             engine: spec.engine,
             quick,
             ok: true,
+            checker: None,
             counters: Vec::new(),
             metrics: Vec::new(),
             steps: None,
@@ -110,6 +116,11 @@ impl ScenarioReport {
             ("engine".into(), Json::Str(self.engine.name().into())),
             ("quick".into(), Json::Bool(self.quick)),
             ("ok".into(), Json::Bool(self.ok)),
+        ];
+        if let Some(c) = &self.checker {
+            o.push(("checker".into(), Json::Str(c.clone())));
+        }
+        o.extend([
             (
                 "counters".into(),
                 Json::Obj(
@@ -128,7 +139,7 @@ impl ScenarioReport {
                         .collect(),
                 ),
             ),
-        ];
+        ]);
         if let Some(steps) = &self.steps {
             o.push(("steps".into(), steps_to_json(steps)));
         }
@@ -221,6 +232,10 @@ impl ScenarioReport {
             engine,
             quick: req_bool("quick")?,
             ok: req_bool("ok")?,
+            checker: doc
+                .get("checker")
+                .and_then(Json::as_str)
+                .map(str::to_string),
             counters,
             metrics,
             steps,
@@ -337,6 +352,7 @@ mod tests {
         let spec = ScenarioSpec::new("w7", Family::MaxReg, "tree", EngineKind::Sim, 4);
         let mut r = ScenarioReport::new(&spec, false);
         r.ok = false;
+        r.checker = Some("interval".into());
         r.set("seeds", 100);
         r.set("violations", 1);
         r.set_metric("seconds", 0.25);

@@ -120,11 +120,19 @@ impl OpMix {
 /// Which checker validates histories.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CheckerKind {
+    /// Let the engine pick: the WGL interval checker for sim and real
+    /// histories (decides any size), the fast per-object checker for
+    /// the explore engine's millions of tiny histories. The report's
+    /// `checker` field records what actually ran.
+    Auto,
     /// The family's fast linear-time checker
     /// (`check_max_register` / `check_counter` / `check_snapshot`).
-    Auto,
-    /// The exponential exact linearizability checker (`check_exact`) —
-    /// small scopes only.
+    Fast,
+    /// The WGL interval linearizability checker (`check_interval`) —
+    /// exact verdicts with no history-size cap.
+    Interval,
+    /// The bitmask exact linearizability checker (`check_exact`) —
+    /// histories of at most 63 operations.
     Exact,
 }
 
@@ -133,6 +141,8 @@ impl CheckerKind {
     pub fn name(self) -> &'static str {
         match self {
             CheckerKind::Auto => "auto",
+            CheckerKind::Fast => "fast",
+            CheckerKind::Interval => "interval",
             CheckerKind::Exact => "exact",
         }
     }
@@ -140,6 +150,8 @@ impl CheckerKind {
     fn parse(s: &str) -> Option<Self> {
         match s {
             "auto" => Some(CheckerKind::Auto),
+            "fast" => Some(CheckerKind::Fast),
+            "interval" => Some(CheckerKind::Interval),
             "exact" => Some(CheckerKind::Exact),
             _ => None,
         }
@@ -227,6 +239,9 @@ pub struct ExploreSpec {
     pub prune: bool,
     /// Crash budget (0 = crash-free schedules only).
     pub max_crashes: usize,
+    /// Worker threads for the search (1 = the sequential explorer;
+    /// more partitions the root branches via `explore_parallel`).
+    pub workers: usize,
 }
 
 /// Parameters specific to the real-threads engine.
@@ -516,7 +531,7 @@ impl ScenarioSpec {
         if let Some(s) = opt_str(&doc, "checker")? {
             spec.checker = match CheckerKind::parse(s) {
                 Some(c) => c,
-                None => return err("\"checker\" must be auto | exact"),
+                None => return err("\"checker\" must be auto | fast | interval | exact"),
             };
         }
         if let Some(b) = opt_bool(&doc, "certify")? {
@@ -659,6 +674,9 @@ fn explore_to_json(e: &ExploreSpec) -> Json {
     o.push(("max_schedules".into(), Json::Num(e.max_schedules as u64)));
     o.push(("prune".into(), Json::Bool(e.prune)));
     o.push(("max_crashes".into(), Json::Num(e.max_crashes as u64)));
+    if e.workers != 1 {
+        o.push(("workers".into(), Json::Num(e.workers as u64)));
+    }
     Json::Obj(o)
 }
 
@@ -686,12 +704,17 @@ fn explore_from_json(v: &Json, n: usize) -> Result<ExploreSpec, SpecError> {
     if ops.len() > 64 {
         return err("the explorer supports at most 64 operations");
     }
+    let workers = opt_u64(v, "workers")?.unwrap_or(1) as usize;
+    if workers == 0 {
+        return err("\"explore.workers\" must be at least 1");
+    }
     Ok(ExploreSpec {
         seed_update: opt_u64(v, "seed_update")?,
         ops,
         max_schedules: req_u64(v, "max_schedules")? as usize,
         prune: opt_bool(v, "prune")?.unwrap_or(true),
         max_crashes: opt_u64(v, "max_crashes")?.unwrap_or(0) as usize,
+        workers,
     })
 }
 
@@ -795,6 +818,7 @@ mod tests {
             max_schedules: 100_000,
             prune: false,
             max_crashes: 1,
+            workers: 4,
         });
         spec.real = Some(RealSpec {
             threads: 4,

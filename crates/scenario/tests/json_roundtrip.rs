@@ -8,8 +8,8 @@
 //! construction.
 
 use ruo_scenario::{
-    CheckerKind, CrashAt, EngineKind, ExploreSpec, Family, FaultSpec, OpKind, OpMix, RealSpec,
-    ScenarioOp, ScenarioSpec, SchedulePolicy, TraceSpec,
+    CheckerKind, CrashAt, EngineKind, ExploreSpec, Family, FaultSpec, Json, OpKind, OpMix,
+    RealSpec, ScenarioOp, ScenarioSpec, SchedulePolicy, TraceSpec,
 };
 use ruo_sim::SplitMix64;
 
@@ -75,10 +75,11 @@ fn random_spec(rng: &mut SplitMix64) -> ScenarioSpec {
                 .collect(),
         }),
     };
-    spec.checker = if rng.gen_bool(0.8) {
-        CheckerKind::Auto
-    } else {
-        CheckerKind::Exact
+    spec.checker = match rng.gen_index(5) {
+        0 => CheckerKind::Fast,
+        1 => CheckerKind::Interval,
+        2 => CheckerKind::Exact,
+        _ => CheckerKind::Auto,
     };
     spec.certify = rng.gen_bool(0.3);
     spec.root_fast_path = rng.gen_bool(0.3);
@@ -101,6 +102,7 @@ fn random_spec(rng: &mut SplitMix64) -> ScenarioSpec {
             max_schedules: 1 + rng.gen_index(1 << 20),
             prune: rng.gen_bool(0.5),
             max_crashes: rng.gen_index(3),
+            workers: 1 + rng.gen_index(8),
         });
     }
     if rng.gen_bool(0.4) {
@@ -136,6 +138,64 @@ fn random_specs_round_trip_through_json() {
             "case {case}: re-emission is not canonical"
         );
     }
+}
+
+/// Generates a random JSON tree that mixes all four numeric shapes the
+/// codec distinguishes — unsigned, negative integer, float — with
+/// strings, arrays and objects, like an exported trace document.
+fn random_json(rng: &mut SplitMix64, depth: usize) -> Json {
+    match rng.gen_index(if depth == 0 { 6 } else { 8 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => Json::Num(rng.next_u64() >> rng.gen_index(64)),
+        3 => {
+            // Strictly negative, spanning small trace values to i64::MIN.
+            let n = (rng.next_u64() >> rng.gen_index(64)) as i64;
+            Json::Int(n.checked_neg().map_or(i64::MIN, |m| m.min(-1)))
+        }
+        4 => Json::Float((rng.gen_below(2_000_001) as f64 - 1_000_000.0) / 16.0),
+        5 => Json::Str(random_name(rng)),
+        6 => Json::Arr(
+            (0..rng.gen_index(4))
+                .map(|_| random_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.gen_index(4))
+                .map(|i| (format!("k{i}"), random_json(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+/// The codec bugfix regression: negative integers used to re-import as
+/// `Json::Float`, so exported traces with signed word values failed
+/// strict integer reads. Random trees mixing every numeric shape must
+/// now survive `parse(pretty(v)) == v` exactly.
+#[test]
+fn json_values_with_negative_integers_round_trip() {
+    let mut rng = SplitMix64::new(0x4E47_1A7E);
+    let mut negatives = 0usize;
+    for case in 0..2_000 {
+        let v = random_json(&mut rng, 3);
+        let mut stack = vec![&v];
+        while let Some(node) = stack.pop() {
+            match node {
+                Json::Int(n) => {
+                    assert!(*n < 0, "Int must be strictly negative, got {n}");
+                    negatives += 1;
+                }
+                Json::Arr(items) => stack.extend(items),
+                Json::Obj(pairs) => stack.extend(pairs.iter().map(|(_, v)| v)),
+                _ => {}
+            }
+        }
+        let text = v.pretty();
+        let back = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: emitted JSON rejected: {e}\n{text}"));
+        assert_eq!(back, v, "case {case}: round trip diverged\n{text}");
+    }
+    assert!(negatives > 100, "fuzz generated too few negative ints");
 }
 
 /// The strict codec stays strict inside the `trace` section: an unknown

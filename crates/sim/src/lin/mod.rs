@@ -1,12 +1,16 @@
 //! Linearizability checking.
 //!
-//! Two layers:
+//! Three layers:
 //!
-//! * [`check_exact`] — a complete Wing–Gong-style search. Decides
-//!   linearizability exactly, but its cost is exponential in the number
-//!   of overlapping operations, so it is reserved for small histories
-//!   (the test suite uses it on histories of up to ~14 operations and to
-//!   validate the fast checkers below).
+//! * [`check_exact`] — a complete Wing–Gong-style search over a `u64`
+//!   bitmask of linearized operations. Decides linearizability exactly
+//!   but refuses histories over 63 operations; it is the differential
+//!   oracle for the interval checker and the fast checkers below.
+//! * [`check_interval`] — the same complete search over a chain
+//!   decomposition of the interval order (see [`wgl`] for the
+//!   construction), with no cap on history length: histories of tens of
+//!   thousands of operations, including pending operations left by
+//!   crashes, are *decided* rather than refused.
 //! * [`check_max_register`], [`check_counter`], [`check_snapshot`] —
 //!   fast, *sound* checkers built on interval conditions specific to each
 //!   object family. Sound means every reported [`Violation`] is a real
@@ -25,6 +29,10 @@ use std::fmt;
 use crate::history::{History, OpDesc, OpOutput, OpRecord};
 use crate::spec::{SeqSpec, SpecState};
 use crate::Word;
+
+pub mod wgl;
+
+pub use wgl::check_interval;
 
 /// Why a history is not linearizable (or not checkable).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,7 +54,7 @@ pub enum ViolationKind {
     BadWorkload,
     /// The history exceeds the checker's capacity (the exact checker's
     /// 63-operation bitmask limit). Not a linearizability verdict —
-    /// re-check with the fast checkers or a smaller scope.
+    /// re-check with [`check_interval`], which has no cap.
     Uncheckable,
 }
 
@@ -87,7 +95,7 @@ impl Error for Violation {}
 ///
 /// Returns [`ViolationKind::NoLinearization`] if no legal order exists,
 /// or [`ViolationKind::Uncheckable`] if the history has more than 63
-/// operations (the bitmask search's capacity — use the fast checkers
+/// operations (the bitmask search's capacity — use [`check_interval`]
 /// for large histories). `Uncheckable` is a capacity report, not a
 /// linearizability verdict; crash-truncated soak runs check it
 /// explicitly instead of aborting.

@@ -79,6 +79,7 @@ fn double_cas_survives_every_one_crash_schedule_at_n4() {
         max_schedules: 2_000_000,
         prune: true,
         max_crashes: 1,
+        workers: 1,
     });
     let parts = explore_parts(&spec).unwrap();
     assert_eq!(parts.initial, 3, "the seed update is the checker's initial");
