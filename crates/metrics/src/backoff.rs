@@ -1,0 +1,183 @@
+//! Deterministic exponential backoff with bounded jitter.
+
+use std::fmt;
+use std::time::Duration;
+
+use ruo_sim::SplitMix64;
+
+/// Exponential backoff with multiplicative, seeded jitter.
+///
+/// Attempt `a` (0-based) nominally waits `base · 2^a`, capped at `cap`.
+/// The actual delay is the nominal delay scaled by a factor drawn
+/// uniformly from `[1 - jitter, 1 + jitter]` using the caller's
+/// [`SplitMix64`] — deterministic per seed, so a chaos run that retried
+/// can be replayed byte-for-byte. The jittered delay is clamped to
+/// `cap`, so [`BackoffPolicy::bounds`] is always honoured.
+///
+/// ```
+/// use std::time::Duration;
+/// use ruo_metrics::BackoffPolicy;
+/// use ruo_sim::SplitMix64;
+///
+/// let policy = BackoffPolicy::new(Duration::from_millis(2), Duration::from_millis(64), 0.25);
+/// let mut rng = SplitMix64::new(7);
+/// let d = policy.delay(3, &mut rng); // nominal 16ms, jittered ±25%
+/// let (lo, hi) = policy.bounds(3);
+/// assert!(d >= lo && d <= hi);
+/// ```
+#[derive(Clone, Copy)]
+pub struct BackoffPolicy {
+    base: Duration,
+    cap: Duration,
+    jitter: f64,
+}
+
+impl fmt::Debug for BackoffPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackoffPolicy")
+            .field("base", &self.base)
+            .field("cap", &self.cap)
+            .field("jitter", &self.jitter)
+            .finish()
+    }
+}
+
+impl BackoffPolicy {
+    /// Creates a policy. `jitter` is a fraction in `[0, 1)`: `0.25`
+    /// means each delay is scaled by a uniform factor in `[0.75, 1.25]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is not in `[0, 1)` or `base > cap`.
+    pub fn new(base: Duration, cap: Duration, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        assert!(base <= cap, "base must not exceed cap");
+        BackoffPolicy { base, cap, jitter }
+    }
+
+    /// The initial (attempt-0) nominal delay.
+    pub fn base(&self) -> Duration {
+        self.base
+    }
+
+    /// The largest delay any attempt can produce.
+    pub fn cap(&self) -> Duration {
+        self.cap
+    }
+
+    /// The jitter fraction.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Nominal (un-jittered) delay for 0-based `attempt`: `base · 2^attempt`,
+    /// saturating at `cap`.
+    pub fn nominal(&self, attempt: u32) -> Duration {
+        let base_ns = self.base.as_nanos();
+        // `u128 <<` discards overflowed bits, so saturate explicitly.
+        let scaled = if attempt >= 64 {
+            u128::MAX
+        } else {
+            base_ns.saturating_mul(1u128 << attempt)
+        };
+        Duration::from_nanos(scaled.min(self.cap.as_nanos()).min(u64::MAX as u128) as u64)
+    }
+
+    /// Inclusive `[min, max]` envelope every [`BackoffPolicy::delay`]
+    /// call for `attempt` stays inside, regardless of seed.
+    pub fn bounds(&self, attempt: u32) -> (Duration, Duration) {
+        let nominal = self.nominal(attempt).as_nanos() as f64;
+        let lo = Duration::from_nanos((nominal * (1.0 - self.jitter)) as u64);
+        let hi = Duration::from_nanos((nominal * (1.0 + self.jitter)) as u64);
+        (lo.min(self.cap), hi.min(self.cap))
+    }
+
+    /// Jittered delay for 0-based `attempt`, drawn from `rng`.
+    pub fn delay(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let nominal = self.nominal(attempt).as_nanos() as f64;
+        // Uniform in [0, 1): 53 high bits of one SplitMix64 output.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * unit;
+        let d = Duration::from_nanos((nominal * factor) as u64);
+        d.min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BackoffPolicy {
+        BackoffPolicy::new(Duration::from_micros(500), Duration::from_millis(50), 0.2)
+    }
+
+    #[test]
+    fn nominal_doubles_until_the_cap() {
+        let p = policy();
+        assert_eq!(p.nominal(0), Duration::from_micros(500));
+        assert_eq!(p.nominal(1), Duration::from_millis(1));
+        assert_eq!(p.nominal(4), Duration::from_millis(8));
+        assert_eq!(p.nominal(7), Duration::from_millis(50)); // 64ms capped
+        assert_eq!(p.nominal(63), Duration::from_millis(50));
+        assert_eq!(p.nominal(200), Duration::from_millis(50)); // shift overflow saturates
+    }
+
+    #[test]
+    fn delays_stay_within_the_configured_jitter_bounds() {
+        // The satellite-3 sweep: every (seed, attempt) pair lands inside
+        // the advertised envelope and never exceeds the cap.
+        let p = policy();
+        for seed in 0..64u64 {
+            let mut rng = SplitMix64::new(seed);
+            for attempt in 0..12u32 {
+                let d = p.delay(attempt, &mut rng);
+                let (lo, hi) = p.bounds(attempt);
+                assert!(
+                    d >= lo && d <= hi,
+                    "seed {seed} attempt {attempt}: {d:?} outside [{lo:?}, {hi:?}]"
+                );
+                assert!(d <= p.cap());
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_actually_spreads_delays() {
+        let p = policy();
+        let mut rng = SplitMix64::new(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..32 {
+            seen.insert(p.delay(3, &mut rng).as_nanos());
+        }
+        assert!(seen.len() > 16, "only {} distinct delays", seen.len());
+    }
+
+    #[test]
+    fn zero_jitter_is_exactly_nominal() {
+        let p = BackoffPolicy::new(Duration::from_millis(1), Duration::from_millis(16), 0.0);
+        let mut rng = SplitMix64::new(9);
+        for attempt in 0..8 {
+            assert_eq!(p.delay(attempt, &mut rng), p.nominal(attempt));
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_delays() {
+        let p = policy();
+        let a: Vec<_> = {
+            let mut rng = SplitMix64::new(77);
+            (0..10).map(|i| p.delay(i, &mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = SplitMix64::new(77);
+            (0..10).map(|i| p.delay(i, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn rejects_full_jitter() {
+        let _ = BackoffPolicy::new(Duration::from_millis(1), Duration::from_millis(2), 1.0);
+    }
+}

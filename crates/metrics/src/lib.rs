@@ -21,6 +21,10 @@
 //!   watchdog certifying wait-free step bounds under crashes.
 //! * [`ShardGauges`] — per-stripe counts, imbalance, and hottest stripe
 //!   for the sharded counter mode.
+//! * [`HealthGauges`] — server health: admission/shed/degraded/dedup
+//!   totals plus queue-depth and in-flight watermarks.
+//! * [`BackoffPolicy`] — deterministic exponential retry backoff with
+//!   seeded jitter.
 //! * [`trace`] (`ruo_trace`) — per-operation step tracing: exact
 //!   attribution of shared-memory events to operations, aggregate
 //!   [`StepStats`], and JSONL / Chrome `trace_event` export.
@@ -47,9 +51,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod backoff;
 mod checker;
 mod explore;
 mod gauge;
+mod health;
 mod histogram;
 mod latency;
 mod progress;
@@ -57,9 +63,11 @@ mod shard;
 pub mod trace;
 mod watermark;
 
+pub use backoff::BackoffPolicy;
 pub use checker::CheckerGauges;
 pub use explore::ExploreGauges;
 pub use gauge::ProgressGauge;
+pub use health::{HealthEvent, HealthGauges, HealthSnapshot};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use latency::{LatencyReport, LatencyTracker};
 pub use progress::{ProgressCertifier, ProgressReport, ProgressViolation};

@@ -8,6 +8,10 @@
 //! `run` parses each spec, verifies the JSON codec round-trips to an
 //! identical spec (exit 2 on codec or parse errors), dispatches to the
 //! engine the spec names, and prints one verdict line per scenario.
+//! Every run goes through the wall-clock watchdog: a spec's own
+//! `watchdog_secs` wins, `--watchdog <secs>` supplies a default for
+//! specs that don't set one, and a fired watchdog is an ordinary
+//! failing report (nonzero exit), not a hung process.
 //! With `--json` the verdict lines move to stderr and stdout carries a
 //! single `ruo-scenario-run-v1` document embedding every full
 //! [`ScenarioReport`] (counters, metrics, notes, and the `steps` block),
@@ -15,14 +19,14 @@
 
 use std::process::exit;
 
-use ruo_scenario::{registry, run, Family, Json, ScenarioReport, ScenarioSpec};
+use ruo_scenario::{registry, run_with_watchdog, Family, Json, ScenarioReport, ScenarioSpec};
 
 /// Schema tag of the combined `--json` document.
 const RUN_SCHEMA: &str = "ruo-scenario-run-v1";
 
 fn usage() -> ! {
     eprintln!("usage: scenario list");
-    eprintln!("       scenario run [--quick] [--json] <spec.json>...");
+    eprintln!("       scenario run [--quick] [--json] [--watchdog <secs>] <spec.json>...");
     exit(2);
 }
 
@@ -88,11 +92,17 @@ fn combined_json(quick: bool, results: &[(String, ScenarioReport)]) -> String {
 fn run_files(args: &[String]) -> i32 {
     let mut quick = false;
     let mut json = false;
+    let mut default_watchdog: Option<u64> = None;
     let mut files = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
+            "--watchdog" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(secs) => default_watchdog = Some(secs),
+                None => usage(),
+            },
             _ if a.starts_with("--") => usage(),
             _ => files.push(a.clone()),
         }
@@ -103,14 +113,17 @@ fn run_files(args: &[String]) -> i32 {
     let mut failures = 0;
     let mut results: Vec<(String, ScenarioReport)> = Vec::new();
     for path in &files {
-        let spec = match load_spec(path) {
+        let mut spec = match load_spec(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("error: {e}");
                 exit(2);
             }
         };
-        match run(&spec, quick) {
+        if spec.watchdog_secs.is_none() {
+            spec.watchdog_secs = default_watchdog;
+        }
+        match run_with_watchdog(&spec, quick) {
             Ok(report) => {
                 let verdict = if report.ok { "ok" } else { "FAIL" };
                 let counters: Vec<String> = report

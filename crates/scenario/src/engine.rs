@@ -78,6 +78,50 @@ pub fn run(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineErr
     }
 }
 
+/// Runs a scenario under its wall-clock watchdog.
+///
+/// With `watchdog_secs` unset this is exactly [`run`]. Otherwise the
+/// engine runs on a helper thread and the caller waits at most that
+/// many seconds for the report: a run that blows the budget (a livelock
+/// in an implementation under test, a pathological schedule, an
+/// explosion the step budget failed to contain) comes back as a
+/// *failing* [`ScenarioReport`] with a `watchdog_fired` counter and a
+/// structured note, instead of hanging the harness forever.
+///
+/// The engines have no cancellation points, so an overrunning run's
+/// thread is abandoned (detached) — acceptable for a CLI/CI harness
+/// whose process exits soon after, which is the only place a watchdog
+/// verdict should be acted on.
+pub fn run_with_watchdog(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
+    let Some(secs) = spec.watchdog_secs else {
+        return run(spec, quick);
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let owned = spec.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("scenario-{}", spec.name))
+        .spawn(move || {
+            let _ = tx.send(run(&owned, quick));
+        })
+        .expect("spawn scenario watchdog thread");
+    match rx.recv_timeout(std::time::Duration::from_secs(secs)) {
+        Ok(result) => {
+            let _ = handle.join();
+            result
+        }
+        Err(_) => {
+            let mut report = ScenarioReport::new(spec, quick);
+            report.ok = false;
+            report.set("watchdog_secs", secs);
+            report.set("watchdog_fired", 1);
+            report.note(format!(
+                "watchdog: no report within {secs}s — run abandoned as stuck"
+            ));
+            Ok(report)
+        }
+    }
+}
+
 /// The checker that actually decides this spec's histories: `auto`
 /// resolves to the WGL interval checker for sim and real histories
 /// (exact verdicts at any size) and to the family's fast checker for

@@ -37,8 +37,8 @@ pub mod spec;
 
 pub use engine::{
     build_sim_object, check_history, explore_parts, fault_plan_for_seed, measure_step_bound,
-    resolve_checker, run, run_explore, run_real, run_sim, run_sim_seed, EngineError, ExploreParts,
-    SimSeedRun,
+    resolve_checker, run, run_explore, run_real, run_sim, run_sim_seed, run_with_watchdog,
+    EngineError, ExploreParts, SimSeedRun,
 };
 pub use json::{Json, JsonError};
 pub use registry::{

@@ -332,6 +332,11 @@ pub struct ScenarioSpec {
     pub real: Option<RealSpec>,
     /// Step-tracing controls; `None` disables tracing entirely.
     pub trace: Option<TraceSpec>,
+    /// Wall-clock watchdog in seconds: a run that has not produced its
+    /// report within this budget is failed with a structured
+    /// `watchdog` verdict instead of hanging the harness. `None`
+    /// disables the watchdog (the run may block forever).
+    pub watchdog_secs: Option<u64>,
 }
 
 /// A spec validation / decoding error.
@@ -383,6 +388,7 @@ impl ScenarioSpec {
             explore: None,
             real: None,
             trace: None,
+            watchdog_secs: None,
         }
     }
 
@@ -430,6 +436,9 @@ impl ScenarioSpec {
         if let Some(t) = &self.trace {
             o.push(("trace".into(), trace_to_json(t)));
         }
+        if let Some(w) = self.watchdog_secs {
+            o.push(("watchdog_secs".into(), Json::Num(w)));
+        }
         Json::Obj(o).pretty()
     }
 
@@ -464,6 +473,7 @@ impl ScenarioSpec {
             "explore",
             "real",
             "trace",
+            "watchdog_secs",
         ];
         for (k, _) in obj {
             if !KNOWN.contains(&k.as_str()) {
@@ -549,6 +559,7 @@ impl ScenarioSpec {
         if let Some(t) = doc.get("trace") {
             spec.trace = Some(trace_from_json(t)?);
         }
+        spec.watchdog_secs = opt_u64(&doc, "watchdog_secs")?;
         if spec.engine == EngineKind::Explore && spec.explore.is_none() {
             return err("engine \"explore\" requires an \"explore\" section");
         }
@@ -830,6 +841,7 @@ mod tests {
             jsonl: Some("target/traces/full.jsonl".into()),
             chrome: Some("target/traces/full.trace.json".into()),
         });
+        spec.watchdog_secs = Some(45);
         let parsed = ScenarioSpec::parse(&spec.to_json()).unwrap();
         assert_eq!(parsed, spec);
     }

@@ -120,6 +120,9 @@ fn random_spec(rng: &mut SplitMix64) -> ScenarioSpec {
             chrome: rng.gen_bool(0.5).then(|| random_name(rng)),
         });
     }
+    if rng.gen_bool(0.4) {
+        spec.watchdog_secs = Some(rng.gen_below(100_000));
+    }
     spec
 }
 

@@ -1,0 +1,106 @@
+//! The wall-clock watchdog: a scenario that blows its budget must come
+//! back as a structured *failing* report (and a nonzero CLI exit), not
+//! a hung harness.
+
+use std::process::Command;
+
+use ruo_scenario::{run_with_watchdog, EngineKind, Family, ScenarioSpec};
+
+/// A sim scenario small enough to finish instantly.
+fn tiny_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("wd-tiny", Family::Counter, "farray", EngineKind::Sim, 2);
+    spec.seeds = 2;
+    spec.ops_per_process = 2;
+    spec
+}
+
+/// A sim scenario with enough work that it cannot possibly produce a
+/// report before a zero-second budget elapses (it still finishes in
+/// well under a second, so the abandoned thread drains quickly).
+fn slow_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("wd-slow", Family::Counter, "farray", EngineKind::Sim, 4);
+    spec.seeds = 200;
+    spec.ops_per_process = 64;
+    spec
+}
+
+#[test]
+fn no_watchdog_behaves_like_plain_run() {
+    let spec = tiny_spec();
+    assert_eq!(spec.watchdog_secs, None);
+    let report = run_with_watchdog(&spec, true).expect("engine runs");
+    assert!(report.ok);
+    assert_eq!(report.counter("watchdog_fired"), None);
+}
+
+#[test]
+fn generous_watchdog_passes_the_report_through() {
+    let mut spec = tiny_spec();
+    spec.watchdog_secs = Some(120);
+    let report = run_with_watchdog(&spec, true).expect("engine runs");
+    assert!(report.ok, "a scenario well under budget must pass");
+    assert_eq!(report.counter("watchdog_fired"), None);
+    assert!(report.counter("seeds").is_some(), "real report expected");
+}
+
+#[test]
+fn blown_budget_is_a_structured_failure() {
+    let mut spec = slow_spec();
+    spec.watchdog_secs = Some(0);
+    let report = run_with_watchdog(&spec, false).expect("watchdog verdicts are reports");
+    assert!(!report.ok, "a fired watchdog must fail the scenario");
+    assert_eq!(report.counter("watchdog_fired"), Some(1));
+    assert_eq!(report.counter("watchdog_secs"), Some(0));
+    assert!(
+        report.notes.iter().any(|n| n.contains("watchdog")),
+        "notes must say what happened: {:?}",
+        report.notes
+    );
+    // The identity block still echoes the spec, so harness tables and
+    // the combined --json document render it like any other failure.
+    assert_eq!(report.scenario, "wd-slow");
+    assert_eq!(report.impl_id, "farray");
+}
+
+#[test]
+fn cli_watchdog_failure_exits_nonzero() {
+    let tmp = std::env::temp_dir().join(format!("ruo-watchdog-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create scratch dir");
+    let mut spec = slow_spec();
+    spec.watchdog_secs = Some(0);
+    let path = tmp.join("wd_slow.json");
+    std::fs::write(&path, spec.to_json()).expect("write spec");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_scenario"))
+        .current_dir(&tmp)
+        .args(["run"])
+        .arg(&path)
+        .output()
+        .expect("scenario binary runs");
+    assert_eq!(out.status.code(), Some(1), "fired watchdog must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "verdict line missing:\n{stdout}");
+    assert!(
+        stdout.contains("watchdog"),
+        "watchdog note missing:\n{stdout}"
+    );
+
+    // `--watchdog <secs>` is only a default: a generous CLI budget must
+    // not override the spec, and must let an unbudgeted spec pass.
+    let mut plain = tiny_spec();
+    plain.watchdog_secs = None;
+    let plain_path = tmp.join("wd_tiny.json");
+    std::fs::write(&plain_path, plain.to_json()).expect("write spec");
+    let out = Command::new(env!("CARGO_BIN_EXE_scenario"))
+        .current_dir(&tmp)
+        .args(["run", "--quick", "--watchdog", "120"])
+        .arg(&plain_path)
+        .output()
+        .expect("scenario binary runs");
+    assert!(
+        out.status.success(),
+        "default watchdog broke a passing run:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&tmp).ok();
+}

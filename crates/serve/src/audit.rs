@@ -1,0 +1,337 @@
+//! Post-run linearizability audit of the server's per-object op log.
+//!
+//! Every exact operation the server applies is logged with invoke /
+//! response ticks drawn from one global atomic counter: the invoke tick
+//! is fetched before the object operation starts and the response tick
+//! after it returns, so tick-order precedence is implied by real-time
+//! precedence (never the reverse — overlap is the conservative
+//! direction). [`audit`] replays each object's log through
+//! [`ruo_sim::lin::wgl::check_interval`], so retry/dedup/chaos
+//! semantics are *verified* against the sequential spec, not assumed.
+//!
+//! Degraded-tier reads are deliberately excluded from the history —
+//! they are served from a cache and advertise themselves as
+//! non-linearizable — but they are not unchecked: a degraded counter
+//! read can never exceed the total number of increments the server
+//! applied, and [`audit`] enforces that bound.
+
+use std::fmt;
+
+use ruo_scenario::registry::Family;
+use ruo_sim::lin::check_interval;
+use ruo_sim::spec::SeqSpec;
+use ruo_sim::{History, OpDesc, OpOutput, OpRecord, ProcessId};
+
+/// One exact operation applied by the server.
+#[derive(Debug, Clone)]
+pub struct LoggedOp {
+    /// Worker index that applied the op (each worker is one process
+    /// identity, used by one thread at a time).
+    pub pid: usize,
+    /// The operation.
+    pub desc: OpDesc,
+    /// Global tick fetched just before the object op started.
+    pub invoke: u64,
+    /// Global tick fetched just after the object op returned.
+    pub response: u64,
+    /// The op's output.
+    pub output: OpOutput,
+}
+
+/// One degraded-tier read (excluded from the linearizable history,
+/// bound-checked instead).
+#[derive(Debug, Clone)]
+pub struct DegradedRead {
+    /// Global tick at which the cached answer was produced.
+    pub tick: u64,
+    /// The answer served.
+    pub output: OpOutput,
+}
+
+/// Everything the server logged about one object.
+#[derive(Debug, Clone)]
+pub struct ObjectLog {
+    /// The object's registry name.
+    pub name: String,
+    /// Its family (selects the sequential spec).
+    pub family: Family,
+    /// Number of process identities (workers) that shared it.
+    pub n: usize,
+    /// Exact ops, in no particular order (the audit sorts by invoke).
+    pub ops: Vec<LoggedOp>,
+    /// Degraded-tier reads.
+    pub degraded: Vec<DegradedRead>,
+}
+
+/// Audit verdict for one object.
+#[derive(Debug, Clone)]
+pub struct ObjectAudit {
+    /// The object's registry name.
+    pub name: String,
+    /// Family name (`"counter"`, …).
+    pub family: &'static str,
+    /// Exact ops checked.
+    pub ops: usize,
+    /// Degraded reads bound-checked.
+    pub degraded_reads: usize,
+    /// `check_interval` violation, if any.
+    pub violation: Option<String>,
+    /// Degraded counter reads that exceeded the applied-increment
+    /// total.
+    pub degraded_bound_violations: usize,
+}
+
+impl ObjectAudit {
+    /// Whether this object passed both checks.
+    pub fn ok(&self) -> bool {
+        self.violation.is_none() && self.degraded_bound_violations == 0
+    }
+}
+
+/// The whole audit: one verdict per object.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Per-object verdicts.
+    pub objects: Vec<ObjectAudit>,
+}
+
+impl AuditReport {
+    /// Total violations (linearizability + degraded bounds) across all
+    /// objects.
+    pub fn violations(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|o| usize::from(o.violation.is_some()) + o.degraded_bound_violations)
+            .sum()
+    }
+
+    /// Whether every object passed.
+    pub fn ok(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// Total exact ops checked.
+    pub fn total_ops(&self) -> usize {
+        self.objects.iter().map(|o| o.ops).sum()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in &self.objects {
+            match &o.violation {
+                None if o.degraded_bound_violations == 0 => writeln!(
+                    f,
+                    "audit {:<12} {:<8} {:>6} ops  {:>4} degraded  ok",
+                    o.name, o.family, o.ops, o.degraded_reads
+                )?,
+                None => writeln!(
+                    f,
+                    "audit {:<12} {:<8} {:>6} ops  VIOLATION degraded bound x{}",
+                    o.name, o.family, o.ops, o.degraded_bound_violations
+                )?,
+                Some(v) => writeln!(
+                    f,
+                    "audit {:<12} {:<8} {:>6} ops  VIOLATION {}",
+                    o.name, o.family, o.ops, v
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The sequential spec an object's family is checked against.
+fn spec_for(family: Family, n: usize) -> SeqSpec {
+    match family {
+        Family::MaxReg => SeqSpec::MaxRegister { initial: 0 },
+        Family::Counter => SeqSpec::Counter,
+        Family::Snapshot => SeqSpec::Snapshot { n, initial: 0 },
+    }
+}
+
+/// Replays one object's log through the interval checker.
+pub fn audit_object(log: &ObjectLog) -> ObjectAudit {
+    let mut ops: Vec<&LoggedOp> = log.ops.iter().collect();
+    ops.sort_by_key(|op| op.invoke);
+    let mut history = History::new();
+    for op in &ops {
+        debug_assert!(op.invoke < op.response, "zero-width logged interval");
+        history.push(OpRecord {
+            pid: ProcessId(op.pid),
+            desc: op.desc.clone(),
+            invoke: op.invoke as usize,
+            response: Some(op.response as usize),
+            output: Some(op.output.clone()),
+            steps: 1,
+        });
+    }
+    let violation = check_interval(&history, &spec_for(log.family, log.n))
+        .err()
+        .map(|v| format!("{:?}: {}", v.kind, v.detail));
+
+    // Degraded counter reads are served from the server's shadow
+    // stripes, which count exactly the increments the server applied —
+    // so no degraded answer may exceed the applied total.
+    let mut degraded_bound_violations = 0;
+    if log.family == Family::Counter {
+        let total_incrs = log
+            .ops
+            .iter()
+            .filter(|op| matches!(op.desc, OpDesc::CounterIncrement))
+            .count() as u64;
+        for d in &log.degraded {
+            if let OpOutput::Value(v) = d.output {
+                if v < 0 || v as u64 > total_incrs {
+                    degraded_bound_violations += 1;
+                }
+            }
+        }
+    }
+
+    ObjectAudit {
+        name: log.name.clone(),
+        family: log.family.name(),
+        ops: log.ops.len(),
+        degraded_reads: log.degraded.len(),
+        violation,
+        degraded_bound_violations,
+    }
+}
+
+/// Audits every object's log.
+pub fn audit(logs: &[ObjectLog]) -> AuditReport {
+    AuditReport {
+        objects: logs.iter().map(audit_object).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_log(ops: Vec<LoggedOp>) -> ObjectLog {
+        ObjectLog {
+            name: "hits".into(),
+            family: Family::Counter,
+            n: 2,
+            ops,
+            degraded: Vec::new(),
+        }
+    }
+
+    fn op(pid: usize, desc: OpDesc, invoke: u64, response: u64, output: OpOutput) -> LoggedOp {
+        LoggedOp {
+            pid,
+            desc,
+            invoke,
+            response,
+            output,
+        }
+    }
+
+    #[test]
+    fn clean_counter_log_passes() {
+        let log = counter_log(vec![
+            op(0, OpDesc::CounterIncrement, 0, 3, OpOutput::Unit),
+            op(1, OpDesc::CounterIncrement, 1, 4, OpOutput::Unit),
+            op(0, OpDesc::CounterRead, 5, 6, OpOutput::Value(2)),
+        ]);
+        let report = audit(&[log]);
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.total_ops(), 3);
+    }
+
+    #[test]
+    fn phantom_count_is_a_violation() {
+        // A read of 3 after only two increments cannot linearize.
+        let log = counter_log(vec![
+            op(0, OpDesc::CounterIncrement, 0, 3, OpOutput::Unit),
+            op(1, OpDesc::CounterIncrement, 1, 4, OpOutput::Unit),
+            op(0, OpDesc::CounterRead, 5, 6, OpOutput::Value(3)),
+        ]);
+        let report = audit(&[log]);
+        assert!(!report.ok());
+        assert_eq!(report.violations(), 1);
+        assert!(report.objects[0].violation.is_some());
+    }
+
+    #[test]
+    fn lost_update_is_a_violation() {
+        // Two sequential increments, then a read of 1: the dedup window
+        // failing open (double-apply) is caught the other way round; a
+        // lost ack shows up as a stale read like this.
+        let log = counter_log(vec![
+            op(0, OpDesc::CounterIncrement, 0, 1, OpOutput::Unit),
+            op(1, OpDesc::CounterIncrement, 2, 3, OpOutput::Unit),
+            op(0, OpDesc::CounterRead, 4, 5, OpOutput::Value(1)),
+        ]);
+        assert!(!audit(&[log]).ok());
+    }
+
+    #[test]
+    fn unsorted_log_is_sorted_before_checking() {
+        let log = counter_log(vec![
+            op(0, OpDesc::CounterRead, 5, 6, OpOutput::Value(1)),
+            op(0, OpDesc::CounterIncrement, 0, 3, OpOutput::Unit),
+        ]);
+        assert!(audit(&[log]).ok());
+    }
+
+    #[test]
+    fn degraded_reads_are_bound_checked_not_linearized() {
+        let mut log = counter_log(vec![op(0, OpDesc::CounterIncrement, 0, 1, OpOutput::Unit)]);
+        // A degraded read of 1 is fine (≤ applied total)…
+        log.degraded.push(DegradedRead {
+            tick: 2,
+            output: OpOutput::Value(1),
+        });
+        assert!(audit(&[log.clone()]).ok());
+        // …a degraded read of 2 exceeds everything the server applied.
+        log.degraded.push(DegradedRead {
+            tick: 3,
+            output: OpOutput::Value(2),
+        });
+        let report = audit(&[log]);
+        assert!(!report.ok());
+        assert_eq!(report.objects[0].degraded_bound_violations, 1);
+    }
+
+    #[test]
+    fn maxreg_and_snapshot_specs_apply() {
+        let maxreg = ObjectLog {
+            name: "peak".into(),
+            family: Family::MaxReg,
+            n: 2,
+            ops: vec![
+                op(0, OpDesc::WriteMax(7), 0, 1, OpOutput::Unit),
+                op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(7)),
+            ],
+            degraded: Vec::new(),
+        };
+        let snap = ObjectLog {
+            name: "segments".into(),
+            family: Family::Snapshot,
+            n: 2,
+            ops: vec![
+                op(1, OpDesc::Update(5), 0, 1, OpOutput::Unit),
+                op(0, OpDesc::Scan, 2, 3, OpOutput::Vector(vec![0, 5])),
+            ],
+            degraded: Vec::new(),
+        };
+        let report = audit(&[maxreg, snap]);
+        assert!(report.ok(), "{report}");
+
+        let bad = ObjectLog {
+            name: "peak".into(),
+            family: Family::MaxReg,
+            n: 2,
+            ops: vec![
+                op(0, OpDesc::WriteMax(7), 0, 1, OpOutput::Unit),
+                op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(3)),
+            ],
+            degraded: Vec::new(),
+        };
+        assert!(!audit(&[bad]).ok());
+    }
+}

@@ -1,0 +1,487 @@
+//! Network chaos: seedable fault plans for TCP streams.
+//!
+//! The network twin of `ruo_sim::fault`: where [`ruo_sim::FaultPlan`]
+//! crashes and stalls *processes* at chosen shared-memory events,
+//! [`NetFaultPlan`] drops, half-closes, truncates, delays and stalls
+//! *sockets* at chosen I/O events. Plans are deterministic per seed and
+//! per connection id, so a chaotic run can be replayed exactly.
+//!
+//! A [`ChaosStream`] wraps any `Read + Write` transport — the client's
+//! connection, the server's accepted socket, or both sides at once —
+//! and injects its connection's faults at the configured points.
+
+use std::io::{self, Read, Write};
+use std::thread;
+use std::time::Duration;
+
+use ruo_sim::SplitMix64;
+
+/// One injected network fault. Event indices are 1-based: "write 3" is
+/// the third `write` call on the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The connection dies *instead of* the `at_write`-th write: the
+    /// write fails and every later read/write fails too.
+    Drop {
+        /// 1-based write index that fails.
+        at_write: u64,
+    },
+    /// The write side closes *after* the `at_write`-th write succeeds:
+    /// later writes fail, reads keep working (the peer sees EOF).
+    HalfClose {
+        /// 1-based index of the last write that succeeds.
+        at_write: u64,
+    },
+    /// The `at_write`-th write delivers only its first `keep_bytes`
+    /// bytes but reports full success — a truncated frame. The stream
+    /// is wedged afterwards (later writes fail).
+    TruncateWrite {
+        /// 1-based write index to truncate.
+        at_write: u64,
+        /// Bytes actually delivered.
+        keep_bytes: usize,
+    },
+    /// The `at_write`-th write is delayed by `micros` before delivery.
+    DelayWrite {
+        /// 1-based write index to delay.
+        at_write: u64,
+        /// Injected latency, in microseconds.
+        micros: u64,
+    },
+    /// The `at_read`-th read stalls for `micros` before delivering — a
+    /// bounded window, mirroring `Fault::Stall`'s bounded hold.
+    StallRead {
+        /// 1-based read index to stall.
+        at_read: u64,
+        /// Stall length, in microseconds.
+        micros: u64,
+    },
+}
+
+/// A seeded, per-connection fault plan.
+///
+/// Two layers, mirroring [`ruo_sim::FaultPlan`]'s explicit-plus-random
+/// split: faults added with [`NetFaultPlan::with`] hit *every*
+/// connection at fixed points (deterministic unit tests), while the
+/// per-mille profile rolls faults independently per connection id from
+/// the seed ([`NetFaultPlan::chaos`] is the stock profile the swarm
+/// uses). [`NetFaultPlan::faults_for_conn`] is a pure function of
+/// `(plan, conn_id)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    seed: u64,
+    drop_per_mille: u64,
+    half_close_per_mille: u64,
+    truncate_per_mille: u64,
+    delay_per_mille: u64,
+    stall_per_mille: u64,
+    /// Random faults trigger within the first this-many writes/reads.
+    window: u64,
+    max_delay_micros: u64,
+    max_stall_micros: u64,
+    fixed: Vec<NetFault>,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> Self {
+        NetFaultPlan::new()
+    }
+}
+
+impl NetFaultPlan {
+    /// An empty plan: no faults on any connection.
+    pub fn new() -> Self {
+        NetFaultPlan {
+            seed: 0,
+            drop_per_mille: 0,
+            half_close_per_mille: 0,
+            truncate_per_mille: 0,
+            delay_per_mille: 0,
+            stall_per_mille: 0,
+            window: 8,
+            max_delay_micros: 0,
+            max_stall_micros: 0,
+            fixed: Vec::new(),
+        }
+    }
+
+    /// The stock chaos profile used by the swarm's chaos phase: on each
+    /// connection, 15% chance of a drop, 5% half-close, 10% truncated
+    /// write, 20% delayed write (≤ 2 ms), 20% stalled read (≤ 5 ms),
+    /// all within the first 8 I/O events.
+    pub fn chaos(seed: u64) -> Self {
+        NetFaultPlan {
+            seed,
+            drop_per_mille: 150,
+            half_close_per_mille: 50,
+            truncate_per_mille: 100,
+            delay_per_mille: 200,
+            stall_per_mille: 200,
+            window: 8,
+            max_delay_micros: 2_000,
+            max_stall_micros: 5_000,
+            fixed: Vec::new(),
+        }
+    }
+
+    /// Adds a fault injected on every connection.
+    pub fn with(mut self, fault: NetFault) -> Self {
+        self.fixed.push(fault);
+        self
+    }
+
+    /// Sets the seed the per-connection rolls derive from.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-mille probability (0..=1000) that a connection's
+    /// socket is dropped mid-conversation.
+    pub fn drop_per_mille(mut self, p: u64) -> Self {
+        assert!(p <= 1000);
+        self.drop_per_mille = p;
+        self
+    }
+
+    /// Sets the per-mille probability of a stalled read (stall length
+    /// uniform in `1..=max_micros` — the bounded window).
+    pub fn stall_per_mille(mut self, p: u64, max_micros: u64) -> Self {
+        assert!(p <= 1000);
+        self.stall_per_mille = p;
+        self.max_stall_micros = max_micros;
+        self
+    }
+
+    /// Sets the per-mille probability of a truncated write.
+    pub fn truncate_per_mille(mut self, p: u64) -> Self {
+        assert!(p <= 1000);
+        self.truncate_per_mille = p;
+        self
+    }
+
+    /// Whether this plan can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.fixed.is_empty()
+            && self.drop_per_mille == 0
+            && self.half_close_per_mille == 0
+            && self.truncate_per_mille == 0
+            && self.delay_per_mille == 0
+            && self.stall_per_mille == 0
+    }
+
+    /// The faults connection `conn_id` will experience. Deterministic:
+    /// same plan + same id ⇒ same faults.
+    pub fn faults_for_conn(&self, conn_id: u64) -> Vec<NetFault> {
+        let mut faults = self.fixed.clone();
+        let mut rng = SplitMix64::new(
+            self.seed ^ conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC2B2_AE3D_27D4_EB4F,
+        );
+        // Burn one draw even when a category is disabled so enabling
+        // one category never reshuffles the others.
+        let mut roll = |per_mille: u64| -> bool { rng.gen_below(1000) < per_mille };
+        let window = self.window.max(1);
+        let dropped = roll(self.drop_per_mille);
+        let half = roll(self.half_close_per_mille);
+        let trunc = roll(self.truncate_per_mille);
+        let delay = roll(self.delay_per_mille);
+        let stall = roll(self.stall_per_mille);
+        if dropped {
+            faults.push(NetFault::Drop {
+                at_write: rng.gen_below(window) + 1,
+            });
+        } else if half {
+            // Drop wins when both roll: a dead socket subsumes a
+            // half-closed one.
+            faults.push(NetFault::HalfClose {
+                at_write: rng.gen_below(window) + 1,
+            });
+        }
+        if trunc && !dropped {
+            faults.push(NetFault::TruncateWrite {
+                at_write: rng.gen_below(window) + 1,
+                keep_bytes: rng.gen_below(6) as usize,
+            });
+        }
+        if delay && self.max_delay_micros > 0 {
+            faults.push(NetFault::DelayWrite {
+                at_write: rng.gen_below(window) + 1,
+                micros: rng.gen_below(self.max_delay_micros) + 1,
+            });
+        }
+        if stall && self.max_stall_micros > 0 {
+            faults.push(NetFault::StallRead {
+                at_read: rng.gen_below(window) + 1,
+                micros: rng.gen_below(self.max_stall_micros) + 1,
+            });
+        }
+        faults
+    }
+}
+
+/// A `Read + Write` transport with a connection's faults injected.
+///
+/// Wraps either side of the socket: the server wraps accepted streams,
+/// the client wraps its outbound connection, and tests wrap in-memory
+/// pipes. Event counters advance per `read`/`write` call — the line
+/// protocol makes one call per line, so "write 3" ≈ "the third line".
+#[derive(Debug)]
+pub struct ChaosStream<S> {
+    inner: S,
+    faults: Vec<NetFault>,
+    writes: u64,
+    reads: u64,
+    dead: bool,
+    write_closed: bool,
+    injected: u64,
+}
+
+impl<S: Read + Write> ChaosStream<S> {
+    /// Wraps `inner` with the faults `plan` assigns to `conn_id`.
+    pub fn new(inner: S, plan: &NetFaultPlan, conn_id: u64) -> Self {
+        ChaosStream {
+            inner,
+            faults: plan.faults_for_conn(conn_id),
+            writes: 0,
+            reads: 0,
+            dead: false,
+            write_closed: false,
+            injected: 0,
+        }
+    }
+
+    /// Wraps `inner` with no faults at all.
+    pub fn passthrough(inner: S) -> Self {
+        ChaosStream {
+            inner,
+            faults: Vec::new(),
+            writes: 0,
+            reads: 0,
+            dead: false,
+            write_closed: false,
+            injected: 0,
+        }
+    }
+
+    /// How many faults have fired on this stream so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The faults scheduled for this stream (fired or not).
+    pub fn faults(&self) -> &[NetFault] {
+        &self.faults
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read + Write> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection dropped",
+            ));
+        }
+        self.reads += 1;
+        let at = self.reads;
+        for f in &self.faults {
+            if let NetFault::StallRead { at_read, micros } = *f {
+                if at_read == at {
+                    self.injected += 1;
+                    thread::sleep(Duration::from_micros(micros));
+                }
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Read + Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection dropped",
+            ));
+        }
+        if self.write_closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "chaos: write side closed",
+            ));
+        }
+        self.writes += 1;
+        let at = self.writes;
+        // Delay fires first (latency precedes the outcome), then the
+        // destructive faults in severity order.
+        for f in &self.faults {
+            if let NetFault::DelayWrite { at_write, micros } = *f {
+                if at_write == at {
+                    self.injected += 1;
+                    thread::sleep(Duration::from_micros(micros));
+                }
+            }
+        }
+        for f in &self.faults {
+            match *f {
+                NetFault::Drop { at_write } if at_write == at => {
+                    self.injected += 1;
+                    self.dead = true;
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "chaos: connection dropped",
+                    ));
+                }
+                NetFault::TruncateWrite {
+                    at_write,
+                    keep_bytes,
+                } if at_write == at => {
+                    self.injected += 1;
+                    let keep = keep_bytes.min(buf.len());
+                    if keep > 0 {
+                        self.inner.write_all(&buf[..keep])?;
+                        self.inner.flush()?;
+                    }
+                    // Report full success: the caller believes the
+                    // frame went out. The stream wedges afterwards.
+                    self.write_closed = true;
+                    return Ok(buf.len());
+                }
+                _ => {}
+            }
+        }
+        let n = self.inner.write(buf)?;
+        for f in &self.faults {
+            if let NetFault::HalfClose { at_write } = *f {
+                if at_write == at {
+                    self.injected += 1;
+                    self.write_closed = true;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead || self.write_closed {
+            return Ok(());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory transport: reads from a script, records writes.
+    #[derive(Default)]
+    struct Pipe {
+        written: Vec<u8>,
+    }
+
+    impl Read for Pipe {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = b'x';
+            Ok(1)
+        }
+    }
+
+    impl Write for Pipe {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_conn() {
+        let plan = NetFaultPlan::chaos(0xC0FFEE);
+        for conn in 0..50u64 {
+            assert_eq!(plan.faults_for_conn(conn), plan.faults_for_conn(conn));
+        }
+        // ...and not all identical across connections.
+        let distinct: std::collections::HashSet<_> = (0..50u64)
+            .map(|c| format!("{:?}", plan.faults_for_conn(c)))
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn chaos_profile_actually_schedules_faults() {
+        let plan = NetFaultPlan::chaos(7);
+        let total: usize = (0..200u64).map(|c| plan.faults_for_conn(c).len()).sum();
+        assert!(total > 20, "only {total} faults over 200 connections");
+        assert!(!plan.is_noop());
+        assert!(NetFaultPlan::new().is_noop());
+    }
+
+    #[test]
+    fn drop_kills_the_stream_both_ways() {
+        let plan = NetFaultPlan::new().with(NetFault::Drop { at_write: 2 });
+        let mut s = ChaosStream::new(Pipe::default(), &plan, 0);
+        assert!(s.write(b"one\n").is_ok());
+        let e = s.write(b"two\n").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::BrokenPipe);
+        let e = s.read(&mut [0u8; 4]).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(s.injected(), 1);
+        assert_eq!(s.get_ref().written, b"one\n");
+    }
+
+    #[test]
+    fn half_close_keeps_the_read_side() {
+        let plan = NetFaultPlan::new().with(NetFault::HalfClose { at_write: 1 });
+        let mut s = ChaosStream::new(Pipe::default(), &plan, 0);
+        assert!(s.write(b"one\n").is_ok()); // the closing write succeeds
+        assert!(s.write(b"two\n").is_err());
+        assert!(s.read(&mut [0u8; 4]).is_ok());
+        assert_eq!(s.get_ref().written, b"one\n");
+    }
+
+    #[test]
+    fn truncate_reports_success_but_delivers_a_prefix() {
+        let plan = NetFaultPlan::new().with(NetFault::TruncateWrite {
+            at_write: 1,
+            keep_bytes: 3,
+        });
+        let mut s = ChaosStream::new(Pipe::default(), &plan, 0);
+        assert_eq!(s.write(b"incr hits 1\n").unwrap(), 12);
+        assert_eq!(s.get_ref().written, b"inc");
+        assert!(s.write(b"again\n").is_err());
+    }
+
+    #[test]
+    fn stall_read_delivers_after_the_window() {
+        let plan = NetFaultPlan::new().with(NetFault::StallRead {
+            at_read: 1,
+            micros: 200,
+        });
+        let mut s = ChaosStream::new(Pipe::default(), &plan, 0);
+        let t0 = std::time::Instant::now();
+        assert_eq!(s.read(&mut [0u8; 1]).unwrap(), 1);
+        assert!(t0.elapsed() >= Duration::from_micros(200));
+        assert_eq!(s.injected(), 1);
+    }
+
+    #[test]
+    fn passthrough_injects_nothing() {
+        let mut s = ChaosStream::passthrough(Pipe::default());
+        for _ in 0..32 {
+            assert_eq!(s.write(b"line\n").unwrap(), 5);
+            assert_eq!(s.read(&mut [0u8; 1]).unwrap(), 1);
+        }
+        assert_eq!(s.injected(), 0);
+    }
+}

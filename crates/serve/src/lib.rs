@@ -1,0 +1,51 @@
+//! # ruo-serve — the objects behind a fault-tolerant service layer
+//!
+//! A dependency-free, std-only TCP server exposing [`ruo_scenario`]
+//! registry objects — counters, max registers, snapshots — as named
+//! endpoints over a small line protocol, built for hostile networks:
+//!
+//! * [`proto`] — the wire protocol (`incr` / `write_max` / `update` /
+//!   `read` / `scan` / `metrics` / `ping`), strict parse, never panics.
+//! * [`chaos`] — [`NetFaultPlan`]: seedable per-connection fault plans
+//!   (drop, half-close, truncate, delay, stall) wrapping either side of
+//!   the socket, modeled on `ruo_sim::FaultPlan`.
+//! * [`server`] — acceptor + worker pool with a load-shedding admission
+//!   gate, queue-age deadlines, an idempotency window for retried
+//!   updates, a degraded read tier under overload, and a drain sequence
+//!   that never loses an acknowledged op.
+//! * [`client`] — per-attempt timeouts, reconnects, exponential
+//!   SplitMix64-jittered backoff, and idempotency tokens reused across
+//!   retries.
+//! * [`mod@audit`] — replays the server's per-object op log through
+//!   `check_interval`, so the retry/chaos semantics are verified
+//!   against the sequential specs, not assumed.
+//!
+//! ```no_run
+//! use ruo_serve::{Client, ClientConfig, ObjectDef, ServeConfig, Server};
+//!
+//! let server = Server::start(
+//!     ServeConfig::default(),
+//!     &[ObjectDef::counter("hits", "farray")],
+//! )
+//! .unwrap();
+//! let mut client = Client::new(ClientConfig::new(server.addr()), 0);
+//! client.incr("hits", 1).unwrap();
+//! assert_eq!(client.read("hits").unwrap().value, 1);
+//! let summary = server.shutdown();
+//! assert!(summary.audit().ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod audit;
+pub mod chaos;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use audit::{audit, AuditReport, DegradedRead, LoggedOp, ObjectAudit, ObjectLog};
+pub use chaos::{ChaosStream, NetFault, NetFaultPlan};
+pub use client::{Client, ClientConfig, ClientError, ClientStats, ReadResult, ScanResult};
+pub use proto::{ErrCode, ProtoError, Request, Response, MAX_LINE_BYTES};
+pub use server::{ObjectDef, ServeConfig, ServeSummary, Server, StartError};

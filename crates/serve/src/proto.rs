@@ -1,0 +1,577 @@
+//! The wire protocol: newline-terminated ASCII request/response lines.
+//!
+//! Requests:
+//!
+//! ```text
+//! incr <obj> <k> [<token>]     k increments; token makes the request idempotent
+//! write_max <obj> <v>          WriteMax(v)
+//! update <obj> <v>             single-writer snapshot segment update
+//! read <obj>                   counter read / max-register read
+//! scan <obj>                   snapshot scan
+//! metrics                      health-gauge dump
+//! ping                         liveness probe
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! ok                           update acknowledged
+//! ok <v>                       exact read
+//! ok degraded <v>              degraded-tier read
+//! ok <v1>,<v2>,...             exact scan
+//! ok degraded <v1>,<v2>,...    degraded-tier scan
+//! ok <k>=<v> <k>=<v> ...       metrics dump
+//! pong                         ping reply
+//! err <code>[ <detail>]        see [`ErrCode`]
+//! ```
+//!
+//! Both directions parse with [`Request::parse`] / [`Response::parse`]
+//! and encode with `encode` (no trailing newline — framing is the
+//! transport's job). Parsing never panics: anything malformed — the
+//! chaos layer truncates frames mid-line — comes back as a
+//! [`ProtoError`].
+
+use std::fmt;
+
+/// Longest accepted line, in bytes. A peer that streams more than this
+/// without a newline is misbehaving (or chaos glued frames together);
+/// the read path drops the connection rather than buffer unboundedly.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A malformed request or response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// What was wrong with the line.
+    pub detail: String,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn err(detail: impl Into<String>) -> ProtoError {
+    ProtoError {
+        detail: detail.into(),
+    }
+}
+
+/// An object name or idempotency token: 1..=64 bytes of
+/// `[A-Za-z0-9_.:-]`. Rejecting whitespace keeps the line grammar
+/// unambiguous.
+fn valid_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'-'))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, ProtoError> {
+    // `u64::from_str` accepts a leading `+`; the wire format does not,
+    // nor leading zeros — every accepted line is canonical.
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(err(format!("bad {what} {s:?}")));
+    }
+    if s.len() > 1 && s.starts_with('0') {
+        return Err(err(format!("leading zero in {what} {s:?}")));
+    }
+    s.parse::<u64>()
+        .map_err(|_| err(format!("{what} out of range: {s:?}")))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `k` increments of a counter, optionally idempotent under `token`.
+    Incr {
+        /// Target object name.
+        obj: String,
+        /// Number of increments (must be ≥ 1).
+        k: u64,
+        /// Idempotency token; retries reusing it apply exactly once.
+        token: Option<String>,
+    },
+    /// `WriteMax(v)` on a max register.
+    WriteMax {
+        /// Target object name.
+        obj: String,
+        /// Value to write.
+        v: u64,
+    },
+    /// Update the serving worker's segment of a snapshot.
+    Update {
+        /// Target object name.
+        obj: String,
+        /// Value to store.
+        v: u64,
+    },
+    /// Read a counter or max register.
+    Read {
+        /// Target object name.
+        obj: String,
+    },
+    /// Scan a snapshot.
+    Scan {
+        /// Target object name.
+        obj: String,
+    },
+    /// Dump the server's health gauges.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Request {
+    /// Encodes the request as one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Incr {
+                obj,
+                k,
+                token: None,
+            } => format!("incr {obj} {k}"),
+            Request::Incr {
+                obj,
+                k,
+                token: Some(t),
+            } => format!("incr {obj} {k} {t}"),
+            Request::WriteMax { obj, v } => format!("write_max {obj} {v}"),
+            Request::Update { obj, v } => format!("update {obj} {v}"),
+            Request::Read { obj } => format!("read {obj}"),
+            Request::Scan { obj } => format!("scan {obj}"),
+            Request::Metrics => "metrics".to_string(),
+            Request::Ping => "ping".to_string(),
+        }
+    }
+
+    /// Parses one request line (without its newline).
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(err("line too long"));
+        }
+        let mut parts = line.split(' ');
+        let verb = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        // `split(' ')` yields empty strings for doubled spaces; reject
+        // them so encode∘parse is an exact inverse.
+        if rest.iter().any(|p| p.is_empty()) {
+            return Err(err("empty field"));
+        }
+        let obj_of = |s: &str| -> Result<String, ProtoError> {
+            if valid_ident(s) {
+                Ok(s.to_string())
+            } else {
+                Err(err(format!("bad object name {s:?}")))
+            }
+        };
+        match (verb, rest.as_slice()) {
+            ("incr", [obj, k]) => {
+                let k = parse_u64(k, "count")?;
+                if k == 0 {
+                    return Err(err("incr count must be >= 1"));
+                }
+                Ok(Request::Incr {
+                    obj: obj_of(obj)?,
+                    k,
+                    token: None,
+                })
+            }
+            ("incr", [obj, k, token]) => {
+                let k = parse_u64(k, "count")?;
+                if k == 0 {
+                    return Err(err("incr count must be >= 1"));
+                }
+                if !valid_ident(token) {
+                    return Err(err(format!("bad token {token:?}")));
+                }
+                Ok(Request::Incr {
+                    obj: obj_of(obj)?,
+                    k,
+                    token: Some(token.to_string()),
+                })
+            }
+            ("write_max", [obj, v]) => Ok(Request::WriteMax {
+                obj: obj_of(obj)?,
+                v: parse_u64(v, "value")?,
+            }),
+            ("update", [obj, v]) => Ok(Request::Update {
+                obj: obj_of(obj)?,
+                v: parse_u64(v, "value")?,
+            }),
+            ("read", [obj]) => Ok(Request::Read { obj: obj_of(obj)? }),
+            ("scan", [obj]) => Ok(Request::Scan { obj: obj_of(obj)? }),
+            ("metrics", []) => Ok(Request::Metrics),
+            ("ping", []) => Ok(Request::Ping),
+            ("", _) => Err(err("empty request")),
+            _ => Err(err(format!("bad request {line:?}"))),
+        }
+    }
+}
+
+/// Server error codes a client may retry on (or not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The admission gate refused the connection; retry after backoff.
+    Overload,
+    /// The request aged past its deadline while queued; retry.
+    Deadline,
+    /// The server is draining; retry elsewhere / later.
+    Closed,
+    /// No object with that name is being served. Not retryable.
+    NoObject,
+    /// The request line did not parse. Not retryable.
+    Parse,
+    /// The operation does not apply to that object's family. Not
+    /// retryable.
+    Unsupported,
+}
+
+impl ErrCode {
+    /// Wire name of the code.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrCode::Overload => "overload",
+            ErrCode::Deadline => "deadline",
+            ErrCode::Closed => "closed",
+            ErrCode::NoObject => "no_object",
+            ErrCode::Parse => "parse",
+            ErrCode::Unsupported => "unsupported",
+        }
+    }
+
+    /// Inverse of [`ErrCode::name`].
+    pub fn parse(s: &str) -> Option<ErrCode> {
+        Some(match s {
+            "overload" => ErrCode::Overload,
+            "deadline" => ErrCode::Deadline,
+            "closed" => ErrCode::Closed,
+            "no_object" => ErrCode::NoObject,
+            "parse" => ErrCode::Parse,
+            "unsupported" => ErrCode::Unsupported,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client should retry the same request after this code.
+    /// Transient conditions (overload, queue deadline, drain) are
+    /// retryable; semantic errors are not.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrCode::Overload | ErrCode::Deadline | ErrCode::Closed
+        )
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Update acknowledged.
+    Ok,
+    /// Read result; `degraded` marks the cheap overload tier.
+    Value {
+        /// The value read.
+        v: u64,
+        /// Served from the degraded tier instead of the exact object.
+        degraded: bool,
+    },
+    /// Scan result; `degraded` marks the cheap overload tier.
+    Vector {
+        /// Segment values.
+        vs: Vec<u64>,
+        /// Served from the degraded tier instead of the exact object.
+        degraded: bool,
+    },
+    /// Health-gauge dump, in server-defined order.
+    Metrics(Vec<(String, u64)>),
+    /// Ping reply.
+    Pong,
+    /// An error.
+    Err {
+        /// The error code.
+        code: ErrCode,
+        /// Optional human-readable detail (single line, may contain
+        /// spaces).
+        detail: String,
+    },
+}
+
+impl Response {
+    /// Encodes the response as one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Ok => "ok".to_string(),
+            Response::Value { v, degraded: false } => format!("ok {v}"),
+            Response::Value { v, degraded: true } => format!("ok degraded {v}"),
+            Response::Vector { vs, degraded } => {
+                let body = vs
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                if *degraded {
+                    format!("ok degraded {body}")
+                } else {
+                    format!("ok {body}")
+                }
+            }
+            Response::Metrics(pairs) => {
+                let body = pairs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                format!("ok {body}")
+            }
+            Response::Pong => "pong".to_string(),
+            Response::Err { code, detail } => {
+                if detail.is_empty() {
+                    format!("err {}", code.name())
+                } else {
+                    format!("err {} {}", code.name(), detail)
+                }
+            }
+        }
+    }
+
+    /// Parses one response line (without its newline).
+    ///
+    /// The `ok …` payload grammar is ambiguous in isolation (`ok 5` is a
+    /// value; `ok 5` could be a one-segment scan), so the client decodes
+    /// by shape: a bare integer is [`Response::Value`], a comma list is
+    /// [`Response::Vector`], `k=v` pairs are [`Response::Metrics`].
+    /// Callers that issued `scan` use [`Response::into_vector`] to
+    /// coerce a one-segment result.
+    pub fn parse(line: &str) -> Result<Response, ProtoError> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(err("line too long"));
+        }
+        if line == "ok" {
+            return Ok(Response::Ok);
+        }
+        if line == "pong" {
+            return Ok(Response::Pong);
+        }
+        if let Some(rest) = line.strip_prefix("err ") {
+            let (code, detail) = match rest.split_once(' ') {
+                Some((c, d)) => (c, d.to_string()),
+                None => (rest, String::new()),
+            };
+            let code = ErrCode::parse(code).ok_or_else(|| err(format!("bad err code {code:?}")))?;
+            if detail.contains('\n') {
+                return Err(err("multi-line detail"));
+            }
+            return Ok(Response::Err { code, detail });
+        }
+        let Some(rest) = line.strip_prefix("ok ") else {
+            return Err(err(format!("bad response {line:?}")));
+        };
+        let (degraded, payload) = match rest.strip_prefix("degraded ") {
+            Some(p) => (true, p),
+            None => (false, rest),
+        };
+        if payload.is_empty() {
+            return Err(err("empty payload"));
+        }
+        if payload.contains('=') {
+            if degraded {
+                return Err(err("metrics cannot be degraded"));
+            }
+            let mut pairs = Vec::new();
+            for part in payload.split(' ') {
+                let (k, v) = part
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("bad metrics pair {part:?}")))?;
+                if !valid_ident(k) {
+                    return Err(err(format!("bad metrics key {k:?}")));
+                }
+                pairs.push((k.to_string(), parse_u64(v, "metrics value")?));
+            }
+            return Ok(Response::Metrics(pairs));
+        }
+        if payload.contains(',') {
+            let vs = payload
+                .split(',')
+                .map(|p| parse_u64(p, "segment"))
+                .collect::<Result<Vec<u64>, _>>()?;
+            return Ok(Response::Vector { vs, degraded });
+        }
+        if payload.contains(' ') {
+            return Err(err(format!("bad payload {payload:?}")));
+        }
+        Ok(Response::Value {
+            v: parse_u64(payload, "value")?,
+            degraded,
+        })
+    }
+
+    /// Coerces a value into a one-segment vector (a scan of a
+    /// one-process snapshot is wire-identical to a value read).
+    pub fn into_vector(self) -> Response {
+        match self {
+            Response::Value { v, degraded } => Response::Vector {
+                vs: vec![v],
+                degraded,
+            },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_encode_parse_round_trips() {
+        let cases = vec![
+            Request::Incr {
+                obj: "hits".into(),
+                k: 1,
+                token: None,
+            },
+            Request::Incr {
+                obj: "hits".into(),
+                k: 17,
+                token: Some("c3:41".into()),
+            },
+            Request::WriteMax {
+                obj: "peak".into(),
+                v: u64::MAX,
+            },
+            Request::Update {
+                obj: "segments".into(),
+                v: 0,
+            },
+            Request::Read { obj: "hits".into() },
+            Request::Scan {
+                obj: "segments".into(),
+            },
+            Request::Metrics,
+            Request::Ping,
+        ];
+        for req in cases {
+            assert_eq!(Request::parse(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_encode_parse_round_trips() {
+        let cases = vec![
+            Response::Ok,
+            Response::Pong,
+            Response::Value {
+                v: 0,
+                degraded: false,
+            },
+            Response::Value {
+                v: 9000,
+                degraded: true,
+            },
+            Response::Vector {
+                vs: vec![1, 2, 3],
+                degraded: false,
+            },
+            Response::Vector {
+                vs: vec![0, 0],
+                degraded: true,
+            },
+            Response::Metrics(vec![("served".into(), 12), ("shed".into(), 0)]),
+            Response::Err {
+                code: ErrCode::Overload,
+                detail: String::new(),
+            },
+            Response::Err {
+                code: ErrCode::NoObject,
+                detail: "no such object hits".into(),
+            },
+        ];
+        for resp in cases {
+            assert_eq!(Response::parse(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        for line in [
+            "",
+            " ",
+            "incr",
+            "incr hits",
+            "incr hits 0",
+            "incr hits -1",
+            "incr hits 1 tok en",
+            "incr hits 99999999999999999999999",
+            "incr hits 01",
+            "incr  hits 1",
+            "read",
+            "read a b",
+            "read ob j",
+            "read \u{2603}",
+            "write_max peak",
+            "write_max peak +3",
+            "metrics now",
+            "png",
+            "incr hits 1 ",
+        ] {
+            assert!(Request::parse(line).is_err(), "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_responses_are_errors_not_panics() {
+        for line in [
+            "",
+            "ok ",
+            "okay",
+            "ok degraded",
+            "ok degraded ",
+            "ok 1 2",
+            "ok 1,,2",
+            "ok 1,2,",
+            "ok a=b",
+            "ok served=1 shed",
+            "ok degraded served=1",
+            "err",
+            "err bogus",
+            "pong pong",
+        ] {
+            assert!(Response::parse(line).is_err(), "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn one_segment_scan_coerces() {
+        let r = Response::parse("ok 7").unwrap().into_vector();
+        assert_eq!(
+            r,
+            Response::Vector {
+                vs: vec![7],
+                degraded: false
+            }
+        );
+    }
+
+    #[test]
+    fn err_codes_round_trip_and_classify() {
+        for code in [
+            ErrCode::Overload,
+            ErrCode::Deadline,
+            ErrCode::Closed,
+            ErrCode::NoObject,
+            ErrCode::Parse,
+            ErrCode::Unsupported,
+        ] {
+            assert_eq!(ErrCode::parse(code.name()), Some(code));
+        }
+        assert!(ErrCode::Overload.retryable());
+        assert!(ErrCode::Deadline.retryable());
+        assert!(ErrCode::Closed.retryable());
+        assert!(!ErrCode::NoObject.retryable());
+        assert!(!ErrCode::Parse.retryable());
+        assert!(!ErrCode::Unsupported.retryable());
+    }
+}

@@ -1,0 +1,231 @@
+//! Wire-codec fuzzing, mirroring the scenario codec's
+//! `json_roundtrip.rs`: a SplitMix64 stream generates thousands of
+//! random requests and responses, each of which must survive
+//! `parse(encode(x)) == x`; then the same stream mutates, truncates and
+//! splices valid lines — everything the chaos layer's truncated frames
+//! can produce — and `parse` must return an error or a value, never
+//! panic.
+
+use ruo_serve::proto::{ErrCode, Request, Response};
+use ruo_sim::SplitMix64;
+
+const IDENT_CHARS: &[u8] = b"abcXYZ019_.:-";
+
+fn random_ident(rng: &mut SplitMix64) -> String {
+    let len = 1 + rng.gen_index(16);
+    (0..len)
+        .map(|_| IDENT_CHARS[rng.gen_index(IDENT_CHARS.len())] as char)
+        .collect()
+}
+
+fn random_value(rng: &mut SplitMix64) -> u64 {
+    match rng.gen_index(4) {
+        0 => rng.gen_below(10),
+        1 => rng.next_u64(),
+        2 => u64::MAX,
+        _ => rng.gen_below(1 << 40),
+    }
+}
+
+fn random_request(rng: &mut SplitMix64) -> Request {
+    match rng.gen_index(7) {
+        0 => Request::Incr {
+            obj: random_ident(rng),
+            k: 1 + rng.gen_below(4096),
+            token: None,
+        },
+        1 => Request::Incr {
+            obj: random_ident(rng),
+            k: 1 + rng.gen_below(4096),
+            token: Some(random_ident(rng)),
+        },
+        2 => Request::WriteMax {
+            obj: random_ident(rng),
+            v: random_value(rng),
+        },
+        3 => Request::Update {
+            obj: random_ident(rng),
+            v: random_value(rng),
+        },
+        4 => Request::Read {
+            obj: random_ident(rng),
+        },
+        5 => Request::Scan {
+            obj: random_ident(rng),
+        },
+        _ => {
+            if rng.gen_bool(0.5) {
+                Request::Metrics
+            } else {
+                Request::Ping
+            }
+        }
+    }
+}
+
+fn random_response(rng: &mut SplitMix64) -> Response {
+    match rng.gen_index(6) {
+        0 => Response::Ok,
+        1 => Response::Pong,
+        2 => Response::Value {
+            v: random_value(rng),
+            degraded: rng.gen_bool(0.5),
+        },
+        3 => {
+            let n = 2 + rng.gen_index(8);
+            Response::Vector {
+                vs: (0..n).map(|_| random_value(rng)).collect(),
+                degraded: rng.gen_bool(0.5),
+            }
+        }
+        4 => {
+            let n = 1 + rng.gen_index(6);
+            Response::Metrics(
+                (0..n)
+                    .map(|_| (random_ident(rng), random_value(rng)))
+                    .collect(),
+            )
+        }
+        _ => {
+            let code = match rng.gen_index(6) {
+                0 => ErrCode::Overload,
+                1 => ErrCode::Deadline,
+                2 => ErrCode::Closed,
+                3 => ErrCode::NoObject,
+                4 => ErrCode::Parse,
+                _ => ErrCode::Unsupported,
+            };
+            let detail = if rng.gen_bool(0.5) {
+                String::new()
+            } else {
+                // Details may contain spaces (but not newlines).
+                format!("{} {}", random_ident(rng), random_ident(rng))
+            };
+            Response::Err { code, detail }
+        }
+    }
+}
+
+#[test]
+fn requests_round_trip_exactly() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    for i in 0..4000 {
+        let req = random_request(&mut rng);
+        let line = req.encode();
+        let back = Request::parse(&line)
+            .unwrap_or_else(|e| panic!("case {i}: rejected own encoding {line:?}: {e}"));
+        assert_eq!(back, req, "case {i}: {line:?}");
+        // Second hop is textually identical (canonical encoding).
+        assert_eq!(back.encode(), line, "case {i}");
+    }
+}
+
+#[test]
+fn responses_round_trip_exactly() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    for i in 0..4000 {
+        let resp = random_response(&mut rng);
+        let line = resp.encode();
+        let back = Response::parse(&line)
+            .unwrap_or_else(|e| panic!("case {i}: rejected own encoding {line:?}: {e}"));
+        assert_eq!(back, resp, "case {i}: {line:?}");
+        assert_eq!(back.encode(), line, "case {i}");
+    }
+}
+
+/// Truncated frames: every strict prefix of a valid line must parse to
+/// an error or to some *other* valid value — never panic. This is
+/// exactly what `NetFault::TruncateWrite` feeds the peer.
+#[test]
+fn truncated_frames_never_panic() {
+    let mut rng = SplitMix64::new(0x5EED_0003);
+    for _ in 0..400 {
+        let req_line = random_request(&mut rng).encode();
+        for cut in 0..req_line.len() {
+            let _ = Request::parse(&req_line[..cut]);
+            let _ = Response::parse(&req_line[..cut]);
+        }
+        let resp_line = random_response(&mut rng).encode();
+        for cut in 0..resp_line.len() {
+            let _ = Response::parse(&resp_line[..cut]);
+            let _ = Request::parse(&resp_line[..cut]);
+        }
+    }
+}
+
+/// Random byte mutations of valid lines (bit flips, splices, doubled
+/// separators, glued frames): `parse` must stay total.
+#[test]
+fn mutated_lines_never_panic() {
+    let mut rng = SplitMix64::new(0x5EED_0004);
+    for _ in 0..4000 {
+        let mut bytes = if rng.gen_bool(0.5) {
+            random_request(&mut rng).encode().into_bytes()
+        } else {
+            random_response(&mut rng).encode().into_bytes()
+        };
+        match rng.gen_index(4) {
+            0 => {
+                // Flip a byte.
+                if !bytes.is_empty() {
+                    let i = rng.gen_index(bytes.len());
+                    bytes[i] ^= 1 << rng.gen_index(8);
+                }
+            }
+            1 => {
+                // Glue two frames (a lost newline).
+                let other = random_request(&mut rng).encode().into_bytes();
+                bytes.extend_from_slice(&other);
+            }
+            2 => {
+                // Insert a separator.
+                let i = rng.gen_index(bytes.len() + 1);
+                bytes.insert(i, *[b' ', b',', b'=', b'\t'].get(rng.gen_index(4)).unwrap());
+            }
+            _ => {
+                // Pure noise.
+                bytes = (0..rng.gen_index(40))
+                    .map(|_| rng.gen_below(256) as u8)
+                    .collect();
+            }
+        }
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = Request::parse(&s);
+            let _ = Response::parse(&s);
+        }
+    }
+}
+
+/// Whatever garbage parses as a request must re-encode to something
+/// that parses back to the same request — the parser accepts only
+/// canonical lines.
+#[test]
+fn accepted_garbage_is_canonical() {
+    let mut rng = SplitMix64::new(0x5EED_0005);
+    let mut accepted = 0;
+    for _ in 0..8000 {
+        let mut bytes = random_request(&mut rng).encode().into_bytes();
+        if !bytes.is_empty() {
+            let i = rng.gen_index(bytes.len());
+            bytes[i] = IDENT_CHARS[rng.gen_index(IDENT_CHARS.len())];
+        }
+        let Ok(s) = String::from_utf8(bytes) else {
+            continue;
+        };
+        if let Ok(req) = Request::parse(&s) {
+            accepted += 1;
+            assert_eq!(Request::parse(&req.encode()).unwrap(), req);
+            assert_eq!(req.encode(), s, "non-canonical accept: {s:?}");
+        }
+    }
+    assert!(accepted > 100, "mutator too destructive: {accepted}");
+}
+
+/// Oversized lines are rejected, not buffered or panicked on.
+#[test]
+fn oversized_lines_are_rejected() {
+    let big = format!("read {}", "a".repeat(ruo_serve::MAX_LINE_BYTES + 10));
+    assert!(Request::parse(&big).is_err());
+    let big = format!("ok {}", "1".repeat(ruo_serve::MAX_LINE_BYTES + 10));
+    assert!(Response::parse(&big).is_err());
+}

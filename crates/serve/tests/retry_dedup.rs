@@ -1,0 +1,173 @@
+//! Retry semantics under chaos: every replayed `incr` must apply
+//! exactly once.
+//!
+//! Two attack angles:
+//!
+//! * a *fixed* server-side fault plan that truncates every connection's
+//!   second response — the ack is lost after the increment applied, the
+//!   client must retry, and the dedup window must absorb the replay;
+//! * a seeded sweep of the stock client-side chaos profile (drops,
+//!   half-closes, truncated requests, stalls), after which the test
+//!   replays **every** token raw — applied-and-acked, applied-unacked
+//!   and never-applied alike — so the final count equals the number of
+//!   distinct tokens iff each applied exactly once.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ruo_serve::{Client, ClientConfig, NetFault, NetFaultPlan, ObjectDef, ServeConfig, Server};
+
+fn server_with(chaos: Option<NetFaultPlan>) -> Server {
+    Server::start(
+        ServeConfig {
+            workers: 2,
+            chaos,
+            ..ServeConfig::default()
+        },
+        &[ObjectDef::counter("hits", "farray")],
+    )
+    .unwrap()
+}
+
+#[test]
+fn lost_acks_dedup_exactly_once() {
+    // Every connection's second write (= second response) is truncated
+    // to one byte: the increment applies, the ack never arrives intact,
+    // the client must reconnect and replay the same token.
+    let plan = NetFaultPlan::new().with(NetFault::TruncateWrite {
+        at_write: 2,
+        keep_bytes: 1,
+    });
+    let server = server_with(Some(plan));
+    let mut client = Client::new(ClientConfig::new(server.addr()), 1);
+    let total = 10;
+    let mut acked = 0;
+    for _ in 0..total {
+        if client.incr("hits", 1).is_ok() {
+            acked += 1;
+        }
+    }
+    let stats = client.stats();
+    let summary = server.shutdown();
+    let applied = summary.final_value("hits").unwrap();
+    assert!(stats.retries > 0, "the fault plan never forced a retry");
+    assert!(
+        summary.health.dedup_hits > 0,
+        "no replay ever hit the dedup window"
+    );
+    assert!(applied >= acked, "acked {acked} > applied {applied}");
+    assert!(
+        applied <= total,
+        "double-applied replays: {applied} > {total} issued"
+    );
+    assert!(summary.audit().ok(), "{}", summary.audit());
+}
+
+/// Replays `incr <obj> 1 <token>` over a clean raw socket, panicking
+/// unless the server acks.
+fn replay_token(addr: std::net::SocketAddr, token: &str) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(format!("incr hits 1 {token}\n").as_bytes())
+        .unwrap();
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => panic!("server closed during replay of {token}"),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) => panic!("replay read failed: {e}"),
+        }
+    }
+    assert_eq!(line.trim_end(), "ok", "replay of {token} failed: {line}");
+}
+
+#[test]
+fn chaos_sweep_applies_every_token_exactly_once() {
+    let mut total_retries = 0;
+    let mut total_injected = 0;
+    for seed in [11u64, 42, 1337] {
+        let server = server_with(None);
+        let addr = server.addr();
+        let per_client = 20u64;
+        let client_ids = [seed * 100 + 1, seed * 100 + 2];
+        let mut handles = Vec::new();
+        for &id in &client_ids {
+            let chaos = NetFaultPlan::chaos(seed);
+            handles.push(std::thread::spawn(move || {
+                let mut cfg = ClientConfig::new(addr);
+                cfg.chaos = Some(chaos);
+                cfg.max_attempts = 10;
+                let mut client = Client::new(cfg, id);
+                let mut exhausted = 0;
+                for _ in 0..per_client {
+                    if client.incr("hits", 1).is_err() {
+                        exhausted += 1;
+                    }
+                }
+                (client.stats(), exhausted)
+            }));
+        }
+        let mut acked = 0;
+        for h in handles {
+            let (stats, _exhausted) = h.join().unwrap();
+            acked += stats.acked_incrs;
+            total_retries += stats.retries;
+        }
+        // Replay every token the clients could have issued — the
+        // client's token format is `c<id>:<seq>` with seq 1..=requests.
+        for &id in &client_ids {
+            for seq in 1..=per_client {
+                replay_token(addr, &format!("c{id}:{seq}"));
+            }
+        }
+        let summary = server.shutdown();
+        let applied = summary.final_value("hits").unwrap();
+        let issued = per_client * client_ids.len() as u64;
+        assert_eq!(
+            applied, issued,
+            "seed {seed}: {issued} distinct tokens but {applied} applied — \
+             some replay double-counted or some token vanished"
+        );
+        assert!(acked <= applied, "seed {seed}: acked {acked} > applied");
+        assert!(summary.audit().ok(), "seed {seed}: {}", summary.audit());
+        total_injected += summary.health.chaos_injected;
+        let _ = total_injected; // server-side plan is clean in this sweep
+    }
+    assert!(
+        total_retries > 0,
+        "three chaos seeds never forced a single retry — the plan is inert"
+    );
+}
+
+#[test]
+fn retryable_refusals_eventually_succeed() {
+    // A half-closed server response socket forces the client through
+    // its full reconnect + backoff loop; the request itself must still
+    // land exactly once.
+    let plan = NetFaultPlan::new().with(NetFault::HalfClose { at_write: 1 });
+    let server = server_with(Some(plan));
+    let mut client = Client::new(ClientConfig::new(server.addr()), 9);
+    // First response per connection arrives, later ones are cut: every
+    // request needs a fresh connection after the first.
+    for _ in 0..6 {
+        client.incr("hits", 1).unwrap();
+    }
+    let stats = client.stats();
+    let summary = server.shutdown();
+    assert_eq!(summary.final_value("hits"), Some(6));
+    assert!(stats.reconnects > 0);
+    assert!(summary.audit().ok());
+}

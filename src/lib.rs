@@ -17,9 +17,14 @@
 //! * [`scenario`] — the declarative scenario engine: an object registry
 //!   covering both faces of every implementation, JSON scenario specs,
 //!   and one driver each for threads, the simulator and the explorer.
+//! * [`serve`] — the fault-tolerant service layer: a std-TCP server over
+//!   the registry objects with chaos injection, deadlines/retries/
+//!   backoff, graceful degradation, and a post-run linearizability
+//!   audit.
 
 pub use ruo_core as core;
 pub use ruo_lowerbound as lowerbound;
 pub use ruo_metrics as metrics;
 pub use ruo_scenario as scenario;
+pub use ruo_serve as serve;
 pub use ruo_sim as sim;
