@@ -7,6 +7,7 @@
 //! | [`ShardedCounter`] (per-process stripes) | read/write | `O(N)` | `O(1)` | wait-free |
 //! | [`AacCounter`] | read/write | `O(log M)` | `O(log N · log M)` | wait-free, restricted use |
 //! | [`FetchAddCounter`] | fetch-and-add | `O(1)` | `O(1)` | wait-free (stronger primitive) |
+//! | [`ApproxCounter`] (k-accurate, HKM) | read/write | `O(N)`, within factor `k` | `O(1)`, publishes `O(log_k c)` times | wait-free |
 //!
 //! Theorem 1 of the paper says these tradeoffs are inherent for
 //! read/write/CAS: reads in `O(f(N))` force increments to
@@ -19,6 +20,7 @@
 //! exact per-increment propagation, batched combining, or pure stripes.
 
 mod aac;
+mod approx;
 mod combining;
 mod farray;
 mod fetch_add;
@@ -26,6 +28,7 @@ mod sharded;
 pub mod sim;
 
 pub use aac::AacCounter;
+pub use approx::{ApproxCounter, SimApproxCounter};
 pub use combining::CombiningCounter;
 pub use farray::FArrayCounter;
 pub use fetch_add::FetchAddCounter;

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod accuracy;
 pub mod b1tree;
 pub mod counter;
 pub mod farray;

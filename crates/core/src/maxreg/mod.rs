@@ -6,6 +6,7 @@
 //! | [`AacMaxRegister`] | read/write | `O(log M)` | `O(log M)` | wait-free, `M`-bounded |
 //! | [`FArrayMaxRegister`] (Jayanti) | read/write/CAS | `O(1)` | `O(log N)` | wait-free |
 //! | [`CasRetryMaxRegister`] | read/CAS | `O(1)` | `O(1)` uncontended | lock-free |
+//! | [`ApproxMaxRegister`] (k-accurate, HKM) | read/CAS | `O(1)`, within factor `k` | `O(1)` dominated | lock-free |
 //! | [`LockMaxRegister`] | mutex | — | — | blocking baseline |
 //!
 //! The first three also exist as simulator step machines in [`sim`],
@@ -13,6 +14,7 @@
 //! adversaries of `ruo-lowerbound` can be run against them.
 
 pub mod aac;
+mod approx;
 mod cas_retry;
 mod farray;
 mod lock;
@@ -20,6 +22,7 @@ pub mod sim;
 mod tree;
 
 pub use aac::{AacMaxRegister, AacShape, CapacityError};
+pub use approx::{ApproxMaxRegister, SimApproxMaxRegister};
 pub use cas_retry::CasRetryMaxRegister;
 pub use farray::FArrayMaxRegister;
 pub use lock::LockMaxRegister;

@@ -69,6 +69,7 @@ pub struct HealthGauges {
     chaos_injected: FArray<Sum>,
     queue_depth_peak: Watermark,
     inflight_peak: Watermark,
+    degraded_error_permille_peak: Watermark,
 }
 
 impl fmt::Debug for HealthGauges {
@@ -98,6 +99,7 @@ impl HealthGauges {
             chaos_injected: FArray::new(n),
             queue_depth_peak: Watermark::new(n),
             inflight_peak: Watermark::new(n),
+            degraded_error_permille_peak: Watermark::new(n),
         }
     }
 
@@ -128,6 +130,15 @@ impl HealthGauges {
         self.inflight_peak.record(pid, inflight);
     }
 
+    /// Raises the degraded-read error watermark: the *observed* relative
+    /// error of one degraded answer, in permille (`(exact - served) *
+    /// 1000 / exact`). Operators read the realized accuracy here, not
+    /// just the configured factor `k` (a k = 4 tier that never drifts
+    /// past 12 ‰ is very different from one pinned at 750 ‰).
+    pub fn record_degraded_error(&self, pid: ProcessId, permille: u64) {
+        self.degraded_error_permille_peak.record(pid, permille);
+    }
+
     /// Exact totals at one instant (each counter is one `O(1)` root
     /// read; the two peaks are one atomic load each).
     pub fn snapshot(&self) -> HealthSnapshot {
@@ -143,6 +154,7 @@ impl HealthGauges {
             chaos_injected: self.chaos_injected.read() as u64,
             queue_depth_peak: self.queue_depth_peak.get(),
             inflight_peak: self.inflight_peak.get(),
+            degraded_error_permille_peak: self.degraded_error_permille_peak.get(),
         }
     }
 }
@@ -172,6 +184,8 @@ pub struct HealthSnapshot {
     pub queue_depth_peak: u64,
     /// Most concurrently in-flight requests observed.
     pub inflight_peak: u64,
+    /// Worst observed degraded-read relative error, in permille.
+    pub degraded_error_permille_peak: u64,
 }
 
 impl HealthSnapshot {
@@ -190,6 +204,10 @@ impl HealthSnapshot {
             ("chaos_injected", self.chaos_injected),
             ("queue_depth_peak", self.queue_depth_peak),
             ("inflight_peak", self.inflight_peak),
+            (
+                "degraded_error_permille_peak",
+                self.degraded_error_permille_peak,
+            ),
         ]
     }
 }
@@ -239,13 +257,14 @@ mod tests {
             chaos_injected: 9,
             queue_depth_peak: 10,
             inflight_peak: 11,
+            degraded_error_permille_peak: 12,
         };
         let pairs = s.to_pairs();
-        assert_eq!(pairs.len(), 11);
+        assert_eq!(pairs.len(), 12);
         assert_eq!(pairs[0], ("admitted", 1));
-        assert_eq!(pairs[10], ("inflight_peak", 11));
+        assert_eq!(pairs[11], ("degraded_error_permille_peak", 12));
         let vals: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
-        assert_eq!(vals, (1..=11).collect::<Vec<u64>>());
+        assert_eq!(vals, (1..=12).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -32,19 +32,20 @@ fn usage() -> ! {
 
 fn list() {
     println!(
-        "{:<10} {:<16} {:<28} {:<6} {:<6} progress",
-        "family", "impl", "display", "real", "sim"
+        "{:<10} {:<16} {:<28} {:<6} {:<6} {:<16} accuracy",
+        "family", "impl", "display", "real", "sim", "progress"
     );
     for family in Family::all() {
         for entry in registry().iter().filter(|e| e.family == family) {
             println!(
-                "{:<10} {:<16} {:<28} {:<6} {:<6} {:?}",
+                "{:<10} {:<16} {:<28} {:<6} {:<6} {:<16} {}",
                 family.name(),
                 entry.id,
                 entry.display,
                 if entry.has_real() { "yes" } else { "-" },
                 if entry.has_sim() { "yes" } else { "-" },
-                entry.caps.progress,
+                format!("{:?}", entry.caps.progress),
+                entry.caps.accuracy.map_or("exact", |a| a.name()),
             );
         }
     }

@@ -23,7 +23,8 @@ use ruo_metrics::{
 };
 use ruo_sim::explore::{explore, explore_parallel, ExploreConfig, ExploreOp};
 use ruo_sim::lin::{
-    check_counter, check_exact, check_interval, check_max_register, check_snapshot, Violation,
+    check_counter_k, check_exact_k, check_interval_k, check_max_register_k, check_snapshot,
+    Violation,
 };
 use ruo_sim::spec::SeqSpec;
 use ruo_sim::stepcount::CountingMem;
@@ -155,13 +156,14 @@ fn check_history_from(
             initial: 0,
         },
     };
+    let k = spec.accuracy_k();
     match (resolve_checker(spec), spec.family) {
         (CheckerKind::Auto, _) => unreachable!("resolve_checker never returns Auto"),
-        (CheckerKind::Fast, Family::MaxReg) => check_max_register(history, initial),
-        (CheckerKind::Fast, Family::Counter) => check_counter(history),
+        (CheckerKind::Fast, Family::MaxReg) => check_max_register_k(history, initial, k),
+        (CheckerKind::Fast, Family::Counter) => check_counter_k(history, k),
         (CheckerKind::Fast, Family::Snapshot) => check_snapshot(history, spec.n, 0),
-        (CheckerKind::Interval, _) => check_interval(history, &seq()),
-        (CheckerKind::Exact, _) => check_exact(history, &seq()),
+        (CheckerKind::Interval, _) => check_interval_k(history, &seq(), k),
+        (CheckerKind::Exact, _) => check_exact_k(history, &seq(), k),
     }
 }
 
@@ -237,10 +239,34 @@ fn sim_value_bound(spec: &ScenarioSpec, entry: &ImplEntry) -> u64 {
     }
 }
 
+/// Rejects accuracy factors the implementation cannot honor: `k > 1`
+/// on an exact face would make the relaxed checkers certify behaviour
+/// the implementation never promised, so only entries advertising an
+/// accuracy capability may run with a relaxed envelope. Snapshot scans
+/// return vectors, which the `_k` checkers never relax — a `k > 1`
+/// snapshot spec is a contradiction and is rejected up front.
+fn validate_accuracy(spec: &ScenarioSpec, entry: &ImplEntry) -> Result<(), EngineError> {
+    let k = spec.accuracy_k();
+    if k > 1 && entry.caps.accuracy.is_none() {
+        return Err(EngineError::Unsupported(format!(
+            "accuracy.k = {k} on exact implementation {}/{} (no accuracy capability)",
+            spec.family.name(),
+            spec.impl_id
+        )));
+    }
+    if k > 1 && spec.family == Family::Snapshot {
+        return Err(EngineError::Unsupported(
+            "accuracy.k > 1 is not defined for snapshot scans".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// Builds the spec's implementation on the simulator face, allocating
 /// in a fresh [`Memory`].
 pub fn build_sim_object(spec: &ScenarioSpec) -> Result<(Memory, SimObject), EngineError> {
     let entry = find(spec.family, &spec.impl_id)?;
+    validate_accuracy(spec, entry)?;
     let mut mem = Memory::new();
     let obj = entry.build_sim(
         &mut mem,
@@ -248,6 +274,7 @@ pub fn build_sim_object(spec: &ScenarioSpec) -> Result<(Memory, SimObject), Engi
             n: spec.n,
             capacity: sim_capacity(spec),
             root_fast_path: spec.root_fast_path,
+            accuracy_k: spec.accuracy_k(),
         },
     )?;
     Ok((mem, obj))
@@ -446,6 +473,9 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
     };
     let mut report = ScenarioReport::new(spec, quick);
     report.checker = Some(resolve_checker(spec).name().into());
+    if let Some(a) = &spec.accuracy {
+        report.set("accuracy_k", a.k);
+    }
     let mut ok_runs = 0u64;
     let mut crashed_runs = 0u64;
     let mut pending_ops = 0u64;
@@ -665,11 +695,13 @@ pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engi
                 .into(),
         ));
     }
+    validate_accuracy(spec, entry)?;
     let p = real_params(spec, quick);
     let params = BuildParams {
         n: p.threads,
         capacity: real_capacity(spec, &p),
         root_fast_path: spec.root_fast_path,
+        accuracy_k: spec.accuracy_k(),
     };
     let sink = AtomicU64::new(0);
     let mut times: Vec<f64> = Vec::with_capacity(p.samples);
@@ -706,6 +738,9 @@ pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engi
 
     let total_ops = p.ops * p.threads as u64;
     let mut report = ScenarioReport::new(spec, quick);
+    if let Some(a) = &spec.accuracy {
+        report.set("accuracy_k", a.k);
+    }
     report.set("threads", p.threads as u64);
     report.set("ops_per_thread", p.ops);
     report.set("total_ops", total_ops);
@@ -782,6 +817,7 @@ pub fn explore_parts(spec: &ScenarioSpec) -> Result<ExploreParts, EngineError> {
                     n: spec.n,
                     capacity: sim_capacity(spec),
                     root_fast_path: spec.root_fast_path,
+                    accuracy_k: spec.accuracy_k(),
                 },
             )
             .err()
@@ -919,21 +955,22 @@ pub fn run_explore(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, E
     let initial = parts.initial;
     let ckind = resolve_checker(spec);
     let family = spec.family;
+    let k = spec.accuracy_k();
     let verdict = move |h: &History| -> bool {
         match (ckind, family) {
             (CheckerKind::Auto, _) => unreachable!("resolve_checker never returns Auto"),
-            (CheckerKind::Fast, Family::MaxReg) => check_max_register(h, initial).is_ok(),
-            (CheckerKind::Fast, Family::Counter) => check_counter(h).is_ok(),
+            (CheckerKind::Fast, Family::MaxReg) => check_max_register_k(h, initial, k).is_ok(),
+            (CheckerKind::Fast, Family::Counter) => check_counter_k(h, k).is_ok(),
             (CheckerKind::Interval, Family::MaxReg) => {
-                check_interval(h, &SeqSpec::MaxRegister { initial }).is_ok()
+                check_interval_k(h, &SeqSpec::MaxRegister { initial }, k).is_ok()
             }
             (CheckerKind::Interval, Family::Counter) => {
-                check_interval(h, &SeqSpec::Counter).is_ok()
+                check_interval_k(h, &SeqSpec::Counter, k).is_ok()
             }
             (CheckerKind::Exact, Family::MaxReg) => {
-                check_exact(h, &SeqSpec::MaxRegister { initial }).is_ok()
+                check_exact_k(h, &SeqSpec::MaxRegister { initial }, k).is_ok()
             }
-            (CheckerKind::Exact, Family::Counter) => check_exact(h, &SeqSpec::Counter).is_ok(),
+            (CheckerKind::Exact, Family::Counter) => check_exact_k(h, &SeqSpec::Counter, k).is_ok(),
             (_, Family::Snapshot) => unreachable!("rejected by explore_parts"),
         }
     };
@@ -966,6 +1003,9 @@ pub fn run_explore(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, E
 
     let mut report = ScenarioReport::new(spec, quick);
     report.checker = Some(ckind.name().into());
+    if let Some(a) = &spec.accuracy {
+        report.set("accuracy_k", a.k);
+    }
     report.set("schedules", summary.schedules as u64);
     report.set("workers", espec.workers as u64);
     report.set("truncated", summary.truncated as u64);
@@ -1047,6 +1087,45 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}/{}: {e}", entry.family, entry.id));
             assert!(r.ok, "{}/{}: {:?}", entry.family, entry.id, r.notes);
         }
+    }
+
+    #[test]
+    fn accuracy_k_runs_approx_faces_under_every_checker() {
+        use crate::spec::AccuracySpec;
+        for family in [Family::Counter, Family::MaxReg] {
+            for checker in [CheckerKind::Fast, CheckerKind::Interval, CheckerKind::Exact] {
+                let mut spec = ScenarioSpec::new("t", family, "approx", EngineKind::Sim, 3);
+                spec.seeds = 5;
+                spec.ops_per_process = 4;
+                spec.checker = checker;
+                spec.accuracy = Some(AccuracySpec { k: 4 });
+                let r = run_sim(&spec, false)
+                    .unwrap_or_else(|e| panic!("{family}/{}: {e}", checker.name()));
+                assert!(r.ok, "{family}/{}: {:?}", checker.name(), r.notes);
+                assert_eq!(r.counter("accuracy_k"), Some(4));
+                assert_eq!(r.counter("violations"), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_k_is_rejected_on_exact_implementations() {
+        use crate::spec::AccuracySpec;
+        // k > 1 on an exact face would have the relaxed checkers
+        // certify a guarantee the object never made.
+        let mut spec = ScenarioSpec::new("t", Family::Counter, "farray", EngineKind::Sim, 2);
+        spec.accuracy = Some(AccuracySpec { k: 2 });
+        assert!(matches!(
+            run_sim(&spec, false),
+            Err(EngineError::Unsupported(_))
+        ));
+        // …and k = 1 on an exact face is just an explicit spelling of
+        // the default.
+        spec.accuracy = Some(AccuracySpec { k: 1 });
+        spec.seeds = 2;
+        let r = run_sim(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        assert_eq!(r.counter("accuracy_k"), Some(1));
     }
 
     #[test]

@@ -42,11 +42,11 @@ pub use engine::{
 };
 pub use json::{Json, JsonError};
 pub use registry::{
-    family_impls, find, registry, BuildError, BuildParams, Capabilities, CounterMode, Family,
-    ImplEntry, ProgressClass, RealObject, SimObject,
+    family_impls, find, registry, AccuracyClass, BuildError, BuildParams, Capabilities,
+    CounterMode, Family, ImplEntry, ProgressClass, RealObject, SimObject,
 };
 pub use report::{ScenarioReport, REPORT_SCHEMA};
 pub use spec::{
-    CheckerKind, CrashAt, EngineKind, ExploreSpec, FaultSpec, OpKind, OpMix, RealSpec, ScenarioOp,
-    ScenarioSpec, SchedulePolicy, SpecError, TraceSpec, SPEC_SCHEMA,
+    AccuracySpec, CheckerKind, CrashAt, EngineKind, ExploreSpec, FaultSpec, OpKind, OpMix,
+    RealSpec, ScenarioOp, ScenarioSpec, SchedulePolicy, SpecError, TraceSpec, SPEC_SCHEMA,
 };

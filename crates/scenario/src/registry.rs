@@ -20,7 +20,8 @@ use ruo_core::counter::sim::{
     SimShardedCounter, SimSnapshotCounter,
 };
 use ruo_core::counter::{
-    AacCounter, CombiningCounter, FArrayCounter, FetchAddCounter, ShardedCounter,
+    AacCounter, ApproxCounter, CombiningCounter, FArrayCounter, FetchAddCounter, ShardedCounter,
+    SimApproxCounter,
 };
 use ruo_core::maxreg::aac::MAX_CAPACITY;
 use ruo_core::maxreg::sim::{
@@ -28,8 +29,9 @@ use ruo_core::maxreg::sim::{
     SimTreeMaxRegister,
 };
 use ruo_core::maxreg::{
-    check_tree_size, AacMaxRegister, AacShape, CapacityError, CasRetryMaxRegister,
-    FArrayMaxRegister, LockMaxRegister, TreeMaxRegister, TreeSizeError, MAX_PROCESSES,
+    check_tree_size, AacMaxRegister, AacShape, ApproxMaxRegister, CapacityError,
+    CasRetryMaxRegister, FArrayMaxRegister, LockMaxRegister, SimApproxMaxRegister, TreeMaxRegister,
+    TreeSizeError, MAX_PROCESSES,
 };
 use ruo_core::reduction::CounterFromSnapshot;
 use ruo_core::snapshot::sim::{SimDoubleCollectSnapshot, SimSnapshot};
@@ -37,6 +39,7 @@ use ruo_core::snapshot::{AfekSnapshot, DoubleCollectSnapshot, PathCopySnapshot};
 use ruo_core::{Counter, MaxRegister, Snapshot};
 use ruo_sim::Memory;
 
+pub use ruo_core::accuracy::AccuracyClass;
 pub use ruo_core::counter::CounterMode;
 
 /// The three object families of the paper.
@@ -132,6 +135,11 @@ pub struct Capabilities {
     /// propagation, `Combining` batches, `Sharded` stripes). `None` for
     /// implementations outside that mode knob.
     pub counter_mode: Option<CounterMode>,
+    /// The accuracy guarantee of the entry's reads (ISSUE 9). `None`
+    /// means exact — reads return the precise linearized value. `Some`
+    /// entries honour [`BuildParams::accuracy_k`] at construction and
+    /// must be verified with the `_k` checkers at that factor.
+    pub accuracy: Option<AccuracyClass>,
 }
 
 /// Parameters every registry constructor receives.
@@ -146,6 +154,10 @@ pub struct BuildParams {
     pub capacity: u64,
     /// Opt into the § 4.5 root-read fast path where supported.
     pub root_fast_path: bool,
+    /// k-multiplicative accuracy factor for approximate implementations
+    /// (`≥ 1`; `1` means exact behaviour). Ignored by exact
+    /// implementations (`caps.accuracy == None`).
+    pub accuracy_k: u64,
 }
 
 /// A constructed real-atomics object, behind the family trait.
@@ -359,6 +371,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: true,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("TreeMaxRegister"),
             sim_type: Some("SimTreeMaxRegister"),
@@ -386,6 +399,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: true,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("TreeMaxRegister"),
             sim_type: Some("SimTreeMaxRegister"),
@@ -413,6 +427,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("AacMaxRegister"),
             sim_type: Some("SimAacMaxRegister"),
@@ -439,6 +454,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("AacMaxRegister"),
             sim_type: Some("SimAacMaxRegister"),
@@ -465,6 +481,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("FArrayMaxRegister"),
             sim_type: Some("SimFArrayMaxRegister"),
@@ -486,6 +503,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("CasRetryMaxRegister"),
             sim_type: Some("SimCasRetryMaxRegister"),
@@ -493,6 +511,34 @@ fn build_registry() -> Vec<ImplEntry> {
             sim: Some(|mem, p| {
                 Ok(SimObject::MaxReg(Arc::new(SimCasRetryMaxRegister::new(
                     mem, p.n,
+                ))))
+            }),
+        },
+        ImplEntry {
+            family: Family::MaxReg,
+            id: "approx",
+            display: "k-accurate CAS cell (HKM)",
+            caps: Capabilities {
+                progress: ProgressClass::LockFree,
+                bounded_capacity: false,
+                max_n: None,
+                root_fast_path: false,
+                benched: false,
+                counter_mode: None,
+                accuracy: Some(AccuracyClass::KMultiplicative),
+            },
+            real_type: Some("ApproxMaxRegister"),
+            sim_type: Some("SimApproxMaxRegister"),
+            real: Some(|p| {
+                Ok(RealObject::MaxReg(Box::new(ApproxMaxRegister::new(
+                    p.accuracy_k.max(1),
+                ))))
+            }),
+            sim: Some(|mem, p| {
+                Ok(SimObject::MaxReg(Arc::new(SimApproxMaxRegister::new(
+                    mem,
+                    p.n,
+                    p.accuracy_k.max(1),
                 ))))
             }),
         },
@@ -507,6 +553,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("LockMaxRegister"),
             sim_type: None,
@@ -525,6 +572,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: Some(CounterMode::Exact),
+                accuracy: None,
             },
             real_type: Some("FArrayCounter"),
             sim_type: Some("SimFArrayCounter"),
@@ -548,6 +596,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: Some(CounterMode::Combining),
+                accuracy: None,
             },
             real_type: Some("CombiningCounter"),
             // The sim face is the wait-free batch model (announce array
@@ -574,6 +623,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: Some(CounterMode::Sharded),
+                accuracy: None,
             },
             real_type: Some("ShardedCounter"),
             sim_type: Some("SimShardedCounter"),
@@ -581,6 +631,35 @@ fn build_registry() -> Vec<ImplEntry> {
             sim: Some(|mem, p| {
                 Ok(SimObject::Counter(Arc::new(SimShardedCounter::new(
                     mem, p.n,
+                ))))
+            }),
+        },
+        ImplEntry {
+            family: Family::Counter,
+            id: "approx",
+            display: "k-accurate stripes (HKM)",
+            caps: Capabilities {
+                progress: ProgressClass::WaitFree,
+                bounded_capacity: false,
+                max_n: None,
+                root_fast_path: false,
+                benched: false,
+                counter_mode: None,
+                accuracy: Some(AccuracyClass::KMultiplicative),
+            },
+            real_type: Some("ApproxCounter"),
+            sim_type: Some("SimApproxCounter"),
+            real: Some(|p| {
+                Ok(RealObject::Counter(Box::new(ApproxCounter::new(
+                    p.n,
+                    p.accuracy_k.max(1),
+                ))))
+            }),
+            sim: Some(|mem, p| {
+                Ok(SimObject::Counter(Arc::new(SimApproxCounter::new(
+                    mem,
+                    p.n,
+                    p.accuracy_k.max(1),
                 ))))
             }),
         },
@@ -595,6 +674,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("AacCounter"),
             sim_type: Some("SimAacCounter"),
@@ -626,6 +706,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("FetchAddCounter"),
             sim_type: None,
@@ -643,6 +724,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: false,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: None,
             sim_type: Some("SimCasLoopCounter"),
@@ -664,6 +746,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: false,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: None,
             sim_type: Some("SimSnapshotCounter"),
@@ -685,6 +768,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: false,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("CounterFromSnapshot"),
             sim_type: None,
@@ -707,6 +791,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("DoubleCollectSnapshot"),
             sim_type: Some("SimDoubleCollectSnapshot"),
@@ -732,6 +817,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("PathCopySnapshot"),
             sim_type: None,
@@ -753,6 +839,7 @@ fn build_registry() -> Vec<ImplEntry> {
                 root_fast_path: false,
                 benched: true,
                 counter_mode: None,
+                accuracy: None,
             },
             real_type: Some("AfekSnapshot"),
             sim_type: None,
@@ -772,6 +859,7 @@ mod tests {
             n,
             capacity,
             root_fast_path: false,
+            accuracy_k: 1,
         }
     }
 
@@ -865,6 +953,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn approx_faces_honor_the_accuracy_factor() {
+        // The two accuracy-capable entries must thread
+        // `BuildParams::accuracy_k` into the object: at a coarse k a
+        // run of updates may read back below the true value, but never
+        // outside the k-envelope and never above the truth.
+        let k = 8u64;
+        let p = BuildParams {
+            accuracy_k: k,
+            ..params(2, 1 << 16)
+        };
+        let counter = find(Family::Counter, "approx").unwrap();
+        assert_eq!(counter.caps.accuracy, Some(AccuracyClass::KMultiplicative));
+        let RealObject::Counter(c) = counter.build_real(&p).unwrap() else {
+            panic!("counter face");
+        };
+        for _ in 0..100 {
+            c.increment(ProcessId(0));
+        }
+        let v = c.read();
+        assert!(v < 100, "k=8 must not publish every increment");
+        assert!(v * k >= 100, "drifted past k: {v}");
+
+        let maxreg = find(Family::MaxReg, "approx").unwrap();
+        assert_eq!(maxreg.caps.accuracy, Some(AccuracyClass::KMultiplicative));
+        let RealObject::MaxReg(r) = maxreg.build_real(&p).unwrap() else {
+            panic!("maxreg face");
+        };
+        r.write_max(ProcessId(0), 1000);
+        let v = r.read_max();
+        assert!(v <= 1000 && v * k >= 1000, "outside the k-envelope: {v}");
     }
 
     #[test]

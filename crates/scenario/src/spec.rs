@@ -244,6 +244,19 @@ pub struct ExploreSpec {
     pub workers: usize,
 }
 
+/// k-multiplicative accuracy parameters (ISSUE 9). Only meaningful for
+/// implementations whose registry entry carries an accuracy capability
+/// (`caps.accuracy`); the engines reject `k > 1` on exact
+/// implementations rather than silently weakening their verdicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccuracySpec {
+    /// The multiplicative factor `k` (`≥ 1`): reads may underestimate
+    /// the true value by at most this factor and never overestimate it.
+    /// `k = 1` demands exactness — checkers reduce bit-for-bit to their
+    /// exact verdicts.
+    pub k: u64,
+}
+
 /// Parameters specific to the real-threads engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RealSpec {
@@ -330,6 +343,10 @@ pub struct ScenarioSpec {
     pub explore: Option<ExploreSpec>,
     /// Real-engine parameters (defaults derived from `n` when absent).
     pub real: Option<RealSpec>,
+    /// Accuracy parameters (`None` = exact, equivalent to `k = 1`).
+    /// Only valid on implementations whose registry entry advertises an
+    /// accuracy capability when `k > 1`.
+    pub accuracy: Option<AccuracySpec>,
     /// Step-tracing controls; `None` disables tracing entirely.
     pub trace: Option<TraceSpec>,
     /// Wall-clock watchdog in seconds: a run that has not produced its
@@ -387,6 +404,7 @@ impl ScenarioSpec {
             root_fast_path: false,
             explore: None,
             real: None,
+            accuracy: None,
             trace: None,
             watchdog_secs: None,
         }
@@ -433,6 +451,12 @@ impl ScenarioSpec {
         if let Some(r) = &self.real {
             o.push(("real".into(), real_to_json(r)));
         }
+        if let Some(a) = &self.accuracy {
+            o.push((
+                "accuracy".into(),
+                Json::Obj(vec![("k".into(), Json::Num(a.k))]),
+            ));
+        }
         if let Some(t) = &self.trace {
             o.push(("trace".into(), trace_to_json(t)));
         }
@@ -472,6 +496,7 @@ impl ScenarioSpec {
             "root_fast_path",
             "explore",
             "real",
+            "accuracy",
             "trace",
             "watchdog_secs",
         ];
@@ -556,6 +581,9 @@ impl ScenarioSpec {
         if let Some(r) = doc.get("real") {
             spec.real = Some(real_from_json(r)?);
         }
+        if let Some(a) = doc.get("accuracy") {
+            spec.accuracy = Some(accuracy_from_json(a)?);
+        }
         if let Some(t) = doc.get("trace") {
             spec.trace = Some(trace_from_json(t)?);
         }
@@ -564,6 +592,12 @@ impl ScenarioSpec {
             return err("engine \"explore\" requires an \"explore\" section");
         }
         Ok(spec)
+    }
+
+    /// The effective accuracy factor: `accuracy.k` when the section is
+    /// present, else `1` (exact).
+    pub fn accuracy_k(&self) -> u64 {
+        self.accuracy.map_or(1, |a| a.k)
     }
 }
 
@@ -768,6 +802,26 @@ fn trace_from_json(v: &Json) -> Result<TraceSpec, SpecError> {
     })
 }
 
+fn accuracy_from_json(v: &Json) -> Result<AccuracySpec, SpecError> {
+    let obj = match v.as_obj() {
+        Some(o) => o,
+        None => return err("\"accuracy\" must be an object"),
+    };
+    // Strict like "trace": a typo'd knob silently running the exact
+    // checkers at k = 1 would invert the meaning of a passing verdict.
+    const KNOWN: &[&str] = &["k"];
+    for (k, _) in obj {
+        if !KNOWN.contains(&k.as_str()) {
+            return err(format!("unknown key \"{k}\" in \"accuracy\""));
+        }
+    }
+    let k = req_u64(v, "k")?;
+    if k == 0 {
+        return err("\"accuracy.k\" must be at least 1");
+    }
+    Ok(AccuracySpec { k })
+}
+
 fn real_from_json(v: &Json) -> Result<RealSpec, SpecError> {
     let threads = req_u64(v, "threads")? as usize;
     if threads == 0 {
@@ -836,6 +890,7 @@ mod tests {
             ops_per_thread: 20_000,
             samples: 7,
         });
+        spec.accuracy = Some(AccuracySpec { k: 4 });
         spec.trace = Some(TraceSpec {
             steps: false,
             jsonl: Some("target/traces/full.jsonl".into()),
@@ -844,6 +899,23 @@ mod tests {
         spec.watchdog_secs = Some(45);
         let parsed = ScenarioSpec::parse(&spec.to_json()).unwrap();
         assert_eq!(parsed, spec);
+        assert_eq!(parsed.accuracy_k(), 4);
+    }
+
+    #[test]
+    fn accuracy_section_is_strict_and_defaults_to_exact() {
+        let mut spec = ScenarioSpec::new("a", Family::Counter, "approx", EngineKind::Sim, 2);
+        assert_eq!(spec.accuracy_k(), 1);
+        spec.accuracy = Some(AccuracySpec { k: 8 });
+        let json = spec.to_json();
+        assert_eq!(ScenarioSpec::parse(&json).unwrap(), spec);
+        // k = 0 is meaningless (reads could return anything).
+        let zero = json.replace("\"k\": 8", "\"k\": 0");
+        assert!(ScenarioSpec::parse(&zero).unwrap_err().0.contains("k"));
+        // Unknown keys inside "accuracy" are rejected like top-level typos.
+        let typo = json.replace("\"k\": 8", "\"factor\": 8");
+        let e = ScenarioSpec::parse(&typo).unwrap_err();
+        assert!(e.0.contains("accuracy"), "{e}");
     }
 
     #[test]

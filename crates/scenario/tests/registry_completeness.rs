@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 use std::path::Path;
 
-use ruo_scenario::{registry, CounterMode, Family};
+use ruo_scenario::{registry, AccuracyClass, CounterMode, Family};
 
 /// `(trait, implementing type)` pairs declared in a source tree, for
 /// the six object-facing traits.
@@ -144,6 +144,41 @@ fn counter_mode_metadata_covers_every_mode_exactly_once() {
             Some(*mode),
             "schema name for mode on face {id} does not round-trip"
         );
+    }
+}
+
+#[test]
+fn accuracy_metadata_covers_every_class_exactly_once_per_family() {
+    // The `accuracy` capability (ISSUE 9) follows the same metadata
+    // rule as `counter_mode`: each accuracy class must be registered on
+    // exactly one face per relaxable family (maxreg and counter — the
+    // checkers never relax snapshot vectors), and its schema name must
+    // round-trip so scenario accuracy sections can address it.
+    for family in [Family::MaxReg, Family::Counter] {
+        for class in AccuracyClass::all() {
+            let holders: Vec<&str> = registry()
+                .iter()
+                .filter(|e| e.family == family && e.caps.accuracy == Some(class))
+                .map(|e| e.id)
+                .collect();
+            assert_eq!(
+                holders.len(),
+                1,
+                "accuracy class {class} must be registered on exactly one \
+                 {family} face, found {holders:?}"
+            );
+            assert_eq!(AccuracyClass::parse(class.name()), Some(class));
+        }
+    }
+    for e in registry() {
+        if e.family == Family::Snapshot {
+            assert!(
+                e.caps.accuracy.is_none(),
+                "snapshot/{} claims an accuracy class, but scans return \
+                 vectors the relaxed checkers never loosen",
+                e.id
+            );
+        }
     }
 }
 

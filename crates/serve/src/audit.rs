@@ -10,10 +10,14 @@
 //! semantics are *verified* against the sequential spec, not assumed.
 //!
 //! Degraded-tier reads are deliberately excluded from the history —
-//! they are served from a cache and advertise themselves as
-//! non-linearizable — but they are not unchecked: a degraded counter
-//! read can never exceed the total number of increments the server
-//! applied, and [`audit`] enforces that bound.
+//! they are flagged non-linearizable on the wire — but they are not
+//! unchecked: the degraded counter tier is a real k-multiplicative
+//! accurate object ([`ruo_core::counter::ApproxCounter`]), so every
+//! degraded answer `v` must sit inside the k-envelope of the exact
+//! increments the server applied around it. [`audit`] enforces both
+//! sides per read: `v` may not exceed the increments *invoked* before
+//! the degraded read finished, and `k·v` must cover the increments
+//! *completed* before it started.
 
 use std::fmt;
 
@@ -39,11 +43,14 @@ pub struct LoggedOp {
 }
 
 /// One degraded-tier read (excluded from the linearizable history,
-/// bound-checked instead).
+/// k-envelope-checked instead).
 #[derive(Debug, Clone)]
 pub struct DegradedRead {
-    /// Global tick at which the cached answer was produced.
-    pub tick: u64,
+    /// Global tick fetched just before the degraded answer was
+    /// computed.
+    pub invoke: u64,
+    /// Global tick fetched just after.
+    pub response: u64,
     /// The answer served.
     pub output: OpOutput,
 }
@@ -61,6 +68,9 @@ pub struct ObjectLog {
     pub ops: Vec<LoggedOp>,
     /// Degraded-tier reads.
     pub degraded: Vec<DegradedRead>,
+    /// Accuracy factor of the degraded tier (`≥ 1`; the envelope
+    /// degraded counter reads are checked against).
+    pub accuracy_k: u64,
 }
 
 /// Audit verdict for one object.
@@ -76,8 +86,8 @@ pub struct ObjectAudit {
     pub degraded_reads: usize,
     /// `check_interval` violation, if any.
     pub violation: Option<String>,
-    /// Degraded counter reads that exceeded the applied-increment
-    /// total.
+    /// Degraded counter reads that escaped the k-envelope of the
+    /// increments the server applied around them.
     pub degraded_bound_violations: usize,
 }
 
@@ -170,19 +180,43 @@ pub fn audit_object(log: &ObjectLog) -> ObjectAudit {
         .err()
         .map(|v| format!("{:?}: {}", v.kind, v.detail));
 
-    // Degraded counter reads are served from the server's shadow
-    // stripes, which count exactly the increments the server applied —
-    // so no degraded answer may exceed the applied total.
+    // Degraded counter reads are served by a k-accurate object that
+    // mirrors every increment the server applies, so each answer must
+    // sit in the two-sided k-envelope of the exact log around it:
+    //
+    // * never an overestimate — `v` cannot exceed the increments
+    //   *invoked* before the degraded read finished (the shadow is
+    //   bumped after the invoke tick is fetched);
+    // * bounded underestimate — `k·v` must cover the increments
+    //   *completed* before the degraded read started (their shadow
+    //   bumps all landed before the collect began).
+    //
+    // At k = 1 this collapses to "exactly the applied count at the
+    // read's ticks", strictly stronger than the old applied-total
+    // bound.
     let mut degraded_bound_violations = 0;
-    if log.family == Family::Counter {
-        let total_incrs = log
-            .ops
-            .iter()
-            .filter(|op| matches!(op.desc, OpDesc::CounterIncrement))
-            .count() as u64;
+    if log.family == Family::Counter && !log.degraded.is_empty() {
+        let k = log.accuracy_k.max(1);
+        let mut inc_invokes: Vec<u64> = Vec::new();
+        let mut inc_responses: Vec<u64> = Vec::new();
+        for op in &log.ops {
+            if matches!(op.desc, OpDesc::CounterIncrement) {
+                inc_invokes.push(op.invoke);
+                inc_responses.push(op.response);
+            }
+        }
+        inc_invokes.sort_unstable();
+        inc_responses.sort_unstable();
         for d in &log.degraded {
             if let OpOutput::Value(v) = d.output {
-                if v < 0 || v as u64 > total_incrs {
+                if v < 0 {
+                    degraded_bound_violations += 1;
+                    continue;
+                }
+                let v = v as u64;
+                let hi = inc_invokes.partition_point(|&t| t < d.response) as u64;
+                let lo = inc_responses.partition_point(|&t| t < d.invoke) as u64;
+                if v > hi || (v as u128) * (k as u128) < lo as u128 {
                     degraded_bound_violations += 1;
                 }
             }
@@ -217,6 +251,7 @@ mod tests {
             n: 2,
             ops,
             degraded: Vec::new(),
+            accuracy_k: 1,
         }
     }
 
@@ -281,20 +316,66 @@ mod tests {
     #[test]
     fn degraded_reads_are_bound_checked_not_linearized() {
         let mut log = counter_log(vec![op(0, OpDesc::CounterIncrement, 0, 1, OpOutput::Unit)]);
-        // A degraded read of 1 is fine (≤ applied total)…
+        // A degraded read of 1 is fine (≤ increments invoked before it)…
         log.degraded.push(DegradedRead {
-            tick: 2,
+            invoke: 2,
+            response: 3,
             output: OpOutput::Value(1),
         });
         assert!(audit(&[log.clone()]).ok());
         // …a degraded read of 2 exceeds everything the server applied.
         log.degraded.push(DegradedRead {
-            tick: 3,
+            invoke: 4,
+            response: 5,
             output: OpOutput::Value(2),
         });
         let report = audit(&[log]);
         assert!(!report.ok());
         assert_eq!(report.objects[0].degraded_bound_violations, 1);
+    }
+
+    #[test]
+    fn degraded_underestimates_are_held_to_the_k_envelope() {
+        // Four increments completed before the degraded read starts.
+        let mut log = counter_log(
+            (0..4)
+                .map(|i| {
+                    op(
+                        0,
+                        OpDesc::CounterIncrement,
+                        2 * i,
+                        2 * i + 1,
+                        OpOutput::Unit,
+                    )
+                })
+                .collect(),
+        );
+        log.accuracy_k = 2;
+        // k = 2: a read of 2 covers the 4 completed increments (2·2 ≥ 4)…
+        log.degraded.push(DegradedRead {
+            invoke: 10,
+            response: 11,
+            output: OpOutput::Value(2),
+        });
+        assert!(audit(&[log.clone()]).ok(), "{}", audit(&[log.clone()]));
+        // …a read of 1 does not (1·2 < 4): the tier drifted past its k.
+        log.degraded.push(DegradedRead {
+            invoke: 12,
+            response: 13,
+            output: OpOutput::Value(1),
+        });
+        let report = audit(&[log.clone()]);
+        assert_eq!(report.objects[0].degraded_bound_violations, 1);
+        // Increments still in flight when the read started don't count
+        // against the lower bound: a read of 0 before anything
+        // completes is legal at any k.
+        log.degraded.clear();
+        log.degraded.push(DegradedRead {
+            invoke: 0,
+            response: 20,
+            output: OpOutput::Value(0),
+        });
+        assert!(audit(&[log]).ok());
     }
 
     #[test]
@@ -308,6 +389,7 @@ mod tests {
                 op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(7)),
             ],
             degraded: Vec::new(),
+            accuracy_k: 1,
         };
         let snap = ObjectLog {
             name: "segments".into(),
@@ -318,6 +400,7 @@ mod tests {
                 op(0, OpDesc::Scan, 2, 3, OpOutput::Vector(vec![0, 5])),
             ],
             degraded: Vec::new(),
+            accuracy_k: 1,
         };
         let report = audit(&[maxreg, snap]);
         assert!(report.ok(), "{report}");
@@ -331,6 +414,7 @@ mod tests {
                 op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(3)),
             ],
             degraded: Vec::new(),
+            accuracy_k: 1,
         };
         assert!(!audit(&[bad]).ok());
     }

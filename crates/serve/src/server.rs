@@ -16,10 +16,14 @@
 //! 1. **Healthy** — every op is applied to the exact object and logged
 //!    (invoke/response ticks from one global atomic) for the post-run
 //!    linearizability audit.
-//! 2. **Degraded** (queue depth ≥ `degrade_depth`) — counter reads and
-//!    snapshot scans are answered from a cheap shadow tier (per-worker
-//!    stripes / last exact scan) and flagged `degraded`; updates and
-//!    max-register reads (already `O(1)`) stay exact.
+//! 2. **Degraded** (queue depth ≥ `degrade_depth`) — counter reads are
+//!    answered by a real k-multiplicative-accurate object
+//!    ([`ApproxCounter`], mirroring every applied increment) and
+//!    snapshot scans by the last exact scan, both flagged `degraded`;
+//!    updates and max-register reads (already `O(1)`) stay exact. The
+//!    shutdown audit holds every degraded counter answer to the
+//!    configured k-envelope — the cheap tier has a *checked* contract,
+//!    not a best-effort one.
 //! 3. **Shedding** (queue full) — new connections get `err overload`
 //!    and are closed at the gate.
 //! 4. **Draining** — no new connections or requests (`err closed`);
@@ -35,7 +39,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use ruo_core::counter::ShardedCounter;
+use ruo_core::counter::ApproxCounter;
 use ruo_core::Counter as _;
 use ruo_metrics::{HealthEvent, HealthGauges, HealthSnapshot};
 use ruo_scenario::registry::{find, BuildError, BuildParams, Family, RealObject};
@@ -111,6 +115,12 @@ pub struct ServeConfig {
     pub idle_polls: u32,
     /// Server-side chaos plan wrapped around every accepted socket.
     pub chaos: Option<NetFaultPlan>,
+    /// Accuracy factor `k` (`≥ 1`) of the degraded counter tier: a
+    /// degraded read `v` against the true applied count `C` guarantees
+    /// `C / k ≤ v ≤ C`. `1` makes the degraded tier exact (every
+    /// increment publishes); the shutdown audit enforces whatever is
+    /// configured here.
+    pub accuracy_k: u64,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +134,7 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_millis(50),
             idle_polls: 40,
             chaos: None,
+            accuracy_k: 4,
         }
     }
 }
@@ -160,9 +171,11 @@ impl From<io::Error> for StartError {
 
 /// The cheap overload tier backing degraded answers.
 enum Shadow {
-    /// Per-worker stripes mirroring every applied increment: a degraded
-    /// read is one stripe sweep, no propagation-tree traffic.
-    Counter(ShardedCounter),
+    /// The HKM k-accurate counter mirroring every applied increment: a
+    /// degraded read is one published-stripe sweep, no propagation-tree
+    /// traffic, and the answer carries a checkable `C/k ≤ v ≤ C`
+    /// contract (audited at shutdown).
+    Counter(ApproxCounter),
     /// Max registers never degrade (`read_max` is already one load).
     None,
     /// Last exact scan; a degraded scan replays it.
@@ -173,6 +186,7 @@ struct ServedObject {
     name: String,
     family: Family,
     n: usize,
+    accuracy_k: u64,
     obj: RealObject,
     shadow: Shadow,
     log: Mutex<Vec<LoggedOp>>,
@@ -187,6 +201,7 @@ impl ServedObject {
             n: self.n,
             ops: self.log.into_inner().unwrap(),
             degraded: self.degraded.into_inner().unwrap(),
+            accuracy_k: self.accuracy_k,
         }
     }
 }
@@ -310,6 +325,9 @@ impl Server {
         if defs.is_empty() {
             return Err(StartError::Config("no objects to serve".into()));
         }
+        if cfg.accuracy_k == 0 {
+            return Err(StartError::Config("accuracy_k must be >= 1".into()));
+        }
         let mut objects = Vec::with_capacity(defs.len());
         for def in defs {
             if objects.iter().any(|o: &ServedObject| o.name == def.name) {
@@ -324,10 +342,13 @@ impl Server {
                     n: cfg.workers,
                     capacity: def.capacity,
                     root_fast_path: false,
+                    // The served object is the *exact* tier; only the
+                    // shadow below relaxes.
+                    accuracy_k: 1,
                 })
                 .map_err(StartError::Build)?;
             let shadow = match def.family {
-                Family::Counter => Shadow::Counter(ShardedCounter::new(cfg.workers)),
+                Family::Counter => Shadow::Counter(ApproxCounter::new(cfg.workers, cfg.accuracy_k)),
                 Family::MaxReg => Shadow::None,
                 Family::Snapshot => Shadow::Scan(Mutex::new(vec![0; cfg.workers])),
             };
@@ -335,6 +356,7 @@ impl Server {
                 name: def.name.clone(),
                 family: def.family,
                 n: cfg.workers,
+                accuracy_k: cfg.accuracy_k,
                 obj,
                 shadow,
                 log: Mutex::new(Vec::new()),
@@ -730,10 +752,23 @@ fn handle(inner: &Inner, pid: ProcessId, line: &str) -> Response {
                         let Shadow::Counter(shadow) = &served.shadow else {
                             unreachable!("counter objects carry a counter shadow");
                         };
+                        let invoke = inner.next_tick();
                         let v = shadow.read();
+                        let response = inner.next_tick();
+                        // Realized (not configured) accuracy, for the
+                        // metrics watermark: how far the published
+                        // stripes currently trail the exact mirror.
+                        let exact = shadow.exact();
+                        if let Some(permille) = (exact.saturating_sub(v))
+                            .saturating_mul(1000)
+                            .checked_div(exact)
+                        {
+                            inner.gauges.record_degraded_error(pid, permille);
+                        }
                         inner.gauges.bump(pid, HealthEvent::DegradedRead);
                         served.degraded.lock().unwrap().push(DegradedRead {
-                            tick: inner.next_tick(),
+                            invoke,
+                            response,
                             output: OpOutput::Value(v as Word),
                         });
                         return Response::Value { v, degraded: true };
@@ -778,10 +813,13 @@ fn handle(inner: &Inner, pid: ProcessId, line: &str) -> Response {
                 unreachable!("snapshot objects carry a scan shadow");
             };
             if overloaded(inner) {
+                let invoke = inner.next_tick();
                 let vs = cache.lock().unwrap().clone();
+                let response = inner.next_tick();
                 inner.gauges.bump(pid, HealthEvent::DegradedRead);
                 served.degraded.lock().unwrap().push(DegradedRead {
-                    tick: inner.next_tick(),
+                    invoke,
+                    response,
                     output: OpOutput::Vector(vs.iter().map(|&v| v as Word).collect()),
                 });
                 return Response::Vector { vs, degraded: true };

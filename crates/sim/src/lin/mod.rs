@@ -18,6 +18,15 @@
 //!   pathological non-linearizable history, so the property-test suite
 //!   cross-validates them against [`check_exact`] on small histories.
 //!
+//! Every checker except the snapshot one also comes as a `_k` variant
+//! ([`check_exact_k`], [`check_interval_k`], [`check_max_register_k`],
+//! [`check_counter_k`]) deciding *linearizability up to a
+//! k-multiplicative accuracy factor* (ISSUE 9): a scalar read may
+//! underestimate the spec value by at most the factor `k` and may never
+//! overestimate it — the contract of the HKM approximate objects in
+//! `ruo-core`. The plain names are thin wrappers over the `_k` variants
+//! at `k = 1`, which reduces bit-for-bit to the exact verdicts.
+//!
 //! All checkers take the executor's [`History`]: operation intervals in
 //! global event ticks, where operation `a` precedes `b` iff
 //! `a.response <= b.invoke`.
@@ -32,7 +41,39 @@ use crate::Word;
 
 pub mod wgl;
 
-pub use wgl::check_interval;
+pub use wgl::{check_interval, check_interval_k};
+
+/// Whether `observed` is an acceptable output for an operation whose
+/// legal sequential output is `expected`, under k-multiplicative
+/// accuracy (ISSUE 9): a scalar read may underestimate the true value
+/// by at most the factor `k` and may never overestimate it
+/// (`observed ≤ expected ≤ k · observed`).
+///
+/// This is the **single relaxation point** shared by [`check_exact_k`]
+/// and [`check_interval_k`] — everything else about their searches is
+/// untouched, which is why the two agree by construction at every `k`.
+/// The relaxation applies only where it is well defined:
+///
+/// * `Unit` outputs accept anything (updates return nothing);
+/// * scalar values relax only when both sides are non-negative —
+///   negative values (e.g. a `-∞`-floored max register) compare
+///   exactly, since multiplicative error is meaningless below zero;
+/// * vectors (snapshot scans) always compare exactly — the HKM
+///   constructions define no k-relaxed snapshot;
+/// * `k = 1` is bit-for-bit today's exact comparison.
+pub(crate) fn output_within_k(observed: &OpOutput, expected: &OpOutput, k: u64) -> bool {
+    match (observed, expected) {
+        (_, OpOutput::Unit) => true,
+        (OpOutput::Value(o), OpOutput::Value(x)) => {
+            if k <= 1 || *o < 0 || *x < 0 {
+                o == x
+            } else {
+                *o <= *x && (*o as i128) * (k as i128) >= *x as i128
+            }
+        }
+        (o, x) => o == x,
+    }
+}
 
 /// Why a history is not linearizable (or not checkable).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,6 +141,28 @@ impl Error for Violation {}
 /// linearizability verdict; crash-truncated soak runs check it
 /// explicitly instead of aborting.
 pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
+    check_exact_k(history, spec, 1)
+}
+
+/// [`check_exact`] generalized to k-multiplicative accuracy (ISSUE 9):
+/// decides whether some linearization exists in which every scalar read
+/// output `v` satisfies `V / k ≤ v ≤ V` against the spec value `V` at
+/// its linearization point ("linearizable up to factor `k`"). The search
+/// is identical to the exact one — only the output acceptance test
+/// ([`output_within_k`]) is relaxed — so `k = 1` reduces bit-for-bit to
+/// [`check_exact`]'s verdicts.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (the accuracy factor is `≥ 1` by definition).
+///
+/// # Errors
+///
+/// As [`check_exact`]: [`ViolationKind::NoLinearization`] if no legal
+/// order exists even under the k-envelope, [`ViolationKind::Uncheckable`]
+/// above 63 operations.
+pub fn check_exact_k(history: &History, spec: &SeqSpec, k: u64) -> Result<(), Violation> {
+    assert!(k >= 1, "accuracy factor k must be >= 1");
     let ops = history.ops();
     if ops.len() > 63 {
         return Err(Violation::new(
@@ -133,11 +196,13 @@ pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
     // allocation).
     let mut failed: HashMap<u64, HashSet<SpecState>> = HashMap::new();
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         mask: u64,
         state: &SpecState,
         ops: &[OpRecord],
         spec: &SeqSpec,
+        k: u64,
         all_complete: u64,
         must_before: &[u64],
         failed: &mut HashMap<u64, HashSet<SpecState>>,
@@ -161,11 +226,7 @@ pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
             }
             let (next, expected) = spec.apply(state, op.pid, &op.desc);
             if let Some(observed) = &op.output {
-                let ok = match &expected {
-                    OpOutput::Unit => true,
-                    other => observed == other,
-                };
-                if !ok {
+                if !output_within_k(observed, &expected, k) {
                     continue;
                 }
             }
@@ -174,6 +235,7 @@ pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
                 &next,
                 ops,
                 spec,
+                k,
                 all_complete,
                 must_before,
                 failed,
@@ -190,15 +252,21 @@ pub fn check_exact(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
         &spec.init(),
         ops,
         spec,
+        k,
         all_complete,
         &must_before,
         &mut failed,
     ) {
         Ok(())
     } else {
+        let envelope = if k > 1 {
+            format!(" within accuracy factor k={k}")
+        } else {
+            String::new()
+        };
         Err(Violation::new(
             ViolationKind::NoLinearization,
-            format!("no legal linearization of {n} operations exists"),
+            format!("no legal linearization of {n} operations exists{envelope}"),
         ))
     }
 }
@@ -275,6 +343,38 @@ impl PrefixMax {
 ///
 /// Returns the first violated condition.
 pub fn check_max_register(history: &History, initial: Word) -> Result<(), Violation> {
+    check_max_register_k(history, initial, 1)
+}
+
+/// [`check_max_register`] generalized to k-multiplicative accuracy
+/// (ISSUE 9): a read returning `v` is allowed to underestimate the true
+/// maximum `M` by at most the factor `k` (`v ≤ M ≤ k·v`, for
+/// non-negative values). The three conditions relax accordingly:
+///
+/// 1. some value that could be the true maximum lies in the read's
+///    envelope `[v, k·v]` — a `WriteMax` operand invoked before the
+///    read's response, or `initial` itself;
+/// 2. `k·v` is at least the operand of every `WriteMax` that completed
+///    before the read was invoked;
+/// 3. for non-overlapping reads returning `v1` then `v2`: `v1 ≤ k·v2`
+///    (the underlying maxima are monotone even when the observed values
+///    are not).
+///
+/// Negative observed values (the `initial` floor of a fresh register)
+/// compare exactly — multiplicative error is meaningless below zero —
+/// and `k = 1` reduces bit-for-bit to [`check_max_register`]. Still
+/// *sound*: every reported violation is a real k-linearizability
+/// violation.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn check_max_register_k(history: &History, initial: Word, k: u64) -> Result<(), Violation> {
+    assert!(k >= 1, "accuracy factor k must be >= 1");
     let ops = history.ops();
     let reads: Vec<(usize, &OpRecord, Word)> = ops
         .iter()
@@ -308,29 +408,89 @@ pub fn check_max_register(history: &History, initial: Word) -> Result<(), Violat
     }
     let write_max_before = PrefixMax::new(completed_writes);
 
-    for &(i, read, v) in &reads {
-        // Condition 1: the value was actually written (or is the floor).
-        if v != initial {
-            let written = first_invoke
-                .get(&v)
-                .is_some_and(|&inv| inv < read.response.unwrap());
-            if !written {
+    // Relaxed condition 1 needs a range query per read ("is any written
+    // value inside [v, k·v] invoked before my response?"). An offline
+    // sweep in response order over a BTreeSet of invoked operands keeps
+    // it O((reads + writes) · log writes) instead of a value scan per
+    // read.
+    let mut envelope_witness: Vec<bool> = vec![false; reads.len()];
+    if k > 1 {
+        let mut writes_by_invoke: Vec<(usize, Word)> = ops
+            .iter()
+            .filter_map(|o| match o.desc {
+                OpDesc::WriteMax(wv) => Some((o.invoke, wv)),
+                _ => None,
+            })
+            .collect();
+        writes_by_invoke.sort_unstable();
+        let mut order: Vec<usize> = (0..reads.len()).collect();
+        order.sort_by_key(|&ri| reads[ri].1.response.unwrap());
+        let mut invoked: std::collections::BTreeSet<Word> = std::collections::BTreeSet::new();
+        let mut wi = 0;
+        for ri in order {
+            let (_, read, v) = reads[ri];
+            let resp = read.response.unwrap();
+            while wi < writes_by_invoke.len() && writes_by_invoke[wi].0 < resp {
+                invoked.insert(writes_by_invoke[wi].1);
+                wi += 1;
+            }
+            if v >= 0 {
+                let hi = ((v as i128) * (k as i128)).min(Word::MAX as i128) as Word;
+                envelope_witness[ri] = invoked.range(v..=hi).next().is_some();
+            }
+        }
+    }
+
+    for (ri, &(i, read, v)) in reads.iter().enumerate() {
+        // Condition 1: something inside the envelope was actually
+        // written (or is the floor).
+        if k <= 1 || v < 0 {
+            if v != initial {
+                let written = first_invoke
+                    .get(&v)
+                    .is_some_and(|&inv| inv < read.response.unwrap());
+                if !written {
+                    return Err(Violation::new(
+                        ViolationKind::UnwrittenValue,
+                        format!(
+                            "{} returned {v}, never written before its response",
+                            fmt_op(i, read)
+                        ),
+                    ));
+                }
+            }
+        } else {
+            let hi = (v as i128) * (k as i128);
+            let initial_in_envelope = initial >= v && (initial as i128) <= hi;
+            if !initial_in_envelope && !envelope_witness[ri] {
                 return Err(Violation::new(
                     ViolationKind::UnwrittenValue,
                     format!(
-                        "{} returned {v}, never written before its response",
+                        "{} returned {v}, but nothing written before its response \
+                         lies in its k={k} envelope [{v}, {hi}]",
                         fmt_op(i, read)
                     ),
                 ));
             }
         }
-        // Condition 2: no completed preceding write is missed.
+        // Condition 2: no completed preceding write is missed (beyond
+        // the allowed factor-k underestimate).
         if let Some((wv, j)) = write_max_before.up_to(read.invoke) {
-            if wv > v {
+            let missed = if k <= 1 || v < 0 {
+                wv > v
+            } else {
+                (wv as i128) > (v as i128) * (k as i128)
+            };
+            if missed {
+                let note = if k > 1 {
+                    format!(" (outside the k={k} envelope)")
+                } else {
+                    String::new()
+                };
                 return Err(Violation::new(
                     ViolationKind::StaleRead,
                     format!(
-                        "{} returned {v} but {} completed before it",
+                        "{} returned {v} but {} completed before it{note}",
                         fmt_op(i, read),
                         fmt_op(j, &ops[j])
                     ),
@@ -340,7 +500,7 @@ pub fn check_max_register(history: &History, initial: Word) -> Result<(), Violat
     }
     // Condition 3: monotone across non-overlapping reads (prefix maxima
     // again: a read conflicts iff some read completing no later than its
-    // invocation returned a larger value).
+    // invocation returned a value larger than k times its own).
     let read_max_before = PrefixMax::new(
         reads
             .iter()
@@ -349,11 +509,21 @@ pub fn check_max_register(history: &History, initial: Word) -> Result<(), Violat
     );
     for &(i2, r2, v2) in &reads {
         if let Some((v1, i1)) = read_max_before.up_to(r2.invoke) {
-            if v1 > v2 {
+            let non_monotone = if k <= 1 || v2 < 0 {
+                v1 > v2
+            } else {
+                (v1 as i128) > (v2 as i128) * (k as i128)
+            };
+            if non_monotone {
+                let note = if k > 1 {
+                    format!(" (below the k={k} envelope)")
+                } else {
+                    String::new()
+                };
                 return Err(Violation::new(
                     ViolationKind::NonMonotone,
                     format!(
-                        "{} returned {v1} but later {} returned {v2}",
+                        "{} returned {v1} but later {} returned {v2}{note}",
                         fmt_op(i1, &ops[i1]),
                         fmt_op(i2, r2)
                     ),
@@ -384,6 +554,33 @@ pub fn check_max_register(history: &History, initial: Word) -> Result<(), Violat
 ///
 /// Returns the first violated condition.
 pub fn check_counter(history: &History) -> Result<(), Violation> {
+    check_counter_k(history, 1)
+}
+
+/// [`check_counter`] generalized to k-multiplicative accuracy (ISSUE 9):
+/// a read returning `c` is allowed to underestimate the true count `C`
+/// by at most the factor `k` (`c ≤ C ≤ k·c`). The conditions relax to:
+///
+/// 1. `k·c` is at least the number of `CounterIncrement`s completed
+///    before the read was invoked (a factor-k underestimate is allowed);
+/// 2. `c` is at most the number invoked before the read responded (an
+///    overestimate never is);
+/// 3. for non-overlapping reads returning `c1` then `c2`: `c1 ≤ k·c2`
+///    (true counts are monotone; observed values at `k > 1` need not
+///    be).
+///
+/// `k = 1` reduces bit-for-bit to [`check_counter`]. Still *sound*:
+/// every reported violation is a real k-linearizability violation.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn check_counter_k(history: &History, k: u64) -> Result<(), Violation> {
+    assert!(k >= 1, "accuracy factor k must be >= 1");
     let ops = history.ops();
     let reads: Vec<(usize, &OpRecord, Word)> = ops
         .iter()
@@ -419,11 +616,24 @@ pub fn check_counter(history: &History) -> Result<(), Violation> {
         let completed_before = inc_responses.partition_point(|&r| r <= read.invoke) as Word;
         let invoked_before =
             inc_invokes.partition_point(|&inv| inv < read.response.unwrap()) as Word;
-        if c < completed_before || c > invoked_before {
+        let out_of_range = if k <= 1 || c < 0 {
+            c < completed_before || c > invoked_before
+        } else {
+            // k·c must reach the completed floor; c itself may never
+            // exceed the invoked ceiling (no overestimates).
+            c > invoked_before || (c as i128) * (k as i128) < completed_before as i128
+        };
+        if out_of_range {
+            let envelope = if k > 1 {
+                format!(" under accuracy factor k={k}")
+            } else {
+                String::new()
+            };
             return Err(Violation::new(
                 ViolationKind::CountOutOfRange,
                 format!(
-                    "{} returned {c}, feasible interval is [{completed_before}, {invoked_before}]",
+                    "{} returned {c}, feasible interval is \
+                     [{completed_before}, {invoked_before}]{envelope}",
                     fmt_op(i, read)
                 ),
             ));
@@ -437,11 +647,21 @@ pub fn check_counter(history: &History) -> Result<(), Violation> {
     );
     for &(i2, r2, c2) in &reads {
         if let Some((c1, i1)) = read_max_before.up_to(r2.invoke) {
-            if c1 > c2 {
+            let non_monotone = if k <= 1 || c2 < 0 {
+                c1 > c2
+            } else {
+                (c1 as i128) > (c2 as i128) * (k as i128)
+            };
+            if non_monotone {
+                let note = if k > 1 {
+                    format!(" (below the k={k} envelope)")
+                } else {
+                    String::new()
+                };
                 return Err(Violation::new(
                     ViolationKind::NonMonotone,
                     format!(
-                        "{} returned {c1} but later {} returned {c2}",
+                        "{} returned {c1} but later {} returned {c2}{note}",
                         fmt_op(i1, &ops[i1]),
                         fmt_op(i2, r2)
                     ),
@@ -1057,6 +1277,155 @@ mod tests {
             "spurious violation on same-tick zero-step ops"
         );
         assert!(check_max_register(h, 0).is_ok());
+    }
+
+    #[test]
+    fn k_envelope_accepts_bounded_underestimates_only() {
+        // Two sequential increments, then a read: exact value is 2.
+        // k=2 admits 1 (2 ≤ 2·1) but not 0; overestimates never pass.
+        let h = |seen: Word| {
+            hist(vec![
+                op(0, OpDesc::CounterIncrement, 0, 1, OpOutput::Unit),
+                op(0, OpDesc::CounterIncrement, 2, 3, OpOutput::Unit),
+                op(1, OpDesc::CounterRead, 4, 5, OpOutput::Value(seen)),
+            ])
+        };
+        for (seen, k, ok) in [
+            (2, 1, true),
+            (1, 1, false),
+            (1, 2, true),
+            (0, 2, false),
+            (3, 2, false), // overestimate: never allowed
+            (1, 3, true),
+        ] {
+            assert_eq!(
+                check_exact_k(&h(seen), &SeqSpec::Counter, k).is_ok(),
+                ok,
+                "exact seen={seen} k={k}"
+            );
+            assert_eq!(
+                check_counter_k(&h(seen), k).is_ok(),
+                ok,
+                "fast seen={seen} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_envelope_boundary_is_exact_factor_k() {
+        // True max is 9; k=3 admits exactly v ∈ {3, …, 9} (3·3 = 9 on
+        // the boundary), rejects 2 (2·3 = 6 < 9).
+        let h = |seen: Word| {
+            hist(vec![
+                op(0, OpDesc::WriteMax(9), 0, 1, OpOutput::Unit),
+                op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(seen)),
+            ])
+        };
+        for (seen, ok) in [(9, true), (3, true), (2, false), (10, false)] {
+            assert_eq!(
+                check_exact_k(&h(seen), &MAX_SPEC, 3).is_ok(),
+                ok,
+                "exact seen={seen}"
+            );
+            assert_eq!(
+                check_max_register_k(&h(seen), -1, 3).is_ok(),
+                ok,
+                "fast seen={seen}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_relaxed_reads_may_be_non_monotone_within_the_envelope() {
+        // 4 completed increments plus 8 pending ones give every read the
+        // feasible interval [4, 12]. A read of 12 followed by one of 6
+        // is legal at k=2 (6·2 = 12) even though the observed values
+        // decrease; a second read of 5 is not (5·2 = 10 < 12).
+        let h = |second: Word| {
+            let completed: Vec<OpRecord> = (0..4)
+                .map(|j| {
+                    op(
+                        0,
+                        OpDesc::CounterIncrement,
+                        2 * j,
+                        2 * j + 1,
+                        OpOutput::Unit,
+                    )
+                })
+                .collect();
+            let mut hh = hist(completed);
+            for j in 0..8 {
+                hh.push(pending(0, OpDesc::CounterIncrement, 10 + j));
+            }
+            hh.push(op(1, OpDesc::CounterRead, 20, 21, OpOutput::Value(12)));
+            hh.push(op(2, OpDesc::CounterRead, 22, 23, OpOutput::Value(second)));
+            hh
+        };
+        assert!(check_counter_k(&h(6), 2).is_ok());
+        assert!(check_exact_k(&h(6), &SeqSpec::Counter, 2).is_ok());
+        assert_eq!(
+            check_counter_k(&h(5), 2).unwrap_err().kind,
+            ViolationKind::NonMonotone
+        );
+        assert!(check_exact_k(&h(5), &SeqSpec::Counter, 2).is_err());
+        // At k=1 the decrease is already fatal.
+        assert!(check_counter_k(&h(6), 1).is_err());
+        assert!(check_exact_k(&h(6), &SeqSpec::Counter, 1).is_err());
+    }
+
+    #[test]
+    fn k_maxreg_bucket_floors_are_accepted_without_being_written() {
+        // The approximate register returns bucket floors (powers of k)
+        // that were never operands of any write: 8 against a write of 13
+        // at k=2 (8 ≤ 13 ≤ 16) must pass both checkers.
+        let h = hist(vec![
+            op(0, OpDesc::WriteMax(13), 0, 1, OpOutput::Unit),
+            op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(8)),
+        ]);
+        assert!(check_exact_k(&h, &MAX_SPEC, 2).is_ok());
+        assert!(check_max_register_k(&h, -1, 2).is_ok());
+        // …but 8 with nothing in [8, 16] ever written is still invented.
+        let unwritten = hist(vec![
+            op(0, OpDesc::WriteMax(7), 0, 1, OpOutput::Unit),
+            op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(8)),
+        ]);
+        assert!(check_exact_k(&unwritten, &MAX_SPEC, 2).is_err());
+        assert_eq!(
+            check_max_register_k(&unwritten, -1, 2).unwrap_err().kind,
+            ViolationKind::UnwrittenValue
+        );
+    }
+
+    #[test]
+    fn k_negative_floor_values_still_compare_exactly() {
+        // A fresh register's -1 floor is not subject to multiplicative
+        // slack: reading -1 after a completed write is stale at every k.
+        let h = hist(vec![
+            op(0, OpDesc::WriteMax(5), 0, 1, OpOutput::Unit),
+            op(1, OpDesc::ReadMax, 2, 3, OpOutput::Value(-1)),
+        ]);
+        for k in [1, 2, 8] {
+            assert!(check_exact_k(&h, &MAX_SPEC, k).is_err(), "k={k}");
+            assert_eq!(
+                check_max_register_k(&h, -1, k).unwrap_err().kind,
+                ViolationKind::StaleRead,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_snapshot_vectors_never_relax() {
+        // No k-relaxed snapshot exists: vector outputs compare exactly
+        // at every k.
+        let h = hist(vec![
+            op(0, OpDesc::Update(4), 0, 1, OpOutput::Unit),
+            op(2, OpDesc::Scan, 2, 3, OpOutput::Vector(vec![2, 0])),
+        ]);
+        let spec = SeqSpec::Snapshot { n: 2, initial: 0 };
+        for k in [1, 2] {
+            assert!(check_exact_k(&h, &spec, k).is_err(), "k={k}");
+        }
     }
 
     #[test]

@@ -47,8 +47,8 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use super::{Violation, ViolationKind};
-use crate::history::{History, OpOutput, OpRecord};
+use super::{output_within_k, Violation, ViolationKind};
+use crate::history::{History, OpRecord};
 use crate::spec::{SeqSpec, SpecState};
 
 /// One DFS node: the spec state on arrival, the frontier of enabled
@@ -143,6 +143,29 @@ fn enabled_heads(chains: &[Vec<usize>], pos: &[u32], ops: &[OpRecord]) -> Vec<u3
 /// Returns [`ViolationKind::NoLinearization`] if no legal order exists.
 /// Never returns [`ViolationKind::Uncheckable`].
 pub fn check_interval(history: &History, spec: &SeqSpec) -> Result<(), Violation> {
+    check_interval_k(history, spec, 1)
+}
+
+/// [`check_interval`] generalized to k-multiplicative accuracy
+/// (ISSUE 9): decides whether some linearization exists in which every
+/// scalar read output `v` satisfies `V / k ≤ v ≤ V` against the spec
+/// value `V` at its linearization point, with no cap on history length.
+/// The search is identical to the exact one — only the output
+/// acceptance test ([`output_within_k`](super::output_within_k)) is
+/// relaxed — so `k = 1` reduces bit-for-bit to [`check_interval`]'s
+/// verdicts, and [`check_exact_k`](super::check_exact_k) remains the
+/// ≤63-op differential oracle at every `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (the accuracy factor is `≥ 1` by definition).
+///
+/// # Errors
+///
+/// Returns [`ViolationKind::NoLinearization`] if no legal order exists
+/// even under the k-envelope.
+pub fn check_interval_k(history: &History, spec: &SeqSpec, k: u64) -> Result<(), Violation> {
+    assert!(k >= 1, "accuracy factor k must be >= 1");
     let ops = history.ops();
     let mut remaining = ops.iter().filter(|o| o.is_complete()).count();
     if remaining == 0 {
@@ -172,11 +195,7 @@ pub fn check_interval(history: &History, spec: &SeqSpec) -> Result<(), Violation
             let op = &ops[i];
             let (next_state, expected) = spec.apply(&top.state, op.pid, &op.desc);
             if let Some(observed) = &op.output {
-                let ok = match &expected {
-                    OpOutput::Unit => true,
-                    other => observed == other,
-                };
-                if !ok {
+                if !output_within_k(observed, &expected, k) {
                     continue;
                 }
             }
@@ -218,10 +237,16 @@ pub fn check_interval(history: &History, spec: &SeqSpec) -> Result<(), Violation
         }
     }
 
+    let envelope = if k > 1 {
+        format!(" within accuracy factor k={k}")
+    } else {
+        String::new()
+    };
     Err(Violation::new(
         ViolationKind::NoLinearization,
         format!(
-            "no legal linearization of {} operations exists (interval search over {width} chains)",
+            "no legal linearization of {} operations exists{envelope} \
+             (interval search over {width} chains)",
             ops.len()
         ),
     ))
@@ -230,7 +255,7 @@ pub fn check_interval(history: &History, spec: &SeqSpec) -> Result<(), Violation
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::history::OpDesc;
+    use crate::history::{OpDesc, OpOutput};
     use crate::ProcessId;
 
     fn op(pid: usize, desc: OpDesc, invoke: usize, response: usize, output: OpOutput) -> OpRecord {
@@ -451,6 +476,38 @@ mod tests {
         let h = hist(ops);
         assert_eq!(h.len(), n * rounds);
         assert!(check_interval(&h, &SeqSpec::Counter).is_ok());
+    }
+
+    #[test]
+    fn k_envelope_decides_past_the_exact_checker_cap() {
+        // 100 completed increments, then a read of 50: exactly on the
+        // k=2 boundary (50·2 = 100), outside at k=1 — far beyond
+        // check_exact's 63-op cap in both cases.
+        let base: Vec<OpRecord> = (0..100)
+            .map(|i| {
+                op(
+                    0,
+                    OpDesc::CounterIncrement,
+                    2 * i,
+                    2 * i + 1,
+                    OpOutput::Unit,
+                )
+            })
+            .collect();
+        for (seen, k, ok) in [
+            (50, 2, true),
+            (50, 1, false),
+            (49, 2, false),
+            (101, 2, false),
+        ] {
+            let mut ops = base.clone();
+            ops.push(op(1, OpDesc::CounterRead, 300, 301, OpOutput::Value(seen)));
+            assert_eq!(
+                check_interval_k(&hist(ops), &SeqSpec::Counter, k).is_ok(),
+                ok,
+                "seen={seen} k={k}"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! deliberately corrupted outputs — and asserts agreement on each.
 
 use ruo_sim::history::{History, OpDesc, OpOutput, OpRecord};
-use ruo_sim::lin::{check_exact, check_interval, ViolationKind};
+use ruo_sim::lin::{
+    check_counter_k, check_exact, check_exact_k, check_interval, check_interval_k,
+    check_max_register_k, ViolationKind,
+};
 use ruo_sim::spec::SeqSpec;
 use ruo_sim::{ProcessId, SplitMix64, Word};
 
@@ -169,6 +172,25 @@ fn corrupt(rng: &mut SplitMix64, history: &History) -> Option<History> {
     Some(ops.into_iter().collect())
 }
 
+/// Asserts both checkers reach the same verdict on `history` at
+/// accuracy factor `k` (they share the relaxed acceptance test, so the
+/// agreement must hold at *every* k, not just the exact k = 1).
+fn assert_agreement_k(history: &History, spec: &SeqSpec, k: u64, ctx: &str) {
+    let exact = check_exact_k(history, spec, k);
+    let interval = check_interval_k(history, spec, k);
+    match (&exact, &interval) {
+        (Ok(()), Ok(())) => {}
+        (Err(e), Err(i)) => {
+            assert_eq!(e.kind, ViolationKind::NoLinearization, "{ctx}: {e}");
+            assert_eq!(i.kind, ViolationKind::NoLinearization, "{ctx}: {i}");
+        }
+        _ => panic!(
+            "{ctx}: verdicts disagree at k={k}: exact={exact:?} interval={interval:?}\nhistory: {:#?}",
+            history.ops()
+        ),
+    }
+}
+
 /// Asserts both checkers reach the same verdict on `history`.
 fn assert_agreement(history: &History, spec: &SeqSpec, ctx: &str) {
     let exact = check_exact(history, spec);
@@ -184,6 +206,21 @@ fn assert_agreement(history: &History, spec: &SeqSpec, ctx: &str) {
             history.ops()
         ),
     }
+    // The k = 1 reduction (ISSUE 9): the `_k` path at factor 1 must
+    // reproduce the exact verdict bit for bit, on passing and failing
+    // histories alike.
+    let exact_k1 = check_exact_k(history, spec, 1);
+    let interval_k1 = check_interval_k(history, spec, 1);
+    assert_eq!(
+        format!("{exact:?}"),
+        format!("{exact_k1:?}"),
+        "{ctx}: check_exact_k(1) diverged from check_exact"
+    );
+    assert_eq!(
+        format!("{interval:?}"),
+        format!("{interval_k1:?}"),
+        "{ctx}: check_interval_k(1) diverged from check_interval"
+    );
 }
 
 fn fuzz_family(spec: &SeqSpec, n: usize, seed: u64, cases: usize) {
@@ -223,6 +260,109 @@ fn counter_verdicts_agree() {
 #[test]
 fn snapshot_verdicts_agree() {
     fuzz_family(&SeqSpec::Snapshot { n: 3, initial: 0 }, 3, 0xCAFE, 600);
+}
+
+/// Scales every non-negative scalar read in `history` down to
+/// `ceil(v / k)` — the smallest answer the k-envelope admits, i.e. an
+/// error of exactly factor k against the linearization that assigned
+/// the outputs.
+fn scale_reads_to_envelope_floor(history: &History, k: u64) -> History {
+    let ops: Vec<OpRecord> = history
+        .ops()
+        .iter()
+        .cloned()
+        .map(|mut op| {
+            let is_read = matches!(op.desc, OpDesc::ReadMax | OpDesc::CounterRead);
+            if let (true, Some(OpOutput::Value(v))) = (is_read, op.output.as_mut()) {
+                if *v > 0 {
+                    *v = (*v as u64).div_ceil(k) as Word;
+                }
+            }
+            op
+        })
+        .collect();
+    ops.into_iter().collect()
+}
+
+#[test]
+fn relaxed_verdicts_agree_at_every_k() {
+    // Same harness as the k = 1 fuzz, but with reads pushed to the
+    // envelope floor and the `_k` checkers (search + fast) asked to
+    // certify the result. A linearizable-by-construction history whose
+    // reads underestimate by exactly factor k must pass at k and keep
+    // exact/interval agreement; the fast checkers — sound, never
+    // complete — may only err on histories the oracle also rejects.
+    for (spec, seed) in [
+        (SeqSpec::MaxRegister { initial: 0 }, 0x5CA1E_u64),
+        (SeqSpec::Counter, 0x5CA1F),
+    ] {
+        let mut rng = SplitMix64::new(seed);
+        for k in [2u64, 3, 7] {
+            for case in 0..300 {
+                let h = random_history(&mut rng, &spec, 4, 24);
+                let scaled = scale_reads_to_envelope_floor(&h, k);
+                let ctx = format!("{spec:?} k={k} case={case}");
+                let exact = check_exact_k(&scaled, &spec, k);
+                assert!(
+                    exact.is_ok(),
+                    "{ctx}: envelope-floor reads must stay k-linearizable: {exact:?}"
+                );
+                assert_agreement_k(&scaled, &spec, k, &ctx);
+                let fast = match spec {
+                    SeqSpec::MaxRegister { initial } => check_max_register_k(&scaled, initial, k),
+                    SeqSpec::Counter => check_counter_k(&scaled, k),
+                    SeqSpec::Snapshot { .. } => unreachable!(),
+                };
+                assert!(fast.is_ok(), "{ctx}: fast checker must be sound: {fast:?}");
+                // Corrupted histories still agree between the two
+                // search checkers at this k.
+                if let Some(bad) = corrupt(&mut rng, &scaled) {
+                    assert_agreement_k(&bad, &spec, k, &format!("{ctx} corrupted"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn the_envelope_boundary_is_exactly_factor_k() {
+    // C sequential increments, then one read r: with everything
+    // completed before the read invokes, every linearization pins the
+    // read's expected value at C — so ceil(C / k) is accepted and one
+    // less is not, by search and fast checkers alike.
+    let spec = SeqSpec::Counter;
+    for (c, k) in [(10u64, 3u64), (12, 4), (9, 2), (25, 5)] {
+        let mut ops: Vec<OpRecord> = (0..c)
+            .map(|i| OpRecord {
+                pid: ProcessId(0),
+                desc: OpDesc::CounterIncrement,
+                invoke: (2 * i) as usize,
+                response: Some((2 * i + 1) as usize),
+                output: Some(OpOutput::Unit),
+                steps: 1,
+            })
+            .collect();
+        let read = |v: u64| OpRecord {
+            pid: ProcessId(1),
+            desc: OpDesc::CounterRead,
+            invoke: (2 * c) as usize,
+            response: Some((2 * c + 1) as usize),
+            output: Some(OpOutput::Value(v as Word)),
+            steps: 1,
+        };
+        let floor = c.div_ceil(k);
+        ops.push(read(floor));
+        let good: History = ops.clone().into_iter().collect();
+        assert!(check_exact_k(&good, &spec, k).is_ok(), "C={c} k={k}");
+        assert!(check_interval_k(&good, &spec, k).is_ok(), "C={c} k={k}");
+        assert!(check_counter_k(&good, k).is_ok(), "C={c} k={k}");
+        ops.pop();
+        ops.push(read(floor - 1));
+        let bad: History = ops.into_iter().collect();
+        assert!(check_exact_k(&bad, &spec, k).is_err(), "C={c} k={k}");
+        assert!(check_interval_k(&bad, &spec, k).is_err(), "C={c} k={k}");
+        assert!(check_counter_k(&bad, k).is_err(), "C={c} k={k}");
+    }
 }
 
 #[test]

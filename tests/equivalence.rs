@@ -66,6 +66,7 @@ fn all_max_registers_agree_on_random_sequential_streams() {
                 n,
                 capacity: cap,
                 root_fast_path: false,
+                accuracy_k: 1,
             },
         );
         let mut expected = 0u64;
@@ -115,6 +116,7 @@ fn all_counters_agree_on_random_sequential_streams() {
                 n,
                 capacity: 100,
                 root_fast_path: false,
+                accuracy_k: 1,
             },
         );
         let mut expected = 0u64;
@@ -163,6 +165,7 @@ fn all_snapshots_agree_on_random_sequential_streams() {
                 n,
                 capacity: 200,
                 root_fast_path: false,
+                accuracy_k: 1,
             },
         );
         // The path-copy view accessor is outside the `Snapshot` trait;
