@@ -177,7 +177,8 @@ fn main() {
     println!("  gauges: {gauges:?}");
 
     let json = format!(
-        "{{\n  \"experiment\": \"W5\",\n  \"quick\": {quick},\n  \"samples\": {samples},\n  \
+        "{{\n  \"schema\": \"ruo-explore-v1\",\n  \"experiment\": \"W5\",\n  \
+         \"quick\": {quick},\n  \"samples\": {samples},\n  \
          \"full\": {{ \"schedules\": {}, \"seconds\": {full_t:.6} }},\n  \
          \"pruned\": {{ \"schedules\": {}, \"seconds\": {pruned_t:.6}, \
          \"pruned_branches\": {}, \"executed_steps\": {}, \"replay_steps_saved\": {} }},\n  \

@@ -96,6 +96,8 @@ fn main() {
 
     let mut t = Table::new(&["implementation", "faults", "checker", "ok", "violations"]);
     let mut total_violations: u64 = 0;
+    let mut total_ms: f64 = 0.0;
+    let mut sweeps: u64 = 0;
     let mut watchdog_line: Option<String> = None;
     // One recorder identity per soak process: the whole binary folds its
     // verdicts into a single gauge set, read in O(1) for the footer.
@@ -112,6 +114,8 @@ fn main() {
                     .unwrap_or_else(|e| panic!("soak {}/{}: {e}", family.name(), entry.id));
                 let ok = report.counter("ok_runs").unwrap_or(0);
                 total_violations += seeds - ok;
+                total_ms += report.metric("duration_ms").unwrap_or(0.0);
+                sweeps += 1;
                 gauges.record_sweep(
                     ProcessId(0),
                     report.counter("seeds").unwrap_or(0),
@@ -164,6 +168,10 @@ fn main() {
         gauges.operations(),
         gauges.violations(),
         gauges.largest_history(),
+    );
+    println!(
+        "Engine wall clock: {total_ms:.0} ms across {sweeps} sweeps \
+         (per-sweep duration_ms is in each report)."
     );
 
     println!("\nEvery `violations` cell must be 0.");

@@ -1,0 +1,463 @@
+//! Schema-aware diffing of two `BENCH_*.json` documents — the
+//! perf-regression sentry behind the `bench_compare` binary.
+//!
+//! The bench emitters all write one top-level JSON object with a
+//! `"schema"` tag and arrays of row objects keyed by identity fields
+//! (`family`, `impl`, `workload`, `threads`, …). [`compare`] flattens
+//! both documents into `path -> value` maps (rows are matched by their
+//! identity fields, not array position), pairs every shared numeric
+//! leaf, and judges each delta against a per-metric [`Rule`]:
+//!
+//! * **correctness counters** (`violations`, `acked_lost`, …) — lower
+//!   is better with zero tolerance: any increase is a regression;
+//! * **time metrics** (`*_ns`, `*_us`, `*_ms`, `seconds`) — lower is
+//!   better within a wide band (shared CI runners are noisy);
+//! * **throughput metrics** (`mops_per_s`, `*_per_s`) — higher is
+//!   better within a band;
+//! * **step/load counts** (`*_steps`, `loads_*`) — lower is better
+//!   within a narrow band (the simulator is nearly deterministic);
+//! * everything else is informational: reported, never gating.
+//!
+//! Environment fields (`quick`, `available_parallelism`, `contended`)
+//! are skipped — a laptop baseline and a CI run legitimately differ
+//! there. Metrics present on only one side are reported but never gate:
+//! schema growth is how the bench suite evolves.
+
+use std::collections::BTreeMap;
+
+use ruo_scenario::Json;
+
+/// Which way a metric is allowed to move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Growth beyond tolerance is a regression (time, steps, errors).
+    LowerIsBetter,
+    /// Shrinkage beyond tolerance is a regression (throughput).
+    HigherIsBetter,
+    /// Reported only; never a regression.
+    Informational,
+}
+
+/// The judgement band for one metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rule {
+    /// Which way the metric may move freely.
+    pub direction: Direction,
+    /// Allowed relative drift in the bad direction (`0.5` = 50%).
+    pub tolerance: f64,
+}
+
+/// The per-metric direction and tolerance, decided from the leaf key
+/// name (the last path segment).
+pub fn rule_for(metric: &str) -> Rule {
+    let lower = |tolerance| Rule {
+        direction: Direction::LowerIsBetter,
+        tolerance,
+    };
+    let higher = |tolerance| Rule {
+        direction: Direction::HigherIsBetter,
+        tolerance,
+    };
+    // Correctness counters: any increase at all is a regression.
+    if metric == "violations"
+        || metric.ends_with("_violations")
+        || metric == "violations_total"
+        || metric.ends_with("_lost")
+        || metric == "truncated"
+        || metric.ends_with("_failures")
+    {
+        return lower(0.0);
+    }
+    // Wall-clock time: wide band, shared runners are noisy.
+    if metric.ends_with("_ns")
+        || metric.ends_with("_us")
+        || metric.ends_with("_ms")
+        || metric == "seconds"
+        || metric == "ns_per_op"
+    {
+        return lower(0.5);
+    }
+    // Throughput: a sustained drop past the band is the regression
+    // bench_compare exists to catch.
+    if metric.contains("mops") || metric.ends_with("_per_s") {
+        return higher(0.35);
+    }
+    // Simulator step/load counts are nearly deterministic: narrow band.
+    if metric.ends_with("_steps") || metric.contains("loads") {
+        return lower(0.25);
+    }
+    Rule {
+        direction: Direction::Informational,
+        tolerance: 0.0,
+    }
+}
+
+/// One paired metric with its verdict inputs.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Flattened path, rows keyed by identity fields.
+    pub path: String,
+    /// The leaf metric name (decides the rule).
+    pub metric: String,
+    /// Value in the baseline document.
+    pub baseline: f64,
+    /// Value in the current document.
+    pub current: f64,
+    /// The judgement band applied.
+    pub rule: Rule,
+}
+
+impl Delta {
+    /// Whether the move violates the rule's band.
+    pub fn regressed(&self) -> bool {
+        match self.rule.direction {
+            Direction::Informational => false,
+            Direction::LowerIsBetter => {
+                self.current > self.baseline * (1.0 + self.rule.tolerance) + 1e-9
+            }
+            Direction::HigherIsBetter => {
+                self.current < self.baseline * (1.0 - self.rule.tolerance) - 1e-9
+            }
+        }
+    }
+
+    /// Relative change, `current` vs `baseline` (`0.1` = +10%).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.current == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.current / self.baseline - 1.0
+        }
+    }
+}
+
+/// The full judgement of one baseline/current pair.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// The shared schema tag.
+    pub schema: String,
+    /// Every paired numeric leaf.
+    pub deltas: Vec<Delta>,
+    /// Paths only the baseline has (informational).
+    pub only_baseline: Vec<String>,
+    /// Paths only the current document has (informational).
+    pub only_current: Vec<String>,
+}
+
+impl Comparison {
+    /// The deltas that violate their band.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas.iter().filter(|d| d.regressed()).collect()
+    }
+
+    /// Human-readable report: every regression in detail, then a
+    /// summary of what was compared.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let regressions = self.regressions();
+        out.push_str(&format!(
+            "# bench_compare — schema {} — {} metrics paired, {} regression(s)\n",
+            self.schema,
+            self.deltas.len(),
+            regressions.len()
+        ));
+        for d in &regressions {
+            out.push_str(&format!(
+                "REGRESSION {}: {} -> {} ({:+.1}%, allowed {:.0}% {})\n",
+                d.path,
+                d.baseline,
+                d.current,
+                d.ratio() * 100.0,
+                d.rule.tolerance * 100.0,
+                match d.rule.direction {
+                    Direction::LowerIsBetter => "growth",
+                    Direction::HigherIsBetter => "drop",
+                    Direction::Informational => unreachable!("informational never regresses"),
+                },
+            ));
+        }
+        let moved: Vec<&Delta> = self
+            .deltas
+            .iter()
+            .filter(|d| !d.regressed() && d.baseline != d.current)
+            .collect();
+        out.push_str(&format!(
+            "{} metric(s) moved within tolerance, {} unchanged\n",
+            moved.len(),
+            self.deltas.len() - moved.len() - regressions.len()
+        ));
+        for p in &self.only_baseline {
+            out.push_str(&format!("only in baseline: {p}\n"));
+        }
+        for p in &self.only_current {
+            out.push_str(&format!("only in current: {p}\n"));
+        }
+        out
+    }
+}
+
+/// Environment fields a baseline and a fresh run legitimately disagree
+/// on.
+const SKIP_KEYS: &[&str] = &["schema", "quick", "available_parallelism", "contended"];
+
+/// Row fields that identify a row rather than measure it; they become
+/// the row's path label so reordered arrays still pair up.
+const IDENTITY_KEYS: &[&str] = &[
+    "family", "impl", "workload", "kind", "name", "mode", "phase", "label", "threads", "n", "k",
+    "workers", "stripes",
+];
+
+fn leaf_value(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(n) => Some(*n as f64),
+        Json::Int(n) => Some(*n as f64),
+        Json::Float(f) => Some(*f),
+        Json::Bool(b) => Some(u64::from(*b) as f64),
+        _ => None,
+    }
+}
+
+/// The identity label of a row object, from whichever identity fields
+/// it carries, in `IDENTITY_KEYS` order.
+fn row_label(pairs: &[(String, Json)]) -> Option<String> {
+    let mut parts = Vec::new();
+    for key in IDENTITY_KEYS {
+        if let Some((_, v)) = pairs.iter().find(|(k, _)| k == key) {
+            match v {
+                Json::Str(s) => parts.push(format!("{key}={s}")),
+                Json::Num(n) => parts.push(format!("{key}={n}")),
+                Json::Int(n) => parts.push(format!("{key}={n}")),
+                _ => {}
+            }
+        }
+    }
+    (!parts.is_empty()).then(|| parts.join(","))
+}
+
+fn flatten_into(prefix: &str, v: &Json, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Obj(pairs) => {
+            for (k, child) in pairs {
+                if prefix.is_empty() && SKIP_KEYS.contains(&k.as_str()) {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_into(&path, child, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = match item {
+                    Json::Obj(pairs) => row_label(pairs).unwrap_or_else(|| i.to_string()),
+                    _ => i.to_string(),
+                };
+                flatten_into(&format!("{prefix}[{label}]"), item, out);
+            }
+        }
+        _ => {
+            if let Some(x) = leaf_value(v) {
+                // Identity fields already label the path; don't also
+                // pair them as metrics.
+                let metric = prefix.rsplit('.').next().unwrap_or(prefix);
+                if !IDENTITY_KEYS.contains(&metric) {
+                    out.insert(prefix.to_string(), x);
+                }
+            }
+        }
+    }
+}
+
+fn parse_doc(what: &str, text: &str) -> Result<(String, BTreeMap<String, f64>), String> {
+    let doc = Json::parse(text).map_err(|e| format!("{what}: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: no top-level \"schema\" tag"))?
+        .to_string();
+    let mut flat = BTreeMap::new();
+    flatten_into("", &doc, &mut flat);
+    Ok((schema, flat))
+}
+
+/// Diffs two bench documents (JSON text). Errors on malformed JSON, a
+/// missing schema tag, or mismatched schemas — comparing a throughput
+/// file against a soak file is a usage error, not a pass.
+pub fn compare(baseline: &str, current: &str) -> Result<Comparison, String> {
+    let (schema_b, flat_b) = parse_doc("baseline", baseline)?;
+    let (schema_c, flat_c) = parse_doc("current", current)?;
+    if schema_b != schema_c {
+        return Err(format!(
+            "schema mismatch: baseline {schema_b:?} vs current {schema_c:?}"
+        ));
+    }
+    let mut deltas = Vec::new();
+    let mut only_baseline = Vec::new();
+    for (path, b) in &flat_b {
+        match flat_c.get(path) {
+            Some(c) => {
+                let metric = path
+                    .rsplit(['.', ']'])
+                    .find(|s| !s.is_empty())
+                    .unwrap_or(path)
+                    .to_string();
+                deltas.push(Delta {
+                    path: path.clone(),
+                    rule: rule_for(&metric),
+                    metric,
+                    baseline: *b,
+                    current: *c,
+                });
+            }
+            None => only_baseline.push(path.clone()),
+        }
+    }
+    let only_current = flat_c
+        .keys()
+        .filter(|p| !flat_b.contains_key(*p))
+        .cloned()
+        .collect();
+    Ok(Comparison {
+        schema: schema_b,
+        deltas,
+        only_baseline,
+        only_current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+        "schema": "ruo-test-v1",
+        "quick": true,
+        "results": [
+            {"family": "counter", "impl": "farray", "threads": 2,
+             "median_ns": 1000, "mops_per_s": 50.0, "violations": 0},
+            {"family": "maxreg", "impl": "tree", "threads": 2,
+             "median_ns": 2000, "mops_per_s": 25.0, "violations": 0}
+        ],
+        "note_rows": 2
+    }"#;
+
+    fn tweak(field: &str, from: &str, to: &str) -> String {
+        let needle = format!("\"{field}\": {from}");
+        let swapped = BASE.replacen(&needle, &format!("\"{field}\": {to}"), 1);
+        assert_ne!(swapped, BASE, "tweak {field} {from} matched nothing");
+        swapped
+    }
+
+    #[test]
+    fn identical_documents_have_no_regressions() {
+        let c = compare(BASE, BASE).unwrap();
+        assert_eq!(c.schema, "ruo-test-v1");
+        assert!(c.regressions().is_empty(), "{}", c.report());
+        assert!(c.only_baseline.is_empty() && c.only_current.is_empty());
+        // quick is environment metadata, never paired.
+        assert!(c.deltas.iter().all(|d| d.path != "quick"));
+    }
+
+    #[test]
+    fn seeded_synthetic_regressions_are_caught() {
+        // Latency past the 50% band.
+        let c = compare(BASE, &tweak("median_ns", "1000", "1600")).unwrap();
+        let r = c.regressions();
+        assert_eq!(r.len(), 1, "{}", c.report());
+        assert!(r[0].path.contains("impl=farray"), "{}", r[0].path);
+        // Throughput past the 35% band.
+        let c = compare(BASE, &tweak("mops_per_s", "25.0", "10.0")).unwrap();
+        assert_eq!(c.regressions().len(), 1, "{}", c.report());
+        // A single new violation: zero tolerance.
+        let c = compare(BASE, &tweak("violations", "0", "1")).unwrap();
+        let r = c.regressions();
+        assert_eq!(r.len(), 1, "{}", c.report());
+        assert_eq!(r[0].rule.tolerance, 0.0);
+        assert!(c.report().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes() {
+        // +40% latency: inside the 50% band.
+        let c = compare(BASE, &tweak("median_ns", "1000", "1400")).unwrap();
+        assert!(c.regressions().is_empty(), "{}", c.report());
+        // -20% throughput: inside the 35% band.
+        let c = compare(BASE, &tweak("mops_per_s", "50.0", "40.0")).unwrap();
+        assert!(c.regressions().is_empty(), "{}", c.report());
+        // Improvements never regress.
+        let c = compare(BASE, &tweak("median_ns", "2000", "100")).unwrap();
+        assert!(c.regressions().is_empty(), "{}", c.report());
+    }
+
+    #[test]
+    fn rows_pair_by_identity_not_position() {
+        // Reverse the rows; the farray regression must still pin to the
+        // farray row.
+        let reordered = BASE.replace(
+            r#"{"family": "counter", "impl": "farray", "threads": 2,
+             "median_ns": 1000, "mops_per_s": 50.0, "violations": 0},
+            {"family": "maxreg", "impl": "tree", "threads": 2,
+             "median_ns": 2000, "mops_per_s": 25.0, "violations": 0}"#,
+            r#"{"family": "maxreg", "impl": "tree", "threads": 2,
+             "median_ns": 2000, "mops_per_s": 25.0, "violations": 0},
+            {"family": "counter", "impl": "farray", "threads": 2,
+             "median_ns": 9000, "mops_per_s": 50.0, "violations": 0}"#,
+        );
+        assert_ne!(reordered, BASE);
+        let c = compare(BASE, &reordered).unwrap();
+        let r = c.regressions();
+        assert_eq!(r.len(), 1, "{}", c.report());
+        assert!(r[0].path.contains("family=counter,impl=farray,threads=2"));
+    }
+
+    #[test]
+    fn informational_metrics_never_gate() {
+        let c = compare(BASE, &tweak("note_rows", "2", "9000")).unwrap();
+        assert!(c.regressions().is_empty(), "{}", c.report());
+    }
+
+    #[test]
+    fn schema_mismatch_and_malformed_inputs_error() {
+        let other = BASE.replace("ruo-test-v1", "ruo-other-v1");
+        assert!(compare(BASE, &other).unwrap_err().contains("mismatch"));
+        assert!(compare("{nope", BASE).is_err());
+        assert!(compare("{}", BASE).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn missing_and_added_metrics_are_reported_not_gated() {
+        let grown = BASE.replacen("\"note_rows\": 2", "\"new_rows\": 2", 1);
+        let c = compare(BASE, &grown).unwrap();
+        assert!(c.regressions().is_empty());
+        assert_eq!(c.only_baseline, vec!["note_rows".to_string()]);
+        assert_eq!(c.only_current, vec!["new_rows".to_string()]);
+        let rep = c.report();
+        assert!(rep.contains("only in baseline: note_rows"));
+        assert!(rep.contains("only in current: new_rows"));
+    }
+
+    #[test]
+    fn rules_cover_the_bench_schemas() {
+        assert_eq!(rule_for("p99_us").direction, Direction::LowerIsBetter);
+        assert_eq!(rule_for("duration_ms").direction, Direction::LowerIsBetter);
+        assert_eq!(rule_for("mops_per_s").direction, Direction::HigherIsBetter);
+        assert_eq!(rule_for("violations_total").tolerance, 0.0);
+        assert_eq!(rule_for("acked_lost").tolerance, 0.0);
+        assert_eq!(
+            rule_for("mean_update_steps").direction,
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            rule_for("loads_per_scalar").direction,
+            Direction::LowerIsBetter
+        );
+        assert_eq!(rule_for("schedules").direction, Direction::Informational);
+    }
+}

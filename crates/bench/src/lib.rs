@@ -5,6 +5,7 @@
 //! plain-timing benches in `benches/` (`harness = false`) measure
 //! wall-clock throughput of the real-atomics implementations.
 
+pub mod compare;
 pub mod complexity;
 pub mod timing;
 

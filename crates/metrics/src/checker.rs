@@ -1,11 +1,12 @@
 //! Gauges for linearizability-checking runs.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ruo_core::farray::{FArray, Sum};
 use ruo_sim::{ProcessId, Word};
 
-use crate::Watermark;
+use crate::{MetricDesc, MetricKind, MetricsRegistry, Watermark};
 
 /// Aggregated counters for a fleet of history-checker calls.
 ///
@@ -110,6 +111,54 @@ impl CheckerGauges {
     /// Operation count of the largest history any checker decided.
     pub fn largest_history(&self) -> u64 {
         self.largest.get()
+    }
+
+    /// Registers every gauge under `prefix` — one `O(1)` root read per
+    /// scalar.
+    pub fn register_telemetry(self: &Arc<Self>, registry: &mut MetricsRegistry, prefix: &str) {
+        type Row = (
+            &'static str,
+            fn(&CheckerGauges) -> &FArray<Sum>,
+            &'static str,
+            &'static str,
+        );
+        let counters: [Row; 3] = [
+            (
+                "histories",
+                |g| &g.histories,
+                "histories",
+                "histories decided by the checker fleet",
+            ),
+            (
+                "operations",
+                |g| &g.operations,
+                "operations",
+                "operations across every decided history",
+            ),
+            (
+                "violations",
+                |g| &g.violations,
+                "histories",
+                "histories the checker rejected",
+            ),
+        ];
+        for (name, field, unit, help) in counters {
+            let g = Arc::clone(self);
+            registry.register(
+                MetricDesc::new(&format!("{prefix}{name}"), MetricKind::Counter, unit, help),
+                move || field(&g).read() as u64,
+            );
+        }
+        let g = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}largest_history"),
+                MetricKind::Watermark,
+                "operations",
+                "operation count of the largest history decided",
+            ),
+            move || g.largest.get(),
+        );
     }
 }
 

@@ -2,11 +2,13 @@
 
 use std::fmt;
 
+use std::sync::Arc;
+
 use ruo_core::farray::{FArray, Sum};
 use ruo_sim::explore::ExploreStats;
 use ruo_sim::{ProcessId, Word};
 
-use crate::Watermark;
+use crate::{MetricDesc, MetricKind, MetricsRegistry, Watermark};
 
 /// Aggregated counters for a fleet of [`ruo_sim::explore`] runs.
 ///
@@ -131,6 +133,66 @@ impl ExploreGauges {
     /// Deepest DFS prefix any recorded run reached.
     pub fn peak_depth(&self) -> u64 {
         self.peak_depth.get()
+    }
+
+    /// Registers every gauge under `prefix` — one `O(1)` root read per
+    /// scalar.
+    pub fn register_telemetry(self: &Arc<Self>, registry: &mut MetricsRegistry, prefix: &str) {
+        type Row = (
+            &'static str,
+            fn(&ExploreGauges) -> &FArray<Sum>,
+            &'static str,
+            &'static str,
+        );
+        let counters: [Row; 5] = [
+            (
+                "schedules",
+                |g| &g.schedules,
+                "schedules",
+                "complete schedules checked",
+            ),
+            (
+                "pruned_branches",
+                |g| &g.pruned_branches,
+                "branches",
+                "sleep-set branch skips",
+            ),
+            (
+                "executed_steps",
+                |g| &g.executed_steps,
+                "events",
+                "shared-memory events executed",
+            ),
+            (
+                "replay_steps_saved",
+                |g| &g.replay_steps_saved,
+                "events",
+                "replay work avoided by snapshot-restore",
+            ),
+            (
+                "crash_branches",
+                |g| &g.crash_branches,
+                "branches",
+                "crash branches taken",
+            ),
+        ];
+        for (name, field, unit, help) in counters {
+            let g = Arc::clone(self);
+            registry.register(
+                MetricDesc::new(&format!("{prefix}{name}"), MetricKind::Counter, unit, help),
+                move || field(&g).read() as u64,
+            );
+        }
+        let g = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}peak_depth"),
+                MetricKind::Watermark,
+                "events",
+                "deepest DFS prefix reached",
+            ),
+            move || g.peak_depth.get(),
+        );
     }
 
     /// `replay_steps_saved / executed_steps`: how many times over the

@@ -1,10 +1,13 @@
 //! Exact progress tracking.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ruo_core::counter::FArrayCounter;
 use ruo_core::Counter;
 use ruo_sim::ProcessId;
+
+use crate::{MetricDesc, MetricKind, MetricsRegistry};
 
 /// Exact completed-of-total progress: `complete` is a wait-free
 /// `O(log N)` increment (f-array counter), reading progress is one
@@ -92,6 +95,31 @@ impl ProgressGauge {
     /// Whether every unit has completed.
     pub fn is_complete(&self) -> bool {
         self.done() >= self.total
+    }
+
+    /// Registers `<prefix>done` (counter) and `<prefix>total` (constant
+    /// gauge) — one `O(1)` root read per scalar.
+    pub fn register_telemetry(self: &Arc<Self>, registry: &mut MetricsRegistry, prefix: &str) {
+        let g = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}done"),
+                MetricKind::Counter,
+                "units",
+                "completed units of work",
+            ),
+            move || g.done(),
+        );
+        let total = self.total;
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}total"),
+                MetricKind::Gauge,
+                "units",
+                "total units of work",
+            ),
+            move || total,
+        );
     }
 }
 

@@ -1,11 +1,12 @@
 //! Health gauges for a request-serving worker pool.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ruo_core::farray::{FArray, Sum};
 use ruo_sim::{ProcessId, Word};
 
-use crate::Watermark;
+use crate::{MetricDesc, MetricKind, MetricsRegistry, Watermark};
 
 /// Clamps a counter delta into a [`Word`] slot delta.
 fn to_delta(v: u64) -> Word {
@@ -137,6 +138,111 @@ impl HealthGauges {
     /// past 12 ‰ is very different from one pinned at 750 ‰).
     pub fn record_degraded_error(&self, pid: ProcessId, permille: u64) {
         self.degraded_error_permille_peak.record(pid, permille);
+    }
+
+    /// Registers every gauge under `prefix` (the serve layer uses the
+    /// empty prefix, preserving the historical wire names). Each
+    /// registered scalar reads one f-array root or one max-register
+    /// root — `O(1)` loads per scalar, never a full [`Self::snapshot`].
+    pub fn register_telemetry(self: &Arc<Self>, registry: &mut MetricsRegistry, prefix: &str) {
+        type CounterRow = (
+            &'static str,
+            fn(&HealthGauges) -> &FArray<Sum>,
+            &'static str,
+        );
+        let counters: [CounterRow; 9] = [
+            (
+                "admitted",
+                |g| &g.admitted,
+                "connections admitted past the load-shedding gate",
+            ),
+            (
+                "shed",
+                |g| &g.shed,
+                "connections refused because the pending queue was full",
+            ),
+            ("served", |g| &g.served, "requests served to completion"),
+            (
+                "degraded_reads",
+                |g| &g.degraded_reads,
+                "reads answered from the degraded tier",
+            ),
+            (
+                "deadline_misses",
+                |g| &g.deadline_misses,
+                "requests rejected after aging past their queue deadline",
+            ),
+            (
+                "dedup_hits",
+                |g| &g.dedup_hits,
+                "replayed idempotent updates absorbed by the dedup window",
+            ),
+            (
+                "parse_errors",
+                |g| &g.parse_errors,
+                "request lines that failed to parse",
+            ),
+            (
+                "io_errors",
+                |g| &g.io_errors,
+                "mid-connection socket errors",
+            ),
+            (
+                "chaos_injected",
+                |g| &g.chaos_injected,
+                "faults injected by the chaos layer",
+            ),
+        ];
+        for (name, field, help) in counters {
+            let g = Arc::clone(self);
+            registry.register(
+                MetricDesc::new(
+                    &format!("{prefix}{name}"),
+                    MetricKind::Counter,
+                    "events",
+                    help,
+                ),
+                move || field(&g).read() as u64,
+            );
+        }
+        type PeakRow = (
+            &'static str,
+            fn(&HealthGauges) -> &Watermark,
+            &'static str,
+            &'static str,
+        );
+        let peaks: [PeakRow; 3] = [
+            (
+                "queue_depth_peak",
+                |g| &g.queue_depth_peak,
+                "connections",
+                "deepest pending-connection queue observed",
+            ),
+            (
+                "inflight_peak",
+                |g| &g.inflight_peak,
+                "requests",
+                "most concurrently in-flight requests observed",
+            ),
+            (
+                "degraded_error_permille_peak",
+                |g| &g.degraded_error_permille_peak,
+                "permille",
+                "worst observed degraded-read relative error",
+            ),
+        ];
+        for (name, field, unit, help) in peaks {
+            let g = Arc::clone(self);
+            registry.register(
+                MetricDesc::new(
+                    &format!("{prefix}{name}"),
+                    MetricKind::Watermark,
+                    unit,
+                    help,
+                ),
+                move || field(&g).get(),
+            );
+        }
     }
 
     /// Exact totals at one instant (each counter is one `O(1)` root

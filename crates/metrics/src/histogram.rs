@@ -1,10 +1,13 @@
 //! Fixed-boundary histograms with wait-free recording.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ruo_core::counter::FArrayCounter;
 use ruo_core::Counter;
 use ruo_sim::ProcessId;
+
+use crate::{MetricDesc, MetricKind, MetricsRegistry};
 
 /// A histogram over fixed bucket boundaries: recording is a wait-free
 /// `O(log N)` counter increment into the value's bucket; snapshots read
@@ -91,12 +94,58 @@ impl Histogram {
         &self.boundaries
     }
 
+    /// Reads one bucket's count (one atomic load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= self.buckets()`.
+    pub fn bucket_count(&self, bucket: usize) -> u64 {
+        self.counters[bucket].read()
+    }
+
     /// Reads every bucket (one atomic load each).
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             boundaries: self.boundaries.clone(),
             counts: self.counters.iter().map(|c| c.read()).collect(),
         }
+    }
+
+    /// Registers one scalar per bucket — `<name>_le_<b>` for each
+    /// boundary plus `<name>_gt_<last>` for the overflow bucket. The
+    /// counts are per-bucket (not cumulative) so every scalar is one
+    /// `O(1)` counter-root load.
+    pub fn register_telemetry(
+        self: &Arc<Self>,
+        registry: &mut MetricsRegistry,
+        name: &str,
+        unit: &str,
+        help: &str,
+    ) {
+        for (i, &b) in self.boundaries.iter().enumerate() {
+            let h = Arc::clone(self);
+            registry.register(
+                MetricDesc::new(
+                    &format!("{name}_le_{b}"),
+                    MetricKind::Counter,
+                    unit,
+                    &format!("{help} (bucket le {b})"),
+                ),
+                move || h.counters[i].read(),
+            );
+        }
+        let last = *self.boundaries.last().expect("at least one boundary");
+        let overflow = self.boundaries.len();
+        let h = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(
+                &format!("{name}_gt_{last}"),
+                MetricKind::Counter,
+                unit,
+                &format!("{help} (overflow bucket gt {last})"),
+            ),
+            move || h.counters[overflow].read(),
+        );
     }
 }
 

@@ -2,10 +2,13 @@
 //! `observe` call.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ruo_sim::ProcessId;
 
-use crate::{Histogram, HistogramSnapshot, LowWatermark, Watermark};
+use crate::{
+    Histogram, HistogramSnapshot, LowWatermark, MetricDesc, MetricKind, MetricsRegistry, Watermark,
+};
 
 /// Tracks a latency-like quantity end to end: distribution (histogram
 /// with quantile estimates), the all-time peak, and the all-time best —
@@ -77,6 +80,65 @@ impl LatencyTracker {
         self.histogram.record(pid, value);
         self.peak.record(pid, value);
         self.best.record(pid, value);
+    }
+
+    /// Registers `<prefix>peak`, `<prefix>best`, and one scalar per
+    /// histogram bucket (`<prefix>hist_le_*` / `_gt_*`) — one `O(1)`
+    /// root read per scalar.
+    pub fn register_telemetry(
+        self: &Arc<Self>,
+        registry: &mut MetricsRegistry,
+        prefix: &str,
+        unit: &str,
+    ) {
+        let t = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}peak"),
+                MetricKind::Watermark,
+                unit,
+                "largest value observed",
+            ),
+            move || t.peak.get(),
+        );
+        let t = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}best"),
+                MetricKind::LowWatermark,
+                unit,
+                "smallest value observed",
+            ),
+            move || t.best.get().unwrap_or(u64::MAX),
+        );
+        // Per-bucket counts: route through the histogram's own
+        // registration by sharing the tracker (the closures borrow the
+        // same histogram through the tracker Arc).
+        let boundaries = self.histogram.boundaries().to_vec();
+        for (i, &b) in boundaries.iter().enumerate() {
+            let t = Arc::clone(self);
+            registry.register(
+                MetricDesc::new(
+                    &format!("{prefix}hist_le_{b}"),
+                    MetricKind::Counter,
+                    unit,
+                    &format!("observations in bucket le {b}"),
+                ),
+                move || t.histogram.bucket_count(i),
+            );
+        }
+        let last = *boundaries.last().expect("at least one boundary");
+        let overflow = boundaries.len();
+        let t = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}hist_gt_{last}"),
+                MetricKind::Counter,
+                unit,
+                &format!("observations in overflow bucket gt {last}"),
+            ),
+            move || t.histogram.bucket_count(overflow),
+        );
     }
 
     /// Reads everything (a handful of atomic loads).

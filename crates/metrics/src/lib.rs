@@ -59,6 +59,8 @@ mod health;
 mod histogram;
 mod latency;
 mod progress;
+mod registry;
+mod series;
 mod shard;
 pub mod trace;
 mod watermark;
@@ -71,8 +73,14 @@ pub use health::{HealthEvent, HealthGauges, HealthSnapshot};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use latency::{LatencyReport, LatencyTracker};
 pub use progress::{ProgressCertifier, ProgressReport, ProgressViolation};
+pub use registry::{
+    valid_metric_token, MetricDesc, MetricKind, MetricsRegistry, TelemetryEntry, TelemetryError,
+    TelemetrySnapshot, TELEM_SCHEMA,
+};
+pub use series::SeriesSampler;
 pub use shard::ShardGauges;
 pub use trace::{
-    op_kind, trace_execution, KindStats, PrimCounts, StepStats, StepTrace, TraceEvent, TracedOp,
+    json_escape, op_kind, trace_execution, KindStats, PrimCounts, StepStats, StepTrace, TraceEvent,
+    TracedOp,
 };
 pub use watermark::{LowWatermark, Watermark};

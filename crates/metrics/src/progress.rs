@@ -16,11 +16,12 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use ruo_core::farray::{FArray, Sum};
 use ruo_sim::{ExecOutcome, ProcessId, Word};
 
-use crate::Watermark;
+use crate::{MetricDesc, MetricKind, MetricsRegistry, Watermark};
 
 /// Per-process progress counters with a step-bound watchdog.
 ///
@@ -199,6 +200,61 @@ impl ProgressCertifier {
     /// The claimed per-operation step bound.
     pub fn bound(&self) -> u64 {
         self.bound
+    }
+
+    /// Registers every gauge under `prefix` — one `O(1)` root read per
+    /// scalar (the step bound itself is a constant gauge).
+    pub fn register_telemetry(self: &Arc<Self>, registry: &mut MetricsRegistry, prefix: &str) {
+        type Row = (
+            &'static str,
+            fn(&ProgressCertifier) -> &FArray<Sum>,
+            &'static str,
+        );
+        let counters: [Row; 3] = [
+            ("completed", |c| &c.completed, "operations that completed"),
+            (
+                "starved",
+                |c| &c.starved,
+                "operations starved without their process crashing",
+            ),
+            (
+                "crashed_pending",
+                |c| &c.crashed_pending,
+                "operations left pending by their own crash",
+            ),
+        ];
+        for (name, field, help) in counters {
+            let c = Arc::clone(self);
+            registry.register(
+                MetricDesc::new(
+                    &format!("{prefix}{name}"),
+                    MetricKind::Counter,
+                    "operations",
+                    help,
+                ),
+                move || clamp(field(&c).read()),
+            );
+        }
+        let c = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}worst_steps"),
+                MetricKind::Watermark,
+                "steps",
+                "most steps any completed operation took",
+            ),
+            move || c.worst_steps.get(),
+        );
+        let bound = self.bound;
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}bound"),
+                MetricKind::Gauge,
+                "steps",
+                "claimed per-operation step bound",
+            ),
+            move || bound,
+        );
     }
 
     /// The livelock watchdog's verdict: every completed operation stayed

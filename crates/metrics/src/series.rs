@@ -1,0 +1,214 @@
+//! A fixed-capacity time-series ring over registry snapshots.
+//!
+//! A [`SeriesSampler`] turns point-in-time [`TelemetrySnapshot`]s into
+//! inspectable curves: call [`SeriesSampler::sample`] periodically and
+//! read any scalar's history back with [`SeriesSampler::curve`]. The
+//! tick source is *injected by the caller* — a seed index in the
+//! simulator, a batch index in the real-thread harness, a logical
+//! server tick in serve — so sampled runs stay deterministic: no
+//! `Instant`, no wall clock, no hidden nondeterminism in sim.
+//!
+//! The ring holds the most recent `capacity` samples; older ones are
+//! evicted. Sampling cost is one registry snapshot (wait-free, `O(1)`
+//! loads per registered scalar) plus one ring slot write.
+//!
+//! ```
+//! use ruo_metrics::{MetricsRegistry, SeriesSampler, Watermark};
+//! use ruo_sim::ProcessId;
+//! use std::sync::Arc;
+//!
+//! let depth = Arc::new(Watermark::new(2));
+//! let mut reg = MetricsRegistry::new();
+//! depth.register_into(&mut reg, "queue_depth_peak", "connections", "deepest queue");
+//! let mut sampler = SeriesSampler::new(Arc::new(reg), 8);
+//!
+//! depth.record(ProcessId(0), 3);
+//! sampler.sample(0);
+//! depth.record(ProcessId(1), 9);
+//! sampler.sample(1);
+//!
+//! assert_eq!(sampler.curve("queue_depth_peak"), vec![(0, 3), (1, 9)]);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{MetricsRegistry, TelemetrySnapshot};
+
+/// A bounded ring of `(tick, snapshot)` samples over one registry.
+///
+/// Not shared: one sampler belongs to one sampling loop (`&mut self`);
+/// the *registry* underneath is what concurrent recorders share.
+pub struct SeriesSampler {
+    registry: Arc<MetricsRegistry>,
+    capacity: usize,
+    samples: VecDeque<(u64, TelemetrySnapshot)>,
+    /// Total samples ever taken (≥ `samples.len()` once the ring wraps).
+    taken: u64,
+}
+
+impl fmt::Debug for SeriesSampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SeriesSampler")
+            .field("capacity", &self.capacity)
+            .field("held", &self.samples.len())
+            .field("taken", &self.taken)
+            .finish()
+    }
+}
+
+impl SeriesSampler {
+    /// Creates a sampler holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(registry: Arc<MetricsRegistry>, capacity: usize) -> Self {
+        assert!(capacity > 0, "sampler capacity must be positive");
+        SeriesSampler {
+            registry,
+            capacity,
+            samples: VecDeque::with_capacity(capacity),
+            taken: 0,
+        }
+    }
+
+    /// Takes one registry snapshot stamped with the caller's `tick`,
+    /// evicting the oldest sample if the ring is full. Ticks must be
+    /// non-decreasing (the caller owns the clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is smaller than the last sampled tick.
+    pub fn sample(&mut self, tick: u64) {
+        if let Some((last, _)) = self.samples.back() {
+            assert!(*last <= tick, "ticks must be non-decreasing");
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((tick, self.registry.snapshot()));
+        self.taken += 1;
+    }
+
+    /// Maximum samples held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total samples ever taken, including evicted ones.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> Option<&(u64, TelemetrySnapshot)> {
+        self.samples.back()
+    }
+
+    /// One scalar's history as `(tick, value)` points, oldest first.
+    /// Empty if the name is not registered (or nothing sampled).
+    pub fn curve(&self, name: &str) -> Vec<(u64, u64)> {
+        self.samples
+            .iter()
+            .filter_map(|(tick, snap)| snap.get(name).map(|v| (*tick, v)))
+            .collect()
+    }
+
+    /// Every scalar's history at once: `(name, curve)` in ascending
+    /// name order — the shape scenario reports embed.
+    pub fn curves(&self) -> Vec<(String, Vec<(u64, u64)>)> {
+        let Some((_, first)) = self.samples.front() else {
+            return Vec::new();
+        };
+        first
+            .entries()
+            .iter()
+            .map(|e| (e.desc.name.clone(), self.curve(&e.desc.name)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HealthEvent, HealthGauges};
+    use ruo_sim::ProcessId;
+
+    fn setup() -> (Arc<HealthGauges>, SeriesSampler) {
+        let g = Arc::new(HealthGauges::new(2));
+        let mut reg = MetricsRegistry::new();
+        g.register_telemetry(&mut reg, "");
+        (g, SeriesSampler::new(Arc::new(reg), 4))
+    }
+
+    #[test]
+    fn curves_follow_the_recorded_values() {
+        let (g, mut s) = setup();
+        for tick in 0..3u64 {
+            g.bump(ProcessId(0), HealthEvent::Served);
+            g.record_queue_depth(ProcessId(1), tick * 2);
+            s.sample(tick);
+        }
+        assert_eq!(s.curve("served"), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(s.curve("queue_depth_peak"), vec![(0, 0), (1, 2), (2, 4)]);
+        assert_eq!(s.curve("unknown"), vec![]);
+    }
+
+    #[test]
+    fn ring_evicts_the_oldest_sample() {
+        let (g, mut s) = setup();
+        for tick in 0..6u64 {
+            g.bump(ProcessId(0), HealthEvent::Admitted);
+            s.sample(tick * 10);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.taken(), 6);
+        // Oldest two (ticks 0, 10) evicted.
+        assert_eq!(
+            s.curve("admitted"),
+            vec![(20, 3), (30, 4), (40, 5), (50, 6)]
+        );
+        assert_eq!(s.latest().unwrap().0, 50);
+    }
+
+    #[test]
+    fn curves_cover_every_registered_scalar() {
+        let (g, mut s) = setup();
+        assert!(s.curves().is_empty());
+        g.bump(ProcessId(0), HealthEvent::Shed);
+        s.sample(7);
+        let all = s.curves();
+        assert_eq!(all.len(), 12);
+        // Ascending name order, one point per curve.
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(all.iter().all(|(_, c)| c.len() == 1));
+        let shed = all.iter().find(|(n, _)| n == "shed").unwrap();
+        assert_eq!(shed.1, vec![(7, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn regressing_ticks_panic() {
+        let (_g, mut s) = setup();
+        s.sample(5);
+        s.sample(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = SeriesSampler::new(Arc::new(MetricsRegistry::new()), 0);
+    }
+}

@@ -7,6 +7,8 @@ use ruo_core::counter::ShardedCounter;
 use ruo_core::Counter;
 use ruo_sim::ProcessId;
 
+use crate::{MetricDesc, MetricKind, MetricsRegistry};
+
 /// Per-stripe gauges over a shared [`ShardedCounter`]: total, per-stripe
 /// counts, imbalance, and the hottest stripe.
 ///
@@ -72,6 +74,34 @@ impl ShardGauges {
             .max_by(|(ai, ac), (bi, bc)| ac.cmp(bc).then(bi.cmp(ai)))
             .expect("sharded counters have at least one stripe");
         (ProcessId(i), c)
+    }
+
+    /// Registers `<prefix>total` (the counter's linearizable sum) and
+    /// `<prefix>stripes` (constant). The total is the registry's one
+    /// documented non-`O(1)` scalar: the sharded counter traded its
+    /// `O(1)` read away for an `O(1)` increment (Theorem 1), so reading
+    /// it collects every stripe.
+    pub fn register_telemetry(&self, registry: &mut MetricsRegistry, prefix: &str) {
+        let counter = Arc::clone(&self.counter);
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}total"),
+                MetricKind::Counter,
+                "increments",
+                "sharded counter total (O(stripes) collect per read)",
+            ),
+            move || counter.read(),
+        );
+        let stripes = self.per_stripe().len() as u64;
+        registry.register(
+            MetricDesc::new(
+                &format!("{prefix}stripes"),
+                MetricKind::Gauge,
+                "stripes",
+                "number of per-process stripes",
+            ),
+            move || stripes,
+        );
     }
 
     /// Hottest-stripe count divided by the mean stripe count, in

@@ -361,6 +361,14 @@ pub fn trace_execution(log: &EventLog, history: &History) -> StepTrace {
     StepTrace { ops }
 }
 
+/// Escapes a string for embedding in a JSON string literal: quotes,
+/// backslashes, and control characters become their `\`-escapes.
+/// Shared by the JSONL / Chrome `trace_event` exporters here and the
+/// serve span exporter.
+pub fn json_escape(s: &str) -> String {
+    esc(s)
+}
+
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {

@@ -1,11 +1,14 @@
 //! High- and low-water marks.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ruo_core::farray::{FArray, Min};
 use ruo_core::maxreg::TreeMaxRegister;
 use ruo_core::MaxRegister;
 use ruo_sim::ProcessId;
+
+use crate::{MetricDesc, MetricKind, MetricsRegistry};
 
 /// The largest value ever recorded — a wait-free max register
 /// (Algorithm A) with `O(1)` reads and `O(min(log N, log v))` records.
@@ -58,6 +61,22 @@ impl Watermark {
     /// load.
     pub fn get(&self) -> u64 {
         self.reg.read_max()
+    }
+
+    /// Registers this watermark as one self-describing scalar; each
+    /// snapshot reads it with a single atomic load.
+    pub fn register_into(
+        self: &Arc<Self>,
+        registry: &mut MetricsRegistry,
+        name: &str,
+        unit: &str,
+        help: &str,
+    ) {
+        let w = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(name, MetricKind::Watermark, unit, help),
+            move || w.get(),
+        );
     }
 }
 
@@ -120,6 +139,24 @@ impl LowWatermark {
     pub fn get(&self) -> Option<u64> {
         let v = self.fa.read();
         (v != i64::MAX).then_some(v as u64)
+    }
+
+    /// Registers this low-watermark as one self-describing scalar;
+    /// `u64::MAX` is the nothing-recorded sentinel (the kind's
+    /// monotone-down contract still holds: the value only ever drops
+    /// from it).
+    pub fn register_into(
+        self: &Arc<Self>,
+        registry: &mut MetricsRegistry,
+        name: &str,
+        unit: &str,
+        help: &str,
+    ) {
+        let w = Arc::clone(self);
+        registry.register(
+            MetricDesc::new(name, MetricKind::LowWatermark, unit, help),
+            move || w.get().unwrap_or(u64::MAX),
+        );
     }
 }
 

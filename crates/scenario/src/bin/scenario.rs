@@ -132,8 +132,12 @@ fn run_files(args: &[String]) -> i32 {
                     .iter()
                     .map(|(k, v)| format!("{k}={v}"))
                     .collect();
+                let duration = report
+                    .metric("duration_ms")
+                    .map(|ms| format!(" ({ms:.0} ms)"))
+                    .unwrap_or_default();
                 let mut lines = vec![format!(
-                    "{verdict:<5} {:<32} [{}/{} {}] {}",
+                    "{verdict:<5} {:<32} [{}/{} {}] {}{duration}",
                     spec.name,
                     spec.family,
                     spec.impl_id,

@@ -19,7 +19,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ruo_metrics::{
-    trace_execution, LatencyTracker, PrimCounts, ProgressCertifier, StepStats, StepTrace,
+    trace_execution, LatencyTracker, LowWatermark, MetricDesc, MetricKind, MetricsRegistry,
+    PrimCounts, ProgressCertifier, SeriesSampler, StepStats, StepTrace, Watermark,
 };
 use ruo_sim::explore::{explore, explore_parallel, ExploreConfig, ExploreOp};
 use ruo_sim::lin::{
@@ -35,9 +36,10 @@ use ruo_sim::{
 };
 
 use crate::registry::{find, BuildError, BuildParams, Family, ImplEntry, RealObject, SimObject};
-use crate::report::ScenarioReport;
+use crate::report::{ScenarioReport, TelemetryBlock};
 use crate::spec::{
-    CheckerKind, EngineKind, FaultSpec, OpKind, OpMix, ScenarioSpec, SchedulePolicy, TraceSpec,
+    CheckerKind, EngineKind, FaultSpec, OpKind, OpMix, ScenarioSpec, SchedulePolicy, TelemetrySpec,
+    TraceSpec,
 };
 
 /// Why an engine refused to run a scenario.
@@ -210,6 +212,161 @@ fn export_trace(
         report.note(format!("trace chrome: {path}"));
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Telemetry sampling shared by the sim and real engines
+// ---------------------------------------------------------------------
+
+/// Sweep-progress scalars the sim engine registers and samples once per
+/// `every` seeds (the seed index is the sampler tick, so sampled sim
+/// runs stay deterministic — no wall clock anywhere near the ring).
+struct SimTelemetry {
+    sampler: SeriesSampler,
+    every: u64,
+    ok_runs: Arc<AtomicU64>,
+    crashed_runs: Arc<AtomicU64>,
+    checked_ops: Arc<AtomicU64>,
+    largest_history: Arc<Watermark>,
+}
+
+impl SimTelemetry {
+    fn new(t: &TelemetrySpec) -> Self {
+        let ok_runs = Arc::new(AtomicU64::new(0));
+        let crashed_runs = Arc::new(AtomicU64::new(0));
+        let checked_ops = Arc::new(AtomicU64::new(0));
+        let largest_history = Arc::new(Watermark::new(1));
+        let mut reg = MetricsRegistry::new();
+        let r = Arc::clone(&ok_runs);
+        reg.register(
+            MetricDesc::new(
+                "ok_runs",
+                MetricKind::Counter,
+                "runs",
+                "seeded runs that drained and linearized",
+            ),
+            move || r.load(Ordering::Relaxed),
+        );
+        let r = Arc::clone(&crashed_runs);
+        reg.register(
+            MetricDesc::new(
+                "crashed_runs",
+                MetricKind::Counter,
+                "runs",
+                "seeded runs whose fault plan crashed a process",
+            ),
+            move || r.load(Ordering::Relaxed),
+        );
+        let r = Arc::clone(&checked_ops);
+        reg.register(
+            MetricDesc::new(
+                "checked_ops",
+                MetricKind::Counter,
+                "ops",
+                "operations fed through the checker so far",
+            ),
+            move || r.load(Ordering::Relaxed),
+        );
+        largest_history.register_into(
+            &mut reg,
+            "largest_history",
+            "ops",
+            "largest single history checked so far",
+        );
+        SimTelemetry {
+            sampler: SeriesSampler::new(Arc::new(reg), t.capacity),
+            every: t.every,
+            ok_runs,
+            crashed_runs,
+            checked_ops,
+            largest_history,
+        }
+    }
+
+    /// Publishes the sweep's running totals and samples the registry if
+    /// seed index `k` lands on the cadence.
+    fn record_seed(&mut self, k: u64, ok: u64, crashed: u64, checked: u64, largest: u64) {
+        self.ok_runs.store(ok, Ordering::Relaxed);
+        self.crashed_runs.store(crashed, Ordering::Relaxed);
+        self.checked_ops.store(checked, Ordering::Relaxed);
+        self.largest_history.record(ProcessId(0), largest);
+        if k.is_multiple_of(self.every) {
+            self.sampler.sample(k);
+        }
+    }
+}
+
+/// Batch-progress scalars the real engine registers and samples once
+/// per `every` timed batches (the batch index is the sampler tick).
+struct RealTelemetry {
+    sampler: SeriesSampler,
+    every: u64,
+    batches: Arc<AtomicU64>,
+    ops_done: Arc<AtomicU64>,
+    batch_best: Arc<LowWatermark>,
+    batch_worst: Arc<Watermark>,
+}
+
+impl RealTelemetry {
+    fn new(t: &TelemetrySpec) -> Self {
+        let batches = Arc::new(AtomicU64::new(0));
+        let ops_done = Arc::new(AtomicU64::new(0));
+        let batch_best = Arc::new(LowWatermark::new(1));
+        let batch_worst = Arc::new(Watermark::new(1));
+        let mut reg = MetricsRegistry::new();
+        let r = Arc::clone(&batches);
+        reg.register(
+            MetricDesc::new(
+                "batches",
+                MetricKind::Counter,
+                "batches",
+                "timed contended batches completed",
+            ),
+            move || r.load(Ordering::Relaxed),
+        );
+        let r = Arc::clone(&ops_done);
+        reg.register(
+            MetricDesc::new(
+                "ops_done",
+                MetricKind::Counter,
+                "ops",
+                "operations completed across timed batches",
+            ),
+            move || r.load(Ordering::Relaxed),
+        );
+        batch_best.register_into(
+            &mut reg,
+            "batch_best_ns",
+            "ns",
+            "fastest timed batch so far",
+        );
+        batch_worst.register_into(
+            &mut reg,
+            "batch_worst_ns",
+            "ns",
+            "slowest timed batch so far",
+        );
+        RealTelemetry {
+            sampler: SeriesSampler::new(Arc::new(reg), t.capacity),
+            every: t.every,
+            batches,
+            ops_done,
+            batch_best,
+            batch_worst,
+        }
+    }
+
+    /// Publishes one timed batch's outcome and samples the registry if
+    /// batch index `idx` lands on the cadence.
+    fn record_batch(&mut self, idx: u64, batch_ops: u64, batch_ns: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.ops_done.fetch_add(batch_ops, Ordering::Relaxed);
+        self.batch_best.record(ProcessId(0), batch_ns);
+        self.batch_worst.record(ProcessId(0), batch_ns);
+        if idx.is_multiple_of(self.every) {
+            self.sampler.sample(idx);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -460,7 +617,14 @@ pub fn measure_step_bound(spec: &ScenarioSpec) -> Result<u64, EngineError> {
 
 /// Sweeps `seeds` adversarial schedules (spec'd fault plan applied per
 /// seed), checking every history; `--quick` divides the sweep by 20.
+///
+/// With a `telemetry` section, sweep-progress scalars (`ok_runs`,
+/// `crashed_runs`, `checked_ops`, `largest_history`) are registered in
+/// a [`MetricsRegistry`] and sampled every `every` seeds into the
+/// report's `telemetry` block — the seed index is the sampler tick, so
+/// the curves are deterministic.
 pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
+    let started = Instant::now();
     let seeds = if quick {
         (spec.seeds / 20).max(1)
     } else {
@@ -484,6 +648,7 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
     let mut first_violation: Option<String> = None;
     let mut steps = wants_steps(spec).then(StepStats::new);
     let mut first_trace: Option<StepTrace> = None;
+    let mut telem = spec.telemetry.as_ref().map(SimTelemetry::new);
     for k in 0..seeds {
         let run_seed = spec.seed.wrapping_add(k);
         let plan = fault_plan_for_seed(spec, run_seed);
@@ -513,6 +678,9 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
                 None => format!("seed {run_seed}: workload did not drain"),
             });
         }
+        if let Some(t) = &mut telem {
+            t.record_seed(k, ok_runs, crashed_runs, checked_ops, largest_history);
+        }
     }
     report.set("seeds", seeds);
     report.set("ok_runs", ok_runs);
@@ -522,6 +690,7 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
     report.set("checked_ops", checked_ops);
     report.set("largest_history", largest_history);
     report.steps = steps;
+    report.telemetry = telem.map(|t| TelemetryBlock::from_sampler(&t.sampler));
     if let (Some(tspec), Some(trace)) = (&spec.trace, &first_trace) {
         export_trace(tspec, trace, &mut report)?;
     }
@@ -545,6 +714,7 @@ pub fn run_sim(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engin
             }
         }
     }
+    report.set_metric("duration_ms", started.elapsed().as_secs_f64() * 1e3);
     Ok(report)
 }
 
@@ -686,7 +856,13 @@ fn real_batch(
 /// disabled, keeping throughput numbers comparable to untraced runs.
 /// Event-level export (`jsonl`/`chrome`) is a sim/explore capability;
 /// real threads record counts, not events.
+///
+/// With a `telemetry` section, batch-progress scalars (`batches`,
+/// `ops_done`, `batch_best_ns`, `batch_worst_ns`) are sampled every
+/// `every` timed batches into the report's `telemetry` block, ticked by
+/// the batch index (the warm-up batch is not sampled).
 pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
+    let started = Instant::now();
     let entry = find(spec.family, &spec.impl_id)?;
     if wants_export(spec) {
         return Err(EngineError::Unsupported(
@@ -704,6 +880,7 @@ pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engi
         accuracy_k: spec.accuracy_k(),
     };
     let sink = AtomicU64::new(0);
+    let mut telem = spec.telemetry.as_ref().map(RealTelemetry::new);
     let mut times: Vec<f64> = Vec::with_capacity(p.samples);
     for sample in 0..=p.samples {
         let obj = entry.build_real(&params)?;
@@ -711,7 +888,15 @@ pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engi
         real_batch(&obj, &p, &sink, None, None);
         if sample > 0 {
             // Sample 0 is the warm-up.
-            times.push(start.elapsed().as_nanos() as f64);
+            let elapsed_ns = start.elapsed().as_nanos();
+            times.push(elapsed_ns as f64);
+            if let Some(t) = &mut telem {
+                t.record_batch(
+                    (sample - 1) as u64,
+                    p.ops * p.threads as u64,
+                    elapsed_ns as u64,
+                );
+            }
         }
     }
     times.sort_by(|a, b| a.total_cmp(b));
@@ -769,9 +954,11 @@ pub fn run_real(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, Engi
     if let Some(shared) = steps {
         report.steps = Some(shared.into_inner().expect("steps poisoned"));
     }
+    report.telemetry = telem.map(|t| TelemetryBlock::from_sampler(&t.sampler));
     // Fold the sink into a counter so the XOR accumulators stay
     // observable (and the optimizer keeps the reads).
     report.set("sink", sink.load(Ordering::Relaxed));
+    report.set_metric("duration_ms", started.elapsed().as_secs_f64() * 1e3);
     Ok(report)
 }
 
@@ -945,6 +1132,14 @@ fn explore_canonical_trace(parts: &ExploreParts, spec: &ScenarioSpec) -> StepTra
 /// means `prims.total()` can undercut the per-op sums); `jsonl`/`chrome`
 /// exports carry the canonical sequential schedule of the scope.
 pub fn run_explore(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, EngineError> {
+    let engine_started = Instant::now();
+    if spec.telemetry.is_some() {
+        return Err(EngineError::Unsupported(
+            "telemetry sampling ticks along seeds (sim) or batches (real); \
+             the explorer enumerates schedules and has no sampling clock"
+                .into(),
+        ));
+    }
     let parts = explore_parts(spec)?;
     let espec = spec.explore.as_ref().expect("explore_parts checked");
     let cfg = ExploreConfig {
@@ -1044,6 +1239,7 @@ pub fn run_explore(spec: &ScenarioSpec, quick: bool) -> Result<ScenarioReport, E
             summary.schedules
         ));
     }
+    report.set_metric("duration_ms", engine_started.elapsed().as_secs_f64() * 1e3);
     Ok(report)
 }
 
@@ -1395,6 +1591,127 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{label}: {e}"));
             assert_eq!(parsed, r, "{label}: steps block must round-trip");
         }
+    }
+
+    #[test]
+    fn sim_engine_samples_telemetry_along_the_seed_sweep() {
+        let mut spec = ScenarioSpec::new("t", Family::Counter, "farray", EngineKind::Sim, 3);
+        spec.seeds = 6;
+        spec.ops_per_process = 4;
+        spec.telemetry = Some(crate::spec::TelemetrySpec {
+            capacity: 8,
+            every: 2,
+        });
+        let r = run_sim(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        let t = r.telemetry.as_ref().expect("telemetry block");
+        // Seeds 0, 2, 4 land on the every-2 cadence.
+        assert_eq!(t.samples, 3);
+        let ok_curve = t
+            .curves
+            .iter()
+            .find(|(n, _)| n == "ok_runs")
+            .map(|(_, c)| c.clone())
+            .expect("ok_runs curve");
+        assert_eq!(
+            ok_curve.iter().map(|(tick, _)| *tick).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+        // The sweep passes, so the counter climbs one per seed.
+        assert_eq!(
+            ok_curve.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
+        assert!(t.curves.iter().any(|(n, _)| n == "largest_history"));
+        assert!(r.metric("duration_ms").unwrap() >= 0.0);
+        // The block round-trips through the report codec.
+        let parsed = crate::report::ScenarioReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn real_engine_samples_telemetry_per_timed_batch() {
+        let mut spec = ScenarioSpec::new("t", Family::Counter, "farray", EngineKind::Real, 2);
+        spec.real = Some(crate::spec::RealSpec {
+            threads: 2,
+            ops_per_thread: 50,
+            samples: 4,
+        });
+        spec.telemetry = Some(crate::spec::TelemetrySpec {
+            capacity: 2,
+            every: 1,
+        });
+        let r = run_real(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        let t = r.telemetry.as_ref().expect("telemetry block");
+        // Four timed batches sampled; the ring keeps the last two.
+        assert_eq!(t.samples, 4);
+        let batches = t
+            .curves
+            .iter()
+            .find(|(n, _)| n == "batches")
+            .map(|(_, c)| c.clone())
+            .expect("batches curve");
+        assert_eq!(batches, vec![(2, 3), (3, 4)]);
+        let ops = t
+            .curves
+            .iter()
+            .find(|(n, _)| n == "ops_done")
+            .map(|(_, c)| c.clone())
+            .expect("ops_done curve");
+        assert_eq!(ops.last().unwrap().1, 400, "4 batches x 2 threads x 50");
+        assert!(t.curves.iter().any(|(n, _)| n == "batch_best_ns"));
+        assert!(r.metric("duration_ms").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn explore_engine_rejects_telemetry_and_reports_duration() {
+        let mut spec = ScenarioSpec::new("t", Family::MaxReg, "tree", EngineKind::Explore, 2);
+        spec.explore = Some(ExploreSpec {
+            seed_update: None,
+            ops: vec![
+                ScenarioOp {
+                    pid: 0,
+                    kind: OpKind::Update,
+                    value: 1,
+                },
+                ScenarioOp {
+                    pid: 1,
+                    kind: OpKind::Read,
+                    value: 0,
+                },
+            ],
+            max_schedules: 10_000,
+            prune: true,
+            max_crashes: 0,
+            workers: 1,
+        });
+        spec.telemetry = Some(crate::spec::TelemetrySpec::default());
+        assert!(matches!(
+            run_explore(&spec, false),
+            Err(EngineError::Unsupported(_))
+        ));
+        spec.telemetry = None;
+        let r = run_explore(&spec, false).unwrap();
+        assert!(r.ok, "notes: {:?}", r.notes);
+        assert!(r.telemetry.is_none());
+        assert!(r.metric("duration_ms").unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn every_engine_reports_wall_clock_duration() {
+        let mut sim = ScenarioSpec::new("t", Family::Counter, "farray", EngineKind::Sim, 2);
+        sim.seeds = 2;
+        let r = run_sim(&sim, false).unwrap();
+        assert!(r.metric("duration_ms").is_some(), "sim duration");
+        let mut real = ScenarioSpec::new("t", Family::Counter, "farray", EngineKind::Real, 2);
+        real.real = Some(crate::spec::RealSpec {
+            threads: 2,
+            ops_per_thread: 20,
+            samples: 1,
+        });
+        let r = run_real(&real, false).unwrap();
+        assert!(r.metric("duration_ms").is_some(), "real duration");
     }
 
     #[test]

@@ -45,8 +45,9 @@ pub use registry::{
     family_impls, find, registry, AccuracyClass, BuildError, BuildParams, Capabilities,
     CounterMode, Family, ImplEntry, ProgressClass, RealObject, SimObject,
 };
-pub use report::{ScenarioReport, REPORT_SCHEMA};
+pub use report::{ScenarioReport, TelemetryBlock, REPORT_SCHEMA};
 pub use spec::{
     AccuracySpec, CheckerKind, CrashAt, EngineKind, ExploreSpec, FaultSpec, OpKind, OpMix,
-    RealSpec, ScenarioOp, ScenarioSpec, SchedulePolicy, SpecError, TraceSpec, SPEC_SCHEMA,
+    RealSpec, ScenarioOp, ScenarioSpec, SchedulePolicy, SpecError, TelemetrySpec, TraceSpec,
+    SPEC_SCHEMA,
 };

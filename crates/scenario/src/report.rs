@@ -8,7 +8,7 @@
 //! layer their own presentation (tables, experiment JSON) on top of the
 //! counters instead of re-deriving them.
 
-use ruo_metrics::{KindStats, PrimCounts, StepStats};
+use ruo_metrics::{KindStats, PrimCounts, SeriesSampler, StepStats};
 
 use crate::json::Json;
 use crate::registry::Family;
@@ -16,6 +16,27 @@ use crate::spec::{EngineKind, ScenarioSpec, SpecError};
 
 /// Schema identifier emitted in every report.
 pub const REPORT_SCHEMA: &str = "ruo-scenario-report-v1";
+
+/// Sampled telemetry curves, embedded in the report when the spec's
+/// `telemetry` section is present.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryBlock {
+    /// Samples ever taken, including ones the ring evicted.
+    pub samples: u64,
+    /// `(scalar name, [(tick, value)…])` in ascending name order — the
+    /// shape [`SeriesSampler::curves`] produces.
+    pub curves: Vec<(String, Vec<(u64, u64)>)>,
+}
+
+impl TelemetryBlock {
+    /// Captures a sampler's current state.
+    pub fn from_sampler(sampler: &SeriesSampler) -> Self {
+        TelemetryBlock {
+            samples: sampler.taken(),
+            curves: sampler.curves(),
+        }
+    }
+}
 
 /// What happened when an engine ran a scenario.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,6 +66,9 @@ pub struct ScenarioReport {
     /// Step statistics — present when the spec's `trace` section asked
     /// for them; the same shape from all three engines.
     pub steps: Option<StepStats>,
+    /// Sampled telemetry curves — present when the spec's `telemetry`
+    /// section asked for them (sim and real engines).
+    pub telemetry: Option<TelemetryBlock>,
     /// Free-form notes (violation details, certification summaries).
     pub notes: Vec<String>,
 }
@@ -63,6 +87,7 @@ impl ScenarioReport {
             counters: Vec::new(),
             metrics: Vec::new(),
             steps: None,
+            telemetry: None,
             notes: Vec::new(),
         }
     }
@@ -143,6 +168,9 @@ impl ScenarioReport {
         if let Some(steps) = &self.steps {
             o.push(("steps".into(), steps_to_json(steps)));
         }
+        if let Some(t) = &self.telemetry {
+            o.push(("telemetry".into(), telemetry_to_json(t)));
+        }
         o.push((
             "notes".into(),
             Json::Arr(self.notes.iter().map(|s| Json::Str(s.clone())).collect()),
@@ -213,6 +241,10 @@ impl ScenarioReport {
             None => None,
             Some(v) => Some(steps_from_json(v)?),
         };
+        let telemetry = match doc.get("telemetry") {
+            None => None,
+            Some(v) => Some(telemetry_from_json(v)?),
+        };
         let mut notes = Vec::new();
         for v in doc
             .get("notes")
@@ -239,6 +271,7 @@ impl ScenarioReport {
             counters,
             metrics,
             steps,
+            telemetry,
             notes,
         })
     }
@@ -282,6 +315,67 @@ fn steps_to_json(s: &StepStats) -> Json {
             ]),
         ),
     ])
+}
+
+/// Serializes a [`TelemetryBlock`] as the report's `telemetry` block:
+/// `{"samples": N, "curves": {<name>: [[tick, value]…]…}}`.
+fn telemetry_to_json(t: &TelemetryBlock) -> Json {
+    Json::Obj(vec![
+        ("samples".into(), Json::Num(t.samples)),
+        (
+            "curves".into(),
+            Json::Obj(
+                t.curves
+                    .iter()
+                    .map(|(name, points)| {
+                        (
+                            name.clone(),
+                            Json::Arr(
+                                points
+                                    .iter()
+                                    .map(|&(tick, v)| {
+                                        Json::Arr(vec![Json::Num(tick), Json::Num(v)])
+                                    })
+                                    .collect(),
+                            ),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn telemetry_from_json(v: &Json) -> Result<TelemetryBlock, SpecError> {
+    let samples = v
+        .get("samples")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| SpecError("missing \"telemetry.samples\"".into()))?;
+    let mut curves = Vec::new();
+    for (name, arr) in v
+        .get("curves")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| SpecError("missing \"telemetry.curves\" object".into()))?
+    {
+        let mut points = Vec::new();
+        for p in arr
+            .as_arr()
+            .ok_or_else(|| SpecError(format!("curve \"{name}\" must be an array")))?
+        {
+            let pair = p.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                SpecError(format!("curve \"{name}\" points must be [tick, value]"))
+            })?;
+            let tick = pair[0]
+                .as_u64()
+                .ok_or_else(|| SpecError(format!("curve \"{name}\" tick must be an integer")))?;
+            let value = pair[1]
+                .as_u64()
+                .ok_or_else(|| SpecError(format!("curve \"{name}\" value must be an integer")))?;
+            points.push((tick, value));
+        }
+        curves.push((name.clone(), points));
+    }
+    Ok(TelemetryBlock { samples, curves })
 }
 
 fn steps_from_json(v: &Json) -> Result<StepStats, SpecError> {
@@ -376,5 +470,47 @@ mod tests {
         let parsed = ScenarioReport::parse(&bare.to_json()).unwrap();
         assert_eq!(parsed, bare);
         assert!(parsed.steps.is_none());
+    }
+
+    #[test]
+    fn reports_round_trip_including_telemetry() {
+        let spec = ScenarioSpec::new("w12", Family::Counter, "farray", EngineKind::Sim, 4);
+        let mut r = ScenarioReport::new(&spec, false);
+        r.set("seeds", 8);
+        r.set_metric("duration_ms", 12.75);
+        r.telemetry = Some(TelemetryBlock {
+            samples: 10,
+            curves: vec![
+                ("served".into(), vec![(0, 1), (1, 3), (2, 9)]),
+                ("shed".into(), vec![(0, 0), (1, 0), (2, 2)]),
+            ],
+        });
+        let parsed = ScenarioReport::parse(&r.to_json()).expect("report parses");
+        assert_eq!(parsed, r);
+        // Empty curves survive too (capacity 1, nothing recorded).
+        let mut empty = ScenarioReport::new(&spec, true);
+        empty.telemetry = Some(TelemetryBlock {
+            samples: 0,
+            curves: Vec::new(),
+        });
+        assert_eq!(ScenarioReport::parse(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn telemetry_block_captures_a_sampler() {
+        use ruo_metrics::{MetricsRegistry, Watermark};
+        use std::sync::Arc;
+
+        let w = Arc::new(Watermark::new(2));
+        let mut reg = MetricsRegistry::new();
+        w.register_into(&mut reg, "peak", "units", "test watermark");
+        let mut sampler = SeriesSampler::new(Arc::new(reg), 4);
+        w.record(ruo_sim::ProcessId(0), 5);
+        sampler.sample(0);
+        w.record(ruo_sim::ProcessId(1), 9);
+        sampler.sample(1);
+        let block = TelemetryBlock::from_sampler(&sampler);
+        assert_eq!(block.samples, 2);
+        assert_eq!(block.curves, vec![("peak".into(), vec![(0, 5), (1, 9)])]);
     }
 }

@@ -292,6 +292,31 @@ impl Default for TraceSpec {
     }
 }
 
+/// Telemetry sampling controls (sim and real engines). When present,
+/// the engine registers its gauge families in a
+/// `ruo_metrics::MetricsRegistry` and samples them through a
+/// `SeriesSampler` on a deterministic tick source — the seed index in
+/// sim, the timed-sample index in real — so the sampled curves land in
+/// the report's `telemetry` block and are reproducible run to run.
+/// The explore engine rejects this section (its per-schedule gauges
+/// have no meaningful mid-run timeline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// Ring capacity: the most recent samples kept (≥ 1).
+    pub capacity: usize,
+    /// Sample every `every` ticks (≥ 1); `1` samples every tick.
+    pub every: u64,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec {
+            capacity: 64,
+            every: 1,
+        }
+    }
+}
+
 /// A complete declarative scenario.
 ///
 /// Construct via [`ScenarioSpec::new`] (which fills the defaults) and
@@ -349,6 +374,9 @@ pub struct ScenarioSpec {
     pub accuracy: Option<AccuracySpec>,
     /// Step-tracing controls; `None` disables tracing entirely.
     pub trace: Option<TraceSpec>,
+    /// Telemetry sampling controls; `None` disables the report's
+    /// `telemetry` block (sim and real engines only).
+    pub telemetry: Option<TelemetrySpec>,
     /// Wall-clock watchdog in seconds: a run that has not produced its
     /// report within this budget is failed with a structured
     /// `watchdog` verdict instead of hanging the harness. `None`
@@ -406,6 +434,7 @@ impl ScenarioSpec {
             real: None,
             accuracy: None,
             trace: None,
+            telemetry: None,
             watchdog_secs: None,
         }
     }
@@ -460,6 +489,15 @@ impl ScenarioSpec {
         if let Some(t) = &self.trace {
             o.push(("trace".into(), trace_to_json(t)));
         }
+        if let Some(t) = &self.telemetry {
+            o.push((
+                "telemetry".into(),
+                Json::Obj(vec![
+                    ("capacity".into(), Json::Num(t.capacity as u64)),
+                    ("every".into(), Json::Num(t.every)),
+                ]),
+            ));
+        }
         if let Some(w) = self.watchdog_secs {
             o.push(("watchdog_secs".into(), Json::Num(w)));
         }
@@ -498,6 +536,7 @@ impl ScenarioSpec {
             "real",
             "accuracy",
             "trace",
+            "telemetry",
             "watchdog_secs",
         ];
         for (k, _) in obj {
@@ -586,6 +625,9 @@ impl ScenarioSpec {
         }
         if let Some(t) = doc.get("trace") {
             spec.trace = Some(trace_from_json(t)?);
+        }
+        if let Some(t) = doc.get("telemetry") {
+            spec.telemetry = Some(telemetry_from_json(t)?);
         }
         spec.watchdog_secs = opt_u64(&doc, "watchdog_secs")?;
         if spec.engine == EngineKind::Explore && spec.explore.is_none() {
@@ -802,6 +844,34 @@ fn trace_from_json(v: &Json) -> Result<TraceSpec, SpecError> {
     })
 }
 
+fn telemetry_from_json(v: &Json) -> Result<TelemetrySpec, SpecError> {
+    let obj = match v.as_obj() {
+        Some(o) => o,
+        None => return err("\"telemetry\" must be an object"),
+    };
+    // Strict like "trace": a typo'd knob silently dropping the sampled
+    // curves is exactly the failure mode unknown-key rejection prevents.
+    const KNOWN: &[&str] = &["capacity", "every"];
+    for (k, _) in obj {
+        if !KNOWN.contains(&k.as_str()) {
+            return err(format!("unknown key \"{k}\" in \"telemetry\""));
+        }
+    }
+    let defaults = TelemetrySpec::default();
+    let capacity = opt_u64(v, "capacity")?.unwrap_or(defaults.capacity as u64);
+    if capacity == 0 {
+        return err("\"telemetry.capacity\" must be at least 1");
+    }
+    let every = opt_u64(v, "every")?.unwrap_or(defaults.every);
+    if every == 0 {
+        return err("\"telemetry.every\" must be at least 1");
+    }
+    Ok(TelemetrySpec {
+        capacity: capacity as usize,
+        every,
+    })
+}
+
 fn accuracy_from_json(v: &Json) -> Result<AccuracySpec, SpecError> {
     let obj = match v.as_obj() {
         Some(o) => o,
@@ -896,6 +966,10 @@ mod tests {
             jsonl: Some("target/traces/full.jsonl".into()),
             chrome: Some("target/traces/full.trace.json".into()),
         });
+        spec.telemetry = Some(TelemetrySpec {
+            capacity: 32,
+            every: 2,
+        });
         spec.watchdog_secs = Some(45);
         let parsed = ScenarioSpec::parse(&spec.to_json()).unwrap();
         assert_eq!(parsed, spec);
@@ -933,6 +1007,39 @@ mod tests {
         let typo = json.replace("\"steps\": true", "\"stepz\": true");
         let e = ScenarioSpec::parse(&typo).unwrap_err();
         assert!(e.0.contains("trace"), "{e}");
+    }
+
+    #[test]
+    fn telemetry_section_is_strict_with_sane_defaults() {
+        let mut spec = ScenarioSpec::new("t", Family::MaxReg, "tree", EngineKind::Sim, 2);
+        spec.telemetry = Some(TelemetrySpec::default());
+        let json = spec.to_json();
+        assert_eq!(ScenarioSpec::parse(&json).unwrap(), spec);
+        // Omitted knobs take the defaults.
+        let bare = json.replace("\"capacity\": 64,\n    \"every\": 1", "\"every\": 4");
+        let parsed = ScenarioSpec::parse(&bare).unwrap();
+        assert_eq!(
+            parsed.telemetry,
+            Some(TelemetrySpec {
+                capacity: 64,
+                every: 4
+            })
+        );
+        // Degenerate knobs are rejected.
+        let zero_cap = json.replace("\"capacity\": 64", "\"capacity\": 0");
+        assert!(ScenarioSpec::parse(&zero_cap)
+            .unwrap_err()
+            .0
+            .contains("capacity"));
+        let zero_every = json.replace("\"every\": 1", "\"every\": 0");
+        assert!(ScenarioSpec::parse(&zero_every)
+            .unwrap_err()
+            .0
+            .contains("every"));
+        // Unknown keys inside "telemetry" are rejected like top-level typos.
+        let typo = json.replace("\"every\": 1", "\"evry\": 1");
+        let e = ScenarioSpec::parse(&typo).unwrap_err();
+        assert!(e.0.contains("telemetry"), "{e}");
     }
 
     #[test]

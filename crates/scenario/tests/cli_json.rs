@@ -22,6 +22,7 @@ fn run_json_emits_one_document_with_full_reports() {
         .args(["run", "--quick", "--json"])
         .arg(spec_path("w5_explore_pruned.json"))
         .arg(spec_path("w5_explore_traced.json"))
+        .arg(spec_path("w12_telemetry_sim.json"))
         .output()
         .expect("scenario binary runs");
     assert!(
@@ -41,7 +42,7 @@ fn run_json_emits_one_document_with_full_reports() {
     assert_eq!(doc.get("failures").and_then(Json::as_u64), Some(0));
 
     let results = doc.get("results").and_then(Json::as_arr).expect("results");
-    assert_eq!(results.len(), 2);
+    assert_eq!(results.len(), 3);
     let mut reports = Vec::new();
     for entry in results {
         let file = entry.get("file").and_then(Json::as_str).expect("file");
@@ -66,6 +67,21 @@ fn run_json_emits_one_document_with_full_reports() {
         "steps block lists write_max ops: {:?}",
         steps.per_op()
     );
+
+    // The telemetry scenario's report carries the sampled curves and
+    // the engine's wall clock end to end.
+    let (_, telem) = reports
+        .iter()
+        .find(|(f, _)| f.ends_with("w12_telemetry_sim.json"))
+        .expect("telemetry scenario present");
+    let block = telem.telemetry.as_ref().expect("telemetry block");
+    assert!(block.samples > 0);
+    assert!(
+        block.curves.iter().any(|(n, _)| n == "ok_runs"),
+        "ok_runs curve present: {:?}",
+        block.curves.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    assert!(telem.metric("duration_ms").is_some(), "duration echoed");
 
     // And its trace exports landed relative to the run directory.
     for rel in [

@@ -9,7 +9,7 @@
 
 use ruo_scenario::{
     CheckerKind, CrashAt, EngineKind, ExploreSpec, Family, FaultSpec, Json, OpKind, OpMix,
-    RealSpec, ScenarioOp, ScenarioSpec, SchedulePolicy, TraceSpec,
+    RealSpec, ScenarioOp, ScenarioSpec, SchedulePolicy, TelemetrySpec, TraceSpec,
 };
 use ruo_sim::SplitMix64;
 
@@ -118,6 +118,12 @@ fn random_spec(rng: &mut SplitMix64) -> ScenarioSpec {
             steps: rng.gen_bool(0.8),
             jsonl: rng.gen_bool(0.5).then(|| random_name(rng)),
             chrome: rng.gen_bool(0.5).then(|| random_name(rng)),
+        });
+    }
+    if rng.gen_bool(0.4) {
+        spec.telemetry = Some(TelemetrySpec {
+            capacity: 1 + rng.gen_index(1 << 12),
+            every: 1 + rng.gen_below(1 << 16),
         });
     }
     if rng.gen_bool(0.4) {

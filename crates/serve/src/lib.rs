@@ -19,6 +19,12 @@
 //! * [`mod@audit`] — replays the server's per-object op log through
 //!   `check_interval`, so the retry/chaos semantics are verified
 //!   against the sequential specs, not assumed.
+//! * [`mod@span`] — request-lifecycle spans (accept → enqueue → dequeue
+//!   → execute → ack, in global server ticks) with degradation-rung and
+//!   chaos annotations, exported as JSONL and Chrome `trace_event`
+//!   JSON. Enabled with [`ServeConfig::spans`]; the `metrics` wire dump
+//!   itself is served from a `ruo_metrics::MetricsRegistry` snapshot,
+//!   tagged `ruo-telem-v1`.
 //!
 //! ```no_run
 //! use ruo_serve::{Client, ClientConfig, ObjectDef, ServeConfig, Server};
@@ -43,9 +49,11 @@ pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod span;
 
 pub use audit::{audit, AuditReport, DegradedRead, LoggedOp, ObjectAudit, ObjectLog};
 pub use chaos::{ChaosStream, NetFault, NetFaultPlan};
 pub use client::{Client, ClientConfig, ClientError, ClientStats, ReadResult, ScanResult};
 pub use proto::{ErrCode, ProtoError, Request, Response, MAX_LINE_BYTES};
 pub use server::{ObjectDef, ServeConfig, ServeSummary, Server, StartError};
+pub use span::{spans_to_chrome_trace, spans_to_jsonl, RequestSpan, SpanRung, SPAN_SCHEMA};

@@ -20,10 +20,16 @@
 //! ok degraded <v>              degraded-tier read
 //! ok <v1>,<v2>,...             exact scan
 //! ok degraded <v1>,<v2>,...    degraded-tier scan
-//! ok <k>=<v> <k>=<v> ...       metrics dump
+//! ok ruo-telem-v1 <k>=<v> ...  metrics dump (versioned, ascending keys)
 //! pong                         ping reply
 //! err <code>[ <detail>]        see [`ErrCode`]
 //! ```
+//!
+//! The metrics dump is schema-tagged with [`ruo_metrics::TELEM_SCHEMA`]
+//! so consumers can detect format drift: keys must be strictly
+//! ascending and unique, values canonical decimals, and an untagged
+//! `k=v` payload is rejected rather than guessed at. A bare
+//! `ok ruo-telem-v1` is an empty dump.
 //!
 //! Both directions parse with [`Request::parse`] / [`Response::parse`]
 //! and encode with `encode` (no trailing newline — framing is the
@@ -32,6 +38,8 @@
 //! [`ProtoError`].
 
 use std::fmt;
+
+use ruo_metrics::TELEM_SCHEMA;
 
 /// Longest accepted line, in bytes. A peer that streams more than this
 /// without a newline is misbehaving (or chaos glued frames together);
@@ -319,12 +327,15 @@ impl Response {
                 }
             }
             Response::Metrics(pairs) => {
+                if pairs.is_empty() {
+                    return format!("ok {TELEM_SCHEMA}");
+                }
                 let body = pairs
                     .iter()
                     .map(|(k, v)| format!("{k}={v}"))
                     .collect::<Vec<_>>()
                     .join(" ");
-                format!("ok {body}")
+                format!("ok {TELEM_SCHEMA} {body}")
             }
             Response::Pong => "pong".to_string(),
             Response::Err { code, detail } => {
@@ -342,9 +353,11 @@ impl Response {
     /// The `ok …` payload grammar is ambiguous in isolation (`ok 5` is a
     /// value; `ok 5` could be a one-segment scan), so the client decodes
     /// by shape: a bare integer is [`Response::Value`], a comma list is
-    /// [`Response::Vector`], `k=v` pairs are [`Response::Metrics`].
-    /// Callers that issued `scan` use [`Response::into_vector`] to
-    /// coerce a one-segment result.
+    /// [`Response::Vector`], and a payload opening with the
+    /// [`TELEM_SCHEMA`] tag is [`Response::Metrics`] (strictly ascending
+    /// unique keys; untagged `k=v` payloads are rejected). Callers that
+    /// issued `scan` use [`Response::into_vector`] to coerce a
+    /// one-segment result.
     pub fn parse(line: &str) -> Result<Response, ProtoError> {
         if line.len() > MAX_LINE_BYTES {
             return Err(err("line too long"));
@@ -376,21 +389,40 @@ impl Response {
         if payload.is_empty() {
             return Err(err("empty payload"));
         }
-        if payload.contains('=') {
+        if let Some(tagged) = payload.strip_prefix(TELEM_SCHEMA) {
             if degraded {
                 return Err(err("metrics cannot be degraded"));
             }
-            let mut pairs = Vec::new();
-            for part in payload.split(' ') {
+            if tagged.is_empty() {
+                return Ok(Response::Metrics(Vec::new()));
+            }
+            let Some(body) = tagged.strip_prefix(' ') else {
+                return Err(err(format!("bad metrics tag in {payload:?}")));
+            };
+            if body.is_empty() {
+                return Err(err("empty metrics body"));
+            }
+            let mut pairs: Vec<(String, u64)> = Vec::new();
+            for part in body.split(' ') {
                 let (k, v) = part
                     .split_once('=')
                     .ok_or_else(|| err(format!("bad metrics pair {part:?}")))?;
                 if !valid_ident(k) {
                     return Err(err(format!("bad metrics key {k:?}")));
                 }
+                if let Some((prev, _)) = pairs.last() {
+                    if k <= prev.as_str() {
+                        return Err(err(format!("metrics keys not ascending at {k:?}")));
+                    }
+                }
                 pairs.push((k.to_string(), parse_u64(v, "metrics value")?));
             }
             return Ok(Response::Metrics(pairs));
+        }
+        if payload.contains('=') {
+            return Err(err(format!(
+                "unversioned metrics payload (expected {TELEM_SCHEMA} tag)"
+            )));
         }
         if payload.contains(',') {
             let vs = payload
@@ -480,6 +512,7 @@ mod tests {
                 degraded: true,
             },
             Response::Metrics(vec![("served".into(), 12), ("shed".into(), 0)]),
+            Response::Metrics(Vec::new()),
             Response::Err {
                 code: ErrCode::Overload,
                 detail: String::new(),
@@ -535,12 +568,43 @@ mod tests {
             "ok a=b",
             "ok served=1 shed",
             "ok degraded served=1",
+            "ok served=1 shed=0",
+            "ok ruo-telem-v1 ",
+            "ok ruo-telem-v1  a=1",
+            "ok ruo-telem-v1 a",
+            "ok ruo-telem-v1 a=01",
+            "ok ruo-telem-v1 a=+1",
+            "ok ruo-telem-v1 shed=1 served=2",
+            "ok ruo-telem-v1 a=1 a=2",
+            "ok ruo-telem-v1 a=1 b",
+            "ok ruo-telem-v1x",
+            "ok ruo-telem-v2 a=1",
+            "ok degraded ruo-telem-v1",
+            "ok degraded ruo-telem-v1 a=1",
             "err",
             "err bogus",
             "pong pong",
         ] {
             assert!(Response::parse(line).is_err(), "accepted {line:?}");
         }
+    }
+
+    #[test]
+    fn metrics_wire_format_is_versioned_and_ordered() {
+        // The tag is pinned: a format change must bump the schema name.
+        assert_eq!(TELEM_SCHEMA, "ruo-telem-v1");
+        let resp = Response::Metrics(vec![("served".into(), 12), ("shed".into(), 0)]);
+        assert_eq!(resp.encode(), "ok ruo-telem-v1 served=12 shed=0");
+        assert_eq!(Response::Metrics(Vec::new()).encode(), "ok ruo-telem-v1");
+        assert_eq!(
+            Response::parse("ok ruo-telem-v1").unwrap(),
+            Response::Metrics(Vec::new())
+        );
+        // Ascending keys accepted, including a single pair.
+        assert_eq!(
+            Response::parse("ok ruo-telem-v1 served=3").unwrap(),
+            Response::Metrics(vec![("served".into(), 3)])
+        );
     }
 
     #[test]

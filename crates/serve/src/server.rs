@@ -41,13 +41,14 @@ use std::time::{Duration, Instant};
 
 use ruo_core::counter::ApproxCounter;
 use ruo_core::Counter as _;
-use ruo_metrics::{HealthEvent, HealthGauges, HealthSnapshot};
+use ruo_metrics::{HealthEvent, HealthGauges, HealthSnapshot, MetricsRegistry};
 use ruo_scenario::registry::{find, BuildError, BuildParams, Family, RealObject};
 use ruo_sim::{OpDesc, OpOutput, ProcessId, Word};
 
 use crate::audit::{audit, AuditReport, DegradedRead, LoggedOp, ObjectLog};
 use crate::chaos::{ChaosStream, NetFaultPlan};
 use crate::proto::{ErrCode, Request, Response, MAX_LINE_BYTES};
+use crate::span::{spans_to_chrome_trace, spans_to_jsonl, RequestSpan, SpanRung};
 
 /// One object to serve, by registry coordinates.
 #[derive(Debug, Clone)]
@@ -121,6 +122,11 @@ pub struct ServeConfig {
     /// increment publishes); the shutdown audit enforces whatever is
     /// configured here.
     pub accuracy_k: u64,
+    /// Record a [`RequestSpan`] per served request (returned in
+    /// [`ServeSummary::spans`]). Off by default: the hot path then pays
+    /// nothing beyond the tick stamps it already takes for the audit
+    /// log.
+    pub spans: bool,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +141,7 @@ impl Default for ServeConfig {
             idle_polls: 40,
             chaos: None,
             accuracy_k: 4,
+            spans: false,
         }
     }
 }
@@ -209,6 +216,9 @@ impl ServedObject {
 struct PendingConn {
     stream: ChaosStream<TcpStream>,
     enqueued: Instant,
+    conn_id: u64,
+    accept_tick: u64,
+    enqueue_tick: u64,
 }
 
 /// Bounded FIFO idempotency window: remembers the last
@@ -256,7 +266,12 @@ struct Inner {
     tick: AtomicU64,
     conn_ids: AtomicU64,
     dedup: Mutex<DedupWindow>,
-    gauges: HealthGauges,
+    gauges: Arc<HealthGauges>,
+    /// Self-describing telemetry over the health gauges; the `metrics`
+    /// verb answers with a snapshot of this (see [`crate::proto`]).
+    registry: MetricsRegistry,
+    /// Request spans, recorded only when [`ServeConfig::spans`] is on.
+    spans: Mutex<Vec<RequestSpan>>,
 }
 
 impl Inner {
@@ -280,6 +295,9 @@ pub struct ServeSummary {
     /// report their count; used by drain checks: applied must be ≥
     /// acked).
     pub final_values: Vec<(String, u64)>,
+    /// Request-lifecycle spans, in recording order (empty unless
+    /// [`ServeConfig::spans`] was on).
+    pub spans: Vec<RequestSpan>,
 }
 
 impl ServeSummary {
@@ -294,6 +312,16 @@ impl ServeSummary {
             .iter()
             .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
+    }
+
+    /// The recorded spans as JSONL (schema `ruo-serve-span-v1`).
+    pub fn spans_to_jsonl(&self) -> String {
+        spans_to_jsonl(&self.spans)
+    }
+
+    /// The recorded spans as Chrome `trace_event` JSON.
+    pub fn spans_to_chrome_trace(&self) -> String {
+        spans_to_chrome_trace(&self.spans)
     }
 }
 
@@ -370,8 +398,15 @@ impl Server {
 
         let n_workers = cfg.workers;
         let dedup_cap = cfg.dedup_window;
+        // One gauge identity per worker plus the acceptor; the registry
+        // reads each scalar with one root load.
+        let gauges = Arc::new(HealthGauges::new(n_workers + 1));
+        let mut registry = MetricsRegistry::new();
+        gauges.register_telemetry(&mut registry, "");
         let inner = Arc::new(Inner {
-            gauges: HealthGauges::new(n_workers + 1),
+            gauges,
+            registry,
+            spans: Mutex::new(Vec::new()),
             dedup: Mutex::new(DedupWindow::new(dedup_cap)),
             cfg,
             objects,
@@ -432,6 +467,7 @@ impl Server {
         let inner = Arc::try_unwrap(self.inner)
             .unwrap_or_else(|_| panic!("server threads still hold the state after join"));
         let health = inner.gauges.snapshot();
+        let spans = inner.spans.into_inner().unwrap();
         let mut final_values = Vec::new();
         let mut logs = Vec::new();
         for o in inner.objects {
@@ -446,6 +482,7 @@ impl Server {
             logs,
             health,
             final_values,
+            spans,
         }
     }
 }
@@ -472,14 +509,19 @@ fn accept_loop(inner: &Inner, listener: TcpListener) {
                     continue;
                 }
                 inner.gauges.bump(pid, HealthEvent::Admitted);
+                let accept_tick = inner.next_tick();
                 let wrapped = match &inner.cfg.chaos {
                     Some(plan) => ChaosStream::new(stream, plan, conn_id),
                     None => ChaosStream::passthrough(stream),
                 };
+                let enqueue_tick = inner.next_tick();
                 let mut q = inner.queue.lock().unwrap();
                 q.push_back(PendingConn {
                     stream: wrapped,
                     enqueued: Instant::now(),
+                    conn_id,
+                    accept_tick,
+                    enqueue_tick,
                 });
                 inner.queue_depth.store(q.len(), Ordering::Relaxed);
                 drop(q);
@@ -514,6 +556,13 @@ fn worker_loop(inner: &Inner, w: usize) {
             }
         };
         let draining = inner.draining.load(Ordering::SeqCst);
+        let dequeue_tick = inner.next_tick();
+        let ctx = ConnCtx {
+            conn_id: conn.conn_id,
+            accept_tick: conn.accept_tick,
+            enqueue_tick: conn.enqueue_tick,
+            dequeue_tick,
+        };
         let mut stream = conn.stream;
         if draining {
             let _ = stream.write_all(b"err closed\n");
@@ -525,11 +574,20 @@ fn worker_loop(inner: &Inner, w: usize) {
             let _ = stream.write_all(b"err deadline\n");
             continue;
         }
-        serve_conn(inner, pid, &mut stream);
+        serve_conn(inner, pid, &mut stream, &ctx);
         for _ in 0..stream.injected() {
             inner.gauges.bump(pid, HealthEvent::ChaosInjected);
         }
     }
+}
+
+/// Connection-level span context: the ticks stamped before the worker
+/// started reading requests off the connection.
+struct ConnCtx {
+    conn_id: u64,
+    accept_tick: u64,
+    enqueue_tick: u64,
+    dequeue_tick: u64,
 }
 
 /// Reads newline-framed lines off a raw stream, carrying partial frames
@@ -579,9 +637,10 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-fn serve_conn(inner: &Inner, pid: ProcessId, stream: &mut ChaosStream<TcpStream>) {
+fn serve_conn(inner: &Inner, pid: ProcessId, stream: &mut ChaosStream<TcpStream>, ctx: &ConnCtx) {
     let mut reader = LineReader::new();
     let mut idle: u32 = 0;
+    let mut seq: u64 = 0;
     loop {
         if inner.draining.load(Ordering::SeqCst) {
             let _ = stream.write_all(b"err closed\n");
@@ -607,12 +666,68 @@ fn serve_conn(inner: &Inner, pid: ProcessId, stream: &mut ChaosStream<TcpStream>
         };
         let inflight = inner.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         inner.gauges.record_inflight(pid, inflight);
+        // Rung annotation: the tier this request *entered* handling at.
+        // The response's own `degraded` flag says whether the answer
+        // actually came from the cheap tier (max-register reads stay
+        // exact even on the degraded rung).
+        let (execute_tick, rung) = if inner.cfg.spans {
+            let rung = if inner.draining.load(Ordering::SeqCst) {
+                SpanRung::Draining
+            } else if overloaded(inner) {
+                SpanRung::Degraded
+            } else {
+                SpanRung::Healthy
+            };
+            (inner.next_tick(), rung)
+        } else {
+            (0, SpanRung::Healthy)
+        };
         let resp = handle(inner, pid, &line);
         inner.inflight.fetch_sub(1, Ordering::Relaxed);
         inner.gauges.bump(pid, HealthEvent::Served);
         let mut out = resp.encode();
         out.push('\n');
-        if stream.write_all(out.as_bytes()).is_err() {
+        let write_ok = stream.write_all(out.as_bytes()).is_ok();
+        if inner.cfg.spans {
+            let ack_tick = inner.next_tick();
+            let verb = match &resp {
+                Response::Err {
+                    code: ErrCode::Parse,
+                    ..
+                } => "invalid".to_string(),
+                _ => line.split(' ').next().unwrap_or("").to_string(),
+            };
+            let degraded = matches!(
+                resp,
+                Response::Value { degraded: true, .. } | Response::Vector { degraded: true, .. }
+            );
+            let outcome = if !write_ok {
+                "write_failed".to_string()
+            } else {
+                match &resp {
+                    Response::Err { code, .. } => format!("err {}", code.name()),
+                    Response::Pong => "pong".to_string(),
+                    _ => "ok".to_string(),
+                }
+            };
+            inner.spans.lock().unwrap().push(RequestSpan {
+                conn_id: ctx.conn_id,
+                seq,
+                worker: pid.0,
+                verb,
+                accept_tick: ctx.accept_tick,
+                enqueue_tick: ctx.enqueue_tick,
+                dequeue_tick: ctx.dequeue_tick,
+                execute_tick,
+                ack_tick,
+                rung,
+                degraded,
+                chaos_injected: stream.injected(),
+                outcome,
+            });
+        }
+        seq += 1;
+        if !write_ok {
             // The op (if any) is applied and logged; only the ack was
             // lost. The client's retry will dedup.
             inner.gauges.bump(pid, HealthEvent::IoError);
@@ -649,15 +764,9 @@ fn handle(inner: &Inner, pid: ProcessId, line: &str) -> Response {
     };
     match req {
         Request::Ping => Response::Pong,
-        Request::Metrics => Response::Metrics(
-            inner
-                .gauges
-                .snapshot()
-                .to_pairs()
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        ),
+        // One wait-free registry snapshot (one root load per scalar),
+        // already in the ascending-key order the wire format demands.
+        Request::Metrics => Response::Metrics(inner.registry.snapshot().pairs()),
         Request::Incr { obj, k, token } => {
             let Some(served) = inner.object(&obj) else {
                 return no_object(&obj);
@@ -1015,6 +1124,85 @@ mod tests {
             "drain lost acked ops: acked {acked} > applied {applied}"
         );
         assert!(summary.audit().ok());
+    }
+
+    #[test]
+    fn metrics_dump_is_versioned_and_registry_backed() {
+        let server = small_server(&[ObjectDef::counter("hits", "farray")]);
+        let (mut s, mut r) = connect(&server);
+        assert_eq!(roundtrip(&mut s, &mut r, "incr hits 2"), "ok");
+        let line = roundtrip(&mut s, &mut r, "metrics");
+        assert!(
+            line.starts_with("ok ruo-telem-v1 "),
+            "untagged metrics: {line}"
+        );
+        let Response::Metrics(pairs) = Response::parse(&line).unwrap() else {
+            panic!("not a metrics response: {line}");
+        };
+        // Ascending keys, and every health scalar present.
+        assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "{pairs:?}");
+        assert_eq!(pairs.len(), 12);
+        for key in ["admitted", "served", "shed", "queue_depth_peak"] {
+            assert!(pairs.iter().any(|(k, _)| k == key), "missing {key}");
+        }
+        drop((s, r));
+        server.shutdown();
+    }
+
+    #[test]
+    fn spans_follow_the_request_lifecycle() {
+        let server = Server::start(
+            ServeConfig {
+                workers: 2,
+                spans: true,
+                ..ServeConfig::default()
+            },
+            &[ObjectDef::counter("hits", "farray")],
+        )
+        .unwrap();
+        let (mut s, mut r) = connect(&server);
+        assert_eq!(roundtrip(&mut s, &mut r, "incr hits 1"), "ok");
+        assert_eq!(roundtrip(&mut s, &mut r, "read hits"), "ok 1");
+        assert!(roundtrip(&mut s, &mut r, "read ghost").starts_with("err no_object"));
+        assert!(roundtrip(&mut s, &mut r, "not a verb").starts_with("err parse"));
+        drop((s, r));
+        let summary = server.shutdown();
+        assert_eq!(summary.spans.len(), 4);
+        for span in &summary.spans {
+            // The lifecycle ticks are ordered by construction.
+            assert!(span.accept_tick < span.enqueue_tick, "{span:?}");
+            assert!(span.enqueue_tick < span.dequeue_tick, "{span:?}");
+            assert!(span.dequeue_tick < span.execute_tick, "{span:?}");
+            assert!(span.execute_tick < span.ack_tick, "{span:?}");
+            assert_eq!(span.rung, SpanRung::Healthy);
+            assert!(!span.degraded);
+        }
+        // One connection, requests in order.
+        assert!(summary.spans.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(summary.spans[0].verb, "incr");
+        assert_eq!(summary.spans[0].outcome, "ok");
+        assert_eq!(summary.spans[1].verb, "read");
+        assert_eq!(summary.spans[2].outcome, "err no_object");
+        assert_eq!(summary.spans[3].verb, "invalid");
+        assert_eq!(summary.spans[3].outcome, "err parse");
+        // Exports are well-formed.
+        let jsonl = summary.spans_to_jsonl();
+        assert!(jsonl.lines().next().unwrap().contains("ruo-serve-span-v1"));
+        assert_eq!(jsonl.lines().count(), 5);
+        let chrome = summary.spans_to_chrome_trace();
+        ruo_scenario::Json::parse(&chrome).expect("chrome trace parses");
+        assert!(summary.audit().ok());
+    }
+
+    #[test]
+    fn spans_off_records_nothing() {
+        let server = small_server(&[ObjectDef::counter("hits", "farray")]);
+        let (mut s, mut r) = connect(&server);
+        assert_eq!(roundtrip(&mut s, &mut r, "incr hits 1"), "ok");
+        drop((s, r));
+        let summary = server.shutdown();
+        assert!(summary.spans.is_empty());
+        assert_eq!(summary.spans_to_jsonl().lines().count(), 1);
     }
 
     #[test]

@@ -63,6 +63,16 @@ fn random_request(rng: &mut SplitMix64) -> Request {
     }
 }
 
+/// Random metrics dumps: the wire format demands strictly ascending
+/// unique keys (the registry snapshot guarantees them), so sort + dedup.
+fn random_metrics(rng: &mut SplitMix64) -> Response {
+    let n = rng.gen_index(7);
+    let mut keys: Vec<String> = (0..n).map(|_| random_ident(rng)).collect();
+    keys.sort();
+    keys.dedup();
+    Response::Metrics(keys.into_iter().map(|k| (k, random_value(rng))).collect())
+}
+
 fn random_response(rng: &mut SplitMix64) -> Response {
     match rng.gen_index(6) {
         0 => Response::Ok,
@@ -78,14 +88,7 @@ fn random_response(rng: &mut SplitMix64) -> Response {
                 degraded: rng.gen_bool(0.5),
             }
         }
-        4 => {
-            let n = 1 + rng.gen_index(6);
-            Response::Metrics(
-                (0..n)
-                    .map(|_| (random_ident(rng), random_value(rng)))
-                    .collect(),
-            )
-        }
+        4 => random_metrics(rng),
         _ => {
             let code = match rng.gen_index(6) {
                 0 => ErrCode::Overload,
@@ -219,6 +222,54 @@ fn accepted_garbage_is_canonical() {
         }
     }
     assert!(accepted > 100, "mutator too destructive: {accepted}");
+}
+
+/// Metrics-specific adversaries: for random valid metrics lines, every
+/// systematic corruption of the schema tag or the key order must be
+/// rejected (and never panic) — order violations, duplicate keys,
+/// untagged dumps, degraded tags, and tag typos.
+#[test]
+fn metrics_corruptions_are_rejected() {
+    let mut rng = SplitMix64::new(0x5EED_0006);
+    let tag = ruo_metrics::TELEM_SCHEMA;
+    let mut multi_key = 0;
+    for _ in 0..2000 {
+        let Response::Metrics(pairs) = random_metrics(&mut rng) else {
+            unreachable!()
+        };
+        let line = Response::Metrics(pairs.clone()).encode();
+        // Sanity: the valid line round-trips.
+        assert_eq!(
+            Response::parse(&line).unwrap(),
+            Response::Metrics(pairs.clone())
+        );
+        // Untagged: drop the schema tag but keep the pairs.
+        if !pairs.is_empty() {
+            let untagged = format!("ok {}", &line[4 + tag.len()..]);
+            assert!(Response::parse(&untagged).is_err(), "accepted {untagged:?}");
+        }
+        // Degraded metrics are contradictory.
+        let degraded = format!("ok degraded {}", &line[3..]);
+        assert!(Response::parse(&degraded).is_err(), "accepted {degraded:?}");
+        // Tag typo: bump the version digit.
+        let typo = line.replace(tag, "ruo-telem-v2");
+        assert!(Response::parse(&typo).is_err(), "accepted {typo:?}");
+        if pairs.len() >= 2 {
+            multi_key += 1;
+            // Reversed keys violate the ascending-order contract.
+            let mut rev = pairs.clone();
+            rev.reverse();
+            let rev_line = Response::Metrics(rev).encode();
+            assert!(Response::parse(&rev_line).is_err(), "accepted {rev_line:?}");
+            // A duplicated key violates uniqueness.
+            let mut dup = pairs.clone();
+            let d = dup[0].clone();
+            dup.insert(1, d);
+            let dup_line = Response::Metrics(dup).encode();
+            assert!(Response::parse(&dup_line).is_err(), "accepted {dup_line:?}");
+        }
+    }
+    assert!(multi_key > 200, "generator too thin: {multi_key}");
 }
 
 /// Oversized lines are rejected, not buffered or panicked on.
